@@ -1,0 +1,178 @@
+//! Composition of blocks into signal chains.
+
+use crate::block::{AnalogBlock, EdgeTransform};
+use vardelay_siggen::EdgeStream;
+use vardelay_waveform::Waveform;
+
+/// An ordered chain of waveform-domain blocks processed front to back.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::{Chain, TransmissionLine};
+/// use vardelay_units::Time;
+///
+/// let chain = Chain::new("taps")
+///     .with(TransmissionLine::new(Time::from_ps(33.0)))
+///     .with(TransmissionLine::new(Time::from_ps(33.0)));
+/// assert_eq!(chain.len(), 2);
+/// ```
+pub struct Chain {
+    blocks: Vec<Box<dyn AnalogBlock + Send>>,
+    label: String,
+}
+
+impl Chain {
+    /// Creates an empty chain.
+    pub fn new(label: &str) -> Self {
+        Chain {
+            blocks: Vec::new(),
+            label: label.to_owned(),
+        }
+    }
+
+    /// Appends a block, builder style.
+    pub fn with<B: AnalogBlock + Send + 'static>(mut self, block: B) -> Self {
+        self.blocks.push(Box::new(block));
+        self
+    }
+
+    /// Appends a boxed block.
+    pub fn push(&mut self, block: Box<dyn AnalogBlock + Send>) {
+        self.blocks.push(block);
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if the chain holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block names, front to back.
+    pub fn block_names(&self) -> Vec<&str> {
+        self.blocks.iter().map(|b| b.name()).collect()
+    }
+}
+
+impl core::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Chain")
+            .field("label", &self.label)
+            .field("blocks", &self.block_names())
+            .finish()
+    }
+}
+
+impl AnalogBlock for Chain {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        let mut wf = input.clone();
+        for block in &mut self.blocks {
+            wf = block.process(&wf);
+        }
+        wf
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// An ordered chain of edge-domain blocks processed front to back.
+pub struct EdgeChain {
+    blocks: Vec<Box<dyn EdgeTransform + Send>>,
+    label: String,
+}
+
+impl EdgeChain {
+    /// Creates an empty chain.
+    pub fn new(label: &str) -> Self {
+        EdgeChain {
+            blocks: Vec::new(),
+            label: label.to_owned(),
+        }
+    }
+
+    /// Appends a block, builder style.
+    pub fn with<B: EdgeTransform + Send + 'static>(mut self, block: B) -> Self {
+        self.blocks.push(Box::new(block));
+        self
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if the chain holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+impl core::fmt::Debug for EdgeChain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EdgeChain")
+            .field("label", &self.label)
+            .field("blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+impl EdgeTransform for EdgeChain {
+    fn transform(&mut self, input: &EdgeStream) -> EdgeStream {
+        let mut s = input.clone();
+        for block in &mut self.blocks {
+            s = block.transform(&s);
+        }
+        s
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tline::TransmissionLine;
+    use vardelay_siggen::BitPattern;
+    use vardelay_units::{BitRate, Time};
+    use vardelay_waveform::RenderConfig;
+
+    #[test]
+    fn chain_composes_delays() {
+        let stream = EdgeStream::nrz(&BitPattern::clock(8), BitRate::from_gbps(1.0));
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let mut chain = Chain::new("two-lines")
+            .with(TransmissionLine::new(Time::from_ps(10.0)))
+            .with(TransmissionLine::new(Time::from_ps(23.0)));
+        let out = chain.process(&wf);
+        assert!((out.t0() - wf.t0() - Time::from_ps(33.0)).abs() < Time::from_fs(1.0));
+        assert_eq!(chain.block_names(), vec!["tline-10ps", "tline-23ps"]);
+    }
+
+    #[test]
+    fn edge_chain_composes_delays() {
+        let stream = EdgeStream::nrz(&BitPattern::clock(8), BitRate::from_gbps(1.0));
+        let mut chain = EdgeChain::new("two-lines")
+            .with(TransmissionLine::new(Time::from_ps(10.0)))
+            .with(TransmissionLine::new(Time::from_ps(23.0)));
+        let out = chain.transform(&stream);
+        let d = vardelay_measure::mean_delay(&stream, &out).unwrap();
+        assert!((d.as_ps() - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let stream = EdgeStream::nrz(&BitPattern::clock(4), BitRate::from_gbps(1.0));
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let mut chain = Chain::new("empty");
+        assert!(chain.is_empty());
+        assert_eq!(chain.process(&wf), wf);
+    }
+}

@@ -1,0 +1,386 @@
+//! Bench-style characterization of waveform-domain chains, and the
+//! table-driven edge-domain model built from it.
+//!
+//! The fast edge engine does not re-derive the buffer physics; instead it
+//! does what one does with the physical prototype: **measure** the delay of
+//! the full chain on a grid of control voltages and toggle intervals, then
+//! interpolate. Because the preceding interval determines how far the
+//! bandwidth-limited stages settled, a `delay(vctrl, preceding-interval)`
+//! table reproduces both the Fig. 7 control curve and the Fig. 15
+//! frequency roll-off, and applying it per-edge on real data produces the
+//! data-dependent jitter the paper observes at 6.4 Gb/s.
+
+use crate::block::{AnalogBlock, EdgeTransform};
+use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
+use vardelay_units::{BitRate, Time, Voltage};
+use vardelay_waveform::{to_edge_stream, RenderConfig, Waveform};
+
+/// A measured `delay(vctrl, preceding-interval)` lookup table with
+/// bilinear interpolation and boundary clamping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayTable {
+    vctrls: Vec<Voltage>,
+    intervals: Vec<Time>,
+    /// `delays[i][j]` is the mean delay at `vctrls[i]`, `intervals[j]`.
+    delays: Vec<Vec<Time>>,
+}
+
+impl DelayTable {
+    /// Builds a table from grids and measured values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if grids are empty, unsorted, or the value matrix has the
+    /// wrong shape.
+    pub fn new(vctrls: Vec<Voltage>, intervals: Vec<Time>, delays: Vec<Vec<Time>>) -> Self {
+        assert!(!vctrls.is_empty() && !intervals.is_empty(), "grids must be non-empty");
+        assert!(
+            vctrls.windows(2).all(|w| w[0] < w[1]),
+            "vctrl grid must be strictly ascending"
+        );
+        assert!(
+            intervals.windows(2).all(|w| w[0] < w[1]),
+            "interval grid must be strictly ascending"
+        );
+        assert_eq!(delays.len(), vctrls.len(), "one delay row per vctrl");
+        assert!(
+            delays.iter().all(|row| row.len() == intervals.len()),
+            "one delay per interval in every row"
+        );
+        DelayTable {
+            vctrls,
+            intervals,
+            delays,
+        }
+    }
+
+    /// The control-voltage grid.
+    pub fn vctrls(&self) -> &[Voltage] {
+        &self.vctrls
+    }
+
+    /// The preceding-interval grid.
+    pub fn intervals(&self) -> &[Time] {
+        &self.intervals
+    }
+
+    fn bracket<T>(grid: &[T], x: T) -> (usize, usize, f64)
+    where
+        T: Copy + PartialOrd + core::ops::Sub<Output = T> + core::ops::Div<T, Output = f64>,
+    {
+        if grid.len() == 1 {
+            return (0, 0, 0.0);
+        }
+        let mut i = grid.partition_point(|&g| g <= x);
+        if i == 0 {
+            return (0, 0, 0.0);
+        }
+        if i >= grid.len() {
+            i = grid.len();
+            return (i - 1, i - 1, 0.0);
+        }
+        let (lo, hi) = (i - 1, i);
+        let frac = (x - grid[lo]) / (grid[hi] - grid[lo]);
+        (lo, hi, frac.clamp(0.0, 1.0))
+    }
+
+    /// Looks up the delay with bilinear interpolation, clamping outside the
+    /// measured grid.
+    pub fn delay_at(&self, vctrl: Voltage, interval: Time) -> Time {
+        let (v0, v1, fv) = Self::bracket(&self.vctrls, vctrl);
+        let (i0, i1, fi) = Self::bracket(&self.intervals, interval);
+        let d00 = self.delays[v0][i0];
+        let d01 = self.delays[v0][i1];
+        let d10 = self.delays[v1][i0];
+        let d11 = self.delays[v1][i1];
+        let low = d00 + (d01 - d00) * fi;
+        let high = d10 + (d11 - d10) * fi;
+        low + (high - low) * fv
+    }
+
+    /// The measured delay span (max − min across the whole table).
+    pub fn delay_span(&self) -> Time {
+        let mut lo = Time::from_s(f64::INFINITY);
+        let mut hi = Time::from_s(f64::NEG_INFINITY);
+        for row in &self.delays {
+            for &d in row {
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+        }
+        hi - lo
+    }
+}
+
+/// Measures a `delay(vctrl, interval)` table by driving a freshly-built
+/// chain with toggling clock stimuli, exactly as on the bench.
+///
+/// For every grid point the chain is rebuilt by `build(vctrl)` (so noise
+/// seeds and filter states reset), driven with a 1010… pattern whose bit
+/// period equals the interval, and the mean delay over the steady-state
+/// tail of the capture is recorded. Chains built for characterization
+/// should disable voltage noise so the table is a clean mean.
+///
+/// # Panics
+///
+/// Panics if the grids are empty or if a chain output produces no
+/// measurable crossings at some grid point (signal completely lost).
+pub fn measure_delay_table(
+    build: &mut dyn FnMut(Voltage) -> Box<dyn AnalogBlock + Send>,
+    vctrls: &[Voltage],
+    intervals: &[Time],
+    render: &RenderConfig,
+) -> DelayTable {
+    assert!(!vctrls.is_empty() && !intervals.is_empty(), "grids must be non-empty");
+    const WARMUP_EDGES: usize = 8;
+    const TOTAL_BITS: usize = 24;
+
+    let mut delays = Vec::with_capacity(vctrls.len());
+    for &vctrl in vctrls {
+        let mut row = Vec::with_capacity(intervals.len());
+        for &interval in intervals {
+            let rate = BitRate::from_bps(1.0 / interval.as_s());
+            let stimulus = EdgeStream::nrz(&BitPattern::clock(TOTAL_BITS), rate);
+            let wf = Waveform::render(&stimulus, render);
+            let mut chain = build(vctrl);
+            let out_wf = chain.process(&wf);
+            let out = to_edge_stream(&out_wf, 0.0, rate.bit_period());
+            assert!(
+                out.len() > WARMUP_EDGES,
+                "chain output lost the signal at vctrl={vctrl}, interval={interval}"
+            );
+            // Polarity-safe tail pairing: robust to start-up transients
+            // and to a final edge cut off by the capture window.
+            let mean = vardelay_measure::tail_mean_delay(&stimulus, &out, WARMUP_EDGES)
+                .expect("chain output carries measurable edges");
+            row.push(mean);
+        }
+        delays.push(row);
+    }
+    DelayTable::new(vctrls.to_vec(), intervals.to_vec(), delays)
+}
+
+/// A table-driven edge-domain delay element with per-edge random jitter —
+/// the fast model of a characterized chain.
+#[derive(Debug, Clone)]
+pub struct CharacterizedDelay {
+    table: DelayTable,
+    vctrl: Voltage,
+    rj_sigma: Time,
+    rng: SplitMix64,
+    label: String,
+}
+
+impl CharacterizedDelay {
+    /// Creates a model at the given operating point.
+    pub fn new(table: DelayTable, vctrl: Voltage, rj_sigma: Time, seed: u64) -> Self {
+        CharacterizedDelay {
+            table,
+            vctrl,
+            rj_sigma,
+            rng: SplitMix64::new(seed),
+            label: "characterized-delay".to_owned(),
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &DelayTable {
+        &self.table
+    }
+
+    /// Current control voltage.
+    pub fn vctrl(&self) -> Voltage {
+        self.vctrl
+    }
+
+    /// Reprograms the control voltage.
+    pub fn set_vctrl(&mut self, vctrl: Voltage) {
+        self.vctrl = vctrl;
+    }
+
+    /// Delays a stream using per-edge control voltages (one per edge) —
+    /// the jitter-injection path, where `Vctrl` moves with coupled noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vctrls.len()` differs from the edge count.
+    pub fn transform_with_vctrls(&mut self, input: &EdgeStream, vctrls: &[Voltage]) -> EdgeStream {
+        assert_eq!(
+            vctrls.len(),
+            input.len(),
+            "one control voltage per edge required"
+        );
+        let times = self.displaced_times(input, |i| vctrls[i]);
+        input.with_times(&times)
+    }
+
+    fn displaced_times(
+        &mut self,
+        input: &EdgeStream,
+        vctrl_of: impl Fn(usize) -> Voltage,
+    ) -> Vec<Time> {
+        // The first edge has no preceding interval; assume steady state by
+        // borrowing the following interval (falling back to the longest
+        // characterized one for single-edge streams). Without this, the
+        // first edge becomes a large delay outlier that dominates
+        // peak-to-peak jitter measurements.
+        let long = *self
+            .table
+            .intervals()
+            .last()
+            .expect("table grids are non-empty");
+        let first_interval = match input.edges() {
+            [a, b, ..] => b.time - a.time,
+            _ => long,
+        };
+        let mut prev: Option<Time> = None;
+        input
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let interval = prev.map_or(first_interval, |p| e.time - p);
+                prev = Some(e.time);
+                let mut d = self.table.delay_at(vctrl_of(i), interval);
+                if self.rj_sigma > Time::ZERO {
+                    d += self.rj_sigma * self.rng.gaussian();
+                }
+                e.time + d
+            })
+            .collect()
+    }
+}
+
+impl EdgeTransform for CharacterizedDelay {
+    fn transform(&mut self, input: &EdgeStream) -> EdgeStream {
+        let vctrl = self.vctrl;
+        let times = self.displaced_times(input, |_| vctrl);
+        input.with_times(&times)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tline::TransmissionLine;
+    use crate::vga_buffer::{VgaBuffer, VgaBufferConfig};
+
+    fn table_2x2() -> DelayTable {
+        DelayTable::new(
+            vec![Voltage::from_v(0.0), Voltage::from_v(1.0)],
+            vec![Time::from_ps(100.0), Time::from_ps(200.0)],
+            vec![
+                vec![Time::from_ps(10.0), Time::from_ps(20.0)],
+                vec![Time::from_ps(30.0), Time::from_ps(40.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn bilinear_interpolation() {
+        let t = table_2x2();
+        let mid = t.delay_at(Voltage::from_v(0.5), Time::from_ps(150.0));
+        assert!((mid.as_ps() - 25.0).abs() < 1e-9);
+        // Clamping outside the grid.
+        let low = t.delay_at(Voltage::from_v(-5.0), Time::from_ps(50.0));
+        assert!((low.as_ps() - 10.0).abs() < 1e-9);
+        let high = t.delay_at(Voltage::from_v(5.0), Time::from_ps(500.0));
+        assert!((high.as_ps() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_span() {
+        assert!((table_2x2().delay_span().as_ps() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_table_of_a_pure_line_is_flat() {
+        let mut build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+            Box::new(TransmissionLine::new(Time::from_ps(33.0)))
+        };
+        let table = measure_delay_table(
+            &mut build,
+            &[Voltage::ZERO, Voltage::from_v(1.5)],
+            &[Time::from_ps(500.0), Time::from_ps(1000.0)],
+            &RenderConfig::default_source(),
+        );
+        for v in table.vctrls() {
+            for i in table.intervals() {
+                let d = table.delay_at(*v, *i);
+                assert!((d.as_ps() - 33.0).abs() < 0.5, "d {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_vga_table_shows_amplitude_dependence() {
+        let mut cfg = VgaBufferConfig::paper_default();
+        cfg.core.noise_rms = Voltage::ZERO;
+        let mut build = move |v: Voltage| -> Box<dyn AnalogBlock + Send> {
+            let mut buf = VgaBuffer::new(cfg.clone(), 1);
+            buf.set_vctrl(v);
+            Box::new(buf)
+        };
+        let table = measure_delay_table(
+            &mut build,
+            &[Voltage::ZERO, Voltage::from_v(0.75), Voltage::from_v(1.5)],
+            &[Time::from_ps(1000.0)],
+            &RenderConfig::default_source(),
+        );
+        let long = Time::from_ps(1000.0);
+        let d_lo = table.delay_at(Voltage::ZERO, long);
+        let d_hi = table.delay_at(Voltage::from_v(1.5), long);
+        let range = (d_hi - d_lo).as_ps();
+        assert!((5.0..20.0).contains(&range), "range {range} ps");
+    }
+
+    #[test]
+    fn characterized_delay_applies_table() {
+        let table = table_2x2();
+        let mut model = CharacterizedDelay::new(table, Voltage::from_v(1.0), Time::ZERO, 1);
+        let stream = EdgeStream::nrz(
+            &BitPattern::clock(10),
+            BitRate::from_bps(1.0 / 200e-12),
+        );
+        let out = model.transform(&stream);
+        let d = vardelay_measure::mean_delay(&stream, &out).unwrap();
+        // All intervals are 200 ps → delay 40 ps at vctrl = 1 V.
+        assert!((d.as_ps() - 40.0).abs() < 0.1, "d {d}");
+    }
+
+    #[test]
+    fn per_edge_vctrls_modulate_delay() {
+        let table = table_2x2();
+        let mut model = CharacterizedDelay::new(table, Voltage::ZERO, Time::ZERO, 1);
+        let stream = EdgeStream::nrz(
+            &BitPattern::clock(4),
+            BitRate::from_bps(1.0 / 200e-12),
+        );
+        let vctrls: Vec<Voltage> = (0..stream.len())
+            .map(|i| {
+                if i % 2 == 0 {
+                    Voltage::ZERO
+                } else {
+                    Voltage::from_v(1.0)
+                }
+            })
+            .collect();
+        let out = model.transform_with_vctrls(&stream, &vctrls);
+        let seq = vardelay_measure::delay_sequence(&stream, &out).unwrap();
+        assert!((seq[1] - seq[0]).as_ps() > 15.0); // 40 vs 20 ps
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn table_grid_validated() {
+        let _ = DelayTable::new(
+            vec![Voltage::from_v(1.0), Voltage::from_v(0.0)],
+            vec![Time::from_ps(1.0)],
+            vec![vec![Time::ZERO], vec![Time::ZERO]],
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! AC coupling — the noise-injection path onto `Vctrl`.
+
+use crate::block::AnalogBlock;
+use vardelay_units::{Frequency, Time, Voltage};
+use vardelay_waveform::{RcHighPass, Waveform};
+
+/// An AC-coupling network (series capacitor into the `Vctrl` node): a
+/// first-order high-pass with a coupling gain, re-biased onto a DC
+/// operating point.
+///
+/// The paper's §5 modification is exactly this: "AC-coupling a voltage
+/// noise source to the Vctrl signal".
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::AcCoupling;
+/// use vardelay_units::{Frequency, Voltage};
+///
+/// let c = AcCoupling::new(Frequency::from_mhz(1.0), Voltage::from_v(0.75));
+/// assert!((c.bias().as_v() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcCoupling {
+    highpass: RcHighPass,
+    bias: Voltage,
+    gain: f64,
+}
+
+impl AcCoupling {
+    /// Creates a coupling network with the given high-pass corner and DC
+    /// bias (the static `Vctrl` operating point), unity coupling gain.
+    pub fn new(corner: Frequency, bias: Voltage) -> Self {
+        AcCoupling {
+            highpass: RcHighPass::with_corner(corner),
+            bias,
+            gain: 1.0,
+        }
+    }
+
+    /// Sets the coupling gain (attenuation of the injection network),
+    /// builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is negative.
+    pub fn with_gain(mut self, gain: f64) -> Self {
+        assert!(gain >= 0.0, "coupling gain must be non-negative");
+        self.gain = gain;
+        self
+    }
+
+    /// The DC bias restored at the output.
+    pub fn bias(&self) -> Voltage {
+        self.bias
+    }
+
+    /// Reprograms the DC bias.
+    pub fn set_bias(&mut self, bias: Voltage) {
+        self.bias = bias;
+    }
+
+    /// Couples a noise trace onto the bias: returns
+    /// `bias + gain·highpass(noise)`.
+    pub fn couple(&self, noise: &Waveform) -> Waveform {
+        let mut out = noise.clone();
+        self.highpass.apply(&mut out);
+        out.scale(self.gain);
+        out.offset(self.bias);
+        out
+    }
+
+    /// Time constant of the high-pass section.
+    pub fn tau(&self) -> Time {
+        self.highpass.tau()
+    }
+}
+
+impl AnalogBlock for AcCoupling {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        self.couple(input)
+    }
+
+    fn name(&self) -> &str {
+        "ac-coupling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_replaced_by_bias() {
+        // A constant 2 V input carries no AC: output settles to the bias.
+        let c = AcCoupling::new(Frequency::from_ghz(1.0), Voltage::from_v(0.75));
+        let input = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![2.0; 5000]);
+        let out = c.couple(&input);
+        assert!((out.samples()[4999] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_noise_passes_on_top_of_bias() {
+        let c = AcCoupling::new(Frequency::from_mhz(1.0), Voltage::from_v(0.75));
+        // A fast square wave well above the corner passes nearly unattenuated.
+        let samples: Vec<f64> = (0..1000).map(|i| if i % 10 < 5 { 0.1 } else { -0.1 }).collect();
+        let input = Waveform::new(Time::ZERO, Time::from_ps(100.0), samples);
+        let out = c.couple(&input);
+        let (lo, hi) = out.extremes().unwrap();
+        // The high-pass references its starting value as DC, so check the
+        // preserved swing (pk-pk), not absolute rails.
+        assert!(hi - lo > 0.18, "pp {}", hi - lo);
+        // The trace stays centred near the bias.
+        let mid = (hi + lo) / 2.0;
+        assert!((mid - 0.75).abs() < 0.15, "mid {mid}");
+    }
+
+    #[test]
+    fn gain_attenuates() {
+        let c = AcCoupling::new(Frequency::from_mhz(1.0), Voltage::ZERO).with_gain(0.5);
+        let samples: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.2 } else { -0.2 }).collect();
+        let input = Waveform::new(Time::ZERO, Time::from_ps(100.0), samples);
+        let out = c.couple(&input);
+        let (lo, hi) = out.extremes().unwrap();
+        // Full-gain pk-pk would be 0.4; half gain passes 0.2.
+        assert!((hi - lo - 0.2).abs() < 0.03, "pp {}", hi - lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gain_validated() {
+        let _ = AcCoupling::new(Frequency::from_mhz(1.0), Voltage::ZERO).with_gain(-1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Aggressor-to-victim crosstalk coupling.
+//!
+//! Adjacent channels in a cable bundle or under-DIB flex couple
+//! capacitively: the victim picks up the *derivative* of the aggressor
+//! (near-end crosstalk's characteristic shape). For the deskew
+//! application this matters because all eight channels toggle
+//! simultaneously — the coupling converts neighbour edges into victim
+//! timing noise.
+
+use vardelay_units::Time;
+use vardelay_waveform::Waveform;
+
+/// A capacitive (derivative) coupling path from one aggressor to a victim.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::CrosstalkCoupling;
+/// use vardelay_units::Time;
+///
+/// let xtalk = CrosstalkCoupling::new(0.03, Time::from_ps(25.0));
+/// assert!((xtalk.coupling() - 0.03).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrosstalkCoupling {
+    coupling: f64,
+    /// Differentiation time scale: the victim sees
+    /// `coupling · τ · d(aggressor)/dt`.
+    tau: Time,
+}
+
+impl CrosstalkCoupling {
+    /// Creates a coupling path with the given strength (fraction of the
+    /// aggressor's slew picked up, typical 0.01–0.05) and time scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= coupling < 1` and `tau > 0`.
+    pub fn new(coupling: f64, tau: Time) -> Self {
+        assert!(
+            (0.0..1.0).contains(&coupling),
+            "coupling must be in [0, 1)"
+        );
+        assert!(tau > Time::ZERO, "coupling time scale must be positive");
+        CrosstalkCoupling { coupling, tau }
+    }
+
+    /// The coupling strength.
+    pub fn coupling(&self) -> f64 {
+        self.coupling
+    }
+
+    /// Adds the aggressor's coupled noise onto the victim, resampling the
+    /// aggressor onto the victim's grid.
+    pub fn couple_into(&self, victim: &mut Waveform, aggressor: &Waveform) {
+        if self.coupling == 0.0 {
+            return;
+        }
+        let dt = victim.dt();
+        let k = self.coupling * (self.tau / dt);
+        let n = victim.len();
+        let mut noise = Vec::with_capacity(n);
+        let mut prev = aggressor.value_at(victim.time_of(0) - dt);
+        for i in 0..n {
+            let a = aggressor.value_at(victim.time_of(i));
+            noise.push(k * (a - prev));
+            prev = a;
+        }
+        for (s, x) in victim.samples_mut().iter_mut().zip(noise) {
+            *s += x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_measure::{tie_sequence, JitterStats};
+    use vardelay_siggen::{BitPattern, EdgeStream};
+    use vardelay_units::BitRate;
+    use vardelay_waveform::{to_edge_stream, RenderConfig};
+
+    fn wave(seed: u64, bits: usize) -> Waveform {
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(seed, bits), BitRate::from_gbps(6.4));
+        Waveform::render(&stream, &RenderConfig::default_source())
+    }
+
+    #[test]
+    fn quiet_aggressor_couples_nothing() {
+        let mut victim = wave(1, 64);
+        let reference = victim.clone();
+        let flat = Waveform::new(victim.t0(), victim.dt(), vec![0.2; victim.len()]);
+        CrosstalkCoupling::new(0.05, Time::from_ps(25.0)).couple_into(&mut victim, &flat);
+        for (a, b) in victim.samples().iter().zip(reference.samples()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coupling_injects_timing_noise() {
+        let rate = BitRate::from_gbps(6.4);
+        let mut victim = wave(1, 600);
+        let aggressor = wave(77, 600); // different data, same bundle
+        CrosstalkCoupling::new(0.04, Time::from_ps(25.0)).couple_into(&mut victim, &aggressor);
+
+        let stream = to_edge_stream(&victim, 0.0, rate.bit_period());
+        let tj = JitterStats::from_times(&tie_sequence(&stream))
+            .expect("edges exist")
+            .peak_to_peak;
+        assert!(tj > Time::from_ps(1.0), "no crosstalk jitter: {tj}");
+        assert!(tj < Time::from_ps(30.0), "implausible: {tj}");
+    }
+
+    #[test]
+    fn stronger_coupling_means_more_jitter() {
+        let rate = BitRate::from_gbps(6.4);
+        let tj_at = |k: f64| {
+            let mut victim = wave(1, 600);
+            let aggressor = wave(77, 600);
+            CrosstalkCoupling::new(k, Time::from_ps(25.0)).couple_into(&mut victim, &aggressor);
+            let stream = to_edge_stream(&victim, 0.0, rate.bit_period());
+            JitterStats::from_times(&tie_sequence(&stream))
+                .expect("edges exist")
+                .peak_to_peak
+        };
+        assert!(tj_at(0.06) > tj_at(0.02));
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1)")]
+    fn coupling_strength_validated() {
+        let _ = CrosstalkCoupling::new(1.5, Time::from_ps(10.0));
+    }
+}

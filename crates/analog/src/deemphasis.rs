@@ -1,0 +1,202 @@
+//! A transmit de-emphasis (2-tap FFE) driver.
+//!
+//! The transmitter-side counterpart of the receiver [`crate::Ctle`]:
+//! after the first bit of a run, the driver reduces its swing by the
+//! de-emphasis ratio, pre-distorting the launched waveform so a lossy
+//! channel receives flat-looking data. PCIe Gen1/2 uses −3.5 dB / −6 dB
+//! presets of exactly this shape.
+
+use crate::block::{AnalogBlock, EdgeTransform};
+use vardelay_siggen::EdgeStream;
+use vardelay_units::Time;
+use vardelay_waveform::Waveform;
+
+/// A 2-tap FIR de-emphasis driver.
+///
+/// The output is `x[n] − d·x[n−UI]` normalized so the transition
+/// (first-bit) amplitude is preserved; steady-state levels drop by the
+/// de-emphasis factor.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::DeEmphasis;
+/// use vardelay_units::Time;
+///
+/// let drv = DeEmphasis::new(Time::from_ps(156.25), 3.5);
+/// assert!((drv.de_emphasis_db() - 3.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeEmphasis {
+    ui: Time,
+    de_emphasis_db: f64,
+}
+
+impl DeEmphasis {
+    /// Creates a driver for signals with unit interval `ui` and the given
+    /// de-emphasis in dB (steady-state level relative to the transition
+    /// level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ui` is not positive or the de-emphasis is negative or
+    /// ≥ 12 dB (beyond any practical driver).
+    pub fn new(ui: Time, de_emphasis_db: f64) -> Self {
+        assert!(ui > Time::ZERO, "unit interval must be positive");
+        assert!(
+            (0.0..12.0).contains(&de_emphasis_db),
+            "de-emphasis must be in [0, 12) dB"
+        );
+        DeEmphasis { ui, de_emphasis_db }
+    }
+
+    /// The PCIe Gen1 −3.5 dB preset.
+    pub fn pcie_3p5db(ui: Time) -> Self {
+        Self::new(ui, 3.5)
+    }
+
+    /// The configured de-emphasis in dB.
+    pub fn de_emphasis_db(&self) -> f64 {
+        self.de_emphasis_db
+    }
+
+    /// The post-cursor tap weight `d` with the transition amplitude
+    /// normalized to 1: steady-state = `(1−d)/(1+d)` =
+    /// `10^(−dB/20)`.
+    pub fn tap_weight(&self) -> f64 {
+        let ratio = 10f64.powf(-self.de_emphasis_db / 20.0);
+        (1.0 - ratio) / (1.0 + ratio)
+    }
+}
+
+impl AnalogBlock for DeEmphasis {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        let d = self.tap_weight();
+        let gain = 1.0 / (1.0 + d); // normalize the transition amplitude
+        let lag = self.ui;
+        let samples: Vec<f64> = (0..input.len())
+            .map(|i| {
+                let t = input.time_of(i);
+                let x = input.samples()[i];
+                let x_prev = input.value_at(t - lag);
+                // Transition swing = gain·(1+d)·A = A (normalized); runs
+                // settle to gain·(1−d)·A = the de-emphasized level.
+                gain * (x - d * x_prev)
+            })
+            .collect();
+        Waveform::new(input.t0(), input.dt(), samples)
+    }
+
+    fn name(&self) -> &str {
+        "de-emphasis"
+    }
+}
+
+impl EdgeTransform for DeEmphasis {
+    /// In the edge domain a de-emphasis driver leaves crossing times
+    /// untouched (the FIR is symmetric about the transition): identity.
+    fn transform(&mut self, input: &EdgeStream) -> EdgeStream {
+        input.clone()
+    }
+
+    fn name(&self) -> &str {
+        "de-emphasis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lossy::LossyChannel;
+    use vardelay_measure::eye_metrics;
+    use vardelay_siggen::BitPattern;
+    use vardelay_units::BitRate;
+    use vardelay_waveform::{EyeDiagram, RenderConfig};
+
+    fn render(rate: BitRate, bits: usize) -> Waveform {
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(1, bits), rate);
+        Waveform::render(&stream, &RenderConfig::default_source())
+    }
+
+    fn eye_of(wf: &Waveform, ui: Time) -> EyeDiagram {
+        let mut eye = EyeDiagram::new(ui, 96, 48, 0.6);
+        eye.add_waveform(wf);
+        eye
+    }
+
+    #[test]
+    fn tap_weight_conversion() {
+        let drv = DeEmphasis::new(Time::from_ps(100.0), 6.0);
+        // 6 dB: ratio 0.501 → d = 0.332.
+        assert!((drv.tap_weight() - 0.332).abs() < 0.002);
+        assert_eq!(DeEmphasis::new(Time::from_ps(100.0), 0.0).tap_weight(), 0.0);
+    }
+
+    #[test]
+    fn long_runs_settle_to_the_deemphasized_level() {
+        let rate = BitRate::from_gbps(6.4);
+        let stream = EdgeStream::nrz(&BitPattern::from_str("0111111100000000").unwrap(), rate);
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let mut drv = DeEmphasis::new(rate.bit_period(), 3.5);
+        let out = drv.process(&wf);
+        // Transition bit keeps the full ±400 mV; the run settles to
+        // 400·10^(-3.5/20) ≈ 267 mV.
+        let peak_early = out.value_at(Time::from_ps(156.25 * 1.5)).abs();
+        let settled = out.value_at(Time::from_ps(156.25 * 7.5)).abs();
+        assert!(peak_early > 0.37, "transition {peak_early}");
+        assert!((settled - 0.267).abs() < 0.02, "settled {settled}");
+    }
+
+    #[test]
+    fn matched_deemphasis_cuts_channel_isi() {
+        // A severe channel (2.5 GHz two-pole at 6.4 Gb/s) shows the FFE
+        // at its best: ~20 ps of ISI-driven crossing spread collapses to
+        // a few ps with the matched 3.5 dB preset.
+        use vardelay_units::Frequency;
+        let rate = BitRate::from_gbps(6.4);
+        let wf = render(rate, 400);
+        let channel =
+            || LossyChannel::new(Time::from_ns(1.0), 2.0, Frequency::from_ghz(2.5));
+
+        let plain = channel().process(&wf);
+        let mut drv = DeEmphasis::pcie_3p5db(rate.bit_period());
+        let shaped = channel().process(&drv.process(&wf));
+
+        let before = eye_metrics(&eye_of(&plain, rate.bit_period())).expect("edges");
+        let after = eye_metrics(&eye_of(&shaped, rate.bit_period())).expect("edges");
+        assert!(
+            after.crossing_peak_to_peak < before.crossing_peak_to_peak * 0.5,
+            "pp {} -> {}",
+            before.crossing_peak_to_peak,
+            after.crossing_peak_to_peak
+        );
+        assert!(after.height >= before.height, "{:?} vs {:?}", before, after);
+    }
+
+    #[test]
+    fn over_equalization_hurts() {
+        // De-emphasis past the channel's deficit re-opens nothing and
+        // injects its own ISI — equalization has an optimum.
+        use vardelay_units::Frequency;
+        let rate = BitRate::from_gbps(6.4);
+        let wf = render(rate, 400);
+        let channel =
+            || LossyChannel::new(Time::from_ns(1.0), 2.0, Frequency::from_ghz(2.5));
+        let pp_at = |db: f64| {
+            let mut drv = DeEmphasis::new(rate.bit_period(), db);
+            let out = channel().process(&drv.process(&wf));
+            eye_metrics(&eye_of(&out, rate.bit_period()))
+                .expect("edges")
+                .crossing_peak_to_peak
+        };
+        let matched = pp_at(3.5);
+        let over = pp_at(6.5);
+        assert!(over > matched * 2.0, "matched {matched} vs over {over}");
+    }
+
+    #[test]
+    #[should_panic(expected = "de-emphasis")]
+    fn absurd_deemphasis_rejected() {
+        let _ = DeEmphasis::new(Time::from_ps(100.0), 15.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! The 1:4 fanout buffer.
+
+use crate::block::AnalogBlock;
+use crate::buffer_core::{BufferCore, BufferCoreConfig};
+use vardelay_units::Time;
+use vardelay_waveform::Waveform;
+
+/// A 1:N fanout buffer: one regenerating input stage feeding N outputs,
+/// each with its own small static skew — the front of the coarse delay
+/// section (paper Fig. 8 uses 1:4).
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::FanoutBuffer;
+/// use vardelay_units::Time;
+///
+/// let fan = FanoutBuffer::ecl(4, 7);
+/// assert_eq!(fan.outputs(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FanoutBuffer {
+    core: BufferCore,
+    output_skews: Vec<Time>,
+}
+
+impl FanoutBuffer {
+    /// Creates a fanout with `outputs` branches on the given core path and
+    /// zero output skews.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs == 0` or the configuration is invalid.
+    pub fn new(outputs: usize, config: BufferCoreConfig, seed: u64) -> Self {
+        assert!(outputs > 0, "fanout needs at least one output");
+        FanoutBuffer {
+            core: BufferCore::new("fanout", config, seed),
+            output_skews: vec![Time::ZERO; outputs],
+        }
+    }
+
+    /// Creates a default ECL-style fanout.
+    pub fn ecl(outputs: usize, seed: u64) -> Self {
+        Self::new(outputs, BufferCoreConfig::ecl_default(), seed)
+    }
+
+    /// Sets per-output static skews (e.g. routing mismatch), builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skews.len()` differs from the number of outputs.
+    pub fn with_output_skews(mut self, skews: Vec<Time>) -> Self {
+        assert_eq!(
+            skews.len(),
+            self.output_skews.len(),
+            "one skew per output required"
+        );
+        self.output_skews = skews;
+        self
+    }
+
+    /// Number of output branches.
+    pub fn outputs(&self) -> usize {
+        self.output_skews.len()
+    }
+
+    /// Processes the input once through the shared stage and returns all
+    /// branch outputs (identical up to their static skews).
+    pub fn fan_out(&mut self, input: &Waveform) -> Vec<Waveform> {
+        let regenerated = self.core.process(input);
+        self.output_skews
+            .iter()
+            .map(|&skew| regenerated.delayed(skew))
+            .collect()
+    }
+
+    /// Fixed propagation delay of the shared stage.
+    pub fn prop_delay(&self) -> Time {
+        self.core.config().prop_delay
+    }
+}
+
+impl AnalogBlock for FanoutBuffer {
+    /// Processing a fanout as a single block yields branch 0.
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        self.fan_out(input).swap_remove(0)
+    }
+
+    fn name(&self) -> &str {
+        "fanout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, EdgeStream};
+    use vardelay_units::{BitRate, Voltage};
+    use vardelay_waveform::{to_edge_stream, RenderConfig};
+
+    fn quiet() -> BufferCoreConfig {
+        let mut cfg = BufferCoreConfig::ecl_default();
+        cfg.noise_rms = Voltage::ZERO;
+        cfg
+    }
+
+    #[test]
+    fn branches_are_identical_without_skew() {
+        let stream = EdgeStream::nrz(&BitPattern::clock(8), BitRate::from_gbps(1.0));
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let mut fan = FanoutBuffer::new(4, quiet(), 1);
+        let outs = fan.fan_out(&wf);
+        assert_eq!(outs.len(), 4);
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[2], outs[3]);
+    }
+
+    #[test]
+    fn skews_displace_branches() {
+        let rate = BitRate::from_gbps(1.0);
+        let stream = EdgeStream::nrz(&BitPattern::clock(8), rate);
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let mut fan = FanoutBuffer::new(2, quiet(), 1).with_output_skews(vec![
+            Time::ZERO,
+            Time::from_ps(5.0),
+        ]);
+        let outs = fan.fan_out(&wf);
+        let a = to_edge_stream(&outs[0], 0.0, rate.bit_period());
+        let b = to_edge_stream(&outs[1], 0.0, rate.bit_period());
+        let d = vardelay_measure::mean_delay(&a, &b).unwrap();
+        assert!((d.as_ps() - 5.0).abs() < 0.2, "d {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn zero_outputs_rejected() {
+        let _ = FanoutBuffer::new(0, quiet(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one skew per output")]
+    fn skew_count_validated() {
+        let _ = FanoutBuffer::new(4, quiet(), 1).with_output_skews(vec![Time::ZERO]);
+    }
+}

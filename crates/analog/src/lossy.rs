@@ -1,0 +1,149 @@
+//! A lossy interconnect channel: the PCB trace / cable between the delay
+//! circuit and the DUT.
+//!
+//! Modeled as bulk delay + flat (DC) loss + a two-pole high-frequency
+//! roll-off approximating skin effect and dielectric loss. Unlike the
+//! controlled-length [`crate::TransmissionLine`] taps, a lossy channel
+//! visibly closes the eye and adds inter-symbol interference, which is
+//! what makes deskew margins matter at the DUT end.
+
+use crate::block::AnalogBlock;
+use vardelay_units::{Frequency, Time};
+use vardelay_waveform::{OnePole, Waveform};
+
+/// A lossy differential interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::LossyChannel;
+/// use vardelay_units::{Frequency, Time};
+///
+/// // ~25 cm of FR-4: 1.5 ns of flight, 2 dB flat loss, 9 GHz roll-off.
+/// let ch = LossyChannel::new(Time::from_ns(1.5), 2.0, Frequency::from_ghz(9.0));
+/// assert!((ch.flight_time().as_ns() - 1.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyChannel {
+    flight_time: Time,
+    dc_loss_db: f64,
+    pole: OnePole,
+    label: String,
+}
+
+impl LossyChannel {
+    /// Creates a channel with the given flight time, flat loss in dB and
+    /// the corner of its two-pole high-frequency roll-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flight time or loss is negative.
+    pub fn new(flight_time: Time, dc_loss_db: f64, corner: Frequency) -> Self {
+        assert!(flight_time >= Time::ZERO, "flight time must be non-negative");
+        assert!(dc_loss_db >= 0.0, "loss must be non-negative");
+        LossyChannel {
+            flight_time,
+            dc_loss_db,
+            pole: OnePole::with_corner(corner),
+            label: format!("channel-{:.1}dB", dc_loss_db),
+        }
+    }
+
+    /// A short, clean test-fixture path: 300 ps, 0.5 dB, 25 GHz.
+    pub fn fixture() -> Self {
+        Self::new(Time::from_ps(300.0), 0.5, Frequency::from_ghz(25.0))
+    }
+
+    /// A long, lossy backplane-class path: 2 ns, 6 dB, 4 GHz.
+    pub fn backplane() -> Self {
+        Self::new(Time::from_ns(2.0), 6.0, Frequency::from_ghz(4.0))
+    }
+
+    /// The bulk flight time.
+    pub fn flight_time(&self) -> Time {
+        self.flight_time
+    }
+
+    /// The flat loss in dB.
+    pub fn dc_loss_db(&self) -> f64 {
+        self.dc_loss_db
+    }
+
+    /// The flat-loss amplitude factor.
+    pub fn dc_gain(&self) -> f64 {
+        10f64.powf(-self.dc_loss_db / 20.0)
+    }
+}
+
+impl AnalogBlock for LossyChannel {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        let mut out = input.delayed(self.flight_time);
+        out.scale(self.dc_gain());
+        // Two cascaded identical poles approximate the gradual skin-effect
+        // roll-off better than a single pole.
+        self.pole.apply(&mut out);
+        self.pole.apply(&mut out);
+        out
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, EdgeStream};
+    use vardelay_units::BitRate;
+    use vardelay_waveform::{EyeDiagram, RenderConfig};
+
+    fn eye_through(channel: &mut LossyChannel, rate_gbps: f64) -> EyeDiagram {
+        let rate = BitRate::from_gbps(rate_gbps);
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 400), rate);
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let out = channel.process(&wf);
+        let mut eye = EyeDiagram::new(rate.bit_period(), 96, 48, 0.5);
+        eye.add_waveform(&out);
+        eye
+    }
+
+    #[test]
+    fn dc_gain_conversion() {
+        let ch = LossyChannel::new(Time::ZERO, 6.0, Frequency::from_ghz(10.0));
+        assert!((ch.dc_gain() - 0.501).abs() < 0.001);
+    }
+
+    #[test]
+    fn backplane_closes_the_eye_more_than_the_fixture() {
+        let fixture_eye = eye_through(&mut LossyChannel::fixture(), 6.4);
+        let backplane_eye = eye_through(&mut LossyChannel::backplane(), 6.4);
+        let f = vardelay_measure::eye_metrics(&fixture_eye).expect("open eye");
+        let b = vardelay_measure::eye_metrics(&backplane_eye).expect("edges exist");
+        assert!(b.height < f.height, "{} vs {}", b.height, f.height);
+        assert!(b.width < f.width, "{} vs {}", b.width, f.width);
+    }
+
+    #[test]
+    fn channel_adds_deterministic_jitter() {
+        // ISI from the band-limited channel shows up as crossing spread on
+        // PRBS data even with zero input jitter.
+        let eye = eye_through(&mut LossyChannel::backplane(), 6.4);
+        let pp = eye.crossing_peak_to_peak().expect("edges exist");
+        assert!(pp > Time::from_ps(2.0), "no ISI: {pp}");
+    }
+
+    #[test]
+    fn flight_time_shifts_the_output() {
+        let mut ch = LossyChannel::new(Time::from_ps(500.0), 0.0, Frequency::from_ghz(50.0));
+        let wf = Waveform::zeros(Time::ZERO, Time::from_ps(1.0), 8);
+        let out = ch.process(&wf);
+        assert!((out.t0().as_ps() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_loss_rejected() {
+        let _ = LossyChannel::new(Time::ZERO, -1.0, Frequency::from_ghz(1.0));
+    }
+}

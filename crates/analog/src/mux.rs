@@ -1,0 +1,205 @@
+//! The 4:1 multiplexer — the coarse-tap selector.
+
+use crate::block::AnalogBlock;
+use crate::buffer_core::{BufferCore, BufferCoreConfig};
+use vardelay_units::Time;
+use vardelay_waveform::Waveform;
+
+/// A 4:1 differential multiplexer: two select lines pick one of four
+/// inputs, which is regenerated through a buffer stage (paper Fig. 8).
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::Mux4;
+///
+/// let mut mux = Mux4::ecl(3);
+/// mux.select(2).expect("tap index in range");
+/// assert_eq!(mux.selected(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mux4 {
+    core: BufferCore,
+    selected: usize,
+    /// Residual coupling from unselected inputs (0.0 = ideal isolation).
+    crosstalk: f64,
+}
+
+/// Error returned by [`Mux4::select`] for tap indices outside `0..4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectTapError {
+    /// The rejected index.
+    pub index: usize,
+}
+
+impl core::fmt::Display for SelectTapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "mux tap index {} out of range 0..4", self.index)
+    }
+}
+
+impl std::error::Error for SelectTapError {}
+
+impl Mux4 {
+    /// Creates a mux with ideal isolation on the given core path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: BufferCoreConfig, seed: u64) -> Self {
+        Mux4 {
+            core: BufferCore::new("mux4", config, seed),
+            selected: 0,
+            crosstalk: 0.0,
+        }
+    }
+
+    /// Creates a default ECL-style mux.
+    pub fn ecl(seed: u64) -> Self {
+        Self::new(BufferCoreConfig::ecl_default(), seed)
+    }
+
+    /// Adds residual coupling from unselected inputs, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= fraction < 1`.
+    pub fn with_crosstalk(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "crosstalk fraction must be in [0, 1)"
+        );
+        self.crosstalk = fraction;
+        self
+    }
+
+    /// Selects input `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SelectTapError`] if `index >= 4`.
+    pub fn select(&mut self, index: usize) -> Result<(), SelectTapError> {
+        if index >= 4 {
+            return Err(SelectTapError { index });
+        }
+        self.selected = index;
+        Ok(())
+    }
+
+    /// Currently selected input index.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// Passes the selected input (plus any crosstalk residue from the
+    /// others) through the output stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not contain exactly four waveforms.
+    pub fn mux(&mut self, inputs: &[Waveform]) -> Waveform {
+        assert_eq!(inputs.len(), 4, "a 4:1 mux needs exactly four inputs");
+        let mut picked = inputs[self.selected].clone();
+        if self.crosstalk > 0.0 {
+            for (i, other) in inputs.iter().enumerate() {
+                if i != self.selected {
+                    let mut leak = other.clone();
+                    leak.scale(self.crosstalk);
+                    picked.add(&leak);
+                }
+            }
+        }
+        self.core.process(&picked)
+    }
+
+    /// Fixed propagation delay of the output stage.
+    pub fn prop_delay(&self) -> Time {
+        self.core.config().prop_delay
+    }
+}
+
+impl AnalogBlock for Mux4 {
+    /// Processing as a single block treats the input as all four taps
+    /// carrying the same signal.
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        let inputs = [input.clone(), input.clone(), input.clone(), input.clone()];
+        self.mux(&inputs)
+    }
+
+    fn name(&self) -> &str {
+        "mux4"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, EdgeStream};
+    use vardelay_units::{BitRate, Voltage};
+    use vardelay_waveform::{to_edge_stream, RenderConfig};
+
+    fn quiet() -> BufferCoreConfig {
+        let mut cfg = BufferCoreConfig::ecl_default();
+        cfg.noise_rms = Voltage::ZERO;
+        cfg
+    }
+
+    fn four_taps() -> (EdgeStream, Vec<Waveform>) {
+        let rate = BitRate::from_gbps(1.0);
+        let stream = EdgeStream::nrz(&BitPattern::clock(8), rate);
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let taps = (0..4)
+            .map(|i| wf.delayed(Time::from_ps(33.0 * i as f64)))
+            .collect();
+        (stream, taps)
+    }
+
+    #[test]
+    fn selection_picks_the_right_tap() {
+        let (stream, taps) = four_taps();
+        let rate_ui = BitRate::from_gbps(1.0).bit_period();
+        let mut mux = Mux4::new(quiet(), 1);
+        let mut delays = Vec::new();
+        for tap in 0..4 {
+            mux.select(tap).unwrap();
+            let out = mux.mux(&taps);
+            let out_stream = to_edge_stream(&out, 0.0, rate_ui);
+            delays.push(
+                vardelay_measure::mean_delay(&stream, &out_stream)
+                    .unwrap()
+                    .as_ps(),
+            );
+        }
+        for tap in 1..4 {
+            let step = delays[tap] - delays[tap - 1];
+            assert!((step - 33.0).abs() < 1.0, "step {step}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_select_is_an_error() {
+        let mut mux = Mux4::new(quiet(), 1);
+        assert_eq!(mux.select(4), Err(SelectTapError { index: 4 }));
+        assert_eq!(mux.selected(), 0);
+        assert!(mux.select(3).is_ok());
+        assert_eq!(mux.selected(), 3);
+    }
+
+    #[test]
+    fn crosstalk_perturbs_but_does_not_break() {
+        let (stream, taps) = four_taps();
+        let mut mux = Mux4::new(quiet(), 1).with_crosstalk(0.02);
+        mux.select(0).unwrap();
+        let out = mux.mux(&taps);
+        let out_stream = to_edge_stream(&out, 0.0, BitRate::from_gbps(1.0).bit_period());
+        assert_eq!(out_stream.len(), stream.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "four inputs")]
+    fn input_count_enforced() {
+        let (_, taps) = four_taps();
+        let mut mux = Mux4::new(quiet(), 1);
+        let _ = mux.mux(&taps[..3]);
+    }
+}

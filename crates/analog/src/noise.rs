@@ -1,0 +1,178 @@
+//! Band-limited Gaussian noise sources.
+//!
+//! The jitter-injection experiment AC-couples "900 mV (peak-to-peak)
+//! Gaussian voltage noise" from an external generator onto `Vctrl`
+//! (paper §5). [`OuNoise`] models such a generator as an
+//! Ornstein–Uhlenbeck (Gauss–Markov) process: stationary Gaussian noise
+//! with an exponential autocorrelation set by the generator's bandwidth.
+//! It can be sampled at arbitrary instants, which lets the waveform and
+//! edge engines share one noise model.
+
+use vardelay_siggen::SplitMix64;
+use vardelay_units::{Frequency, Time, Voltage};
+use vardelay_waveform::Waveform;
+
+/// Crest factor used to convert a generator's "peak-to-peak" rating to an
+/// RMS value: `Vpp ≈ 6·σ` covers 99.7 % of Gaussian excursions, the usual
+/// lab convention.
+pub const GAUSSIAN_PP_PER_SIGMA: f64 = 6.0;
+
+/// A stationary band-limited Gaussian noise source.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::OuNoise;
+/// use vardelay_units::{Frequency, Time, Voltage};
+///
+/// let mut noise = OuNoise::from_peak_to_peak(
+///     Voltage::from_mv(900.0),
+///     Frequency::from_mhz(500.0),
+///     42,
+/// );
+/// let v0 = noise.advance(Time::from_ps(100.0));
+/// let v1 = noise.advance(Time::from_ps(100.0));
+/// assert!(v0.as_v().is_finite() && v1.as_v().is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OuNoise {
+    sigma: Voltage,
+    tau: Time,
+    state: f64,
+    rng: SplitMix64,
+}
+
+impl OuNoise {
+    /// Creates a source with RMS value `sigma` and autocorrelation time
+    /// constant set by `bandwidth` (one-pole equivalent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or `bandwidth` non-positive.
+    pub fn new(sigma: Voltage, bandwidth: Frequency, seed: u64) -> Self {
+        assert!(sigma >= Voltage::ZERO, "noise RMS must be non-negative");
+        assert!(
+            bandwidth > Frequency::ZERO,
+            "noise bandwidth must be positive"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let state = rng.gaussian() * sigma.as_v(); // start in stationarity
+        OuNoise {
+            sigma,
+            tau: bandwidth.one_pole_tau(),
+            state,
+            rng,
+        }
+    }
+
+    /// Creates a source from a generator-style peak-to-peak rating
+    /// (`Vpp = 6·σ`, see [`GAUSSIAN_PP_PER_SIGMA`]).
+    pub fn from_peak_to_peak(vpp: Voltage, bandwidth: Frequency, seed: u64) -> Self {
+        Self::new(vpp / GAUSSIAN_PP_PER_SIGMA, bandwidth, seed)
+    }
+
+    /// The RMS value.
+    pub fn sigma(&self) -> Voltage {
+        self.sigma
+    }
+
+    /// The autocorrelation time constant.
+    pub fn tau(&self) -> Time {
+        self.tau
+    }
+
+    /// Advances the process by `dt` and returns the new value. Exact
+    /// discretization: stationary for any step size, so edge-domain models
+    /// can sample at irregular edge spacings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn advance(&mut self, dt: Time) -> Voltage {
+        assert!(dt >= Time::ZERO, "time must advance forward");
+        let rho = (-(dt / self.tau)).exp();
+        let innovation = self.sigma.as_v() * (1.0 - rho * rho).sqrt();
+        self.state = rho * self.state + innovation * self.rng.gaussian();
+        Voltage::from_v(self.state)
+    }
+
+    /// Generates a noise waveform of `n` samples spaced `dt` starting at
+    /// `t0`.
+    pub fn waveform(&mut self, t0: Time, dt: Time, n: usize) -> Waveform {
+        let samples = (0..n).map(|_| self.advance(dt).as_v()).collect();
+        Waveform::new(t0, dt, samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_rms_matches_sigma() {
+        let sigma = Voltage::from_mv(150.0);
+        let mut n = OuNoise::new(sigma, Frequency::from_mhz(500.0), 3);
+        let dt = Time::from_ps(500.0);
+        let vals: Vec<f64> = (0..100_000).map(|_| n.advance(dt).as_v()).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let rms = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((rms - 0.15).abs() < 0.01, "rms {rms}");
+    }
+
+    #[test]
+    fn correlation_decays_with_bandwidth() {
+        // Samples 1 ps apart from a 100 MHz-bandwidth source are highly
+        // correlated; 100 ns apart they are nearly independent.
+        let mut n = OuNoise::new(Voltage::from_mv(100.0), Frequency::from_mhz(100.0), 5);
+        let close: Vec<f64> = (0..5000)
+            .map(|_| n.advance(Time::from_ps(1.0)).as_v())
+            .collect();
+        let mut diffs = 0.0;
+        for w in close.windows(2) {
+            diffs += (w[1] - w[0]).powi(2);
+        }
+        let step_rms = (diffs / (close.len() - 1) as f64).sqrt();
+        assert!(step_rms < 0.01, "step rms {step_rms}"); // tiny steps
+
+        let far: Vec<f64> = (0..5000)
+            .map(|_| n.advance(Time::from_ns(100.0)).as_v())
+            .collect();
+        let mut fdiffs = 0.0;
+        for w in far.windows(2) {
+            fdiffs += (w[1] - w[0]).powi(2);
+        }
+        let far_rms = (fdiffs / (far.len() - 1) as f64).sqrt();
+        // Independent samples: diff RMS ≈ sqrt(2)*sigma ≈ 0.141.
+        assert!((far_rms - 0.141).abs() < 0.02, "far rms {far_rms}");
+    }
+
+    #[test]
+    fn pp_rating_converts_to_sigma() {
+        let n = OuNoise::from_peak_to_peak(Voltage::from_mv(900.0), Frequency::from_mhz(1.0), 1);
+        assert!((n.sigma().as_mv() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waveform_generation() {
+        let mut n = OuNoise::new(Voltage::from_mv(50.0), Frequency::from_ghz(1.0), 9);
+        let wf = n.waveform(Time::ZERO, Time::from_ps(1.0), 1000);
+        assert_eq!(wf.len(), 1000);
+        assert!(wf.peak() > 0.0);
+    }
+
+    #[test]
+    fn zero_sigma_is_silent() {
+        let mut n = OuNoise::new(Voltage::ZERO, Frequency::from_ghz(1.0), 2);
+        for _ in 0..100 {
+            assert_eq!(n.advance(Time::from_ps(10.0)).as_v(), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn negative_dt_rejected() {
+        let mut n = OuNoise::new(Voltage::from_mv(1.0), Frequency::from_ghz(1.0), 1);
+        let _ = n.advance(Time::from_ps(-1.0));
+    }
+}

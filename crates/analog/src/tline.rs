@@ -1,0 +1,180 @@
+//! Controlled-length differential transmission-line segments.
+
+use crate::block::{AnalogBlock, EdgeTransform};
+use vardelay_siggen::EdgeStream;
+use vardelay_units::{Frequency, Time};
+use vardelay_waveform::{OnePole, Waveform};
+
+/// A passive differential transmission line with a controlled propagation
+/// delay, flat attenuation, and optional first-order dispersion — the
+/// element that realizes the coarse 0/33/66/99 ps taps (paper §3).
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::TransmissionLine;
+/// use vardelay_units::Time;
+///
+/// let line = TransmissionLine::new(Time::from_ps(33.0));
+/// assert!((line.delay().as_ps() - 33.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransmissionLine {
+    delay: Time,
+    /// Linear amplitude factor (1.0 = lossless).
+    attenuation: f64,
+    /// Optional skin-effect-style dispersion pole.
+    dispersion: Option<OnePole>,
+    label: String,
+}
+
+impl TransmissionLine {
+    /// Creates a lossless, dispersionless line with the given delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative.
+    pub fn new(delay: Time) -> Self {
+        assert!(delay >= Time::ZERO, "line delay must be non-negative");
+        TransmissionLine {
+            delay,
+            attenuation: 1.0,
+            dispersion: None,
+            label: format!("tline-{:.0}ps", delay.as_ps()),
+        }
+    }
+
+    /// Adds flat attenuation, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn with_attenuation(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "attenuation factor must be in (0, 1]"
+        );
+        self.attenuation = factor;
+        self
+    }
+
+    /// Adds a first-order dispersion pole, builder style. Longer physical
+    /// lines get lower corners; the coarse-tap model uses this to make the
+    /// 99 ps tap slightly slower-edged than the 0 ps tap.
+    pub fn with_dispersion(mut self, corner: Frequency) -> Self {
+        self.dispersion = Some(OnePole::with_corner(corner));
+        self
+    }
+
+    /// The propagation delay.
+    pub fn delay(&self) -> Time {
+        self.delay
+    }
+
+    /// The flat attenuation factor.
+    pub fn attenuation(&self) -> f64 {
+        self.attenuation
+    }
+}
+
+impl AnalogBlock for TransmissionLine {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        let mut out = input.delayed(self.delay);
+        if self.attenuation != 1.0 {
+            out.scale(self.attenuation);
+        }
+        if let Some(pole) = self.dispersion {
+            pole.apply(&mut out);
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+impl EdgeTransform for TransmissionLine {
+    fn transform(&mut self, input: &EdgeStream) -> EdgeStream {
+        // A passive line shifts crossings by its delay. Dispersion widens
+        // edges but moves the 50 % point only marginally; the edge-domain
+        // model treats the line as a pure delay.
+        input.delayed(self.delay)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::BitPattern;
+    use vardelay_units::{BitRate, Voltage};
+    use vardelay_waveform::{crossings, RenderConfig};
+
+    fn test_wave() -> (EdgeStream, Waveform) {
+        let stream = EdgeStream::nrz(&BitPattern::clock(8), BitRate::from_gbps(1.0));
+        let cfg = RenderConfig::new(
+            Time::from_ps(0.5),
+            Voltage::from_mv(800.0),
+            Time::from_ps(30.0),
+        );
+        let wf = Waveform::render(&stream, &cfg);
+        (stream, wf)
+    }
+
+    #[test]
+    fn pure_delay_shifts_crossings() {
+        let (stream, wf) = test_wave();
+        let mut line = TransmissionLine::new(Time::from_ps(33.0));
+        let out = line.process(&wf);
+        let xs = crossings(&out, 0.0);
+        assert_eq!(xs.len(), stream.len());
+        let shift = xs[0].time - stream.edges()[0].time;
+        assert!((shift.as_ps() - 33.0).abs() < 0.6, "shift {shift}");
+    }
+
+    #[test]
+    fn attenuation_scales_amplitude() {
+        let (_, wf) = test_wave();
+        let mut line = TransmissionLine::new(Time::ZERO).with_attenuation(0.5);
+        let out = line.process(&wf);
+        assert!((out.peak() - wf.peak() * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispersion_slows_edges_but_keeps_midpoint() {
+        let (stream, wf) = test_wave();
+        let mut line =
+            TransmissionLine::new(Time::from_ps(10.0)).with_dispersion(Frequency::from_ghz(8.0));
+        let out = line.process(&wf);
+        let xs = crossings(&out, 0.0);
+        assert_eq!(xs.len(), stream.len());
+        // The pole adds its own group delay on top of the line delay.
+        let shift = (xs[2].time - stream.edges()[2].time).as_ps();
+        assert!(shift > 10.0 && shift < 45.0, "shift {shift}");
+    }
+
+    #[test]
+    fn edge_domain_matches_delay() {
+        let (stream, _) = test_wave();
+        let mut line = TransmissionLine::new(Time::from_ps(66.0));
+        let out = EdgeTransform::transform(&mut line, &stream);
+        let d = vardelay_measure::mean_delay(&stream, &out).unwrap();
+        assert!((d.as_ps() - 66.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_delay_rejected() {
+        let _ = TransmissionLine::new(Time::from_ps(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn attenuation_validated() {
+        let _ = TransmissionLine::new(Time::ZERO).with_attenuation(1.5);
+    }
+}

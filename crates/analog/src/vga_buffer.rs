@@ -1,0 +1,302 @@
+//! The variable-gain buffer and the fixed output stage.
+
+use crate::block::AnalogBlock;
+use crate::buffer_core::{BufferCore, BufferCoreConfig};
+use vardelay_units::{Time, Voltage};
+use vardelay_waveform::Waveform;
+
+/// Parameters of the variable-gain buffer: a [`BufferCoreConfig`] plus the
+/// `Vctrl` → output-amplitude control characteristic.
+///
+/// The control law is a soft-saturating sigmoid between `amp_min` and
+/// `amp_max` over the `vctrl_min..vctrl_max` span: approximately linear in
+/// the mid-range with slope flattening near the extremes — the shape the
+/// paper measures in Fig. 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VgaBufferConfig {
+    /// The shared buffer path parameters (swing is overridden by `Vctrl`).
+    pub core: BufferCoreConfig,
+    /// Output amplitude at the bottom of the control range (paper: 100 mV).
+    pub amp_min: Voltage,
+    /// Output amplitude at the top of the control range (paper: 750 mV).
+    pub amp_max: Voltage,
+    /// Bottom of the control-voltage range.
+    pub vctrl_min: Voltage,
+    /// Top of the control-voltage range (paper sweeps ≈1.5 V).
+    pub vctrl_max: Voltage,
+    /// Sigmoid sharpness of the control law; larger = harder saturation at
+    /// the extremes. Typical: 5–7.
+    pub control_sharpness: f64,
+}
+
+impl VgaBufferConfig {
+    /// The paper-tuned variable-gain buffer: 100–750 mV swing over a
+    /// 0–1.5 V control span, on the ECL-style core path.
+    pub fn paper_default() -> Self {
+        VgaBufferConfig {
+            core: BufferCoreConfig::ecl_default(),
+            amp_min: Voltage::from_mv(100.0),
+            amp_max: Voltage::from_mv(750.0),
+            vctrl_min: Voltage::ZERO,
+            vctrl_max: Voltage::from_v(1.5),
+            control_sharpness: 6.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive amplitudes, inverted ranges or a
+    /// non-positive sharpness.
+    pub fn validate(&self) {
+        self.core.validate();
+        assert!(
+            Voltage::ZERO < self.amp_min && self.amp_min < self.amp_max,
+            "amplitude range must satisfy 0 < amp_min < amp_max"
+        );
+        assert!(
+            self.vctrl_min < self.vctrl_max,
+            "control range must be non-empty"
+        );
+        assert!(
+            self.control_sharpness > 0.0,
+            "control sharpness must be positive"
+        );
+    }
+
+    /// The output amplitude programmed by `vctrl` (clamped to the control
+    /// range).
+    pub fn amplitude_for(&self, vctrl: Voltage) -> Voltage {
+        let x = ((vctrl - self.vctrl_min) / (self.vctrl_max - self.vctrl_min)).clamp(0.0, 1.0);
+        let k = self.control_sharpness;
+        let sig = |t: f64| 1.0 / (1.0 + (-t).exp());
+        // Normalized sigmoid pinned to 0 at x=0 and 1 at x=1.
+        let lo = sig(-k / 2.0);
+        let hi = sig(k / 2.0);
+        let f = (sig(k * (x - 0.5)) - lo) / (hi - lo);
+        self.amp_min.lerp(self.amp_max, f)
+    }
+}
+
+/// A variable-gain (variable-output-amplitude) differential buffer — the
+/// paper's fine-delay element.
+///
+/// Adjusting `Vctrl` changes the programmed output swing, and because the
+/// output path has a finite slew rate, the 50 % crossing moves by roughly
+/// `ΔA/(2·SR)` ≈ 10 ps across the full control range (paper §2).
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_analog::{VgaBuffer, VgaBufferConfig};
+/// use vardelay_units::Voltage;
+///
+/// let mut buf = VgaBuffer::new(VgaBufferConfig::paper_default(), 1);
+/// buf.set_vctrl(Voltage::from_v(0.75));
+/// let mid = buf.amplitude();
+/// buf.set_vctrl(Voltage::from_v(1.5));
+/// assert!(buf.amplitude() > mid);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VgaBuffer {
+    config: VgaBufferConfig,
+    core: BufferCore,
+    vctrl: Voltage,
+}
+
+impl VgaBuffer {
+    /// Creates a buffer with the mid-range control voltage applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: VgaBufferConfig, seed: u64) -> Self {
+        config.validate();
+        let core = BufferCore::new("vga", config.core.clone(), seed);
+        let mid = config.vctrl_min.lerp(config.vctrl_max, 0.5);
+        let mut buf = VgaBuffer {
+            config,
+            core,
+            vctrl: mid,
+        };
+        buf.set_vctrl(mid);
+        buf
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VgaBufferConfig {
+        &self.config
+    }
+
+    /// Currently applied control voltage.
+    pub fn vctrl(&self) -> Voltage {
+        self.vctrl
+    }
+
+    /// Applies a control voltage (clamped into the control range) and
+    /// retunes the output amplitude.
+    pub fn set_vctrl(&mut self, vctrl: Voltage) {
+        self.vctrl = vctrl.clamp(self.config.vctrl_min, self.config.vctrl_max);
+        self.core
+            .set_amplitude(self.config.amplitude_for(self.vctrl));
+    }
+
+    /// Currently programmed output amplitude.
+    pub fn amplitude(&self) -> Voltage {
+        self.core.amplitude()
+    }
+
+    /// Processes with a time-varying control voltage: `vctrl` is a
+    /// voltage trace sampled onto the input grid; each sample is mapped
+    /// through the control law to an instantaneous output amplitude.
+    /// This is the waveform-domain jitter-injection path (paper §5).
+    pub fn process_modulated(&mut self, input: &Waveform, vctrl: &Waveform) -> Waveform {
+        let amp_samples: Vec<f64> = (0..input.len())
+            .map(|i| {
+                let v = Voltage::from_v(vctrl.value_at(input.time_of(i)));
+                self.config.amplitude_for(v).as_v()
+            })
+            .collect();
+        let amp = Waveform::new(input.t0(), input.dt(), amp_samples);
+        self.core.process_modulated(input, &amp)
+    }
+}
+
+impl AnalogBlock for VgaBuffer {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        self.core.process(input)
+    }
+
+    fn name(&self) -> &str {
+        "vga"
+    }
+}
+
+/// A fixed-swing limiting buffer — the output stage that recovers full
+/// logic amplitude after the variable-gain cascade (paper Fig. 3).
+#[derive(Debug, Clone)]
+pub struct LimitingBuffer {
+    core: BufferCore,
+}
+
+impl LimitingBuffer {
+    /// Creates an output stage with the given path parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: BufferCoreConfig, seed: u64) -> Self {
+        LimitingBuffer {
+            core: BufferCore::new("output-stage", config, seed),
+        }
+    }
+
+    /// Creates the default ECL-style output stage.
+    pub fn ecl(seed: u64) -> Self {
+        Self::new(BufferCoreConfig::ecl_default(), seed)
+    }
+
+    /// Fixed propagation delay of the stage.
+    pub fn prop_delay(&self) -> Time {
+        self.core.config().prop_delay
+    }
+}
+
+impl AnalogBlock for LimitingBuffer {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        self.core.process(input)
+    }
+
+    fn name(&self) -> &str {
+        "output-stage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_measure::mean_delay;
+    use vardelay_siggen::{BitPattern, EdgeStream};
+    use vardelay_units::BitRate;
+    use vardelay_waveform::{to_edge_stream, RenderConfig};
+
+    #[test]
+    fn control_law_endpoints_and_monotonicity() {
+        let cfg = VgaBufferConfig::paper_default();
+        let at = |v: f64| cfg.amplitude_for(Voltage::from_v(v)).as_mv();
+        assert!((at(0.0) - 100.0).abs() < 1e-6);
+        assert!((at(1.5) - 750.0).abs() < 1e-6);
+        let mut prev = at(0.0);
+        for i in 1..=30 {
+            let a = at(1.5 * i as f64 / 30.0);
+            assert!(a >= prev, "control law not monotone at step {i}");
+            prev = a;
+        }
+        // Clamping outside the range.
+        assert!((at(-1.0) - 100.0).abs() < 1e-6);
+        assert!((at(9.0) - 750.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn control_law_flattens_at_extremes() {
+        let cfg = VgaBufferConfig::paper_default();
+        let at = |v: f64| cfg.amplitude_for(Voltage::from_v(v)).as_mv();
+        let slope_mid = at(0.80) - at(0.70);
+        let slope_edge = at(1.50) - at(1.40);
+        assert!(
+            slope_mid > 2.0 * slope_edge,
+            "mid {slope_mid} vs edge {slope_edge}"
+        );
+    }
+
+    #[test]
+    fn vctrl_sweep_moves_delay_monotonically() {
+        let mut cfg = VgaBufferConfig::paper_default();
+        cfg.core.noise_rms = Voltage::ZERO;
+        let rate = BitRate::from_gbps(1.0);
+        let stream = EdgeStream::nrz(&BitPattern::clock(16), rate);
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+
+        let mut prev: Option<Time> = None;
+        for i in 0..=6 {
+            let mut buf = VgaBuffer::new(cfg.clone(), 1);
+            buf.set_vctrl(Voltage::from_v(1.5 * i as f64 / 6.0));
+            let out = buf.process(&wf);
+            let d = mean_delay(&stream, &to_edge_stream(&out, 0.0, rate.bit_period())).unwrap();
+            if let Some(p) = prev {
+                assert!(d >= p - Time::from_fs(200.0), "delay not monotone: {d} < {p}");
+            }
+            prev = Some(d);
+        }
+    }
+
+    #[test]
+    fn output_stage_restores_full_swing() {
+        // A 100 mV intermediate signal must come back to ~800 mV.
+        let mut cfg = VgaBufferConfig::paper_default();
+        cfg.core.noise_rms = Voltage::ZERO;
+        let rate = BitRate::from_gbps(1.0);
+        let stream = EdgeStream::nrz(&BitPattern::clock(12), rate);
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+
+        let mut vga = VgaBuffer::new(cfg, 1);
+        vga.set_vctrl(Voltage::ZERO); // 100 mV swing
+        let small = vga.process(&wf);
+        assert!(small.peak() < 0.08); // ±50 mV rails, pole-settled
+
+        let mut cfg_out = BufferCoreConfig::ecl_default();
+        cfg_out.noise_rms = Voltage::ZERO;
+        let mut out_stage = LimitingBuffer::new(cfg_out, 2);
+        let restored = out_stage.process(&small);
+        assert!(restored.peak() > 0.35, "peak {}", restored.peak());
+    }
+
+    #[test]
+    #[should_panic(expected = "amp_min < amp_max")]
+    fn config_validates_amplitude_order() {
+        let mut cfg = VgaBufferConfig::paper_default();
+        cfg.amp_max = Voltage::from_mv(50.0);
+        let _ = VgaBuffer::new(cfg, 1);
+    }
+}

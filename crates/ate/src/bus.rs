@@ -1,0 +1,149 @@
+//! Parallel buses of ATE channels.
+
+use crate::channel::AteChannel;
+use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
+use vardelay_units::{BitRate, Time};
+
+/// A bus of N ATE channels carrying a common pattern, with
+/// channel-to-channel skew — the situation in the paper's Fig. 2(a).
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_ate::ParallelBus;
+/// use vardelay_units::{BitRate, Time};
+///
+/// let bus = ParallelBus::with_random_skew(
+///     4,
+///     BitRate::from_gbps(6.4),
+///     Time::from_ps(80.0),
+///     2024,
+/// );
+/// assert_eq!(bus.width(), 4);
+/// let spread = bus.skew_spread();
+/// assert!(spread > Time::ZERO && spread <= Time::from_ps(160.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelBus {
+    channels: Vec<AteChannel>,
+}
+
+impl ParallelBus {
+    /// Builds a bus from explicit channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty.
+    pub fn new(channels: Vec<AteChannel>) -> Self {
+        assert!(!channels.is_empty(), "a bus needs at least one channel");
+        ParallelBus { channels }
+    }
+
+    /// Builds an `n`-channel SB6G-style bus with intrinsic skews drawn
+    /// uniformly from `±spread` (channel 0 keeps zero skew as the timing
+    /// reference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_random_skew(n: usize, rate: BitRate, spread: Time, seed: u64) -> Self {
+        assert!(n > 0, "a bus needs at least one channel");
+        let mut rng = SplitMix64::new(seed);
+        let pattern = BitPattern::prbs7(1, 2540);
+        let channels = (0..n)
+            .map(|i| {
+                let skew = if i == 0 {
+                    Time::ZERO
+                } else {
+                    Time::from_s(rng.uniform(-spread.as_s(), spread.as_s()))
+                };
+                AteChannel::sb6g(i, pattern.clone(), seed.wrapping_add(i as u64))
+                    .with_rate(rate)
+                    .with_intrinsic_skew(skew)
+            })
+            .collect();
+        ParallelBus { channels }
+    }
+
+    /// Number of channels.
+    pub fn width(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The channels.
+    pub fn channels(&self) -> &[AteChannel] {
+        &self.channels
+    }
+
+    /// Mutable channel access (programming delays during deskew).
+    pub fn channels_mut(&mut self) -> &mut [AteChannel] {
+        &mut self.channels
+    }
+
+    /// Renders every channel's output stream.
+    pub fn generate_all(&self) -> Vec<EdgeStream> {
+        self.channels.iter().map(AteChannel::generate).collect()
+    }
+
+    /// The intrinsic skews, per channel.
+    pub fn intrinsic_skews(&self) -> Vec<Time> {
+        self.channels
+            .iter()
+            .map(AteChannel::intrinsic_skew)
+            .collect()
+    }
+
+    /// Peak-to-peak intrinsic skew across the bus — the number the deskew
+    /// loop must beat down below 5 ps.
+    pub fn skew_spread(&self) -> Time {
+        let skews = self.intrinsic_skews();
+        let mut lo = skews[0];
+        let mut hi = skews[0];
+        for &s in &skews {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bus_respects_spread() {
+        let spread = Time::from_ps(80.0);
+        let bus = ParallelBus::with_random_skew(8, BitRate::from_gbps(6.4), spread, 7);
+        assert_eq!(bus.width(), 8);
+        for ch in bus.channels() {
+            assert!(ch.intrinsic_skew().abs() <= spread);
+        }
+        assert_eq!(bus.channels()[0].intrinsic_skew(), Time::ZERO);
+    }
+
+    #[test]
+    fn streams_carry_the_common_pattern() {
+        let bus = ParallelBus::with_random_skew(4, BitRate::from_gbps(6.4), Time::from_ps(50.0), 1);
+        let streams = bus.generate_all();
+        assert_eq!(streams.len(), 4);
+        let n = streams[0].len();
+        assert!(streams.iter().all(|s| s.len() == n));
+    }
+
+    #[test]
+    fn skew_spread_is_peak_to_peak() {
+        let p = BitPattern::prbs7(1, 127);
+        let bus = ParallelBus::new(vec![
+            AteChannel::sb6g(0, p.clone(), 1).with_intrinsic_skew(Time::from_ps(-30.0)),
+            AteChannel::sb6g(1, p, 2).with_intrinsic_skew(Time::from_ps(45.0)),
+        ]);
+        assert!((bus.skew_spread().as_ps() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_bus_rejected() {
+        let _ = ParallelBus::new(Vec::new());
+    }
+}

@@ -1,0 +1,335 @@
+//! A bang-bang clock-and-data-recovery model.
+//!
+//! The fixed-phase receiver in [`crate::dut`] is the right model for a
+//! parallel-synchronous bus (HyperTransport-class, forwarded clock). For
+//! serial lanes (PCIe-class) the receiver recovers its clock from the
+//! data, and a jitter-tolerance test then probes the *loop*: slow jitter
+//! is tracked and tolerated in huge amounts, jitter above the loop
+//! bandwidth must fit in the static eye. This module implements the
+//! classic first-order bang-bang (Alexander) CDR and the resulting
+//! tolerance mask experiment.
+
+use crate::dut::DutReceiver;
+use vardelay_siggen::EdgeStream;
+use vardelay_units::{Frequency, Time};
+
+/// A first-order bang-bang CDR.
+///
+/// Every data edge drives a binary early/late decision; the sampling
+/// phase steps by a fixed `step` toward the edge-centred position. The
+/// loop bandwidth is roughly `step·edge_rate/(2π·UI)` fractions of the
+/// bit rate.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_ate::cdr::BangBangCdr;
+/// use vardelay_units::Time;
+///
+/// let cdr = BangBangCdr::new(Time::from_ps(156.25), Time::from_ps(0.4));
+/// assert!((cdr.ui().as_ps() - 156.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BangBangCdr {
+    ui: Time,
+    step: Time,
+}
+
+/// The trajectory of one CDR tracking run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdrTrack {
+    /// Recovered sampling instants (eye centres), one per observed edge.
+    pub sampling_instants: Vec<Time>,
+    /// Residual phase error per edge: edge time minus the recovered bit
+    /// boundary (the quantity the static eye must absorb).
+    pub residual: Vec<Time>,
+}
+
+impl BangBangCdr {
+    /// Creates a CDR for signals with unit interval `ui` and the given
+    /// per-edge phase step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both `ui` and `step` are positive and
+    /// `step < ui / 4` (larger steps make the loop unstable).
+    pub fn new(ui: Time, step: Time) -> Self {
+        assert!(ui > Time::ZERO, "unit interval must be positive");
+        assert!(step > Time::ZERO, "phase step must be positive");
+        assert!(step < ui / 4.0, "phase step must stay below UI/4");
+        BangBangCdr { ui, step }
+    }
+
+    /// The nominal unit interval.
+    pub fn ui(&self) -> Time {
+        self.ui
+    }
+
+    /// The per-edge phase step.
+    pub fn step(&self) -> Time {
+        self.step
+    }
+
+    /// Approximate −3 dB loop bandwidth for a stream with transition
+    /// density `density` (0..1): `f ≈ density·step / (2π·UI²)`
+    /// in hertz (first-order loop small-signal analysis).
+    pub fn loop_bandwidth(&self, density: f64) -> Frequency {
+        let hz = density * self.step.as_s()
+            / (2.0 * core::f64::consts::PI * self.ui.as_s() * self.ui.as_s());
+        Frequency::from_hz(hz)
+    }
+
+    /// Tracks a stream: the loop walks its bit-boundary estimate toward
+    /// each observed edge and reports per-edge residual phase error.
+    ///
+    /// Returns an empty track for an empty stream.
+    pub fn track(&self, stream: &EdgeStream) -> CdrTrack {
+        let mut sampling = Vec::with_capacity(stream.len());
+        let mut residual = Vec::with_capacity(stream.len());
+        let Some(first) = stream.edges().first() else {
+            return CdrTrack {
+                sampling_instants: sampling,
+                residual,
+            };
+        };
+        // Instantaneous acquisition on the first edge (real CDRs sweep;
+        // irrelevant for steady-state tolerance).
+        let mut boundary = first.time;
+        for e in stream.edges() {
+            // Advance the boundary estimate to the UI slot nearest this
+            // edge.
+            let slots = ((e.time - boundary) / self.ui).round();
+            boundary += self.ui * slots;
+            let err = e.time - boundary;
+            // Bang-bang update: step toward the edge.
+            boundary += self.step * err.as_s().signum();
+            residual.push(err);
+            sampling.push(boundary + self.ui * 0.5);
+        }
+        CdrTrack {
+            sampling_instants: sampling,
+            residual,
+        }
+    }
+
+    /// Fraction of edges whose residual phase error invades a receiver's
+    /// setup/hold window around the recovered sampling instant — the
+    /// CDR-referred violation rate.
+    pub fn violation_rate(&self, stream: &EdgeStream, receiver: &DutReceiver) -> f64 {
+        let track = self.track(stream);
+        if track.residual.is_empty() {
+            return 0.0;
+        }
+        let margin_left = self.ui * 0.5 - receiver.setup();
+        let margin_right = self.ui * 0.5 - receiver.hold();
+        let violations = track
+            .residual
+            .iter()
+            .filter(|r| **r > margin_left || **r < -margin_right)
+            .count();
+        violations as f64 / track.residual.len() as f64
+    }
+}
+
+/// One point of a jitter-tolerance mask: the largest sinusoidal-jitter
+/// amplitude tolerated at a given frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskPoint {
+    /// PJ frequency.
+    pub frequency: Frequency,
+    /// Largest tolerated PJ amplitude (peak, not pk-pk).
+    pub tolerated_amplitude: Time,
+}
+
+/// Measures the classic jitter-tolerance mask of a CDR + receiver: for
+/// each PJ frequency, the tolerated amplitude is found by bisection on
+/// the violation rate. Low-frequency jitter is tracked by the loop and
+/// tolerated in large amounts; above the loop bandwidth the tolerance
+/// floors out at the static eye margin.
+///
+/// `fail_threshold` is the violation rate counted as failure;
+/// `max_amplitude` bounds the search.
+pub fn jitter_tolerance_mask(
+    cdr: &BangBangCdr,
+    receiver: &DutReceiver,
+    base: &EdgeStream,
+    freqs: &[Frequency],
+    max_amplitude: Time,
+    fail_threshold: f64,
+) -> Vec<MaskPoint> {
+    use vardelay_siggen::{JitterModel, SinusoidalPj};
+    freqs
+        .iter()
+        .map(|&f| {
+            let passes = |amp: Time| -> bool {
+                if amp <= Time::ZERO {
+                    return true;
+                }
+                let stressed = SinusoidalPj::new(amp, f, 0.0).apply(base);
+                cdr.violation_rate(&stressed, receiver) <= fail_threshold
+            };
+            // Bisection between 0 (passes) and max_amplitude.
+            let mut lo = Time::ZERO;
+            let mut hi = max_amplitude;
+            if passes(hi) {
+                lo = hi;
+            } else {
+                for _ in 0..12 {
+                    let mid = (lo + hi) * 0.5;
+                    if passes(mid) {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            MaskPoint {
+                frequency: f,
+                tolerated_amplitude: lo,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_measure::JitterStats;
+    use vardelay_siggen::{BitPattern, GaussianRj, JitterModel, SinusoidalPj};
+    use vardelay_units::BitRate;
+
+    fn stream(bits: usize) -> EdgeStream {
+        EdgeStream::nrz(&BitPattern::prbs7(1, bits), BitRate::from_gbps(6.4))
+    }
+
+    fn cdr() -> BangBangCdr {
+        BangBangCdr::new(BitRate::from_gbps(6.4).bit_period(), Time::from_ps(0.5))
+    }
+
+    #[test]
+    fn clean_stream_tracks_to_near_zero_residual() {
+        let track = cdr().track(&stream(2000));
+        let tail = &track.residual[track.residual.len() / 2..];
+        let stats = JitterStats::from_times(tail).expect("edges exist");
+        assert!(
+            stats.peak_to_peak < Time::from_ps(1.5),
+            "residual pp {}",
+            stats.peak_to_peak
+        );
+    }
+
+    #[test]
+    fn slow_pj_is_tracked_fast_pj_is_not() {
+        let base = stream(20_000);
+        let amp = Time::from_ps(20.0);
+        let residual_pp = |freq_mhz: f64| {
+            let jittered =
+                SinusoidalPj::new(amp, Frequency::from_mhz(freq_mhz), 0.0).apply(&base);
+            let track = cdr().track(&jittered);
+            let tail = &track.residual[track.residual.len() / 2..];
+            JitterStats::from_times(tail)
+                .expect("edges exist")
+                .peak_to_peak
+        };
+        let slow = residual_pp(0.05); // 50 kHz — deep inside loop BW
+        let fast = residual_pp(200.0); // 200 MHz — far above loop BW
+        assert!(
+            slow < amp,
+            "slow PJ should be tracked: residual {slow} vs amp {amp}"
+        );
+        assert!(
+            fast > amp * 1.2,
+            "fast PJ should pass through untracked: {fast}"
+        );
+        assert!(fast > slow * 1.5, "no high-pass behaviour: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn random_jitter_mostly_passes_through() {
+        let base = stream(10_000);
+        let jittered = GaussianRj::new(Time::from_ps(2.0), 3).apply(&base);
+        let track = cdr().track(&jittered);
+        let tail = &track.residual[track.residual.len() / 2..];
+        let stats = JitterStats::from_times(tail).expect("edges exist");
+        // Wideband RJ is above the loop bandwidth: RMS survives (within
+        // the dither the loop itself adds).
+        assert!(
+            (stats.rms.as_ps() - 2.0).abs() < 0.8,
+            "rms {}",
+            stats.rms
+        );
+    }
+
+    #[test]
+    fn violation_rate_uses_recovered_clock() {
+        let base = stream(5_000);
+        let rx = DutReceiver::new(Time::from_ps(50.0), Time::from_ps(50.0));
+        // A huge but very slow sinusoid: tracked, so no violations…
+        let slow = SinusoidalPj::new(
+            Time::from_ps(60.0),
+            Frequency::from_mhz(0.02),
+            0.0,
+        )
+        .apply(&base);
+        assert_eq!(cdr().violation_rate(&slow, &rx), 0.0);
+        // …whereas the same amplitude at high frequency fails hard.
+        let fast = SinusoidalPj::new(
+            Time::from_ps(60.0),
+            Frequency::from_mhz(300.0),
+            0.0,
+        )
+        .apply(&base);
+        assert!(cdr().violation_rate(&fast, &rx) > 0.05);
+    }
+
+    #[test]
+    fn loop_bandwidth_scales_with_step() {
+        let ui = BitRate::from_gbps(6.4).bit_period();
+        let narrow = BangBangCdr::new(ui, Time::from_ps(0.2)).loop_bandwidth(0.5);
+        let wide = BangBangCdr::new(ui, Time::from_ps(2.0)).loop_bandwidth(0.5);
+        assert!((wide / narrow - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerance_mask_has_the_classic_shape() {
+        let base = stream(4_000);
+        let rx = DutReceiver::new(Time::from_ps(45.0), Time::from_ps(45.0));
+        let freqs: Vec<Frequency> = [0.05, 1.0, 50.0, 400.0]
+            .iter()
+            .map(|&m| Frequency::from_mhz(m))
+            .collect();
+        let mask = jitter_tolerance_mask(
+            &cdr(),
+            &rx,
+            &base,
+            &freqs,
+            Time::from_ps(400.0),
+            1e-3,
+        );
+        // Tolerance decreases (weakly) with frequency…
+        for w in mask.windows(2) {
+            assert!(
+                w[1].tolerated_amplitude <= w[0].tolerated_amplitude * 1.3,
+                "{:?}",
+                mask
+            );
+        }
+        // …tracked region tolerates far more than the untracked floor.
+        assert!(
+            mask[0].tolerated_amplitude > mask[3].tolerated_amplitude * 2.0,
+            "no tracking benefit: {mask:?}"
+        );
+        // The high-frequency floor is set by the static margin (~33 ps).
+        let floor = mask[3].tolerated_amplitude;
+        assert!(
+            (10.0..60.0).contains(&floor.as_ps()),
+            "floor {floor}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "UI/4")]
+    fn unstable_step_rejected() {
+        let _ = BangBangCdr::new(Time::from_ps(100.0), Time::from_ps(40.0));
+    }
+}

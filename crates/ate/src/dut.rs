@@ -1,0 +1,283 @@
+//! A behavioral DUT receiver: a sampling register with a setup/hold
+//! window (paper Fig. 1).
+
+use vardelay_measure::Series;
+use vardelay_siggen::EdgeStream;
+use vardelay_units::Time;
+
+/// A data-sampling register clocked at the stream's unit interval.
+///
+/// A bit samples cleanly when no data transition falls inside the
+/// `[sample − setup, sample + hold]` window; transitions inside the window
+/// are counted as (potential) errors. Scanning the clock phase across the
+/// UI produces the receiver's timing bathtub, whose centre is where the
+/// paper aligns the clock in Fig. 1.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_ate::DutReceiver;
+/// use vardelay_units::Time;
+///
+/// let rx = DutReceiver::new(Time::from_ps(10.0), Time::from_ps(10.0));
+/// assert!((rx.setup().as_ps() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutReceiver {
+    setup: Time,
+    hold: Time,
+}
+
+impl DutReceiver {
+    /// Creates a receiver with the given setup and hold requirements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either window is negative.
+    pub fn new(setup: Time, hold: Time) -> Self {
+        assert!(setup >= Time::ZERO, "setup must be non-negative");
+        assert!(hold >= Time::ZERO, "hold must be non-negative");
+        DutReceiver { setup, hold }
+    }
+
+    /// A HyperTransport-3-class receiver: ±10 ps window at 6.4 Gb/s.
+    pub fn ht3() -> Self {
+        Self::new(Time::from_ps(10.0), Time::from_ps(10.0))
+    }
+
+    /// The setup requirement.
+    pub fn setup(&self) -> Time {
+        self.setup
+    }
+
+    /// The hold requirement.
+    pub fn hold(&self) -> Time {
+        self.hold
+    }
+
+    /// Counts setup/hold violations when sampling `stream` with a clock at
+    /// `phase` within each unit interval (0 = bit boundary), and returns
+    /// the violation fraction over the observed bits.
+    ///
+    /// Returns 0.0 for an empty stream.
+    pub fn violation_rate(&self, stream: &EdgeStream, phase: Time) -> f64 {
+        let ui = stream.ui();
+        if stream.is_empty() || ui <= Time::ZERO {
+            return 0.0;
+        }
+        let bits = ((stream.end() - stream.start()) / ui).round() as u64;
+        if bits == 0 {
+            return 0.0;
+        }
+        // A violation is any edge within ±(setup|hold) of a sampling
+        // instant. Sampling instants sit at k·UI + phase; fold each edge
+        // to its distance from the nearest sampler.
+        let mut violations = 0u64;
+        for t in stream.times() {
+            let x = (t - phase).as_s() / ui.as_s();
+            let dist = (x - x.round()) * ui.as_s();
+            let early_ok = dist < -self.hold.as_s(); // edge safely after previous sample
+            let late_ok = dist > self.setup.as_s(); // edge safely before next sample
+            if !(early_ok || late_ok) {
+                violations += 1;
+            }
+        }
+        violations as f64 / bits as f64
+    }
+
+    /// Scans the sampling phase across one UI in `steps` positions and
+    /// returns the violation-rate bathtub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn eye_scan(&self, stream: &EdgeStream, steps: usize) -> Series {
+        assert!(steps > 0, "eye scan needs at least one step");
+        let ui = stream.ui();
+        let mut series = Series::new("eye-scan", "phase_ps", "violation_rate");
+        for i in 0..steps {
+            let phase = ui * (i as f64 / steps as f64);
+            series.push(phase.as_ps(), self.violation_rate(stream, phase));
+        }
+        series
+    }
+
+    /// Samples the stream's logic level at `phase` within every unit
+    /// interval, returning the recovered bit sequence — what the latch
+    /// actually captures.
+    pub fn sample_bits(&self, stream: &EdgeStream, phase: Time) -> Vec<bool> {
+        let ui = stream.ui();
+        if stream.is_empty() || ui <= Time::ZERO {
+            return Vec::new();
+        }
+        let bits = ((stream.end() - stream.start()) / ui).round() as usize;
+        (0..bits)
+            .map(|k| stream.level_at(stream.start() + ui * k as f64 + phase))
+            .collect()
+    }
+
+    /// True bit-error ratio: samples the stream at `phase` and compares
+    /// against the expected transmitted bits. Returns `None` when the
+    /// recovered and expected lengths differ by more than one bit (gross
+    /// misalignment — count it as total failure, not a BER).
+    pub fn bit_error_ratio(
+        &self,
+        stream: &EdgeStream,
+        phase: Time,
+        expected: &[bool],
+    ) -> Option<f64> {
+        let got = self.sample_bits(stream, phase);
+        if got.is_empty() || got.len().abs_diff(expected.len()) > 1 {
+            return None;
+        }
+        let n = got.len().min(expected.len());
+        let errors = got[..n]
+            .iter()
+            .zip(&expected[..n])
+            .filter(|(a, b)| a != b)
+            .count();
+        Some(errors as f64 / n as f64)
+    }
+
+    /// The sampling phase at the centre of the widest minimum-violation
+    /// plateau — where the paper aligns the clock to the data eye (Fig. 1).
+    pub fn best_phase(&self, stream: &EdgeStream, steps: usize) -> Time {
+        let scan = self.eye_scan(stream, steps);
+        let rates: Vec<f64> = scan.points().map(|(_, r)| r).collect();
+        let min_rate = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        // Widest contiguous run at the minimum, scanning the doubled index
+        // space so a plateau wrapping the UI boundary is still found.
+        let at_min = |i: usize| (rates[i % steps] - min_rate).abs() < 1e-12;
+        let mut best_start = 0usize;
+        let mut best_len = 0usize;
+        let mut run_start = 0usize;
+        let mut run_len = 0usize;
+        for i in 0..steps * 2 {
+            if at_min(i) {
+                if run_len == 0 {
+                    run_start = i;
+                }
+                run_len += 1;
+                if run_len > best_len {
+                    best_len = run_len;
+                    best_start = run_start;
+                }
+            } else {
+                run_len = 0;
+            }
+        }
+        let centre = (best_start + best_len / 2) % steps;
+        stream.ui() * (centre as f64 / steps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, GaussianRj, JitterModel};
+    use vardelay_units::BitRate;
+
+    fn clean_stream() -> EdgeStream {
+        EdgeStream::nrz(&BitPattern::prbs7(1, 1270), BitRate::from_gbps(6.4))
+    }
+
+    #[test]
+    fn centre_sampling_is_clean() {
+        let rx = DutReceiver::ht3();
+        let s = clean_stream();
+        let mid = s.ui() * 0.5;
+        assert_eq!(rx.violation_rate(&s, mid), 0.0);
+    }
+
+    #[test]
+    fn boundary_sampling_violates() {
+        let rx = DutReceiver::ht3();
+        let s = clean_stream();
+        // Sampling right at the bit boundary hits every transition.
+        let rate = rx.violation_rate(&s, Time::ZERO);
+        assert!(rate > 0.3, "rate {rate}");
+    }
+
+    #[test]
+    fn best_phase_is_near_eye_centre() {
+        let rx = DutReceiver::ht3();
+        let s = clean_stream();
+        let best = rx.best_phase(&s, 64);
+        let ui = s.ui();
+        let frac = best / ui;
+        assert!((0.2..0.8).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn jitter_widens_the_violation_region() {
+        let rx = DutReceiver::ht3();
+        let clean = clean_stream();
+        let dirty = GaussianRj::new(Time::from_ps(6.0), 5).apply(&clean);
+        let clean_open = rx
+            .eye_scan(&clean, 64)
+            .points()
+            .filter(|&(_, r)| r == 0.0)
+            .count();
+        let dirty_open = rx
+            .eye_scan(&dirty, 64)
+            .points()
+            .filter(|&(_, r)| r == 0.0)
+            .count();
+        assert!(dirty_open < clean_open, "{dirty_open} vs {clean_open}");
+    }
+
+    #[test]
+    fn sampled_bits_match_the_pattern_at_eye_centre() {
+        let rx = DutReceiver::ht3();
+        let pattern = BitPattern::prbs7(1, 500);
+        let s = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
+        let mid = s.ui() * 0.5;
+        let ber = rx
+            .bit_error_ratio(&s, mid, pattern.bits())
+            .expect("aligned capture");
+        assert_eq!(ber, 0.0);
+    }
+
+    #[test]
+    fn boundary_sampling_makes_real_bit_errors() {
+        let rx = DutReceiver::ht3();
+        let pattern = BitPattern::prbs7(1, 2000);
+        let clean = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
+        let s = GaussianRj::new(Time::from_ps(15.0), 9).apply(&clean);
+        // Sampling right at the boundary with heavy jitter flips bits.
+        let ber = rx
+            .bit_error_ratio(&s, Time::ZERO, pattern.bits())
+            .expect("aligned capture");
+        assert!(ber > 0.01, "ber {ber}");
+        // At the eye centre the same signal is recovered cleanly.
+        let centre = rx
+            .bit_error_ratio(&s, s.ui() * 0.5, pattern.bits())
+            .expect("aligned capture");
+        assert!(centre < ber / 5.0, "centre {centre} vs boundary {ber}");
+    }
+
+    #[test]
+    fn gross_misalignment_is_not_a_ber() {
+        let rx = DutReceiver::ht3();
+        let pattern = BitPattern::prbs7(1, 100);
+        let s = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
+        assert!(rx
+            .bit_error_ratio(&s, s.ui() * 0.5, &[true; 5])
+            .is_none());
+    }
+
+    #[test]
+    fn empty_stream_is_silent() {
+        let s = EdgeStream::nrz(
+            &BitPattern::from_str("0000").unwrap(),
+            BitRate::from_gbps(1.0),
+        );
+        assert_eq!(DutReceiver::ht3().violation_rate(&s, Time::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn windows_validated() {
+        let _ = DutReceiver::new(Time::from_ps(-1.0), Time::ZERO);
+    }
+}

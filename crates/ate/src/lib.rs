@@ -1,0 +1,41 @@
+//! ATE substrate: tester channels, parallel buses, a DUT receiver and the
+//! closed-loop deskew application.
+//!
+//! The paper's end application is deskewing parallel buses of 6.4 Gb/s
+//! signals from a Teradyne UltraFlex (SB6G sources), whose native deskew
+//! resolution is only ~100 ps (paper §1, Fig. 2). This crate builds the
+//! pieces of that bench:
+//!
+//! * [`AteChannel`] — a pattern source with static intrinsic skew, source
+//!   jitter, and a programmable delay quantized to the tester's ~100 ps
+//!   timing resolution.
+//! * [`ParallelBus`] — N channels carrying a common pattern with
+//!   channel-to-channel skew (the "before" half of Fig. 2).
+//! * [`DutReceiver`] — a sampling register with a setup/hold window, used
+//!   to scan eyes and verify alignment (Fig. 1).
+//! * [`DeskewEngine`] — the closed loop: measure per-channel skew, correct
+//!   the bulk with the ATE's 100 ps steps, and the residue with one
+//!   vardelay circuit per channel (<5 ps channel-to-channel accuracy).
+//! * [`scenario`] — ready-made HyperTransport-like (parallel-synchronous)
+//!   and PCI-Express-like (independent-lane) bus configurations.
+
+pub mod bus;
+pub mod cdr;
+pub mod channel;
+pub mod deskew;
+pub mod dut;
+pub mod margin;
+pub mod report;
+pub mod retimer;
+pub mod scenario;
+pub mod tolerance;
+
+pub use bus::ParallelBus;
+pub use cdr::{jitter_tolerance_mask, BangBangCdr, CdrTrack, MaskPoint};
+pub use channel::AteChannel;
+pub use deskew::{ChannelCorrection, DeskewEngine, DeskewError, DeskewOutcome};
+pub use dut::DutReceiver;
+pub use margin::{margin_shmoo, MarginMap, MarginRow, ShmooConfig};
+pub use retimer::Retimer;
+pub use scenario::{BusScenario, ScenarioKind};
+pub use tolerance::{JitterToleranceTest, ToleranceResult};

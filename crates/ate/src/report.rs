@@ -1,0 +1,72 @@
+//! Report formatting for deskew outcomes.
+
+use crate::deskew::DeskewOutcome;
+use vardelay_measure::report::fmt_ps;
+use vardelay_measure::Table;
+
+/// Renders a deskew outcome as the before/after table the `repro` binary
+/// prints for the paper's Fig. 2.
+pub fn deskew_table(outcome: &DeskewOutcome) -> Table {
+    let mut table = Table::new(
+        "Parallel-bus deskew (paper Fig. 2)",
+        &[
+            "channel",
+            "skew_before_ps",
+            "ate_step_ps",
+            "vardelay_ps",
+            "tap",
+            "dac_code",
+            "residual_ps",
+        ],
+    );
+    for c in &outcome.corrections {
+        table.push_owned_row(vec![
+            c.channel.to_string(),
+            fmt_ps(c.measured_skew),
+            fmt_ps(c.ate_programmed),
+            fmt_ps(c.vardelay_setting.predicted_delay),
+            c.vardelay_setting.tap.to_string(),
+            c.vardelay_setting.dac_code.to_string(),
+            fmt_ps(c.residual),
+        ]);
+    }
+    table
+}
+
+/// One-line summary: before/after peak-to-peak and verdict.
+pub fn deskew_summary(outcome: &DeskewOutcome) -> String {
+    format!(
+        "bus skew {} pk-pk -> {} pk-pk after deskew ({})",
+        outcome.before_peak_to_peak,
+        outcome.after_peak_to_peak,
+        if outcome.meets_5ps_target() {
+            "meets <5 ps target"
+        } else {
+            "misses <5 ps target"
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::ParallelBus;
+    use crate::deskew::DeskewEngine;
+    use vardelay_core::ModelConfig;
+    use vardelay_units::{BitRate, Time};
+
+    #[test]
+    fn table_and_summary_render() {
+        let mut bus =
+            ParallelBus::with_random_skew(4, BitRate::from_gbps(6.4), Time::from_ps(60.0), 9);
+        let outcome = DeskewEngine::new(&ModelConfig::paper_prototype(), 9)
+            .run(&mut bus)
+            .expect("healthy bus deskews");
+        let table = deskew_table(&outcome);
+        assert_eq!(table.row_count(), 4);
+        let text = table.to_string();
+        assert!(text.contains("vardelay_ps"));
+        let summary = deskew_summary(&outcome);
+        assert!(summary.contains("pk-pk"));
+    }
+}

@@ -1,0 +1,192 @@
+//! A retimer: CDR + decision flip-flop, regenerating a clean stream.
+//!
+//! The receiving end of a serial lane does not pass jitter through — it
+//! *re-launches* each decided bit on its recovered clock. Pairing
+//! [`crate::BangBangCdr`] with a sampling register yields an output stream
+//! whose jitter is only the CDR's residual wander, however dirty the
+//! input was (as long as the decisions themselves were correct).
+
+use crate::cdr::BangBangCdr;
+use vardelay_siggen::{Edge, EdgeKind, EdgeStream};
+use vardelay_units::Time;
+
+/// A CDR-based retimer.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_ate::{BangBangCdr, Retimer};
+/// use vardelay_units::{BitRate, Time};
+///
+/// let ui = BitRate::from_gbps(6.4).bit_period();
+/// let retimer = Retimer::new(BangBangCdr::new(ui, Time::from_ps(0.5)));
+/// assert!((retimer.cdr().ui().as_ps() - 156.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retimer {
+    cdr: BangBangCdr,
+}
+
+impl Retimer {
+    /// Creates a retimer around the given CDR.
+    pub fn new(cdr: BangBangCdr) -> Self {
+        Retimer { cdr }
+    }
+
+    /// The recovery loop.
+    pub fn cdr(&self) -> BangBangCdr {
+        self.cdr
+    }
+
+    /// Retimes a stream: tracks it with the CDR, samples the input level
+    /// at each recovered eye centre, and re-launches the decided bits on
+    /// the recovered bit boundaries.
+    ///
+    /// Returns an empty stream for inputs with no edges.
+    pub fn retime(&self, input: &EdgeStream) -> EdgeStream {
+        let ui = self.cdr.ui();
+        let track = self.cdr.track(input);
+        let Some(&first_boundary) = track.sampling_instants.first() else {
+            return input.clone();
+        };
+        // Walk recovered bit slots from the first sampling instant to the
+        // end of the capture, deciding each bit from the input level.
+        let start = first_boundary - ui * 0.5;
+        // Round, not floor: the CDR's sub-ps acquisition step must not
+        // shave off the final bit slot.
+        let slots = ((input.end() - start) / ui).round().max(0.0) as usize;
+        let mut edges = Vec::new();
+        let mut level = input.level_at(first_boundary);
+        let initial_high = level;
+        // The recovered clock wanders with the CDR; approximate its slot
+        // boundaries by interpolating between tracked sampling instants.
+        let mut sample_iter = track.sampling_instants.iter().peekable();
+        let mut current_sample = first_boundary;
+        for k in 0..slots {
+            let nominal = first_boundary + ui * k as f64;
+            // Advance the recovered-phase estimate to the latest tracked
+            // sampling instant not beyond this slot.
+            while let Some(&&s) = sample_iter.peek() {
+                if s <= nominal + ui * 0.5 {
+                    current_sample = s;
+                    sample_iter.next();
+                } else {
+                    break;
+                }
+            }
+            let phase = current_sample
+                + ui * ((nominal - current_sample) / ui).round();
+            let bit = input.level_at(phase);
+            if bit != level {
+                edges.push(Edge {
+                    time: phase - ui * 0.5,
+                    kind: if bit { EdgeKind::Rising } else { EdgeKind::Falling },
+                });
+                level = bit;
+            }
+        }
+        EdgeStream::from_parts(
+            sanitize(edges),
+            start,
+            input.end().max(start) + ui,
+            initial_high,
+            ui,
+        )
+    }
+}
+
+/// Drops same-polarity duplicates and enforces strict ordering.
+fn sanitize(edges: Vec<Edge>) -> Vec<Edge> {
+    let mut out: Vec<Edge> = Vec::with_capacity(edges.len());
+    for e in edges {
+        match out.last() {
+            Some(last) if last.kind == e.kind => continue,
+            Some(last) if e.time <= last.time => {
+                let t = last.time + Time::from_fs(1.0);
+                out.push(Edge { time: t, ..e });
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_measure::{tie_sequence, JitterStats};
+    use vardelay_siggen::{BitPattern, GaussianRj, JitterModel};
+    use vardelay_units::BitRate;
+
+    fn retimer() -> Retimer {
+        let ui = BitRate::from_gbps(6.4).bit_period();
+        Retimer::new(BangBangCdr::new(ui, Time::from_ps(0.4)))
+    }
+
+    #[test]
+    fn clean_data_retimes_losslessly() {
+        let pattern = BitPattern::prbs7(1, 500);
+        let input = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
+        let out = retimer().retime(&input);
+        assert!(out.is_well_formed());
+        // Same transition structure (up to the boundary slots).
+        assert!(
+            out.len().abs_diff(input.len()) <= 2,
+            "{} vs {}",
+            out.len(),
+            input.len()
+        );
+    }
+
+    #[test]
+    fn retiming_strips_wideband_jitter() {
+        let pattern = BitPattern::prbs7(1, 4000);
+        let clean = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
+        let dirty = GaussianRj::new(Time::from_ps(6.0), 3).apply(&clean);
+        let out = retimer().retime(&dirty);
+
+        let tj_in = JitterStats::from_times(&tie_sequence(&dirty))
+            .expect("edges exist")
+            .peak_to_peak;
+        let tj_out = JitterStats::from_times(&tie_sequence(&out))
+            .expect("edges exist")
+            .peak_to_peak;
+        assert!(
+            tj_out < tj_in * 0.35,
+            "retimer failed to clean: {tj_in} -> {tj_out}"
+        );
+    }
+
+    #[test]
+    fn decisions_survive_retiming() {
+        // The retimed bit sequence equals the transmitted one over the
+        // recovered window (the leading run before the first edge is not
+        // part of the retimed capture).
+        use crate::dut::DutReceiver;
+        let pattern = BitPattern::prbs7(3, 800);
+        let input = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
+        let out = retimer().retime(&input);
+        let rx = DutReceiver::ht3();
+        let got = rx.sample_bits(&out, out.ui() * 0.5);
+        let skip = ((out.start() - input.start()) / out.ui()).round().max(0.0) as usize;
+        let expected = &pattern.bits()[skip..];
+        let n = got.len().min(expected.len());
+        assert!(n > 700, "recovered only {n} bits");
+        let errors = got[..n]
+            .iter()
+            .zip(&expected[..n])
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(errors, 0, "bit errors after retiming");
+    }
+
+    #[test]
+    fn empty_input_passes_through() {
+        let input = EdgeStream::nrz(
+            &BitPattern::from_str("0000").unwrap(),
+            BitRate::from_gbps(1.0),
+        );
+        let out = retimer().retime(&input);
+        assert!(out.is_empty());
+    }
+}

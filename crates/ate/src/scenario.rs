@@ -1,0 +1,116 @@
+//! Ready-made bus scenarios from the paper's introduction.
+//!
+//! "This resolution is adequate for some applications such as PCI-Express,
+//! where each lane operates as a separate communication channel […]
+//! However for other applications, such as HyperTransport 3, the parallel
+//! data must be aligned more precisely to a common clock" (paper §1).
+
+use crate::bus::ParallelBus;
+use vardelay_units::{BitRate, Time};
+
+/// The two interface classes the paper contrasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Parallel-synchronous: all lanes sampled by one forwarded clock;
+    /// needs picosecond channel-to-channel alignment.
+    HyperTransport3,
+    /// Independent lanes with per-lane clock recovery; tolerates
+    /// channel-to-channel skew, so the ATE's 100 ps steps suffice.
+    PciExpress,
+}
+
+/// A test scenario: a bus plus its alignment requirement.
+#[derive(Debug, Clone)]
+pub struct BusScenario {
+    kind: ScenarioKind,
+    bus: ParallelBus,
+    alignment_requirement: Time,
+}
+
+impl BusScenario {
+    /// The HyperTransport-3-like case: 8 channels at 6.4 Gb/s with ±80 ps
+    /// fixture skew and a <5 ps alignment requirement.
+    pub fn hypertransport3(seed: u64) -> Self {
+        BusScenario {
+            kind: ScenarioKind::HyperTransport3,
+            bus: ParallelBus::with_random_skew(
+                8,
+                BitRate::from_gbps(6.4),
+                Time::from_ps(80.0),
+                seed,
+            ),
+            alignment_requirement: Time::from_ps(5.0),
+        }
+    }
+
+    /// The PCI-Express-like case: 4 independent lanes at 5 Gb/s where
+    /// channel-to-channel skew up to half a native ATE step is acceptable.
+    pub fn pci_express(seed: u64) -> Self {
+        BusScenario {
+            kind: ScenarioKind::PciExpress,
+            bus: ParallelBus::with_random_skew(
+                4,
+                BitRate::from_gbps(5.0),
+                Time::from_ps(80.0),
+                seed,
+            ),
+            alignment_requirement: Time::from_ps(50.0),
+        }
+    }
+
+    /// The scenario class.
+    pub fn kind(&self) -> ScenarioKind {
+        self.kind
+    }
+
+    /// The bus under test.
+    pub fn bus(&self) -> &ParallelBus {
+        &self.bus
+    }
+
+    /// Mutable bus access for running corrections.
+    pub fn bus_mut(&mut self) -> &mut ParallelBus {
+        &mut self.bus
+    }
+
+    /// The channel-to-channel alignment this interface requires.
+    pub fn alignment_requirement(&self) -> Time {
+        self.alignment_requirement
+    }
+
+    /// Whether the ATE's native resolution alone can meet the requirement
+    /// (true for PCIe-like lanes, false for parallel-synchronous buses —
+    /// the gap the vardelay circuit fills).
+    pub fn ate_native_is_sufficient(&self) -> bool {
+        // Rounding to the nearest native step leaves up to ±step/2.
+        let worst_native = self.bus.channels()[0].timing_resolution() * 0.5;
+        worst_native <= self.alignment_requirement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ht3_needs_the_vardelay_circuit() {
+        let s = BusScenario::hypertransport3(1);
+        assert_eq!(s.kind(), ScenarioKind::HyperTransport3);
+        assert!(!s.ate_native_is_sufficient());
+        assert_eq!(s.bus().width(), 8);
+    }
+
+    #[test]
+    fn pcie_gets_by_with_native_steps() {
+        let s = BusScenario::pci_express(1);
+        assert!(s.ate_native_is_sufficient());
+        assert!((s.alignment_requirement().as_ps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenarios_are_reproducible() {
+        let a = BusScenario::hypertransport3(7);
+        let b = BusScenario::hypertransport3(7);
+        assert_eq!(a.bus().intrinsic_skews(), b.bus().intrinsic_skews());
+    }
+}

@@ -1,0 +1,296 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation
+//! from the behavioral model and prints the same rows/series the paper
+//! reports. CSVs are written under `target/repro/`.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [all|fig1|fig2|fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|table1|ablation]
+//! ```
+
+use std::fs;
+
+use vardelay_ate::report::{deskew_summary, deskew_table};
+use vardelay_bench::{ablation, eyes, fine_delay, injection, output_dir, skew};
+use vardelay_measure::report::fmt_ps;
+use vardelay_measure::{Series, Table};
+
+fn save_series(name: &str, series: &Series) {
+    let path = output_dir().join(format!("{name}.csv"));
+    fs::write(&path, series.to_csv()).expect("write CSV");
+    println!("  [csv: {}]", path.display());
+}
+
+fn save_table(name: &str, table: &Table) {
+    let path = output_dir().join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv()).expect("write CSV");
+    println!("  [csv: {}]", path.display());
+}
+
+fn series_table(title: &str, series: &[&Series]) -> Table {
+    let first = series.first().expect("at least one series");
+    let mut headers = vec![first.x_label.as_str()];
+    headers.extend(series.iter().map(|s| s.label.as_str()));
+    let mut table = Table::new(title, &headers);
+    for i in 0..first.len() {
+        let mut row = vec![format!("{:.3}", first.xs[i])];
+        for s in series {
+            row.push(format!("{:.2}", s.ys[i]));
+        }
+        table.push_owned_row(row);
+    }
+    table
+}
+
+fn fig7() {
+    println!("\n### Fig. 7 — fine delay vs Vctrl (4-stage)");
+    let series = fine_delay::fig7_delay_vs_vctrl(31);
+    let summary = fine_delay::fig7_summary(&series);
+    println!("{}", series_table("Delay vs control voltage", &[&series]));
+    println!(
+        "range = {} (paper ~56 ps); mid slope = {:.1} ps/V; mid R^2 = {:.4}",
+        summary.range, summary.mid_slope_ps_per_v, summary.mid_r_squared
+    );
+    save_series("fig07_delay_vs_vctrl", &series);
+}
+
+fn fig9() {
+    println!("\n### Fig. 9 — coarse tap delays");
+    let taps = fine_delay::fig9_coarse_taps();
+    let mut table = Table::new(
+        "Coarse taps (paper measured 0/33/70/95 ps)",
+        &["tap", "designed_ps", "measured_ps", "deviation_ps"],
+    );
+    for t in &taps {
+        table.push_owned_row(vec![
+            t.tap.to_string(),
+            fmt_ps(t.designed),
+            fmt_ps(t.measured),
+            fmt_ps(t.measured - t.designed),
+        ]);
+    }
+    println!("{table}");
+    save_table("fig09_coarse_taps", &table);
+}
+
+fn eye_result(r: &eyes::EyeExperimentResult, paper: &str) {
+    println!("{}", r.label);
+    println!(
+        "  fine range = {}, TJ in = {}, TJ out = {}, added = {}",
+        r.fine_range, r.input_tj, r.output_tj, r.added_tj
+    );
+    println!("  paper: {paper}");
+}
+
+fn fig12() {
+    println!("\n### Fig. 12 — 4.8 Gb/s eye");
+    eye_result(
+        &eyes::fig12_eye_4g8(8000),
+        "fine range 49.5 ps, TJ out 18.5 ps (~+7 ps)",
+    );
+}
+
+fn fig13() {
+    println!("\n### Fig. 13 — 6.4 Gb/s eye through combined circuit");
+    eye_result(
+        &eyes::fig13_eye_6g4(8000),
+        "TJ in 26 ps -> TJ out 39 ps (+13 ps)",
+    );
+}
+
+fn fig14() {
+    println!("\n### Fig. 14 — 6.4 GHz RZ clock");
+    eye_result(
+        &eyes::fig14_rz_6g4(8000),
+        "fine range 23.5 ps, TJ 10.5 ps",
+    );
+}
+
+fn fig15() {
+    println!("\n### Fig. 15 — delay range vs clock frequency");
+    let freqs = fine_delay::fig15_default_freqs();
+    let (s4, s2) = fine_delay::fig15_range_vs_frequency(&freqs);
+    println!(
+        "{}",
+        series_table("Fine range vs RZ clock frequency (GHz)", &[&s4, &s2])
+    );
+    println!("paper: 4-stage usable beyond 6.4 GHz; 2-stage ineffective past ~6 GHz");
+    save_series("fig15_range_4stage", &s4);
+    save_series("fig15_range_2stage", &s2);
+}
+
+fn fig16() {
+    println!("\n### Fig. 16 — jitter injection at 3.2 Gb/s");
+    let r = injection::fig16_injection(8000);
+    println!(
+        "reference TJ = {}, baseline out TJ = {}, with {} noise TJ = {}",
+        r.reference_tj, r.baseline_tj, r.noise_vpp, r.injected_tj
+    );
+    println!("paper: reference 8 ps -> 69 ps with 900 mVpp noise");
+}
+
+fn fig17() {
+    println!("\n### Fig. 17 — added jitter vs noise amplitude");
+    let series = injection::fig17_injection_sweep(6000, 11);
+    println!("{}", series_table("Added jitter vs noise Vpp", &[&series]));
+    println!("paper: approximately linear, ~40 ps added at 0.9 Vpp");
+    save_series("fig17_injection_sweep", &series);
+}
+
+fn fig2() {
+    println!("\n### Fig. 2 — parallel-bus deskew (4 x 6.4 Gb/s)");
+    let outcome = skew::fig2_deskew(4);
+    let table = deskew_table(&outcome);
+    println!("{table}");
+    println!("{}", deskew_summary(&outcome));
+    save_table("fig02_deskew", &table);
+}
+
+fn fig1() {
+    println!("\n### Fig. 1 — clock-to-data-eye alignment");
+    let r = skew::fig1_eye_alignment();
+    println!(
+        "receiver scan across one UI ({}): best sampling phase = {} ({:.2} UI)",
+        r.ui,
+        r.best_phase,
+        r.best_phase / r.ui
+    );
+    save_series("fig01_eye_scan", &r.scan);
+}
+
+fn table1() {
+    println!("\n### Table 1 — application requirements (paper Section 1)");
+    let t = fine_delay::table1_requirements();
+    let mut table = Table::new(
+        "Requirements check",
+        &["requirement", "paper_target", "measured", "met"],
+    );
+    let rows = [
+        (
+            "setting resolution",
+            "<= 1 ps",
+            format!("{}", t.setting_resolution),
+            t.setting_resolution.as_ps() <= 1.0,
+        ),
+        (
+            "total range",
+            ">= 120 ps",
+            format!("{}", t.total_range),
+            t.total_range.as_ps() >= 120.0,
+        ),
+        (
+            "fine range @ 6.4 Gb/s covers 33 ps coarse step",
+            "> 33 ps",
+            format!("{}", t.fine_range_at_6g4),
+            t.fine_range_at_6g4.as_ps() > 33.0,
+        ),
+    ];
+    for (req, target, measured, met) in rows {
+        table.push_owned_row(vec![
+            req.to_owned(),
+            target.to_owned(),
+            measured,
+            if met { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!("{table}");
+    save_table("table1_requirements", &table);
+}
+
+fn ablation_report() {
+    println!("\n### Ablation A1 — stage count and architecture");
+    let rows = ablation::stage_count_ablation(6, 4000);
+    let mut table = Table::new(
+        "Stage-count ablation",
+        &["stages", "dc_range_ps", "range@6.4GHz_ps", "added_tj_ps"],
+    );
+    for r in &rows {
+        table.push_owned_row(vec![
+            r.stages.to_string(),
+            fmt_ps(r.dc_range),
+            fmt_ps(r.range_at_6g4),
+            fmt_ps(r.added_tj),
+        ]);
+    }
+    println!("{table}");
+    save_table("ablation_stages", &table);
+
+    let cmp = ablation::architecture_comparison(4000);
+    println!(
+        "coarse+fine added TJ = {} vs all-fine (8-stage) = {} (range {})",
+        cmp.coarse_plus_fine_tj, cmp.all_fine_tj, cmp.all_fine_range
+    );
+    println!("paper Section 3: the coarse mux avoids the extra cascade's jitter");
+
+    let ctrl = ablation::control_strategy_ablation();
+    println!(
+        "control strategy: common Vctrl range {} / INL {} vs staggered per-stage range {} / INL {}",
+        ctrl.common_range, ctrl.common_inl, ctrl.staggered_range, ctrl.staggered_inl
+    );
+    println!("the paper's common control trades linearity for range and simplicity");
+}
+
+fn extensions() {
+    use vardelay_bench::extensions;
+    println!("\n### Extensions (beyond the paper's figures)");
+    let x1 = extensions::x1_multichannel();
+    println!(
+        "X1 4-channel unit: shared-cal accuracy {} pk-pk, per-channel {} pk-pk, common range {}",
+        x1.shared_accuracy, x1.per_channel_accuracy, x1.common_range
+    );
+    let x2 = extensions::x2_tolerance();
+    match x2.max_tolerated {
+        Some(t) => println!("X2 jitter tolerance: receiver tolerates up to {t} of injected TJ"),
+        None => println!("X2 jitter tolerance: receiver failed without stress"),
+    }
+    let x3 = extensions::x3_drift();
+    println!(
+        "X3 temperature drift: fine range {} at cal temp -> {} at +40 K (recalibration restores sub-ps accuracy)",
+        x3.cold_range, x3.hot_range
+    );
+    let b1 = extensions::b1_baseline_comparison(400);
+    println!(
+        "B1 baseline: eye height {:.0} mV in -> vardelay {:.0} mV vs clock-phase interpolator {:.0} mV \
+         (interpolator clock-delay error only {})",
+        b1.input_height * 1e3,
+        b1.vardelay_height * 1e3,
+        b1.interpolator_height * 1e3,
+        b1.interpolator_clock_error
+    );
+    let x4 = extensions::x4_coded_traffic(6000);
+    println!(
+        "X4 8b/10b traffic: output TJ {} (PRBS7: {}) — line coding is handled transparently",
+        x4.coded_tj, x4.prbs_tj
+    );
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let run_all = arg == "all";
+    let mut ran = false;
+    let mut run = |name: &str, f: &dyn Fn()| {
+        if run_all || arg == name {
+            f();
+            ran = true;
+        }
+    };
+    run("fig7", &fig7);
+    run("fig9", &fig9);
+    run("fig12", &fig12);
+    run("fig13", &fig13);
+    run("fig14", &fig14);
+    run("fig15", &fig15);
+    run("fig16", &fig16);
+    run("fig17", &fig17);
+    run("fig2", &fig2);
+    run("fig1", &fig1);
+    run("table1", &table1);
+    run("ablation", &ablation_report);
+    run("extensions", &extensions);
+    if !ran {
+        eprintln!(
+            "unknown experiment {arg:?}; expected one of: all fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17 table1 ablation extensions"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Experiments E3–E5 (Figs. 12–14): eye measurements of the delay circuit
+//! passing live traffic.
+
+use crate::EXPERIMENT_SEED;
+use vardelay_analog::{CharacterizedDelay, EdgeTransform};
+use vardelay_core::{FineDelayLine, ModelConfig};
+use vardelay_measure::{tie_sequence, JitterStats};
+use vardelay_siggen::{
+    BitPattern, CompositeJitter, EdgeStream, GaussianRj, JitterModel, SinusoidalPj,
+};
+use vardelay_units::{BitRate, Frequency, Time, Voltage};
+
+/// The figures reported for one eye experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeExperimentResult {
+    /// Experiment label (e.g. `"Fig.12 4.8 Gb/s NRZ"`).
+    pub label: String,
+    /// Fine adjustment range at this signal's toggle interval.
+    pub fine_range: Time,
+    /// Input total jitter (peak-to-peak over the capture).
+    pub input_tj: Time,
+    /// Output total jitter (peak-to-peak over the capture).
+    pub output_tj: Time,
+    /// `output_tj − input_tj`, the "added jitter" the paper quotes.
+    pub added_tj: Time,
+}
+
+fn tj_pp(stream: &EdgeStream) -> Time {
+    let tie = tie_sequence(stream);
+    JitterStats::from_times(&tie)
+        .expect("capture carries edges")
+        .peak_to_peak
+}
+
+/// Builds the edge-domain model of the full combined circuit (fine table
+/// plus the aggregate RJ of `active` stages) at the mid control voltage.
+fn combined_edge_model(cfg: &ModelConfig, active: usize, seed: u64) -> CharacterizedDelay {
+    let line = FineDelayLine::new(&cfg.quiet(), seed);
+    let (vctrls, intervals) = line.default_grids();
+    let table = line.characterize(&vctrls, &intervals);
+    let mid = Voltage::from_v(0.75);
+    CharacterizedDelay::new(table, mid, cfg.chain_rj(active), seed.wrapping_add(7))
+}
+
+/// Fig. 12 — a 4.8 Gb/s NRZ data eye through the fine delay line.
+///
+/// The paper measures a 49.5 ps fine range and 18.5 ps output TJ, about
+/// 7 ps above the input reference.
+pub fn fig12_eye_4g8(bits: usize) -> EyeExperimentResult {
+    let rate = BitRate::from_gbps(4.8);
+    let cfg = ModelConfig::paper_prototype();
+    // Bench reference signal: ~11.5 ps pk-pk (RJ + a PJ tone).
+    let clean = EdgeStream::nrz(&BitPattern::prbs7(1, bits), rate);
+    let input = CompositeJitter::new()
+        .with(GaussianRj::new(Time::from_ps(1.05), EXPERIMENT_SEED))
+        .with(SinusoidalPj::new(
+            Time::from_ps(2.6),
+            Frequency::from_mhz(37.0),
+            0.0,
+        ))
+        .apply(&clean);
+
+    // Fine line only (paper Fig. 12 measures the fine section): 5 active
+    // stages.
+    let mut model = combined_edge_model(&cfg, cfg.stages + 1, EXPERIMENT_SEED);
+    let output = model.transform(&input);
+
+    let line = FineDelayLine::new(&cfg.quiet(), EXPERIMENT_SEED);
+    let input_tj = tj_pp(&input);
+    let output_tj = tj_pp(&output);
+    EyeExperimentResult {
+        label: "Fig.12 4.8 Gb/s NRZ through fine line".to_owned(),
+        fine_range: line.delay_range(rate.bit_period()),
+        input_tj,
+        output_tj,
+        added_tj: output_tj - input_tj,
+    }
+}
+
+/// Fig. 13 — a 6.4 Gb/s DUT-like signal (≈26 ps input TJ) through the
+/// complete combined circuit (7 active stages). The paper measures
+/// ≈39 ps output TJ (+13 ps).
+pub fn fig13_eye_6g4(bits: usize) -> EyeExperimentResult {
+    let rate = BitRate::from_gbps(6.4);
+    let cfg = ModelConfig::paper_prototype();
+    // DUT output: substantial RJ plus a strong periodic component.
+    let clean = EdgeStream::nrz(&BitPattern::prbs7(1, bits), rate);
+    let input = CompositeJitter::new()
+        .with(GaussianRj::new(Time::from_ps(1.3), EXPERIMENT_SEED + 1))
+        .with(SinusoidalPj::new(
+            Time::from_ps(8.0),
+            Frequency::from_mhz(61.0),
+            0.4,
+        ))
+        .apply(&clean);
+
+    let mut model = combined_edge_model(&cfg, cfg.active_components(), EXPERIMENT_SEED + 1);
+    // The coarse section adds a static tap delay; irrelevant for TJ but
+    // kept for completeness (tap 1 selected).
+    let output = model.transform(&input).delayed(cfg.coarse_taps[1]);
+
+    let line = FineDelayLine::new(&cfg.quiet(), EXPERIMENT_SEED);
+    let input_tj = tj_pp(&input);
+    let output_tj = tj_pp(&output);
+    EyeExperimentResult {
+        label: "Fig.13 6.4 Gb/s NRZ through combined circuit".to_owned(),
+        fine_range: line.delay_range(rate.bit_period()),
+        input_tj,
+        output_tj,
+        added_tj: output_tj - input_tj,
+    }
+}
+
+/// Fig. 14 — a 6.4 GHz RZ clock (12.8 Gb/s-equivalent) through the fine
+/// line. The paper measures a 23.5 ps fine range and 10.5 ps TJ.
+pub fn fig14_rz_6g4(cycles: usize) -> EyeExperimentResult {
+    let freq = Frequency::from_ghz(6.4);
+    let cfg = ModelConfig::paper_prototype();
+    let clean = EdgeStream::rz_clock(freq, cycles);
+    let input = GaussianRj::new(Time::from_ps(0.6), EXPERIMENT_SEED + 2).apply(&clean);
+
+    let mut model = combined_edge_model(&cfg, cfg.stages + 1, EXPERIMENT_SEED + 2);
+    let output = model.transform(&input);
+
+    // A 50 %-duty clock has edges every half period; fold TIE accordingly.
+    let half = freq.period() * 0.5;
+    let tj_rz = |s: &EdgeStream| {
+        JitterStats::from_times(&vardelay_measure::tie_sequence_with_ui(s, half))
+            .expect("capture carries edges")
+            .peak_to_peak
+    };
+    let line = FineDelayLine::new(&cfg.quiet(), EXPERIMENT_SEED);
+    let input_tj = tj_rz(&input);
+    let output_tj = tj_rz(&output);
+    EyeExperimentResult {
+        label: "Fig.14 6.4 GHz RZ clock through fine line".to_owned(),
+        fine_range: line.delay_range(freq.period() * 0.5),
+        input_tj,
+        output_tj,
+        added_tj: output_tj - input_tj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_shape() {
+        let r = fig12_eye_4g8(4000);
+        // Range comparable to the paper's 49.5 ps.
+        assert!(
+            (40.0..60.0).contains(&r.fine_range.as_ps()),
+            "range {}",
+            r.fine_range
+        );
+        // Output jitter exceeds input by a bounded amount.
+        assert!(r.added_tj > Time::ZERO, "no added jitter: {r:?}");
+        assert!(
+            r.added_tj < Time::from_ps(15.0),
+            "added {} implausibly high",
+            r.added_tj
+        );
+    }
+
+    #[test]
+    fn fig13_shape() {
+        let r = fig13_eye_6g4(4000);
+        assert!(
+            (20.0..35.0).contains(&r.input_tj.as_ps()),
+            "input {}",
+            r.input_tj
+        );
+        assert!(r.output_tj > r.input_tj);
+        // Paper: +13 ps at 6.4 Gb/s ("slightly more jitter above 6 Gb/s").
+        assert!(
+            r.added_tj < Time::from_ps(22.0),
+            "added {}",
+            r.added_tj
+        );
+    }
+
+    #[test]
+    fn fig14_shape() {
+        let r = fig14_rz_6g4(4000);
+        // Compressed but usable range (paper: 23.5 ps).
+        assert!(
+            (18.0..35.0).contains(&r.fine_range.as_ps()),
+            "range {}",
+            r.fine_range
+        );
+        // Clock pattern: no data-dependent jitter, so TJ stays modest
+        // (paper: 10.5 ps).
+        assert!(
+            r.output_tj < Time::from_ps(18.0),
+            "tj {}",
+            r.output_tj
+        );
+    }
+
+    #[test]
+    fn added_jitter_grows_with_rate() {
+        // Paper §4: "slightly more jitter was observed above 6 Gb/s".
+        let slow = fig12_eye_4g8(3000);
+        let fast = fig13_eye_6g4(3000);
+        assert!(fast.added_tj > slow.added_tj * 0.8, "{slow:?} vs {fast:?}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Experiments E1 (Fig. 7), E2 (Fig. 9), E6 (Fig. 15) and T1 — the
+//! delay-transfer measurements.
+
+use crate::EXPERIMENT_SEED;
+use vardelay_core::{CoarseDelaySection, CombinedDelayCircuit, FineDelayLine, ModelConfig};
+use vardelay_measure::{linear_fit, Series};
+use vardelay_siggen::{BitPattern, EdgeStream};
+use vardelay_units::{BitRate, Frequency, Time, Voltage};
+use vardelay_waveform::Waveform;
+
+/// Fig. 7 — fine delay versus control voltage for the 4-stage circuit.
+///
+/// Sweeps `Vctrl` over 0–1.5 V in `points` steps at a 1 Gb/s toggle and
+/// reports the delay *change* relative to the first point, exactly the
+/// quantity the paper plots.
+pub fn fig7_delay_vs_vctrl(points: usize) -> Series {
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let mut line = FineDelayLine::new(&cfg, EXPERIMENT_SEED);
+    let interval = Time::from_ps(1000.0);
+    let mut series = Series::new("4-stage fine delay", "vctrl_v", "delay_change_ps");
+    let mut base: Option<Time> = None;
+    for i in 0..points {
+        let v = Voltage::from_v(1.5 * i as f64 / (points - 1) as f64);
+        line.set_vctrl(v);
+        let d = line.measure_delay(interval);
+        let base_d = *base.get_or_insert(d);
+        series.push(v.as_v(), (d - base_d).as_ps());
+    }
+    series
+}
+
+/// Summary figures of the Fig. 7 curve: total range, mid-range slope and
+/// linearity (R² over the central 60 % of the control span).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Summary {
+    /// Total adjustment range over the full control span.
+    pub range: Time,
+    /// Mid-range slope in ps/V.
+    pub mid_slope_ps_per_v: f64,
+    /// R² of a straight-line fit over the central 60 % of the span.
+    pub mid_r_squared: f64,
+}
+
+/// Computes the [`Fig7Summary`] from a measured curve.
+///
+/// # Panics
+///
+/// Panics if the series has fewer than five points.
+pub fn fig7_summary(series: &Series) -> Fig7Summary {
+    assert!(series.len() >= 5, "need a real sweep to summarize");
+    let n = series.len();
+    let lo = n / 5;
+    let hi = n - n / 5;
+    let fit = linear_fit(&series.xs[lo..hi], &series.ys[lo..hi])
+        .expect("mid-range sweep is well-posed");
+    Fig7Summary {
+        range: Time::from_ps(series.y_range().expect("non-empty")),
+        mid_slope_ps_per_v: fit.slope,
+        mid_r_squared: fit.r_squared,
+    }
+}
+
+/// Fig. 9 — measured coarse tap delays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoarseTapResult {
+    /// Tap index (0..4).
+    pub tap: usize,
+    /// Designed delay (0/33/66/99 ps).
+    pub designed: Time,
+    /// Delay measured through the waveform engine, relative to tap 0.
+    pub measured: Time,
+}
+
+/// Fig. 9 — measures the four coarse taps relative to tap 0 at 2 Gb/s.
+pub fn fig9_coarse_taps() -> Vec<CoarseTapResult> {
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let mut section = CoarseDelaySection::new(&cfg, EXPERIMENT_SEED);
+    let rate = BitRate::from_gbps(2.0);
+    let stream = EdgeStream::nrz(&BitPattern::clock(16), rate);
+    let wf = Waveform::render(&stream, &cfg.render);
+    let measured = section.measure_taps(&wf, rate.bit_period());
+    (0..4)
+        .map(|tap| CoarseTapResult {
+            tap,
+            designed: cfg.coarse_taps[tap],
+            measured: measured[tap],
+        })
+        .collect()
+}
+
+/// Fig. 15 — fine delay range versus RZ clock frequency for the 4-stage
+/// prototype and the early 2-stage unit. An RZ clock at `f` toggles every
+/// `1/(2f)`.
+pub fn fig15_range_vs_frequency(freqs_ghz: &[f64]) -> (Series, Series) {
+    let four = FineDelayLine::new(&ModelConfig::paper_prototype().quiet(), EXPERIMENT_SEED);
+    let two = FineDelayLine::new(&ModelConfig::early_two_stage().quiet(), EXPERIMENT_SEED);
+    let mut s4 = Series::new("4-stage", "freq_ghz", "range_ps");
+    let mut s2 = Series::new("2-stage", "freq_ghz", "range_ps");
+    for &f in freqs_ghz {
+        let interval = Frequency::from_ghz(f).period() * 0.5;
+        s4.push(f, four.delay_range(interval).as_ps());
+        s2.push(f, two.delay_range(interval).as_ps());
+    }
+    (s4, s2)
+}
+
+/// The default Fig. 15 frequency grid (0.5–6.8 GHz).
+pub fn fig15_default_freqs() -> Vec<f64> {
+    vec![0.5, 1.0, 1.5, 2.0, 2.6, 3.2, 4.0, 4.8, 5.6, 6.0, 6.4, 6.8]
+}
+
+/// Table 1 — the §1 application requirements checked against the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequirementsResult {
+    /// Delay-setting resolution through the 12-bit DAC (requirement ≤1 ps).
+    pub setting_resolution: Time,
+    /// Total programmable range (requirement ≥120 ps).
+    pub total_range: Time,
+    /// Fine range at the 6.4 Gb/s operating interval — must exceed the
+    /// 33 ps coarse step for continuous coverage.
+    pub fine_range_at_6g4: Time,
+}
+
+/// Computes T1 from a freshly calibrated combined circuit.
+pub fn table1_requirements() -> RequirementsResult {
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let mut circuit = CombinedDelayCircuit::new(&cfg, EXPERIMENT_SEED);
+    circuit.calibrate();
+    let fine = FineDelayLine::new(&cfg, EXPERIMENT_SEED);
+    RequirementsResult {
+        setting_resolution: circuit
+            .setting_resolution()
+            .expect("circuit was calibrated"),
+        total_range: circuit.total_range().expect("circuit was calibrated"),
+        fine_range_at_6g4: fine.delay_range(BitRate::from_gbps(6.4).bit_period()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape() {
+        let series = fig7_delay_vs_vctrl(13);
+        let summary = fig7_summary(&series);
+        // Paper: ~56 ps range, approximately linear mid-range.
+        assert!(
+            (45.0..70.0).contains(&summary.range.as_ps()),
+            "range {}",
+            summary.range
+        );
+        assert!(summary.mid_r_squared > 0.95, "r2 {}", summary.mid_r_squared);
+        assert!(summary.mid_slope_ps_per_v > 0.0);
+        // Monotone non-decreasing curve.
+        assert!(series.ys.windows(2).all(|w| w[1] >= w[0] - 0.3));
+    }
+
+    #[test]
+    fn fig9_taps_track_the_instance() {
+        let taps = fig9_coarse_taps();
+        assert_eq!(taps.len(), 4);
+        // Instance deviations (0/33/70/95) are recovered within ~1 ps.
+        let expect = [0.0, 33.0, 70.0, 95.0];
+        for (t, e) in taps.iter().zip(expect) {
+            assert!(
+                (t.measured.as_ps() - e).abs() < 1.5,
+                "tap {}: {} vs {e}",
+                t.tap,
+                t.measured
+            );
+        }
+    }
+
+    #[test]
+    fn fig15_shape() {
+        let (s4, s2) = fig15_range_vs_frequency(&[0.5, 3.2, 6.4]);
+        // 4-stage beats 2-stage everywhere.
+        for ((_, y4), (_, y2)) in s4.points().zip(s2.points()) {
+            assert!(y4 > y2, "4-stage {y4} vs 2-stage {y2}");
+        }
+        // Both roll off with frequency.
+        assert!(s4.ys[2] < s4.ys[0] * 0.7);
+        assert!(s2.ys[2] < s2.ys[0] * 0.5);
+        // 4-stage still covers the 33 ps coarse step at 3.2 GHz.
+        assert!(s4.ys[1] > 33.0, "{}", s4.ys[1]);
+    }
+
+    #[test]
+    fn table1_meets_requirements() {
+        let t = table1_requirements();
+        assert!(t.setting_resolution < Time::from_ps(1.0));
+        assert!(t.total_range > Time::from_ps(120.0));
+        assert!(t.fine_range_at_6g4 > Time::from_ps(33.0));
+    }
+}

@@ -1,0 +1,38 @@
+//! The reproduction harness: one function per paper figure/table.
+//!
+//! Every experiment in the paper's evaluation section has a function here
+//! that regenerates its data from the behavioral model. The functions are
+//! shared by three consumers:
+//!
+//! * the [`repro`](../repro/index.html) binary, which prints the same
+//!   rows/series the paper reports (and writes CSVs under
+//!   `target/repro/`);
+//! * the criterion benches in `benches/figures.rs`;
+//! * the workspace integration tests, which assert the *shape* of each
+//!   result (who wins, trends, crossovers) against the paper.
+//!
+//! See `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured records.
+
+pub mod ablation;
+pub mod extensions;
+pub mod eyes;
+pub mod fine_delay;
+pub mod injection;
+pub mod skew;
+
+/// Default seed used by every experiment so the published numbers are
+/// reproducible run-to-run.
+pub const EXPERIMENT_SEED: u64 = 20080310; // DATE'08 week
+
+/// Returns the directory experiment CSVs are written to, creating it if
+/// needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn output_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("target/repro");
+    std::fs::create_dir_all(&dir).expect("create target/repro");
+    dir
+}

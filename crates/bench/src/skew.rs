@@ -1,0 +1,75 @@
+//! Experiments E9 (Fig. 2 — bus deskew) and E10 (Fig. 1 — clock-to-eye
+//! alignment).
+
+use crate::EXPERIMENT_SEED;
+use vardelay_ate::{DeskewEngine, DeskewOutcome, DutReceiver, ParallelBus};
+use vardelay_core::ModelConfig;
+use vardelay_measure::Series;
+use vardelay_units::{BitRate, Time};
+
+/// Fig. 2 — deskews a `width`-channel 6.4 Gb/s bus with ±80 ps intrinsic
+/// skew using ATE 100 ps steps plus one vardelay circuit per channel.
+pub fn fig2_deskew(width: usize) -> DeskewOutcome {
+    let mut bus = ParallelBus::with_random_skew(
+        width,
+        BitRate::from_gbps(6.4),
+        Time::from_ps(80.0),
+        EXPERIMENT_SEED,
+    );
+    DeskewEngine::new(&ModelConfig::paper_prototype(), EXPERIMENT_SEED)
+        .run(&mut bus)
+        .expect("a healthy bus deskews")
+}
+
+/// The Fig. 1 result: the receiver's timing scan and the chosen phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentResult {
+    /// Violation rate versus sampling phase across one UI.
+    pub scan: Series,
+    /// The phase the alignment procedure picks (eye centre).
+    pub best_phase: Time,
+    /// The unit interval of the scanned signal.
+    pub ui: Time,
+}
+
+/// Fig. 1 — scans a deskewed 6.4 Gb/s channel with an HT3-class receiver
+/// and aligns the clock to the centre of the data eye.
+pub fn fig1_eye_alignment() -> AlignmentResult {
+    let outcome = fig2_deskew(4);
+    let stream = &outcome.corrected_streams[1];
+    let rx = DutReceiver::ht3();
+    AlignmentResult {
+        scan: rx.eye_scan(stream, 64),
+        best_phase: rx.best_phase(stream, 64),
+        ui: stream.ui(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_deskew_converges() {
+        let outcome = fig2_deskew(4);
+        assert!(outcome.before_peak_to_peak > Time::from_ps(20.0));
+        assert!(
+            outcome.after_peak_to_peak < Time::from_ps(5.0),
+            "after {}",
+            outcome.after_peak_to_peak
+        );
+    }
+
+    #[test]
+    fn fig1_alignment_lands_in_the_open_eye() {
+        let r = fig1_eye_alignment();
+        let frac = r.best_phase / r.ui;
+        assert!((0.15..0.85).contains(&frac), "frac {frac}");
+        // The chosen phase has zero violations.
+        let rate = r
+            .scan
+            .interpolate(r.best_phase.as_ps())
+            .expect("scan is non-empty");
+        assert_eq!(rate, 0.0);
+    }
+}

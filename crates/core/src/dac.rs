@@ -1,0 +1,139 @@
+//! The control-voltage DAC.
+//!
+//! "In our target application, Vctrl will be provided using a 12-bit DAC,
+//! so sub-picosecond resolution will be achievable" (paper §2).
+
+use vardelay_units::Voltage;
+
+/// An ideal N-bit voltage-output DAC spanning a fixed range.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_core::VctrlDac;
+/// use vardelay_units::Voltage;
+///
+/// let dac = VctrlDac::twelve_bit();
+/// assert_eq!(dac.levels(), 4096);
+/// let code = dac.code_for(Voltage::from_v(0.75));
+/// assert!((dac.voltage(code).as_v() - 0.75).abs() < dac.lsb().as_v());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VctrlDac {
+    bits: u8,
+    v_min: Voltage,
+    v_max: Voltage,
+}
+
+impl VctrlDac {
+    /// Creates a DAC with `bits` of resolution over `[v_min, v_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds 24, or if the range is empty.
+    pub fn new(bits: u8, v_min: Voltage, v_max: Voltage) -> Self {
+        assert!(bits > 0 && bits <= 24, "resolution must be 1..=24 bits");
+        assert!(v_min < v_max, "voltage range must be non-empty");
+        VctrlDac { bits, v_min, v_max }
+    }
+
+    /// The paper's 12-bit DAC over the 0–1.5 V control span.
+    pub fn twelve_bit() -> Self {
+        Self::new(12, Voltage::ZERO, Voltage::from_v(1.5))
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of output levels, `2^bits`.
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Full-scale output span.
+    pub fn span(&self) -> Voltage {
+        self.v_max - self.v_min
+    }
+
+    /// One least-significant-bit step.
+    pub fn lsb(&self) -> Voltage {
+        self.span() / (self.levels() - 1) as f64
+    }
+
+    /// The output voltage for `code` (clamped to the last level).
+    pub fn voltage(&self, code: u32) -> Voltage {
+        let code = code.min(self.levels() - 1);
+        self.v_min + self.lsb() * code as f64
+    }
+
+    /// The nearest code for a target voltage (clamped into range).
+    pub fn code_for(&self, target: Voltage) -> u32 {
+        let frac = ((target - self.v_min) / self.span()).clamp(0.0, 1.0);
+        (frac * (self.levels() - 1) as f64).round() as u32
+    }
+
+    /// The delay-setting resolution achieved through a transfer curve with
+    /// the given slope, in seconds per volt — the paper's sub-picosecond
+    /// claim: 56 ps / 1.5 V / 4096 ≈ 14 fs per code.
+    pub fn delay_resolution(&self, slope_s_per_v: f64) -> vardelay_units::Time {
+        vardelay_units::Time::from_s(slope_s_per_v.abs() * self.lsb().as_v())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_units::Time;
+
+    #[test]
+    fn twelve_bit_geometry() {
+        let dac = VctrlDac::twelve_bit();
+        assert_eq!(dac.bits(), 12);
+        assert_eq!(dac.levels(), 4096);
+        assert!((dac.lsb().as_mv() - 1500.0 / 4095.0).abs() < 1e-9);
+        assert_eq!(dac.voltage(0), Voltage::ZERO);
+        assert!((dac.voltage(4095).as_v() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn code_round_trip_error_is_below_one_lsb() {
+        let dac = VctrlDac::twelve_bit();
+        for i in 0..100 {
+            let target = Voltage::from_v(1.5 * i as f64 / 99.0);
+            let back = dac.voltage(dac.code_for(target));
+            assert!((back - target).abs() <= dac.lsb() * 0.5 + Voltage::from_uv(1.0));
+        }
+    }
+
+    #[test]
+    fn clamping() {
+        let dac = VctrlDac::twelve_bit();
+        assert_eq!(dac.code_for(Voltage::from_v(-1.0)), 0);
+        assert_eq!(dac.code_for(Voltage::from_v(9.0)), 4095);
+        assert_eq!(dac.voltage(999_999), dac.voltage(4095));
+    }
+
+    #[test]
+    fn sub_picosecond_delay_resolution() {
+        // Paper anchor: ~56 ps over 1.5 V through a 12-bit DAC.
+        let dac = VctrlDac::twelve_bit();
+        let slope = 56e-12 / 1.5; // s per volt
+        let res = dac.delay_resolution(slope);
+        assert!(res < Time::from_ps(1.0), "resolution {res}");
+        assert!(res > Time::from_fs(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=24")]
+    fn zero_bits_rejected() {
+        let _ = VctrlDac::new(0, Voltage::ZERO, Voltage::from_v(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        let _ = VctrlDac::new(8, Voltage::from_v(1.0), Voltage::from_v(1.0));
+    }
+}

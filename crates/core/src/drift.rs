@@ -1,0 +1,149 @@
+//! Environmental drift and recalibration.
+//!
+//! A deskew installation lives under the DIB for months; buffer delays
+//! and slew rates drift with temperature, so a calibration taken at one
+//! temperature mis-programs delays at another. This module models the
+//! drift (typical ECL tempcos) and provides the operational answer:
+//! periodic recalibration.
+
+use crate::config::ModelConfig;
+use vardelay_units::Time;
+
+/// Typical temperature coefficients of the buffer path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TempCo {
+    /// Propagation-delay drift per active stage, per kelvin.
+    pub prop_delay_per_k: Time,
+    /// Relative slew-rate drift per kelvin (negative: hotter = slower).
+    pub slew_rel_per_k: f64,
+    /// Relative output-amplitude drift per kelvin.
+    pub amplitude_rel_per_k: f64,
+}
+
+impl Default for TempCo {
+    /// ECL-class coefficients: ~50 fs/K of delay per stage, −0.15 %/K of
+    /// slew, −0.05 %/K of amplitude.
+    fn default() -> Self {
+        TempCo {
+            prop_delay_per_k: Time::from_fs(50.0),
+            slew_rel_per_k: -0.0015,
+            amplitude_rel_per_k: -0.0005,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Returns this configuration drifted by `delta_k` kelvin from its
+    /// calibration point, using the given coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drifted configuration becomes unphysical (slew or
+    /// amplitude driven non-positive), which only happens for absurd
+    /// `delta_k`.
+    pub fn at_temperature_offset(&self, delta_k: f64, tempco: &TempCo) -> ModelConfig {
+        let mut cfg = self.clone();
+        let dp = tempco.prop_delay_per_k * delta_k;
+        cfg.vga.core.prop_delay = (cfg.vga.core.prop_delay + dp).max(Time::ZERO);
+        cfg.fixed.prop_delay = (cfg.fixed.prop_delay + dp).max(Time::ZERO);
+        let slew_factor = 1.0 + tempco.slew_rel_per_k * delta_k;
+        assert!(slew_factor > 0.0, "temperature drift drove slew negative");
+        cfg.vga.core.slew_v_per_s *= slew_factor;
+        cfg.fixed.slew_v_per_s *= slew_factor;
+        let amp_factor = 1.0 + tempco.amplitude_rel_per_k * delta_k;
+        assert!(amp_factor > 0.0, "temperature drift drove amplitude negative");
+        cfg.vga.amp_min = cfg.vga.amp_min * amp_factor;
+        cfg.vga.amp_max = cfg.vga.amp_max * amp_factor;
+        cfg.validate();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::CombinedDelayCircuit;
+    use crate::fine::FineDelayLine;
+
+    /// Realized relative delay of a drifted circuit programmed with a
+    /// possibly stale calibration.
+    fn realized_error_at(delta_k: f64, recalibrate: bool) -> Time {
+        let cold = ModelConfig::paper_prototype().quiet();
+        let hot = cold.at_temperature_offset(delta_k, &TempCo::default());
+
+        // Calibrate on the cold configuration…
+        let mut reference = CombinedDelayCircuit::new(&cold, 4);
+        let cold_cal = reference.calibrate().clone();
+
+        // …but operate the hot hardware.
+        let mut circuit = CombinedDelayCircuit::new(&hot, 4);
+        if recalibrate {
+            circuit.calibrate();
+        } else {
+            circuit.install_calibration(cold_cal);
+        }
+        let target = Time::from_ps(60.0);
+        let setting = circuit.set_delay(target).expect("target in range");
+
+        // Measure what the hot fine line actually does at that Vctrl.
+        let mut probe = FineDelayLine::new(&hot, 4);
+        probe.set_vctrl(setting.vctrl);
+        let hot_delay = probe.measure_delay(Time::from_ps(320.0));
+        probe.set_vctrl(vardelay_units::Voltage::ZERO);
+        let hot_zero = probe.measure_delay(Time::from_ps(320.0));
+        let realized = circuit.coarse().tap_delay(setting.tap) + (hot_delay - hot_zero);
+        (realized - target).abs()
+    }
+
+    #[test]
+    fn stale_calibration_drifts_with_temperature() {
+        let small = realized_error_at(5.0, false);
+        let large = realized_error_at(40.0, false);
+        assert!(
+            large > small,
+            "40 K drift ({large}) should beat 5 K ({small})"
+        );
+        assert!(
+            large > Time::from_ps(0.5),
+            "40 K of drift should be measurable: {large}"
+        );
+    }
+
+    #[test]
+    fn recalibration_restores_accuracy() {
+        let stale = realized_error_at(40.0, false);
+        let fresh = realized_error_at(40.0, true);
+        assert!(
+            fresh < stale,
+            "recalibration ({fresh}) should beat stale ({stale})"
+        );
+        assert!(
+            fresh < Time::from_ps(1.0),
+            "recalibrated error {fresh} should be sub-picosecond"
+        );
+    }
+
+    #[test]
+    fn drift_changes_the_fine_range() {
+        let cold = ModelConfig::paper_prototype().quiet();
+        let hot = cold.at_temperature_offset(40.0, &TempCo::default());
+        let cold_range = FineDelayLine::new(&cold, 1).delay_range(Time::from_ps(1000.0));
+        let hot_range = FineDelayLine::new(&hot, 1).delay_range(Time::from_ps(1000.0));
+        // Slower slew at temperature widens the amplitude-dependent delay.
+        assert!(hot_range > cold_range, "{hot_range} vs {cold_range}");
+    }
+
+    #[test]
+    fn zero_offset_is_identity() {
+        let cfg = ModelConfig::paper_prototype();
+        let same = cfg.at_temperature_offset(0.0, &TempCo::default());
+        assert_eq!(cfg, same);
+    }
+
+    #[test]
+    #[should_panic(expected = "slew")]
+    fn absurd_drift_is_rejected() {
+        let _ = ModelConfig::paper_prototype()
+            .at_temperature_offset(1e6, &TempCo::default());
+    }
+}

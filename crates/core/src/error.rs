@@ -1,0 +1,59 @@
+//! Error types of the delay-circuit API.
+
+use vardelay_units::Time;
+
+/// Error returned when a requested delay cannot be programmed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SetDelayError {
+    /// The target lies outside the circuit's calibrated range.
+    OutOfRange {
+        /// The requested relative delay.
+        requested: Time,
+        /// The smallest programmable relative delay.
+        min: Time,
+        /// The largest programmable relative delay.
+        max: Time,
+    },
+    /// [`CombinedDelayCircuit::calibrate`] has not been run yet.
+    ///
+    /// [`CombinedDelayCircuit::calibrate`]: crate::CombinedDelayCircuit::calibrate
+    NotCalibrated,
+}
+
+impl core::fmt::Display for SetDelayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SetDelayError::OutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "requested delay {requested} is outside the programmable range {min}..{max}"
+            ),
+            SetDelayError::NotCalibrated => {
+                write!(f, "circuit has not been calibrated; run calibrate() first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetDelayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_range() {
+        let e = SetDelayError::OutOfRange {
+            requested: Time::from_ps(200.0),
+            min: Time::ZERO,
+            max: Time::from_ps(140.0),
+        };
+        let s = e.to_string();
+        assert!(s.contains("200.000 ps"));
+        assert!(s.contains("140.000 ps"));
+        assert!(SetDelayError::NotCalibrated.to_string().contains("calibrate"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The multi-channel delay unit — the paper's conclusion: "We have
+//! recently built a 4-channel version of this circuit for deskewing
+//! parallel data buses from an ATE."
+//!
+//! A [`MultiChannelDelay`] packages N combined circuits with realistic
+//! per-instance manufacturing variation (buffer delay spread, slew-rate
+//! tolerance, coarse-line etch tolerance) and supports two calibration
+//! strategies:
+//!
+//! * **per-channel** — each circuit measures its own transfer curve
+//!   (slow, accurate);
+//! * **shared** — channel 0's curve is reused for all (fast); the
+//!   residual channel-to-channel error is exactly the instance spread,
+//!   which the <5 ps budget must absorb.
+
+use crate::combined::{CombinedDelayCircuit, DelaySetting};
+use crate::config::ModelConfig;
+use crate::error::SetDelayError;
+use vardelay_siggen::SplitMix64;
+use vardelay_units::{Time, Voltage};
+
+/// Manufacturing-variation magnitudes applied per channel instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSpread {
+    /// 1σ spread of each stage's fixed propagation delay.
+    pub prop_delay_sigma: Time,
+    /// 1σ relative spread of the slew rate (affects the fine range).
+    pub slew_rel_sigma: f64,
+    /// 1σ spread of each coarse tap's length error.
+    pub tap_sigma: Time,
+}
+
+impl Default for InstanceSpread {
+    /// Typical board-to-board tolerances: 1 ps of buffer delay spread,
+    /// 2 % slew tolerance, 1.5 ps of line-etch tolerance.
+    fn default() -> Self {
+        InstanceSpread {
+            prop_delay_sigma: Time::from_ps(1.0),
+            slew_rel_sigma: 0.02,
+            tap_sigma: Time::from_ps(1.5),
+        }
+    }
+}
+
+/// Calibration strategy for a multi-channel unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationStrategy {
+    /// Every channel measures its own transfer curve.
+    PerChannel,
+    /// Channel 0's curve is shared by all channels.
+    Shared,
+}
+
+/// N delay circuits on one board, as in the paper's 4-channel unit.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_core::{CalibrationStrategy, ModelConfig, MultiChannelDelay};
+/// use vardelay_units::Time;
+///
+/// let mut unit = MultiChannelDelay::new(&ModelConfig::paper_prototype(), 4, 7);
+/// unit.calibrate(CalibrationStrategy::PerChannel);
+/// let settings = unit.set_delays(&[Time::ZERO; 4])?;
+/// assert_eq!(settings.len(), 4);
+/// # Ok::<(), vardelay_core::SetDelayError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiChannelDelay {
+    channels: Vec<CombinedDelayCircuit>,
+    strategy: Option<CalibrationStrategy>,
+}
+
+impl MultiChannelDelay {
+    /// Builds `width` channel circuits with the default instance spread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or the configuration is invalid.
+    pub fn new(config: &ModelConfig, width: usize, seed: u64) -> Self {
+        Self::with_spread(config, width, &InstanceSpread::default(), seed)
+    }
+
+    /// Builds `width` channels with explicit variation magnitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or the configuration is invalid.
+    pub fn with_spread(
+        config: &ModelConfig,
+        width: usize,
+        spread: &InstanceSpread,
+        seed: u64,
+    ) -> Self {
+        assert!(width > 0, "a unit needs at least one channel");
+        config.validate();
+        let mut rng = SplitMix64::new(seed);
+        let channels = (0..width)
+            .map(|i| {
+                let mut cfg = config.clone();
+                cfg.vga.core.prop_delay = (cfg.vga.core.prop_delay
+                    + spread.prop_delay_sigma * rng.gaussian())
+                .max(Time::ZERO);
+                cfg.vga.core.slew_v_per_s *= 1.0 + spread.slew_rel_sigma * rng.gaussian();
+                for dev in cfg.coarse_tap_deviations.iter_mut().skip(1) {
+                    *dev += spread.tap_sigma * rng.gaussian();
+                }
+                CombinedDelayCircuit::new(&cfg, seed.wrapping_add(0x1000 + i as u64))
+            })
+            .collect();
+        MultiChannelDelay {
+            channels,
+            strategy: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn width(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The channels.
+    pub fn channels(&self) -> &[CombinedDelayCircuit] {
+        &self.channels
+    }
+
+    /// Mutable channel access.
+    pub fn channels_mut(&mut self) -> &mut [CombinedDelayCircuit] {
+        &mut self.channels
+    }
+
+    /// The active calibration strategy, if calibrated.
+    pub fn strategy(&self) -> Option<CalibrationStrategy> {
+        self.strategy
+    }
+
+    /// Calibrates the unit with the chosen strategy.
+    pub fn calibrate(&mut self, strategy: CalibrationStrategy) {
+        match strategy {
+            CalibrationStrategy::PerChannel => {
+                for ch in &mut self.channels {
+                    ch.calibrate();
+                }
+            }
+            CalibrationStrategy::Shared => {
+                let table = self.channels[0].calibrate().clone();
+                for ch in &mut self.channels[1..] {
+                    ch.install_calibration(table.clone());
+                }
+            }
+        }
+        self.strategy = Some(strategy);
+    }
+
+    /// Programs one relative delay per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first channel's error if any target is out of range or
+    /// the unit is uncalibrated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the channel count.
+    pub fn set_delays(&mut self, targets: &[Time]) -> Result<Vec<DelaySetting>, SetDelayError> {
+        assert_eq!(
+            targets.len(),
+            self.channels.len(),
+            "one target per channel required"
+        );
+        self.channels
+            .iter_mut()
+            .zip(targets)
+            .map(|(ch, &t)| ch.set_delay(t))
+            .collect()
+    }
+
+    /// The guaranteed common range: the smallest per-channel total range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetDelayError::NotCalibrated`] before calibration.
+    pub fn common_range(&self) -> Result<Time, SetDelayError> {
+        let mut min = Time::from_s(f64::INFINITY);
+        for ch in &self.channels {
+            min = min.min(ch.total_range()?);
+        }
+        Ok(min)
+    }
+
+    /// Estimates the channel-to-channel setting accuracy: every channel is
+    /// asked for the same target and the spread of *realized* delays
+    /// (measured through each instance's waveform model at the chosen
+    /// operating point) is returned peak-to-peak. With per-channel
+    /// calibration this is DAC-quantization small; with a shared table it
+    /// exposes the instance spread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetDelayError`] if the target is out of range or the
+    /// unit is uncalibrated.
+    pub fn setting_accuracy(&mut self, target: Time) -> Result<Time, SetDelayError> {
+        let mut lo = Time::from_s(f64::INFINITY);
+        let mut hi = Time::from_s(f64::NEG_INFINITY);
+        for ch in &mut self.channels {
+            let setting = ch.set_delay(target)?;
+            // Realized fine delay on THIS instance at the chosen Vctrl,
+            // plus this instance's actual tap delay.
+            let fine = ch.fine().clone();
+            let realized_fine = {
+                let mut probe = fine;
+                probe.set_vctrl(setting.vctrl);
+                probe.measure_delay(Time::from_ps(320.0))
+            };
+            let zero_fine = {
+                let mut probe = ch.fine().clone();
+                probe.set_vctrl(Voltage::ZERO);
+                probe.measure_delay(Time::from_ps(320.0))
+            };
+            let realized = ch.coarse().tap_delay(setting.tap) + (realized_fine - zero_fine);
+            lo = lo.min(realized);
+            hi = hi.max(realized);
+        }
+        Ok(hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(strategy: CalibrationStrategy) -> MultiChannelDelay {
+        let mut u = MultiChannelDelay::new(&ModelConfig::paper_prototype().quiet(), 4, 99);
+        u.calibrate(strategy);
+        u
+    }
+
+    #[test]
+    fn four_channels_all_program() {
+        let mut u = unit(CalibrationStrategy::PerChannel);
+        let settings = u
+            .set_delays(&[
+                Time::from_ps(10.0),
+                Time::from_ps(45.0),
+                Time::from_ps(80.0),
+                Time::from_ps(115.0),
+            ])
+            .expect("targets within range");
+        assert_eq!(settings.len(), 4);
+        for s in &settings {
+            assert!(s.predicted_error.abs() < Time::from_ps(1.0));
+        }
+    }
+
+    #[test]
+    fn common_range_still_meets_the_requirement() {
+        let u = unit(CalibrationStrategy::PerChannel);
+        let mut u = u;
+        u.calibrate(CalibrationStrategy::PerChannel);
+        assert!(u.common_range().expect("calibrated") > Time::from_ps(120.0));
+    }
+
+    #[test]
+    fn per_channel_calibration_beats_shared() {
+        let target = Time::from_ps(60.0);
+        let per = unit(CalibrationStrategy::PerChannel)
+            .setting_accuracy(target)
+            .expect("in range");
+        let shared = unit(CalibrationStrategy::Shared)
+            .setting_accuracy(target)
+            .expect("in range");
+        assert!(
+            per < shared,
+            "per-channel {per} should beat shared {shared}"
+        );
+        // Per-channel calibration achieves the paper's <5 ps budget.
+        assert!(per < Time::from_ps(5.0), "per-channel accuracy {per}");
+    }
+
+    #[test]
+    fn uncalibrated_unit_reports() {
+        let mut u = MultiChannelDelay::new(&ModelConfig::paper_prototype(), 2, 1);
+        assert_eq!(u.strategy(), None);
+        assert_eq!(
+            u.set_delays(&[Time::ZERO, Time::ZERO]),
+            Err(SetDelayError::NotCalibrated)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_width_rejected() {
+        let _ = MultiChannelDelay::new(&ModelConfig::paper_prototype(), 0, 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Bathtub curves: BER versus sampling position.
+//!
+//! Models the folded crossing population as Gaussian (per side) and
+//! extrapolates the tail probability that an edge invades the sampling
+//! instant — the standard receiver-margin analysis that motivates keeping
+//! added jitter under a few picoseconds.
+
+use crate::jitter::inv_norm_cdf;
+use vardelay_units::Time;
+
+/// One point of a bathtub curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BathtubPoint {
+    /// Sampling position within the unit interval, from the left crossing.
+    pub position: Time,
+    /// Estimated bit-error ratio when sampling there.
+    pub ber: f64,
+}
+
+/// Complementary normal CDF via `erfc`-style series on `inv` — here we use
+/// the relation `Q(x) = 0.5·erfc(x/√2)` with a rational `erfc`.
+fn normal_q(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26 rational approximation of erf.
+    let z = x / core::f64::consts::SQRT_2;
+    let sign = if z < 0.0 { -1.0 } else { 1.0 };
+    let z = z.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * z);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-z * z).exp();
+    let erf = sign * y;
+    0.5 * (1.0 - erf)
+}
+
+/// Computes a bathtub curve from the folded crossing population of an eye.
+///
+/// `offsets` are crossing offsets around the bit boundary (as produced by
+/// [`EyeDiagram::crossing_offsets`]); `ui` is the unit interval; `points`
+/// is the number of sampling positions across the UI.
+///
+/// Returns an empty curve if fewer than two crossings are available.
+///
+/// [`EyeDiagram::crossing_offsets`]: vardelay_waveform::EyeDiagram::crossing_offsets
+pub fn bathtub_curve(offsets: &[Time], ui: Time, points: usize) -> Vec<BathtubPoint> {
+    if offsets.len() < 2 || points == 0 {
+        return Vec::new();
+    }
+    let n = offsets.len() as f64;
+    let mean = offsets.iter().map(|t| t.as_s()).sum::<f64>() / n;
+    let var = offsets
+        .iter()
+        .map(|t| (t.as_s() - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let sigma = var.sqrt().max(1e-18);
+    let ui_s = ui.as_s();
+
+    (0..points)
+        .map(|i| {
+            let x = ui_s * (i as f64 + 0.5) / points as f64;
+            // Left crossing population centred at `mean`, right at
+            // `mean + UI`; an error occurs when either invades x.
+            let left = normal_q((x - mean) / sigma);
+            let right = normal_q((mean + ui_s - x) / sigma);
+            BathtubPoint {
+                position: Time::from_s(x),
+                ber: (left + right).min(1.0),
+            }
+        })
+        .collect()
+}
+
+/// Horizontal eye opening at a target BER from the Gaussian-tail model:
+/// the span of sampling positions whose estimated BER stays below `ber`.
+///
+/// Returns `None` if no position meets the target or the population is too
+/// small.
+///
+/// # Panics
+///
+/// Panics unless `0 < ber < 0.5`.
+pub fn eye_width_at_ber(offsets: &[Time], ui: Time, ber: f64) -> Option<Time> {
+    assert!(ber > 0.0 && ber < 0.5, "BER must be in (0, 0.5)");
+    if offsets.len() < 2 {
+        return None;
+    }
+    let n = offsets.len() as f64;
+    let mean = offsets.iter().map(|t| t.as_s()).sum::<f64>() / n;
+    let var = offsets
+        .iter()
+        .map(|t| (t.as_s() - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let sigma = var.sqrt().max(1e-18);
+    let q = -inv_norm_cdf(ber);
+    let width = ui.as_s() - 2.0 * q * sigma;
+    if width <= 0.0 {
+        None
+    } else {
+        Some(Time::from_s(width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::SplitMix64;
+
+    fn gaussian_offsets(sigma_ps: f64, n: usize, seed: u64) -> Vec<Time> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Time::from_ps(rng.gaussian() * sigma_ps))
+            .collect()
+    }
+
+    #[test]
+    fn bathtub_is_deep_in_the_middle() {
+        let offsets = gaussian_offsets(2.0, 10_000, 1);
+        let ui = Time::from_ps(156.25);
+        let curve = bathtub_curve(&offsets, ui, 64);
+        assert_eq!(curve.len(), 64);
+        let mid = curve[32].ber;
+        let edge = curve[0].ber;
+        assert!(mid < 1e-12, "mid {mid}");
+        assert!(edge > 0.1, "edge {edge}");
+    }
+
+    #[test]
+    fn bathtub_is_monotone_from_edges() {
+        let offsets = gaussian_offsets(3.0, 5_000, 2);
+        let curve = bathtub_curve(&offsets, Time::from_ps(200.0), 40);
+        for w in curve.windows(2).take(19) {
+            assert!(w[1].ber <= w[0].ber * 1.0000001);
+        }
+    }
+
+    #[test]
+    fn width_at_ber_shrinks_with_jitter() {
+        let ui = Time::from_ps(156.25);
+        let tight = eye_width_at_ber(&gaussian_offsets(1.0, 5_000, 3), ui, 1e-12).unwrap();
+        let loose = eye_width_at_ber(&gaussian_offsets(4.0, 5_000, 4), ui, 1e-12).unwrap();
+        assert!(tight > loose);
+        // Analytic check: width = UI − 2·7.034·σ.
+        let expect = 156.25 - 2.0 * 7.034 * 1.0;
+        assert!((tight.as_ps() - expect).abs() < 2.0, "{tight} vs {expect}");
+    }
+
+    #[test]
+    fn closed_eye_reports_none() {
+        let ui = Time::from_ps(20.0);
+        assert!(eye_width_at_ber(&gaussian_offsets(4.0, 1_000, 5), ui, 1e-12).is_none());
+    }
+
+    #[test]
+    fn tiny_populations_yield_empty_curve() {
+        assert!(bathtub_curve(&[Time::ZERO], Time::from_ps(100.0), 10).is_empty());
+    }
+
+    #[test]
+    fn normal_q_sanity() {
+        assert!((normal_q(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_q(7.0) < 1e-11);
+        assert!((normal_q(-7.0) - 1.0).abs() < 1e-11);
+    }
+}

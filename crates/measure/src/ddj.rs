@@ -1,0 +1,176 @@
+//! Data-dependent jitter decomposition.
+//!
+//! The circuit's envelope-settling mechanism (and any band-limited
+//! channel) delays an edge differently depending on how long the line
+//! rested before it — the *preceding run length*. Conditioning the TIE on
+//! that context separates bounded, repeatable DDJ from random jitter:
+//! DDJ is the spread of the per-context means; the residual about each
+//! context mean is RJ (plus unconditioned DJ).
+
+use crate::tie::tie_sequence_with_ui;
+use vardelay_siggen::EdgeStream;
+use vardelay_units::Time;
+
+/// The per-context decomposition of a stream's TIE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DdjDecomposition {
+    /// Mean TIE per preceding-run-length context (index 0 = run of 1 UI).
+    /// Contexts beyond `max_context` are folded into the last bin.
+    pub context_means: Vec<Time>,
+    /// Edges observed per context.
+    pub context_counts: Vec<usize>,
+    /// Peak-to-peak spread of the context means — the DDJ figure.
+    pub ddj_peak_to_peak: Time,
+    /// RMS of the residual after removing each edge's context mean — the
+    /// random (plus uncorrelated deterministic) part.
+    pub residual_rms: Time,
+}
+
+/// Decomposes a stream's jitter by preceding-run-length context.
+///
+/// `max_context` bounds the context table (typical: 7, the PRBS7 longest
+/// run). Returns `None` for streams with fewer than two edges.
+///
+/// # Panics
+///
+/// Panics if `max_context == 0`.
+pub fn ddj_by_run_length(stream: &EdgeStream, max_context: usize) -> Option<DdjDecomposition> {
+    assert!(max_context > 0, "at least one context bin required");
+    let tie = tie_sequence_with_ui(stream, stream.ui());
+    if tie.len() < 2 {
+        return None;
+    }
+    let ui = stream.ui().as_s();
+    let times: Vec<f64> = stream.times().map(|t| t.as_s()).collect();
+
+    // Context of edge i: preceding run length in UI (from the gap to the
+    // previous edge). Edge 0 has no context; skip it.
+    let mut sums = vec![0.0f64; max_context];
+    let mut counts = vec![0usize; max_context];
+    let mut contexts = Vec::with_capacity(tie.len());
+    contexts.push(None);
+    for i in 1..times.len() {
+        let run = (((times[i] - times[i - 1]) / ui).round() as usize).max(1);
+        let bin = (run - 1).min(max_context - 1);
+        sums[bin] += tie[i].as_ps();
+        counts[bin] += 1;
+        contexts.push(Some(bin));
+    }
+
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+
+    // DDJ: spread of populated context means.
+    let populated: Vec<f64> = means
+        .iter()
+        .zip(&counts)
+        .filter(|&(_, &c)| c > 0)
+        .map(|(&m, _)| m)
+        .collect();
+    let ddj = if populated.len() < 2 {
+        0.0
+    } else {
+        populated.iter().cloned().fold(f64::MIN, f64::max)
+            - populated.iter().cloned().fold(f64::MAX, f64::min)
+    };
+
+    // Residual about the context means.
+    let mut sq = 0.0f64;
+    let mut n = 0usize;
+    for (t, ctx) in tie.iter().zip(&contexts) {
+        if let Some(bin) = ctx {
+            let r = t.as_ps() - means[*bin];
+            sq += r * r;
+            n += 1;
+        }
+    }
+    let residual_rms = if n == 0 { 0.0 } else { (sq / n as f64).sqrt() };
+
+    Some(DdjDecomposition {
+        context_means: means.into_iter().map(Time::from_ps).collect(),
+        context_counts: counts,
+        ddj_peak_to_peak: Time::from_ps(ddj),
+        residual_rms: Time::from_ps(residual_rms),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, GaussianRj, JitterModel};
+    use vardelay_units::BitRate;
+
+    #[test]
+    fn clean_stream_has_no_ddj() {
+        let s = EdgeStream::nrz(&BitPattern::prbs7(1, 2540), BitRate::from_gbps(6.4));
+        let d = ddj_by_run_length(&s, 7).expect("long capture");
+        assert!(d.ddj_peak_to_peak < Time::from_fs(100.0), "{:?}", d.ddj_peak_to_peak);
+        assert!(d.residual_rms < Time::from_fs(100.0));
+    }
+
+    #[test]
+    fn synthetic_run_length_dependence_is_recovered() {
+        // Displace each edge by 1 ps per UI of preceding run: a pure DDJ
+        // mechanism.
+        let s = EdgeStream::nrz(&BitPattern::prbs7(1, 2540), BitRate::from_gbps(6.4));
+        let ui = s.ui().as_s();
+        let times: Vec<Time> = {
+            let raw: Vec<f64> = s.times().map(|t| t.as_s()).collect();
+            raw.iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    let run = if i == 0 {
+                        1.0
+                    } else {
+                        ((t - raw[i - 1]) / ui).round()
+                    };
+                    Time::from_s(t) + Time::from_ps(run)
+                })
+                .collect()
+        };
+        let displaced = s.with_times(&times);
+        let d = ddj_by_run_length(&displaced, 7).expect("long capture");
+        // PRBS7 runs span 1..7 UI → context means span ~6 ps.
+        assert!(
+            (d.ddj_peak_to_peak.as_ps() - 6.0).abs() < 0.5,
+            "ddj {}",
+            d.ddj_peak_to_peak
+        );
+        // Context means are monotone in run length where populated.
+        let populated: Vec<f64> = d
+            .context_means
+            .iter()
+            .zip(&d.context_counts)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(m, _)| m.as_ps())
+            .collect();
+        for w in populated.windows(2) {
+            assert!(w[1] > w[0] - 0.2, "{populated:?}");
+        }
+        // Nearly no residual: the mechanism was purely deterministic.
+        assert!(d.residual_rms < Time::from_ps(0.3), "{}", d.residual_rms);
+    }
+
+    #[test]
+    fn rj_lands_in_the_residual_not_in_ddj() {
+        let clean = EdgeStream::nrz(&BitPattern::prbs7(1, 20_000), BitRate::from_gbps(6.4));
+        let s = GaussianRj::new(Time::from_ps(1.5), 4).apply(&clean);
+        let d = ddj_by_run_length(&s, 7).expect("long capture");
+        assert!(
+            (d.residual_rms.as_ps() - 1.5).abs() < 0.15,
+            "residual {}",
+            d.residual_rms
+        );
+        // Context means agree within statistical noise → small DDJ figure.
+        assert!(d.ddj_peak_to_peak < Time::from_ps(0.5), "{}", d.ddj_peak_to_peak);
+    }
+
+    #[test]
+    fn tiny_streams_are_none() {
+        let s = EdgeStream::nrz(&BitPattern::ones(4), BitRate::from_gbps(1.0));
+        assert!(ddj_by_run_length(&s, 7).is_none());
+    }
+}

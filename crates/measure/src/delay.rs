@@ -1,0 +1,254 @@
+//! Delay measurement between two edge streams.
+
+use vardelay_siggen::EdgeStream;
+use vardelay_units::Time;
+
+/// Error returned by [`mean_delay`] when streams cannot be paired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureDelayError {
+    /// The streams have different edge counts and cannot be paired 1:1.
+    LengthMismatch {
+        /// Edge count of the reference stream.
+        reference: usize,
+        /// Edge count of the delayed stream.
+        delayed: usize,
+    },
+    /// A paired edge has a different polarity in the two streams.
+    PolarityMismatch {
+        /// Index of the first mismatching pair.
+        index: usize,
+    },
+    /// Both streams are empty: no delay is defined.
+    Empty,
+}
+
+impl core::fmt::Display for MeasureDelayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MeasureDelayError::LengthMismatch { reference, delayed } => write!(
+                f,
+                "edge counts differ: reference has {reference}, delayed has {delayed}"
+            ),
+            MeasureDelayError::PolarityMismatch { index } => {
+                write!(f, "edge polarity differs at pair {index}")
+            }
+            MeasureDelayError::Empty => write!(f, "streams contain no edges"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureDelayError {}
+
+/// Measures the mean propagation delay from `reference` to `delayed` by
+/// pairing edges index-by-index — the standard scope measurement of "how
+/// far did the crossing move".
+///
+/// # Errors
+///
+/// Returns an error if the streams have different lengths, mismatched
+/// polarities, or no edges.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_measure::mean_delay;
+/// use vardelay_siggen::{BitPattern, EdgeStream};
+/// use vardelay_units::{BitRate, Time};
+///
+/// let a = EdgeStream::nrz(&BitPattern::clock(10), BitRate::from_gbps(1.0));
+/// let b = a.delayed(Time::from_ps(47.0));
+/// let d = mean_delay(&a, &b)?;
+/// assert!((d.as_ps() - 47.0).abs() < 1e-9);
+/// # Ok::<(), vardelay_measure::MeasureDelayError>(())
+/// ```
+pub fn mean_delay(reference: &EdgeStream, delayed: &EdgeStream) -> Result<Time, MeasureDelayError> {
+    if reference.len() != delayed.len() {
+        return Err(MeasureDelayError::LengthMismatch {
+            reference: reference.len(),
+            delayed: delayed.len(),
+        });
+    }
+    if reference.is_empty() {
+        return Err(MeasureDelayError::Empty);
+    }
+    let mut sum = Time::ZERO;
+    for (i, (a, b)) in reference.edges().iter().zip(delayed.edges()).enumerate() {
+        if a.kind != b.kind {
+            return Err(MeasureDelayError::PolarityMismatch { index: i });
+        }
+        sum += b.time - a.time;
+    }
+    Ok(sum / reference.len() as f64)
+}
+
+/// Per-pair delays between two streams (same pairing rules as
+/// [`mean_delay`]), for spread/linearity analysis.
+///
+/// # Errors
+///
+/// Same conditions as [`mean_delay`].
+pub fn delay_sequence(
+    reference: &EdgeStream,
+    delayed: &EdgeStream,
+) -> Result<Vec<Time>, MeasureDelayError> {
+    if reference.len() != delayed.len() {
+        return Err(MeasureDelayError::LengthMismatch {
+            reference: reference.len(),
+            delayed: delayed.len(),
+        });
+    }
+    if reference.is_empty() {
+        return Err(MeasureDelayError::Empty);
+    }
+    reference
+        .edges()
+        .iter()
+        .zip(delayed.edges())
+        .enumerate()
+        .map(|(i, (a, b))| {
+            if a.kind != b.kind {
+                Err(MeasureDelayError::PolarityMismatch { index: i })
+            } else {
+                Ok(b.time - a.time)
+            }
+        })
+        .collect()
+}
+
+/// Measures the mean delay over the steady-state tail of a capture,
+/// tolerating edges lost at either end of `delayed` (start-up transients,
+/// window cut-off): pairs the last `n` polarity-matching edges after
+/// skipping `warmup` pairs.
+///
+/// This is the robust pairing used when measuring a processed waveform
+/// whose chain delay may push the final transition past the capture
+/// window.
+///
+/// # Errors
+///
+/// Returns [`MeasureDelayError::Empty`] if no polarity-aligned tail of at
+/// least one pair exists.
+pub fn tail_mean_delay(
+    reference: &EdgeStream,
+    delayed: &EdgeStream,
+    warmup: usize,
+) -> Result<Time, MeasureDelayError> {
+    let (r, d) = (reference.edges(), delayed.edges());
+    if r.is_empty() || d.is_empty() {
+        return Err(MeasureDelayError::Empty);
+    }
+    // If the delayed stream lost its final edge to the capture window, its
+    // last polarity differs; trim the reference tail until they align.
+    let mut r_end = r.len();
+    while r_end > 0 && r[r_end - 1].kind != d[d.len() - 1].kind {
+        r_end -= 1;
+    }
+    if r_end == 0 {
+        return Err(MeasureDelayError::Empty);
+    }
+    let n = r_end.min(d.len()).saturating_sub(warmup).max(1).min(r_end.min(d.len()));
+    let r_tail = &r[r_end - n..r_end];
+    let d_tail = &d[d.len() - n..];
+    let mut sum = Time::ZERO;
+    for (i, (a, b)) in r_tail.iter().zip(d_tail).enumerate() {
+        if a.kind != b.kind {
+            return Err(MeasureDelayError::PolarityMismatch { index: i });
+        }
+        sum += b.time - a.time;
+    }
+    Ok(sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, GaussianRj, JitterModel};
+    use vardelay_units::BitRate;
+
+    fn clock(n: usize) -> EdgeStream {
+        EdgeStream::nrz(&BitPattern::clock(n), BitRate::from_gbps(1.0))
+    }
+
+    #[test]
+    fn exact_shift_is_recovered() {
+        let a = clock(100);
+        let b = a.delayed(Time::from_ps(33.0));
+        assert!((mean_delay(&a, &b).unwrap().as_ps() - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_averages_out() {
+        let a = clock(20_000);
+        let shifted = a.delayed(Time::from_ps(50.0));
+        let b = GaussianRj::new(Time::from_ps(2.0), 3).apply(&shifted);
+        let d = mean_delay(&a, &b).unwrap();
+        assert!((d.as_ps() - 50.0).abs() < 0.1, "d = {d}");
+    }
+
+    #[test]
+    fn length_mismatch_reported() {
+        let a = clock(10);
+        let b = clock(12);
+        assert_eq!(
+            mean_delay(&a, &b),
+            Err(MeasureDelayError::LengthMismatch {
+                reference: a.len(),
+                delayed: b.len()
+            })
+        );
+    }
+
+    #[test]
+    fn empty_reported() {
+        let e = EdgeStream::nrz(
+            &BitPattern::from_str("0000").unwrap(),
+            BitRate::from_gbps(1.0),
+        );
+        assert_eq!(mean_delay(&e, &e), Err(MeasureDelayError::Empty));
+    }
+
+    #[test]
+    fn sequence_matches_mean() {
+        let a = clock(50);
+        let b = a.delayed(Time::from_ps(10.0));
+        let seq = delay_sequence(&a, &b).unwrap();
+        assert_eq!(seq.len(), a.len());
+        let mean: Time = seq.iter().copied().sum::<Time>() / seq.len() as f64;
+        assert!((mean.as_ps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_mean_tolerates_lost_trailing_edge() {
+        let a = clock(20);
+        let full = a.delayed(Time::from_ps(40.0));
+        // Simulate the capture window cutting the final edge.
+        let cut = EdgeStream::from_parts(
+            full.edges()[..full.len() - 1].to_vec(),
+            full.start(),
+            full.end(),
+            full.initial_high(),
+            full.ui(),
+        );
+        let d = tail_mean_delay(&a, &cut, 4).unwrap();
+        assert!((d.as_ps() - 40.0).abs() < 1e-9, "d {d}");
+    }
+
+    #[test]
+    fn tail_mean_tolerates_lost_leading_edge() {
+        let a = clock(20);
+        let full = a.delayed(Time::from_ps(40.0));
+        let cut = full.window(full.edges()[1].time, full.end() + Time::from_ps(1.0));
+        let d = tail_mean_delay(&a, &cut, 4).unwrap();
+        assert!((d.as_ps() - 40.0).abs() < 1e-9, "d {d}");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = MeasureDelayError::LengthMismatch {
+            reference: 3,
+            delayed: 5,
+        };
+        assert!(err.to_string().contains("3"));
+        assert!(err.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Eye-opening metrics from a folded eye.
+
+use vardelay_units::Time;
+use vardelay_waveform::EyeDiagram;
+
+/// Horizontal and vertical eye-opening figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EyeMetrics {
+    /// Horizontal opening: `UI − crossing peak-to-peak` (zero-clamped).
+    pub width: Time,
+    /// Vertical opening at the better of the two eye centres, in volts.
+    pub height: f64,
+    /// Peak-to-peak spread of the crossing population (the paper's TJ).
+    pub crossing_peak_to_peak: Time,
+    /// Mean crossing position relative to the bit boundary.
+    pub crossing_mean: Time,
+}
+
+/// Computes [`EyeMetrics`] from an accumulated eye, or `None` if the eye
+/// holds no crossings.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_measure::eye_metrics;
+/// use vardelay_siggen::{BitPattern, EdgeStream};
+/// use vardelay_units::BitRate;
+/// use vardelay_waveform::{EyeDiagram, RenderConfig, Waveform};
+///
+/// let rate = BitRate::from_gbps(4.8);
+/// let s = EdgeStream::nrz(&BitPattern::prbs7(1, 254), rate);
+/// let wf = Waveform::render(&s, &RenderConfig::default_source());
+/// let mut eye = EyeDiagram::new(rate.bit_period(), 96, 48, 0.5);
+/// eye.add_waveform(&wf);
+/// let m = eye_metrics(&eye).expect("crossings were accumulated");
+/// assert!(m.width > rate.bit_period() * 0.8); // clean signal: open eye
+/// ```
+pub fn eye_metrics(eye: &EyeDiagram) -> Option<EyeMetrics> {
+    let pp = eye.crossing_peak_to_peak()?;
+    let mean = eye.crossing_mean()?;
+    let width = (eye.ui() - pp).max(Time::ZERO);
+    let height = eye.opening_at(0.25).max(eye.opening_at(0.75));
+    Some(EyeMetrics {
+        width,
+        height,
+        crossing_peak_to_peak: pp,
+        crossing_mean: mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, EdgeStream, GaussianRj, JitterModel};
+    use vardelay_units::BitRate;
+    use vardelay_waveform::{RenderConfig, Waveform};
+
+    fn eye_for(rate_gbps: f64, sigma_ps: f64, bits: usize) -> EyeDiagram {
+        let rate = BitRate::from_gbps(rate_gbps);
+        let clean = EdgeStream::nrz(&BitPattern::prbs7(1, bits), rate);
+        let stream = if sigma_ps > 0.0 {
+            GaussianRj::new(Time::from_ps(sigma_ps), 21).apply(&clean)
+        } else {
+            clean
+        };
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let mut eye = EyeDiagram::new(rate.bit_period(), 96, 48, 0.5);
+        eye.add_waveform(&wf);
+        eye
+    }
+
+    #[test]
+    fn jitter_narrows_the_eye() {
+        let clean = eye_metrics(&eye_for(4.8, 0.0, 254)).unwrap();
+        let dirty = eye_metrics(&eye_for(4.8, 4.0, 254)).unwrap();
+        assert!(dirty.width < clean.width);
+        assert!(dirty.crossing_peak_to_peak > clean.crossing_peak_to_peak);
+    }
+
+    #[test]
+    fn clean_eye_is_nearly_full_ui() {
+        let m = eye_metrics(&eye_for(2.0, 0.0, 127)).unwrap();
+        let ui = BitRate::from_gbps(2.0).bit_period();
+        assert!(m.width > ui * 0.95, "width {}", m.width);
+        assert!(m.height > 0.5, "height {}", m.height);
+    }
+
+    #[test]
+    fn empty_eye_gives_none() {
+        let eye = EyeDiagram::new(Time::from_ps(100.0), 8, 8, 0.5);
+        assert!(eye_metrics(&eye).is_none());
+    }
+}

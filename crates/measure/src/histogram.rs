@@ -1,0 +1,245 @@
+//! Fixed-bin histograms with exact-sample percentiles.
+
+/// A fixed-range, fixed-bin-count histogram that also retains its raw
+/// samples for exact order statistics.
+///
+/// Retaining samples costs memory but keeps percentiles exact — the right
+/// trade for captures of at most a few hundred thousand edges.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_measure::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// for x in [1.0, 2.0, 2.5, 9.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.count_in_bin(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    samples: Vec<f64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            samples: Vec::new(),
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Creates a histogram auto-ranged to the data with a 5 % margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `bins == 0`.
+    pub fn auto(data: &[f64], bins: usize) -> Self {
+        assert!(!data.is_empty(), "auto-ranged histogram needs data");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in data {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let margin = ((hi - lo) * 0.05).max(f64::MIN_POSITIVE);
+        let mut h = Histogram::new(lo - margin, hi + margin, bins);
+        for &x in data {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds a sample. Values outside the range land in under/overflow.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let last = self.counts.len() - 1;
+            let bin = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+            self.counts[bin.min(last)] += 1;
+        }
+    }
+
+    /// Adds all samples from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    pub fn count_in_bin(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Centre value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded samples (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Population standard deviation (`None` if empty).
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Peak-to-peak span of all recorded samples (`None` if empty).
+    pub fn peak_to_peak(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some(hi - lo)
+    }
+
+    /// Exact percentile by nearest-rank over the retained samples.
+    /// `q` in `[0, 1]`; `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * (sorted.len() - 1) as f64).round()) as usize;
+        Some(sorted[rank])
+    }
+
+    /// The retained raw samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([-1.0, 0.0, 1.9, 5.0, 9.99, 10.0, 42.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count_in_bin(0), 2); // 0.0, 1.9
+        assert_eq!(h.count_in_bin(2), 1); // 5.0
+        assert_eq!(h.count_in_bin(4), 1); // 9.99
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn moments() {
+        let mut h = Histogram::new(-10.0, 10.0, 4);
+        h.extend([1.0, 2.0, 3.0, 4.0]);
+        assert!((h.mean().unwrap() - 2.5).abs() < 1e-12);
+        let sd = h.std_dev().unwrap();
+        assert!((sd - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((h.peak_to_peak().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_exact() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.extend((0..=100).map(f64::from));
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        assert_eq!(h.percentile(0.5), Some(50.0));
+        assert_eq!(h.percentile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn auto_ranging_covers_data() {
+        let data = [3.0, 7.0, 5.0];
+        let h = Histogram::auto(&data, 8);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_statistics_are_none() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert!(h.mean().is_none());
+        assert!(h.std_dev().is_none());
+        assert!(h.peak_to_peak().is_none());
+        assert!(h.percentile(0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Jitter statistics: peak-to-peak / RMS total jitter and the dual-Dirac
+//! TJ@BER estimate.
+
+use vardelay_units::Time;
+
+/// Summary jitter statistics of a crossing/TIE population.
+///
+/// `peak_to_peak` is what the paper reports as "TJ" — the full spread of
+/// the crossing histogram on the scope over the capture.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_measure::JitterStats;
+/// use vardelay_units::Time;
+///
+/// let tie = [Time::from_ps(-1.0), Time::from_ps(0.0), Time::from_ps(2.0)];
+/// let s = JitterStats::from_times(&tie).unwrap();
+/// assert!((s.peak_to_peak.as_ps() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterStats {
+    /// Full spread (max − min).
+    pub peak_to_peak: Time,
+    /// RMS deviation about the mean.
+    pub rms: Time,
+    /// Mean displacement.
+    pub mean: Time,
+    /// Number of samples in the population.
+    pub count: usize,
+}
+
+impl JitterStats {
+    /// Computes statistics over a displacement population, or `None` if it
+    /// is empty.
+    pub fn from_times(times: &[Time]) -> Option<Self> {
+        if times.is_empty() {
+            return None;
+        }
+        let n = times.len() as f64;
+        let mean_s = times.iter().map(|t| t.as_s()).sum::<f64>() / n;
+        let var = times
+            .iter()
+            .map(|t| (t.as_s() - mean_s).powi(2))
+            .sum::<f64>()
+            / n;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in times {
+            lo = lo.min(t.as_s());
+            hi = hi.max(t.as_s());
+        }
+        Some(JitterStats {
+            peak_to_peak: Time::from_s(hi - lo),
+            rms: Time::from_s(var.sqrt()),
+            mean: Time::from_s(mean_s),
+            count: times.len(),
+        })
+    }
+}
+
+impl core::fmt::Display for JitterStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "TJpp={} RMS={} mean={} (n={})",
+            self.peak_to_peak, self.rms, self.mean, self.count
+        )
+    }
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9 over the open unit interval).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inv_norm_cdf(1.0 - p)
+    }
+}
+
+/// Dual-Dirac total jitter at a target bit-error ratio.
+///
+/// The population is modelled as two Dirac components (bounded DJ)
+/// convolved with Gaussian RJ. Tails are fit by quantile regression:
+/// `TJ(BER) = DJδδ + Q(BER)·(σ_left + σ_right)` with
+/// `Q(BER) = 2·Φ⁻¹(1−BER)` split across both tails.
+///
+/// Returns `None` for populations smaller than 100 samples (tail fits are
+/// meaningless below that).
+///
+/// # Panics
+///
+/// Panics unless `0 < ber < 0.5`.
+pub fn dual_dirac_tj(times: &[Time], ber: f64) -> Option<Time> {
+    assert!(ber > 0.0 && ber < 0.5, "BER must be in (0, 0.5)");
+    if times.len() < 100 {
+        return None;
+    }
+    let mut xs: Vec<f64> = times.iter().map(|t| t.as_s()).collect();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+
+    // Quantile regression over each tail: x(p) ≈ mu + sigma * z(p).
+    let tail_fit = |lo_q: f64, hi_q: f64| -> (f64, f64) {
+        let i0 = ((lo_q * n as f64) as usize).min(n - 2);
+        let i1 = ((hi_q * n as f64) as usize).clamp(i0 + 1, n - 1);
+        let mut sum_z = 0.0;
+        let mut sum_x = 0.0;
+        let mut sum_zz = 0.0;
+        let mut sum_zx = 0.0;
+        let m = (i1 - i0 + 1) as f64;
+        #[allow(clippy::needless_range_loop)] // index feeds both p and xs
+        for i in i0..=i1 {
+            let p = (i as f64 + 0.5) / n as f64;
+            let z = inv_norm_cdf(p);
+            sum_z += z;
+            sum_x += xs[i];
+            sum_zz += z * z;
+            sum_zx += z * xs[i];
+        }
+        let denom = m * sum_zz - sum_z * sum_z;
+        if denom.abs() < 1e-300 {
+            return (0.0, xs[i0]);
+        }
+        let sigma = (m * sum_zx - sum_z * sum_x) / denom;
+        let mu = (sum_x - sigma * sum_z) / m;
+        (sigma.max(0.0), mu)
+    };
+
+    let (sigma_l, mu_l) = tail_fit(0.005, 0.10);
+    let (sigma_r, mu_r) = tail_fit(0.90, 0.995);
+    let q = -inv_norm_cdf(ber); // one-sided tail quantile
+    let dj = (mu_r - mu_l).max(0.0);
+    Some(Time::from_s(dj + q * (sigma_l + sigma_r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::SplitMix64;
+
+    #[test]
+    fn stats_basic() {
+        let tie: Vec<Time> = [-2.0, 0.0, 2.0].iter().map(|&p| Time::from_ps(p)).collect();
+        let s = JitterStats::from_times(&tie).unwrap();
+        assert!((s.peak_to_peak.as_ps() - 4.0).abs() < 1e-9);
+        assert!(s.mean.abs() < Time::from_fs(1.0));
+        assert!((s.rms.as_ps() - (8.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn stats_empty() {
+        assert!(JitterStats::from_times(&[]).is_none());
+    }
+
+    #[test]
+    fn inv_norm_cdf_known_values() {
+        assert!(inv_norm_cdf(0.5).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.8413447460685429) - 1.0).abs() < 1e-6);
+        assert!((inv_norm_cdf(1e-12) + 7.034).abs() < 0.01);
+    }
+
+    #[test]
+    fn dual_dirac_pure_gaussian() {
+        // Pure RJ: DJ ≈ 0, TJ(1e-12) ≈ 2 * 7.034 * sigma.
+        let mut rng = SplitMix64::new(4);
+        let sigma_ps = 1.0;
+        let pop: Vec<Time> = (0..100_000)
+            .map(|_| Time::from_ps(rng.gaussian() * sigma_ps))
+            .collect();
+        let tj = dual_dirac_tj(&pop, 1e-12).unwrap().as_ps();
+        let expect = 2.0 * 7.034 * sigma_ps;
+        assert!(
+            (tj - expect).abs() / expect < 0.12,
+            "tj {tj} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn dual_dirac_separates_dj() {
+        // Two Diracs at ±5 ps plus sigma = 0.5 ps RJ.
+        let mut rng = SplitMix64::new(9);
+        let pop: Vec<Time> = (0..100_000)
+            .map(|i| {
+                let dj = if i % 2 == 0 { -5.0 } else { 5.0 };
+                Time::from_ps(dj + rng.gaussian() * 0.5)
+            })
+            .collect();
+        let tj = dual_dirac_tj(&pop, 1e-12).unwrap().as_ps();
+        let expect = 10.0 + 2.0 * 7.034 * 0.5;
+        assert!(
+            (tj - expect).abs() / expect < 0.12,
+            "tj {tj} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn dual_dirac_needs_samples() {
+        let pop: Vec<Time> = (0..50).map(|i| Time::from_ps(i as f64)).collect();
+        assert!(dual_dirac_tj(&pop, 1e-12).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "BER")]
+    fn dual_dirac_validates_ber() {
+        let pop = vec![Time::ZERO; 200];
+        let _ = dual_dirac_tj(&pop, 0.7);
+    }
+}

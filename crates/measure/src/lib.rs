@@ -1,0 +1,47 @@
+//! Timing and jitter measurement suite.
+//!
+//! This crate is the suite's oscilloscope/TIA: every number the paper's
+//! evaluation section reports — peak-to-peak total jitter, fine-delay
+//! range, coarse tap positions, injected-jitter transfer, linearity of the
+//! delay-vs-Vctrl curve — is computed here from edge populations or folded
+//! eyes.
+//!
+//! * [`histogram`] — fixed-bin histograms with percentiles.
+//! * [`jitter`] — TJ pk-pk / RMS and the dual-Dirac TJ@BER estimate.
+//! * [`tie`] — time-interval-error extraction against an ideal bit clock.
+//! * [`eye_metrics()`] — eye width/height from a folded [`EyeDiagram`].
+//! * [`bathtub`] — BER-vs-sampling-position bathtub curves.
+//! * [`delay`] — mean delay between two edge streams (matched pairing).
+//! * [`linearity`] — least-squares fits, R², INL for transfer curves.
+//! * [`sweep`] — labelled x/y series produced by parameter sweeps.
+//! * [`report`] — plain-text tables for the experiment harness.
+//!
+//! [`EyeDiagram`]: vardelay_waveform::EyeDiagram
+
+pub mod bathtub;
+pub mod ddj;
+pub mod delay;
+pub mod eye_metrics;
+pub mod histogram;
+pub mod jitter;
+pub mod linearity;
+pub mod mask;
+pub mod report;
+pub mod spectrum;
+pub mod sweep;
+pub mod tie;
+pub mod xcorr;
+
+pub use bathtub::{bathtub_curve, BathtubPoint};
+pub use ddj::{ddj_by_run_length, DdjDecomposition};
+pub use delay::{delay_sequence, mean_delay, tail_mean_delay, MeasureDelayError};
+pub use eye_metrics::{eye_metrics, EyeMetrics};
+pub use histogram::Histogram;
+pub use jitter::{dual_dirac_tj, JitterStats};
+pub use linearity::{linear_fit, LinearFit};
+pub use mask::{EyeMask, MaskTestResult};
+pub use report::Table;
+pub use spectrum::{separate_rj_pj, tie_spectrum, RjPjSplit, SpectralLine};
+pub use sweep::Series;
+pub use tie::{tie_sequence, tie_sequence_with_ui};
+pub use xcorr::xcorr_delay;

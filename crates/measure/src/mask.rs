@@ -1,0 +1,227 @@
+//! Eye-mask compliance testing.
+//!
+//! Serial-link standards define a keep-out polygon in the (time, voltage)
+//! plane; a compliant transmitter's eye must leave the mask untouched.
+//! [`EyeMask`] tests a folded [`EyeDiagram`] raster against such a
+//! polygon — the pass/fail check a production ATE runs after deskew.
+//!
+//! [`EyeDiagram`]: vardelay_waveform::EyeDiagram
+
+use vardelay_units::Time;
+use vardelay_waveform::EyeDiagram;
+
+/// A convex keep-out polygon centred in the eye, in UI/volt coordinates
+/// relative to the eye centre (`x` in UI, −0.5..0.5; `y` in volts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EyeMask {
+    vertices: Vec<(f64, f64)>,
+}
+
+/// The outcome of a mask test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskTestResult {
+    /// Raster samples that landed inside the keep-out polygon.
+    pub violations: u64,
+    /// Raster samples examined.
+    pub samples: u64,
+}
+
+impl MaskTestResult {
+    /// `true` when no sample touched the mask.
+    pub fn passes(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+impl EyeMask {
+    /// Builds a mask from polygon vertices in (UI, volt) coordinates
+    /// relative to the eye centre, in counter-clockwise order.
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than three vertices.
+    pub fn new(vertices: Vec<(f64, f64)>) -> Self {
+        assert!(vertices.len() >= 3, "a mask needs at least three vertices");
+        EyeMask { vertices }
+    }
+
+    /// The standard hexagonal mask: half-width `w` UI at mid-level,
+    /// half-height `h` volts, with points at `±w` UI on the zero line.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < w < 0.5` and `h > 0`.
+    pub fn hexagon(w: f64, h: f64) -> Self {
+        assert!(w > 0.0 && w < 0.5, "mask half-width must be in (0, 0.5) UI");
+        assert!(h > 0.0, "mask half-height must be positive");
+        EyeMask::new(vec![
+            (-w, 0.0),
+            (-w / 2.0, -h),
+            (w / 2.0, -h),
+            (w, 0.0),
+            (w / 2.0, h),
+            (-w / 2.0, h),
+        ])
+    }
+
+    /// Point-in-polygon test (winding via ray casting) in mask
+    /// coordinates.
+    pub fn contains(&self, x_ui: f64, y_v: f64) -> bool {
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = self.vertices[i];
+            let (xj, yj) = self.vertices[j];
+            if ((yi > y_v) != (yj > y_v))
+                && (x_ui < (xj - xi) * (y_v - yi) / (yj - yi) + xi)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Tests an accumulated eye against the mask. The mask is anchored at
+    /// the eye centre: phase 0.25 of the 2-UI raster, zero volts.
+    pub fn test(&self, eye: &EyeDiagram) -> MaskTestResult {
+        let mut violations = 0u64;
+        let mut samples = 0u64;
+        let cols = eye.cols();
+        let rows = eye.rows();
+        for col in 0..cols {
+            // Column phase in UI relative to the eye centre at 0.25 of
+            // the 2-UI raster (= 0.5 UI).
+            let phase_2ui = (col as f64 + 0.5) / cols as f64;
+            let x_ui = phase_2ui * 2.0 - 0.5;
+            for row in 0..rows {
+                let count = eye.count_at(col, row) as u64;
+                if count == 0 {
+                    continue;
+                }
+                samples += count;
+                // Row voltage: raster spans ±v_limit; EyeDiagram does not
+                // expose v_limit directly, so rows map to [-1, 1] of the
+                // configured limit — masks are therefore specified in the
+                // same normalized unit when v_limit ≠ physical volts.
+                let y = (row as f64 + 0.5) / rows as f64 * 2.0 - 1.0;
+                if self.contains(x_ui, y * eye.v_limit()) {
+                    violations += count;
+                }
+            }
+        }
+        MaskTestResult {
+            violations,
+            samples,
+        }
+    }
+
+    /// Grows the mask horizontally by `margin` UI on each side and
+    /// re-tests — the standard margin-search primitive.
+    pub fn widened(&self, margin: f64) -> EyeMask {
+        EyeMask::new(
+            self.vertices
+                .iter()
+                .map(|&(x, y)| (x + margin * x.signum(), y))
+                .collect(),
+        )
+    }
+
+    /// The largest hexagon width (in UI) that still passes, by bisection
+    /// over `0..0.5` at the given half-height; a horizontal eye-margin
+    /// figure. Returns 0 if even a sliver fails.
+    pub fn max_passing_width(eye: &EyeDiagram, h: f64) -> f64 {
+        let passes = |w: f64| EyeMask::hexagon(w, h).test(eye).passes();
+        if !passes(0.01) {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0.01, 0.499);
+        if passes(hi) {
+            return hi;
+        }
+        for _ in 0..20 {
+            let mid = (lo + hi) / 2.0;
+            if passes(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// Converts a UI fraction to absolute time for reporting.
+pub fn ui_fraction_to_time(frac: f64, ui: Time) -> Time {
+    ui * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, EdgeStream, GaussianRj, JitterModel};
+    use vardelay_units::BitRate;
+    use vardelay_waveform::{RenderConfig, Waveform};
+
+    fn eye_with_jitter(sigma_ps: f64) -> EyeDiagram {
+        let rate = BitRate::from_gbps(4.8);
+        let clean = EdgeStream::nrz(&BitPattern::prbs7(1, 400), rate);
+        let stream = if sigma_ps > 0.0 {
+            GaussianRj::new(Time::from_ps(sigma_ps), 7).apply(&clean)
+        } else {
+            clean
+        };
+        let wf = Waveform::render(&stream, &RenderConfig::default_source());
+        let mut eye = EyeDiagram::new(rate.bit_period(), 96, 48, 0.5);
+        eye.add_waveform(&wf);
+        eye
+    }
+
+    #[test]
+    fn point_in_polygon() {
+        let hex = EyeMask::hexagon(0.3, 0.2);
+        assert!(hex.contains(0.0, 0.0));
+        assert!(hex.contains(0.25, 0.05));
+        assert!(!hex.contains(0.4, 0.0));
+        assert!(!hex.contains(0.0, 0.3));
+    }
+
+    #[test]
+    fn clean_eye_passes_a_modest_mask() {
+        let eye = eye_with_jitter(0.0);
+        let result = EyeMask::hexagon(0.3, 0.15).test(&eye);
+        assert!(result.passes(), "{result:?}");
+        assert!(result.samples > 0);
+    }
+
+    #[test]
+    fn jittery_eye_fails_a_wide_mask() {
+        let eye = eye_with_jitter(12.0);
+        let result = EyeMask::hexagon(0.42, 0.1).test(&eye);
+        assert!(!result.passes(), "{result:?}");
+    }
+
+    #[test]
+    fn margin_shrinks_with_jitter() {
+        let clean = EyeMask::max_passing_width(&eye_with_jitter(0.0), 0.1);
+        let dirty = EyeMask::max_passing_width(&eye_with_jitter(8.0), 0.1);
+        assert!(clean > dirty, "clean {clean} vs dirty {dirty}");
+        assert!(clean > 0.25, "clean margin {clean}");
+    }
+
+    #[test]
+    fn widened_masks_are_monotone() {
+        let eye = eye_with_jitter(4.0);
+        let base = EyeMask::hexagon(0.2, 0.1);
+        let v0 = base.test(&eye).violations;
+        let v1 = base.widened(0.15).test(&eye).violations;
+        assert!(v1 >= v0);
+    }
+
+    #[test]
+    #[should_panic(expected = "three vertices")]
+    fn degenerate_mask_rejected() {
+        let _ = EyeMask::new(vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text result tables for the experiment harness.
+
+use std::fmt;
+
+/// A simple aligned text table with a title, headers and string rows —
+/// the output format of the `repro` binary and of EXPERIMENTS.md entries.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_measure::Table;
+///
+/// let mut t = Table::new("Coarse taps", &["tap", "designed_ps", "measured_ps"]);
+/// t.push_row(&["0", "0", "0.0"]);
+/// t.push_row(&["1", "33", "33.2"]);
+/// let text = t.to_string();
+/// assert!(text.contains("Coarse taps"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_owned_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as CSV (headers + rows, no title).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        write_row(f, &self.headers)?;
+        let rule: usize = widths.iter().map(|w| w + 2).sum::<usize>() - 2;
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a picosecond value with two decimals, the convention used in
+/// every experiment table.
+pub fn fmt_ps(t: vardelay_units::Time) -> String {
+    format!("{:.2}", t.as_ps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_units::Time;
+
+    #[test]
+    fn render_aligned() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.push_row(&["1", "2"]);
+        t.push_row(&["333", "4"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== T ==");
+        assert!(lines[1].contains("long_header"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn csv_is_plain() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.push_row(&["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_enforced() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(&["only one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn headers_required() {
+        let _ = Table::new("T", &[]);
+    }
+
+    #[test]
+    fn fmt_ps_two_decimals() {
+        assert_eq!(fmt_ps(Time::from_ps(33.333)), "33.33");
+    }
+}

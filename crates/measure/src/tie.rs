@@ -1,0 +1,147 @@
+//! Time-interval-error extraction.
+
+use vardelay_siggen::EdgeStream;
+use vardelay_units::Time;
+
+/// Extracts the TIE sequence of a stream against an ideal clock at the
+/// stream's nominal unit interval.
+///
+/// Each edge is compared to its nearest ideal bit boundary; the common
+/// phase (mean offset) is removed, so a perfectly delayed clean signal has
+/// an all-zero TIE. Folding assumes jitter stays well below UI/2; larger
+/// excursions wrap, exactly as they alias on a folded scope display.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_measure::tie_sequence;
+/// use vardelay_siggen::{BitPattern, EdgeStream};
+/// use vardelay_units::{BitRate, Time};
+///
+/// let s = EdgeStream::nrz(&BitPattern::clock(50), BitRate::from_gbps(1.0));
+/// let tie = tie_sequence(&s.delayed(Time::from_ps(37.0)));
+/// assert!(tie.iter().all(|t| t.abs() < Time::from_fs(10.0)));
+/// ```
+pub fn tie_sequence(stream: &EdgeStream) -> Vec<Time> {
+    tie_sequence_with_ui(stream, stream.ui())
+}
+
+/// Like [`tie_sequence`] but against an explicit ideal period — required
+/// for signals whose edges are denser than the nominal unit interval, such
+/// as a 50 %-duty RZ clock (edges every half period).
+pub fn tie_sequence_with_ui(stream: &EdgeStream, ui: Time) -> Vec<Time> {
+    let ui = ui.as_s();
+    if ui <= 0.0 || stream.is_empty() {
+        return Vec::new();
+    }
+    let folded: Vec<f64> = stream
+        .times()
+        .map(|t| {
+            let x = t.as_s() / ui;
+            (x - x.round()) * ui
+        })
+        .collect();
+    // Remove the common phase. A plain mean is correct while the offsets
+    // stay within ±UI/2 of a common value; for offsets straddling the fold
+    // boundary, use a circular mean to find the phase first.
+    let two_pi = core::f64::consts::TAU;
+    let (sin_sum, cos_sum) = folded.iter().fold((0.0, 0.0), |(s, c), &x| {
+        let ang = x / ui * two_pi;
+        (s + ang.sin(), c + ang.cos())
+    });
+    let phase = sin_sum.atan2(cos_sum) / two_pi * ui;
+    folded
+        .iter()
+        .map(|&x| {
+            let mut d = x - phase;
+            // Re-wrap into (-UI/2, UI/2].
+            if d > ui / 2.0 {
+                d -= ui;
+            } else if d < -ui / 2.0 {
+                d += ui;
+            }
+            Time::from_s(d)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, GaussianRj, JitterModel};
+    use vardelay_units::BitRate;
+
+    #[test]
+    fn clean_clock_has_zero_tie() {
+        let s = EdgeStream::nrz(&BitPattern::clock(100), BitRate::from_gbps(2.0));
+        for t in tie_sequence(&s) {
+            assert!(t.abs() < Time::from_fs(10.0));
+        }
+    }
+
+    #[test]
+    fn static_delay_is_removed() {
+        let s = EdgeStream::nrz(&BitPattern::prbs7(1, 127), BitRate::from_gbps(2.0));
+        let delayed = s.delayed(Time::from_ps(141.0));
+        for t in tie_sequence(&delayed) {
+            assert!(t.abs() < Time::from_fs(10.0), "residual {t}");
+        }
+    }
+
+    #[test]
+    fn phase_near_fold_boundary_is_handled() {
+        // Delay of UI/2 puts every fold right at the wrap point; the
+        // circular mean must still recover a consistent phase.
+        let ui = BitRate::from_gbps(2.0).bit_period();
+        let s = EdgeStream::nrz(&BitPattern::clock(200), BitRate::from_gbps(2.0));
+        let delayed = s.delayed(ui * 0.5);
+        let tie = tie_sequence(&delayed);
+        let spread = {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for t in &tie {
+                lo = lo.min(t.as_ps());
+                hi = hi.max(t.as_ps());
+            }
+            hi - lo
+        };
+        assert!(spread < 0.01, "spread {spread} ps");
+    }
+
+    #[test]
+    fn gaussian_jitter_rms_is_recovered() {
+        let s = EdgeStream::nrz(&BitPattern::clock(20_000), BitRate::from_gbps(2.0));
+        let sigma = Time::from_ps(2.0);
+        let j = GaussianRj::new(sigma, 5).apply(&s);
+        let tie = tie_sequence(&j);
+        let stats = crate::jitter::JitterStats::from_times(&tie).unwrap();
+        assert!((stats.rms.as_ps() - 2.0).abs() < 0.1, "rms {}", stats.rms);
+    }
+
+    #[test]
+    fn rz_clock_needs_half_period_reference() {
+        use vardelay_units::Frequency;
+        let s = EdgeStream::rz_clock(Frequency::from_ghz(6.4), 500);
+        // Against the full period the falling edges wrap catastrophically…
+        let wrong = tie_sequence(&s);
+        let wrong_pp = crate::jitter::JitterStats::from_times(&wrong)
+            .unwrap()
+            .peak_to_peak;
+        assert!(wrong_pp > Time::from_ps(50.0), "unexpectedly clean: {wrong_pp}");
+        // …while the half-period reference sees a clean clock.
+        let right = tie_sequence_with_ui(&s, s.ui() * 0.5);
+        let right_pp = crate::jitter::JitterStats::from_times(&right)
+            .unwrap()
+            .peak_to_peak;
+        assert!(right_pp < Time::from_ps(0.1), "pp {right_pp}");
+    }
+
+    #[test]
+    fn empty_stream_gives_empty_tie() {
+        let s = EdgeStream::nrz(
+            &BitPattern::from_str("0000").unwrap(),
+            BitRate::from_gbps(1.0),
+        );
+        assert!(tie_sequence(&s).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-correlation delay estimation between waveforms.
+//!
+//! The crossing-based [`crate::mean_delay`] needs clean threshold
+//! crossings; when a channel attenuates or distorts the signal badly, the
+//! more robust estimate is the lag that maximizes the cross-correlation of
+//! the two traces — the same measurement a scope's "delay" function makes.
+//! The two estimators cross-validate each other in the integration tests.
+
+use vardelay_units::Time;
+use vardelay_waveform::Waveform;
+
+/// Estimates the delay from `reference` to `delayed` as the lag maximizing
+/// their normalized cross-correlation, with parabolic sub-sample
+/// interpolation around the peak.
+///
+/// `max_lag` bounds the search (both directions). Returns `None` when
+/// either trace is shorter than 8 samples, the traces have different
+/// sample periods, or the correlation is degenerate (a constant trace).
+pub fn xcorr_delay(reference: &Waveform, delayed: &Waveform, max_lag: Time) -> Option<Time> {
+    let dt = reference.dt();
+    if (delayed.dt() - dt).abs() > Time::from_fs(1.0) {
+        return None;
+    }
+    let a = reference.samples();
+    let b = delayed.samples();
+    if a.len() < 8 || b.len() < 8 {
+        return None;
+    }
+    let mean_a = a.iter().sum::<f64>() / a.len() as f64;
+    let mean_b = b.iter().sum::<f64>() / b.len() as f64;
+    // Reject constant traces outright (their correlation is undefined up
+    // to floating-point dust).
+    let var = |s: &[f64], m: f64| s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / s.len() as f64;
+    if var(a, mean_a) < 1e-12 || var(b, mean_b) < 1e-12 {
+        return None;
+    }
+
+    // The delayed trace's axis offset contributes directly.
+    let axis_shift = delayed.t0() - reference.t0();
+    let max_k = ((max_lag / dt).abs().round() as i64).max(1);
+
+    let mut best_k = 0i64;
+    let mut best_r = f64::NEG_INFINITY;
+    let mut scores: Vec<(i64, f64)> = Vec::with_capacity((2 * max_k + 1) as usize);
+    for k in -max_k..=max_k {
+        // Correlate a[i] with b[i + k]: positive k means b's content lags
+        // (is delayed) by k samples relative to a's.
+        let mut num = 0.0f64;
+        let mut den_a = 0.0f64;
+        let mut den_b = 0.0f64;
+        let n = a.len().min(b.len());
+        for (i, &ai) in a.iter().enumerate().take(n) {
+            let j = i as i64 + k;
+            if j < 0 || j >= b.len() as i64 {
+                continue;
+            }
+            let x = ai - mean_a;
+            let y = b[j as usize] - mean_b;
+            num += x * y;
+            den_a += x * x;
+            den_b += y * y;
+        }
+        let den = (den_a * den_b).sqrt();
+        let r = if den <= 0.0 { f64::NEG_INFINITY } else { num / den };
+        scores.push((k, r));
+        if r > best_r {
+            best_r = r;
+            best_k = k;
+        }
+    }
+    if !best_r.is_finite() {
+        return None;
+    }
+
+    // Parabolic refinement over the three points around the peak.
+    let at = |k: i64| -> Option<f64> {
+        scores
+            .iter()
+            .find(|&&(kk, _)| kk == k)
+            .map(|&(_, r)| r)
+            .filter(|r| r.is_finite())
+    };
+    let frac = match (at(best_k - 1), at(best_k + 1)) {
+        (Some(l), Some(r)) => {
+            let denom = l - 2.0 * best_r + r;
+            if denom.abs() < 1e-12 {
+                0.0
+            } else {
+                0.5 * (l - r) / denom
+            }
+        }
+        _ => 0.0,
+    };
+    Some(axis_shift + dt * (best_k as f64 + frac.clamp(-0.5, 0.5)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_siggen::{BitPattern, EdgeStream};
+    use vardelay_units::{BitRate, Voltage};
+    use vardelay_waveform::{OnePole, RenderConfig};
+
+    fn test_wave() -> Waveform {
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 64), BitRate::from_gbps(2.0));
+        let cfg = RenderConfig::new(
+            Time::from_ps(1.0),
+            Voltage::from_mv(800.0),
+            Time::from_ps(60.0),
+        );
+        Waveform::render(&stream, &cfg)
+    }
+
+    #[test]
+    fn axis_shift_is_recovered_exactly() {
+        let a = test_wave();
+        let b = a.delayed(Time::from_ps(137.0));
+        let d = xcorr_delay(&a, &b, Time::from_ps(500.0)).expect("well-posed");
+        assert!((d.as_ps() - 137.0).abs() < 0.01, "d {d}");
+    }
+
+    #[test]
+    fn sample_shift_with_subsample_refinement() {
+        // Shift by re-sampling: b[i] = a at t - 41.4 ps, on the same axis.
+        let a = test_wave();
+        let shift = Time::from_ps(41.4);
+        let samples: Vec<f64> = (0..a.len())
+            .map(|i| a.value_at(a.time_of(i) - shift))
+            .collect();
+        let b = Waveform::new(a.t0(), a.dt(), samples);
+        let d = xcorr_delay(&a, &b, Time::from_ps(200.0)).expect("well-posed");
+        assert!((d.as_ps() - 41.4).abs() < 0.5, "d {d}");
+    }
+
+    #[test]
+    fn robust_to_attenuation_and_filtering() {
+        let a = test_wave();
+        let mut b = a.delayed(Time::from_ps(80.0));
+        b.scale(0.2);
+        OnePole::with_corner(vardelay_units::Frequency::from_ghz(3.0)).apply(&mut b);
+        let d = xcorr_delay(&a, &b, Time::from_ps(400.0)).expect("well-posed");
+        // The pole adds its own group delay (~tau = 53 ps).
+        assert!(
+            (d.as_ps() - 80.0) > 10.0 && (d.as_ps() - 80.0) < 120.0,
+            "d {d}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        let a = test_wave();
+        let flat = Waveform::new(a.t0(), a.dt(), vec![0.3; a.len()]);
+        assert!(xcorr_delay(&a, &flat, Time::from_ps(100.0)).is_none());
+        let short = Waveform::new(a.t0(), a.dt(), vec![0.0; 4]);
+        assert!(xcorr_delay(&a, &short, Time::from_ps(100.0)).is_none());
+        let other_dt = Waveform::new(a.t0(), a.dt() * 2.0, vec![0.0; 100]);
+        assert!(xcorr_delay(&a, &other_dt, Time::from_ps(100.0)).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Compliance stress patterns.
+//!
+//! Standards bodies stress receivers with patterns engineered to be worse
+//! than random data: long runs that let baseline wander and envelopes
+//! settle, immediately followed by high-density toggling. These builders
+//! produce CJTPAT-style jitter-tolerance patterns from 8b/10b symbols and
+//! raw run-structured stress patterns for un-coded links.
+
+use crate::encoding::{ControlCode, Encoder8b10b, Symbol};
+use crate::pattern::BitPattern;
+
+/// A jitter-tolerance stress pattern in the spirit of CJTPAT: framed by
+/// K28.5 commas, alternating low-transition-density payload (D30.3-heavy,
+/// long effective runs) and high-density payload (D21.5 = 1010101010
+/// after coding).
+///
+/// `frames` repeats the whole structure; each frame is 2 commas + 2×16
+/// data symbols = 340 coded bits.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::compliance::cjtpat_like;
+///
+/// let p = cjtpat_like(3);
+/// assert_eq!(p.len() % 340, 0);
+/// ```
+pub fn cjtpat_like(frames: usize) -> BitPattern {
+    let mut enc = Encoder8b10b::new();
+    let mut bits = Vec::with_capacity(frames * 340);
+    for _ in 0..frames {
+        bits.extend(enc.encode(Symbol::Control(ControlCode::K28_5)));
+        // Low transition density: D30.3 codes to sparse groups.
+        for _ in 0..16 {
+            bits.extend(enc.encode(Symbol::Data(0x7E)));
+        }
+        bits.extend(enc.encode(Symbol::Control(ControlCode::K28_5)));
+        // High transition density: D21.5 codes to 1010101010.
+        for _ in 0..16 {
+            bits.extend(enc.encode(Symbol::Data(0xB5)));
+        }
+    }
+    BitPattern::new(bits)
+}
+
+/// A raw (uncoded) run-structure stress pattern: `repeats` blocks of a
+/// `long_run`-bit solid level followed by `toggles` alternating bits —
+/// the worst case for envelope-settling DDJ (the longest possible
+/// preceding interval straight into the shortest).
+///
+/// # Panics
+///
+/// Panics if `long_run` or `toggles` is zero.
+pub fn run_stress(long_run: usize, toggles: usize, repeats: usize) -> BitPattern {
+    assert!(long_run > 0, "a stress block needs a run");
+    assert!(toggles > 0, "a stress block needs toggles");
+    let mut bits = Vec::with_capacity((long_run + toggles) * repeats);
+    let mut level = true;
+    for _ in 0..repeats {
+        for _ in 0..long_run {
+            bits.push(level);
+        }
+        for i in 0..toggles {
+            bits.push(if i % 2 == 0 { !level } else { level });
+        }
+        // Alternate the run polarity so the pattern is DC-balanced over
+        // pairs of blocks.
+        level = !level;
+    }
+    BitPattern::new(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{max_run_length, running_disparity_excursion};
+    use crate::stats::PatternStats;
+
+    #[test]
+    fn cjtpat_mixes_densities() {
+        let p = cjtpat_like(4);
+        let stats = PatternStats::of(&p);
+        // Coded pattern stays balanced and run-limited…
+        assert!((stats.mark_density - 0.5).abs() < 0.05, "{stats:?}");
+        assert!(max_run_length(p.bits()) <= 6);
+        let (lo, hi) = running_disparity_excursion(p.bits());
+        assert!(lo >= -10 && hi <= 10);
+        // …while clearly mixing sparse and dense regions within a frame:
+        // the D30.3 payload (bits 10..170) toggles far less than the
+        // D21.5 payload (bits 180..340).
+        let bits = p.bits();
+        let density = |s: &[bool]| {
+            s.windows(2).filter(|w| w[0] != w[1]).count() as f64 / s.len() as f64
+        };
+        let sparse = density(&bits[10..170]);
+        let dense = density(&bits[180..340]);
+        assert!(
+            dense > sparse + 0.2,
+            "sparse {sparse} vs dense {dense}"
+        );
+    }
+
+    #[test]
+    fn run_stress_structure() {
+        let p = run_stress(7, 6, 10);
+        assert_eq!(p.len(), 130);
+        let stats = PatternStats::of(&p);
+        assert_eq!(stats.longest_run, 7, "{stats:?}");
+        // Balanced over even repeats.
+        assert!((stats.mark_density - 0.5).abs() < 0.06, "{stats:?}");
+    }
+
+    #[test]
+    fn run_stress_is_worse_than_prbs_for_envelope_ddj() {
+        // Structural check: the stress pattern contains direct
+        // longest-run → single-bit transitions, which PRBS7 also has, but
+        // at far higher frequency per bit.
+        let stress = run_stress(7, 6, 50);
+        let prbs = BitPattern::prbs7(1, stress.len());
+        let count_hard = |p: &BitPattern| {
+            let b = p.bits();
+            let mut hard = 0;
+            let mut run = 1;
+            for i in 1..b.len() {
+                if b[i] == b[i - 1] {
+                    run += 1;
+                } else {
+                    if run >= 6 && i + 1 < b.len() && b[i + 1] != b[i] {
+                        hard += 1; // long run straight into a single bit
+                    }
+                    run = 1;
+                }
+            }
+            hard as f64 / b.len() as f64
+        };
+        assert!(
+            count_hard(&stress) > 2.0 * count_hard(&prbs),
+            "stress {} vs prbs {}",
+            count_hard(&stress),
+            count_hard(&prbs)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "run")]
+    fn degenerate_stress_rejected() {
+        let _ = run_stress(0, 4, 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Edge streams: digital signals as ordered transition lists.
+//!
+//! An [`EdgeStream`] is the suite's compact digital-signal representation:
+//! a strictly-increasing, polarity-alternating list of threshold crossings
+//! plus the nominal unit interval. The waveform engine renders streams into
+//! sampled analog traces; the fast edge-domain circuit models transform
+//! streams directly.
+
+use crate::pattern::{BitPattern, LineCode};
+use vardelay_units::{BitRate, Frequency, Time};
+
+/// Transition polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Low → high crossing.
+    Rising,
+    /// High → low crossing.
+    Falling,
+}
+
+impl EdgeKind {
+    /// Returns the opposite polarity.
+    pub fn opposite(self) -> EdgeKind {
+        match self {
+            EdgeKind::Rising => EdgeKind::Falling,
+            EdgeKind::Falling => EdgeKind::Rising,
+        }
+    }
+}
+
+/// A single threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// The crossing instant.
+    pub time: Time,
+    /// The crossing polarity.
+    pub kind: EdgeKind,
+}
+
+/// A digital signal represented by its transitions.
+///
+/// Invariants (enforced by constructors, checkable via
+/// [`EdgeStream::is_well_formed`]):
+///
+/// * edge times are strictly increasing;
+/// * polarities strictly alternate;
+/// * every edge lies within `[start, end]`.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::{BitPattern, EdgeStream};
+/// use vardelay_units::BitRate;
+///
+/// // 1010 at 1 Gb/s: rising at 0 ns, falling at 1 ns, ...
+/// let s = EdgeStream::nrz(&BitPattern::clock(4), BitRate::from_gbps(1.0));
+/// assert_eq!(s.len(), 4);
+/// assert!((s.edges()[1].time.as_ns() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EdgeStream {
+    edges: Vec<Edge>,
+    start: Time,
+    end: Time,
+    /// Signal level immediately before the first edge.
+    initial_high: bool,
+    /// Nominal unit interval, used for eye folding and TIE references.
+    ui: Time,
+}
+
+impl EdgeStream {
+    /// Builds a stream from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariants listed on [`EdgeStream`] do not hold.
+    pub fn from_parts(
+        edges: Vec<Edge>,
+        start: Time,
+        end: Time,
+        initial_high: bool,
+        ui: Time,
+    ) -> Self {
+        let stream = EdgeStream {
+            edges,
+            start,
+            end,
+            initial_high,
+            ui,
+        };
+        assert!(stream.is_well_formed(), "edge stream invariants violated");
+        stream
+    }
+
+    /// Renders a bit pattern as NRZ transitions at the given rate. Bit `i`
+    /// occupies `[i·T, (i+1)·T)`; the line is low before the pattern.
+    pub fn nrz(pattern: &BitPattern, rate: BitRate) -> Self {
+        let ui = rate.bit_period();
+        let mut edges = Vec::new();
+        let mut level = false;
+        for (i, &bit) in pattern.bits().iter().enumerate() {
+            if bit != level {
+                edges.push(Edge {
+                    time: ui * i as f64,
+                    kind: if bit { EdgeKind::Rising } else { EdgeKind::Falling },
+                });
+                level = bit;
+            }
+        }
+        EdgeStream {
+            edges,
+            start: Time::ZERO,
+            end: ui * pattern.len() as f64,
+            initial_high: false,
+            ui,
+        }
+    }
+
+    /// Renders a bit pattern as RZ pulses: each `1` bit becomes a pulse of
+    /// `duty` × bit-period width starting at the bit boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty < 1`.
+    pub fn rz(pattern: &BitPattern, rate: BitRate, duty: f64) -> Self {
+        assert!(duty > 0.0 && duty < 1.0, "RZ duty must be in (0, 1)");
+        let ui = rate.bit_period();
+        let mut edges = Vec::new();
+        for (i, &bit) in pattern.bits().iter().enumerate() {
+            if bit {
+                let t0 = ui * i as f64;
+                edges.push(Edge {
+                    time: t0,
+                    kind: EdgeKind::Rising,
+                });
+                edges.push(Edge {
+                    time: t0 + ui * duty,
+                    kind: EdgeKind::Falling,
+                });
+            }
+        }
+        EdgeStream {
+            edges,
+            start: Time::ZERO,
+            end: ui * pattern.len() as f64,
+            initial_high: false,
+            ui,
+        }
+    }
+
+    /// A 50 %-duty RZ pulse-train clock at `freq` for `cycles` periods —
+    /// the paper's stress stimulus for rates beyond the NRZ generator limit.
+    pub fn rz_clock(freq: Frequency, cycles: usize) -> Self {
+        let rate = BitRate::from_bps(freq.as_hz());
+        Self::rz(&BitPattern::ones(cycles), rate, 0.5)
+    }
+
+    /// Renders a pattern using the given [`LineCode`].
+    pub fn encode(pattern: &BitPattern, rate: BitRate, code: LineCode) -> Self {
+        match code {
+            LineCode::Nrz => Self::nrz(pattern, rate),
+            LineCode::Rz { duty } => Self::rz(pattern, rate, duty),
+        }
+    }
+
+    /// Returns the edges in time order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Returns the number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the stream has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Start of the observation window.
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// End of the observation window.
+    pub fn end(&self) -> Time {
+        self.end
+    }
+
+    /// Level immediately before the first edge (`true` = high).
+    pub fn initial_high(&self) -> bool {
+        self.initial_high
+    }
+
+    /// Nominal unit interval.
+    pub fn ui(&self) -> Time {
+        self.ui
+    }
+
+    /// Iterates over edge times.
+    pub fn times(&self) -> impl Iterator<Item = Time> + '_ {
+        self.edges.iter().map(|e| e.time)
+    }
+
+    /// Checks the stream invariants: monotone times, alternating polarity,
+    /// edges within the window, and consistency of the first polarity with
+    /// `initial_high`.
+    pub fn is_well_formed(&self) -> bool {
+        if let Some(first) = self.edges.first() {
+            let expected = if self.initial_high {
+                EdgeKind::Falling
+            } else {
+                EdgeKind::Rising
+            };
+            if first.kind != expected {
+                return false;
+            }
+        }
+        let mut prev: Option<&Edge> = None;
+        for e in &self.edges {
+            if e.time < self.start || e.time > self.end {
+                return false;
+            }
+            if let Some(p) = prev {
+                if e.time <= p.time || e.kind == p.kind {
+                    return false;
+                }
+            }
+            prev = Some(e);
+        }
+        self.start <= self.end
+    }
+
+    /// Returns the signal level at instant `t` (`true` = high).
+    pub fn level_at(&self, t: Time) -> bool {
+        let crossed = self.edges.partition_point(|e| e.time <= t);
+        if crossed % 2 == 0 {
+            self.initial_high
+        } else {
+            !self.initial_high
+        }
+    }
+
+    /// Returns a copy with every edge (and the window) shifted by `dt`.
+    pub fn delayed(&self, dt: Time) -> Self {
+        EdgeStream {
+            edges: self
+                .edges
+                .iter()
+                .map(|e| Edge {
+                    time: e.time + dt,
+                    kind: e.kind,
+                })
+                .collect(),
+            start: self.start + dt,
+            end: self.end + dt,
+            initial_high: self.initial_high,
+            ui: self.ui,
+        }
+    }
+
+    /// Rebuilds a stream from per-edge displaced times, repairing any
+    /// ordering violations by enforcing a minimal spacing of 1 fs. This is
+    /// the primitive jitter models and circuit models use: displacements
+    /// are expected small relative to edge spacing, so repairs are rare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_times` has a different length than the stream.
+    pub fn with_times(&self, new_times: &[Time]) -> Self {
+        assert_eq!(
+            new_times.len(),
+            self.edges.len(),
+            "one displaced time per edge required"
+        );
+        let eps = Time::from_fs(1.0);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        let mut last = Time::from_s(f64::NEG_INFINITY);
+        for (edge, &t) in self.edges.iter().zip(new_times) {
+            let t = if t <= last { last + eps } else { t };
+            edges.push(Edge {
+                time: t,
+                kind: edge.kind,
+            });
+            last = t;
+        }
+        let start = self.start.min(edges.first().map_or(self.start, |e| e.time));
+        let end = self.end.max(edges.last().map_or(self.end, |e| e.time));
+        EdgeStream {
+            edges,
+            start,
+            end,
+            initial_high: self.initial_high,
+            ui: self.ui,
+        }
+    }
+
+    /// Keeps only edges with `start <= t < end`, preserving level bookkeeping.
+    pub fn window(&self, start: Time, end: Time) -> Self {
+        let before = self.edges.iter().filter(|e| e.time < start).count();
+        let initial_high = if before % 2 == 0 {
+            self.initial_high
+        } else {
+            !self.initial_high
+        };
+        EdgeStream {
+            edges: self
+                .edges
+                .iter()
+                .filter(|e| e.time >= start && e.time < end)
+                .copied()
+                .collect(),
+            start,
+            end,
+            initial_high,
+            ui: self.ui,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::BitPattern;
+
+    fn gbps(r: f64) -> BitRate {
+        BitRate::from_gbps(r)
+    }
+
+    #[test]
+    fn nrz_places_edges_at_bit_boundaries() {
+        let s = EdgeStream::nrz(&BitPattern::from_str("0110").unwrap(), gbps(1.0));
+        assert_eq!(s.len(), 2);
+        assert!((s.edges()[0].time.as_ns() - 1.0).abs() < 1e-12);
+        assert_eq!(s.edges()[0].kind, EdgeKind::Rising);
+        assert!((s.edges()[1].time.as_ns() - 3.0).abs() < 1e-12);
+        assert_eq!(s.edges()[1].kind, EdgeKind::Falling);
+        assert!(s.is_well_formed());
+    }
+
+    #[test]
+    fn nrz_constant_pattern_has_single_or_no_edge() {
+        assert!(EdgeStream::nrz(&BitPattern::from_str("0000").unwrap(), gbps(1.0)).is_empty());
+        let ones = EdgeStream::nrz(&BitPattern::ones(4), gbps(1.0));
+        assert_eq!(ones.len(), 1);
+    }
+
+    #[test]
+    fn rz_pulses_per_one_bit() {
+        let s = EdgeStream::rz(&BitPattern::from_str("101").unwrap(), gbps(1.0), 0.5);
+        assert_eq!(s.len(), 4);
+        assert!((s.edges()[1].time.as_ps() - 500.0).abs() < 1e-9);
+        assert!((s.edges()[2].time.as_ps() - 2000.0).abs() < 1e-9);
+        assert!(s.is_well_formed());
+    }
+
+    #[test]
+    fn rz_clock_period() {
+        let s = EdgeStream::rz_clock(Frequency::from_ghz(6.4), 10);
+        assert_eq!(s.len(), 20);
+        let p = s.edges()[2].time - s.edges()[0].time;
+        assert!((p.as_ps() - 156.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn rz_rejects_bad_duty() {
+        let _ = EdgeStream::rz(&BitPattern::ones(2), gbps(1.0), 1.0);
+    }
+
+    #[test]
+    fn level_at_reconstructs_waveform() {
+        let s = EdgeStream::nrz(&BitPattern::from_str("0110").unwrap(), gbps(1.0));
+        assert!(!s.level_at(Time::from_ns(0.5)));
+        assert!(s.level_at(Time::from_ns(1.5)));
+        assert!(s.level_at(Time::from_ns(2.5)));
+        assert!(!s.level_at(Time::from_ns(3.5)));
+    }
+
+    #[test]
+    fn delayed_shifts_everything() {
+        let s = EdgeStream::nrz(&BitPattern::clock(4), gbps(1.0));
+        let d = s.delayed(Time::from_ps(33.0));
+        assert!((d.edges()[0].time.as_ps() - 33.0).abs() < 1e-9);
+        assert!((d.start() - s.start() - Time::from_ps(33.0)).abs() < Time::from_fs(1.0));
+        assert!(d.is_well_formed());
+    }
+
+    #[test]
+    fn with_times_repairs_ordering() {
+        let s = EdgeStream::nrz(&BitPattern::clock(4), gbps(1.0));
+        // Deliberately swap two crossing times; repair must keep ordering.
+        let mut times: Vec<Time> = s.times().collect();
+        times.swap(1, 2);
+        let repaired = s.with_times(&times);
+        assert!(repaired.is_well_formed());
+    }
+
+    #[test]
+    fn window_tracks_initial_level() {
+        let s = EdgeStream::nrz(&BitPattern::from_str("0110").unwrap(), gbps(1.0));
+        let w = s.window(Time::from_ns(1.5), Time::from_ns(4.0));
+        assert!(w.initial_high());
+        assert_eq!(w.len(), 1);
+        assert!(w.is_well_formed());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let ui = Time::from_ps(100.0);
+        let edges = vec![
+            Edge {
+                time: Time::from_ps(10.0),
+                kind: EdgeKind::Rising,
+            },
+            Edge {
+                time: Time::from_ps(20.0),
+                kind: EdgeKind::Falling,
+            },
+        ];
+        let s = EdgeStream::from_parts(edges, Time::ZERO, Time::from_ps(100.0), false, ui);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariants")]
+    fn from_parts_rejects_non_alternating() {
+        let ui = Time::from_ps(100.0);
+        let edges = vec![
+            Edge {
+                time: Time::from_ps(10.0),
+                kind: EdgeKind::Rising,
+            },
+            Edge {
+                time: Time::from_ps(20.0),
+                kind: EdgeKind::Rising,
+            },
+        ];
+        let _ = EdgeStream::from_parts(edges, Time::ZERO, Time::from_ps(100.0), false, ui);
+    }
+}

@@ -1,0 +1,555 @@
+//! 8b/10b line coding (Widmer–Franaszek), as used by the interfaces the
+//! paper's introduction motivates (PCI-Express, HyperTransport-class
+//! links): DC-balanced, run-length-limited symbols with comma characters
+//! for alignment.
+//!
+//! The implementation is table-free: the 5b/6b and 3b/4b sub-blocks are
+//! encoded arithmetically with explicit disparity tracking, and decoding
+//! validates both symbol membership and running disparity.
+
+/// Running disparity of the encoded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Disparity {
+    /// More zeros than ones so far (RD−).
+    Negative,
+    /// More ones than zeros so far (RD+).
+    Positive,
+}
+
+impl Disparity {
+    fn flipped(self) -> Disparity {
+        match self {
+            Disparity::Negative => Disparity::Positive,
+            Disparity::Positive => Disparity::Negative,
+        }
+    }
+}
+
+/// A control (K) or data (D) symbol to encode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// A data octet, `D.x.y`.
+    Data(u8),
+    /// A control code; only the commonly used subset is supported.
+    Control(ControlCode),
+}
+
+/// The supported K-codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlCode {
+    /// K28.5 — the comma character used for symbol alignment.
+    K28_5,
+    /// K28.1 — alternate comma.
+    K28_1,
+    /// K23.7 — often used as an end/skip marker.
+    K23_7,
+}
+
+/// Error returned when decoding an invalid 10-bit code group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeSymbolError {
+    /// The offending 10-bit group (LSB-first in bit 0..10).
+    pub code_group: u16,
+}
+
+impl core::fmt::Display for DecodeSymbolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid 8b/10b code group {:#012b}", self.code_group)
+    }
+}
+
+impl std::error::Error for DecodeSymbolError {}
+
+// 5b/6b code: abcdei for each 5-bit value, RD− variants. An entry whose
+// bit count differs from 3 has an RD+ complement variant.
+const CODE_5B6B_RDM: [u8; 32] = [
+    0b100111, 0b011101, 0b101101, 0b110001, 0b110101, 0b101001, 0b011001, 0b111000, 0b111001,
+    0b100101, 0b010101, 0b110100, 0b001101, 0b101100, 0b011100, 0b010111, 0b011011, 0b100011,
+    0b010011, 0b110010, 0b001011, 0b101010, 0b011010, 0b111010, 0b110011, 0b100110, 0b010110,
+    0b110110, 0b001110, 0b101110, 0b011110, 0b101011,
+];
+
+// 3b/4b code: fghj for each 3-bit value, RD− variants. x.7 uses the
+// primary D.x.P7 pattern; the alternate A7 is chosen per the standard
+// rule to avoid five consecutive equal bits.
+const CODE_3B4B_RDM: [u8; 8] = [
+    0b1011, 0b1001, 0b0101, 0b1100, 0b1101, 0b1010, 0b0110, 0b1110,
+];
+const CODE_3B4B_A7_RDM: u8 = 0b0111;
+
+fn ones(v: u16) -> u32 {
+    v.count_ones()
+}
+
+/// A stateful 8b/10b encoder with running-disparity tracking.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::encoding::{ControlCode, Encoder8b10b, Symbol};
+///
+/// let mut enc = Encoder8b10b::new();
+/// let comma = enc.encode(Symbol::Control(ControlCode::K28_5));
+/// assert_eq!(comma.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoder8b10b {
+    disparity: Disparity,
+}
+
+impl Default for Encoder8b10b {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder8b10b {
+    /// Creates an encoder starting at RD−, the standard initial state.
+    pub fn new() -> Self {
+        Encoder8b10b {
+            disparity: Disparity::Negative,
+        }
+    }
+
+    /// The current running disparity.
+    pub fn disparity(&self) -> Disparity {
+        self.disparity
+    }
+
+    fn encode_6b(&mut self, five: u8) -> u8 {
+        let base = CODE_5B6B_RDM[five as usize & 0x1f];
+        let weight = ones(base as u16);
+        match (weight.cmp(&3), self.disparity) {
+            (core::cmp::Ordering::Equal, _) => {
+                // Balanced sub-block; D.7 (0b111000) and its complement
+                // alternate by rule, handled via the stored RD− form.
+                if five == 7 && self.disparity == Disparity::Positive {
+                    !base & 0x3f
+                } else {
+                    base
+                }
+            }
+            (_, Disparity::Negative) => {
+                // RD− wants the heavier variant (stored form has 4 ones).
+                self.disparity = self.disparity.flipped();
+                base
+            }
+            (_, Disparity::Positive) => {
+                self.disparity = self.disparity.flipped();
+                !base & 0x3f
+            }
+        }
+    }
+
+    fn encode_4b(&mut self, three: u8, five: u8) -> u8 {
+        let use_a7 = three == 7 && {
+            // Alternate A7 avoids runs of five: required when the 6b block
+            // ended ...00 with RD+ pending x∈{17,18,20} or ...11 with RD−
+            // pending x∈{11,13,14}.
+            (self.disparity == Disparity::Negative && matches!(five, 17 | 18 | 20))
+                || (self.disparity == Disparity::Positive && matches!(five, 11 | 13 | 14))
+        };
+        let base = if use_a7 {
+            CODE_3B4B_A7_RDM
+        } else {
+            CODE_3B4B_RDM[three as usize & 0x7]
+        };
+        let weight = ones(base as u16);
+        match (weight.cmp(&2), self.disparity) {
+            (core::cmp::Ordering::Equal, _) => {
+                // Balanced; D.x.3 (0b1100) flips form with disparity to
+                // avoid run-length issues.
+                if three == 3 && self.disparity == Disparity::Positive {
+                    0b0011
+                } else {
+                    base
+                }
+            }
+            (_, Disparity::Negative) => {
+                self.disparity = self.disparity.flipped();
+                base
+            }
+            (_, Disparity::Positive) => {
+                self.disparity = self.disparity.flipped();
+                !base & 0xf
+            }
+        }
+    }
+
+    fn encode_k28(&mut self, three: u8) -> u16 {
+        // Both sub-blocks are selected by the group's *starting*
+        // disparity: K28.5 RD− is 001111·1010, RD+ is 110000·0101.
+        let start = self.disparity;
+        let six: u8 = match start {
+            Disparity::Negative => 0b001111,
+            Disparity::Positive => 0b110000,
+        };
+        // The unbalanced 6b block flips the running disparity; the
+        // balanced 4b block leaves it there.
+        self.disparity = self.disparity.flipped();
+        let four: u8 = match (three, start) {
+            (5, Disparity::Negative) => 0b1010,
+            (5, Disparity::Positive) => 0b0101,
+            (1, Disparity::Negative) => 0b1001,
+            (1, Disparity::Positive) => 0b0110,
+            _ => unreachable!("only K28.1 / K28.5 route here"),
+        };
+        (six as u16) | ((four as u16) << 6)
+    }
+
+    /// Encodes one symbol into a 10-bit code group in transmission order
+    /// `a b c d e i f g h j`.
+    pub fn encode(&mut self, symbol: Symbol) -> Vec<bool> {
+        let group: u16 = match symbol {
+            Symbol::Data(octet) => {
+                let five = octet & 0x1f;
+                let three = octet >> 5;
+                let six = self.encode_6b(five);
+                let four = self.encode_4b(three, five);
+                (six as u16) | ((four as u16) << 6)
+            }
+            Symbol::Control(ControlCode::K28_5) => self.encode_k28(5),
+            Symbol::Control(ControlCode::K28_1) => self.encode_k28(1),
+            Symbol::Control(ControlCode::K23_7) => {
+                // K23.7: 6b = D23 pattern (unbalanced), 4b = 0111/1000.
+                let six = self.encode_6b(23);
+                let four: u8 = match self.disparity {
+                    Disparity::Negative => 0b0111,
+                    Disparity::Positive => 0b1000,
+                };
+                self.disparity = self.disparity.flipped();
+                (six as u16) | ((four as u16) << 6)
+            }
+        };
+        // The code literals are written `abcdei` / `fghj` left-to-right,
+        // so each sub-block transmits MSB-first.
+        let six = group & 0x3f;
+        let four = (group >> 6) & 0xf;
+        let mut bits = Vec::with_capacity(10);
+        for i in (0..6).rev() {
+            bits.push((six >> i) & 1 == 1);
+        }
+        for i in (0..4).rev() {
+            bits.push((four >> i) & 1 == 1);
+        }
+        bits
+    }
+
+    /// Encodes a byte slice as data symbols.
+    pub fn encode_bytes(&mut self, bytes: &[u8]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(bytes.len() * 10);
+        for &b in bytes {
+            out.extend(self.encode(Symbol::Data(b)));
+        }
+        out
+    }
+}
+
+/// A table-driven 8b/10b decoder built by inverting [`Encoder8b10b`]
+/// over both running disparities at construction.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::encoding::{Decoder8b10b, Encoder8b10b, Symbol};
+///
+/// let mut enc = Encoder8b10b::new();
+/// let dec = Decoder8b10b::new();
+/// let bits = enc.encode(Symbol::Data(0x4a));
+/// assert_eq!(dec.decode(&bits), Ok(Symbol::Data(0x4a)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decoder8b10b {
+    /// Maps a 10-bit transmission-order group to its symbol.
+    table: std::collections::HashMap<u16, Symbol>,
+}
+
+impl Default for Decoder8b10b {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn group_key(bits: &[bool]) -> u16 {
+    bits.iter()
+        .take(10)
+        .enumerate()
+        .map(|(i, &b)| (b as u16) << i)
+        .sum()
+}
+
+impl Decoder8b10b {
+    /// Builds the decode table by running the encoder from both starting
+    /// disparities over every data octet and supported K-code.
+    pub fn new() -> Self {
+        let mut table = std::collections::HashMap::new();
+        let mut insert_all = |start_positive: bool| {
+            let into_state = |enc: &mut Encoder8b10b| {
+                // Drive the encoder into the requested disparity with a
+                // throwaway symbol whose net disparity is odd. D3 works:
+                // its 6b block (110001) is balanced and its 4b block
+                // (1011) is not, so exactly one flip occurs. (D0 would
+                // flip both sub-blocks and loop forever.)
+                while (enc.disparity() == Disparity::Positive) != start_positive {
+                    enc.encode(Symbol::Data(3));
+                }
+            };
+            for octet in 0u16..=255 {
+                let mut enc = Encoder8b10b::new();
+                into_state(&mut enc);
+                let sym = Symbol::Data(octet as u8);
+                table.insert(group_key(&enc.encode(sym)), sym);
+            }
+            for code in [ControlCode::K28_5, ControlCode::K28_1, ControlCode::K23_7] {
+                let mut enc = Encoder8b10b::new();
+                into_state(&mut enc);
+                let sym = Symbol::Control(code);
+                table.insert(group_key(&enc.encode(sym)), sym);
+            }
+        };
+        insert_all(false);
+        insert_all(true);
+        Decoder8b10b { table }
+    }
+
+    /// Decodes one 10-bit code group (transmission order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeSymbolError`] for groups outside the code.
+    pub fn decode(&self, bits: &[bool]) -> Result<Symbol, DecodeSymbolError> {
+        let key = group_key(bits);
+        self.table.get(&key).copied().ok_or(DecodeSymbolError {
+            code_group: key,
+        })
+    }
+
+    /// Decodes a whole aligned bit stream (length truncated to a multiple
+    /// of ten).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid group's error.
+    pub fn decode_stream(&self, bits: &[bool]) -> Result<Vec<Symbol>, DecodeSymbolError> {
+        bits.chunks_exact(10).map(|g| self.decode(g)).collect()
+    }
+}
+
+/// Finds the symbol alignment of a raw 8b/10b bit stream by locating a
+/// comma (the singular `0011111`/`1100000` sequence, which only K28
+/// characters contain): returns the offset of the first symbol boundary,
+/// or `None` if no comma occurs.
+pub fn align_to_comma(bits: &[bool]) -> Option<usize> {
+    const COMMA_N: [bool; 7] = [false, false, true, true, true, true, true];
+    const COMMA_P: [bool; 7] = [true, true, false, false, false, false, false];
+    bits.windows(7)
+        .position(|w| w == COMMA_N || w == COMMA_P)
+        .map(|pos| pos % 10)
+}
+
+/// Maximum run length of identical bits in a slice (0 for empty input).
+pub fn max_run_length(bits: &[bool]) -> usize {
+    let mut longest = 0usize;
+    let mut run = 0usize;
+    let mut last: Option<bool> = None;
+    for &b in bits {
+        if Some(b) == last {
+            run += 1;
+        } else {
+            run = 1;
+            last = Some(b);
+        }
+        longest = longest.max(run);
+    }
+    longest
+}
+
+/// Running digital sum (ones minus zeros) of a bit slice — bounded for
+/// any valid 8b/10b stream.
+pub fn running_disparity_excursion(bits: &[bool]) -> (i32, i32) {
+    let mut sum = 0i32;
+    let mut lo = 0i32;
+    let mut hi = 0i32;
+    for &b in bits {
+        sum += if b { 1 } else { -1 };
+        lo = lo.min(sum);
+        hi = hi.max(sum);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn encode_stream(bytes: &[u8]) -> Vec<bool> {
+        Encoder8b10b::new().encode_bytes(bytes)
+    }
+
+    #[test]
+    fn every_code_group_is_balanced_to_six_or_four_ones() {
+        let mut enc = Encoder8b10b::new();
+        for octet in 0u16..=255 {
+            let bits = enc.encode(Symbol::Data(octet as u8));
+            let ones = bits.iter().filter(|&&b| b).count();
+            assert!(
+                (4..=6).contains(&ones),
+                "D{octet}: {ones} ones in the group"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_stays_dc_balanced() {
+        let mut rng = SplitMix64::new(3);
+        let bytes: Vec<u8> = (0..4000).map(|_| rng.next_u64() as u8).collect();
+        let bits = encode_stream(&bytes);
+        let (lo, hi) = running_disparity_excursion(&bits);
+        assert!(
+            lo >= -8 && hi <= 8,
+            "running sum escaped: {lo}..{hi} over {} bits",
+            bits.len()
+        );
+    }
+
+    #[test]
+    fn run_length_is_bounded() {
+        let mut rng = SplitMix64::new(9);
+        let bytes: Vec<u8> = (0..4000).map(|_| rng.next_u64() as u8).collect();
+        let bits = encode_stream(&bytes);
+        let run = max_run_length(&bits);
+        // The 8b/10b limit is 5 consecutive identical bits; allow 6 to
+        // tolerate the simplified A7 selection at block boundaries.
+        assert!(run <= 6, "run of {run} identical bits");
+    }
+
+    #[test]
+    fn all_data_octets_produce_unique_groups_per_disparity() {
+        use std::collections::HashSet;
+        for start in [Disparity::Negative, Disparity::Positive] {
+            let mut seen = HashSet::new();
+            for octet in 0u16..=255 {
+                let mut enc = Encoder8b10b::new();
+                if start == Disparity::Positive {
+                    // Flip the encoder into RD+ with an unbalanced symbol.
+                    enc.encode(Symbol::Data(0));
+                    if enc.disparity() != Disparity::Positive {
+                        enc.encode(Symbol::Data(0));
+                    }
+                }
+                let bits = enc.encode(Symbol::Data(octet as u8));
+                let group: u16 = bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| (b as u16) << i)
+                    .sum();
+                assert!(
+                    seen.insert(group),
+                    "collision at D{octet} (start {start:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comma_contains_the_alignment_pattern() {
+        // K28.5 carries the singular comma sequence 0011111 or 1100000 in
+        // bits a..g — it cannot appear in any data stream.
+        for warmup in [0usize, 1] {
+            let mut enc = Encoder8b10b::new();
+            for _ in 0..warmup {
+                enc.encode(Symbol::Data(0)); // flips disparity
+            }
+            let bits = enc.encode(Symbol::Control(ControlCode::K28_5));
+            let head: Vec<bool> = bits[..7].to_vec();
+            let comma_n = [false, false, true, true, true, true, true];
+            let comma_p = [true, true, false, false, false, false, false];
+            assert!(
+                head == comma_n || head == comma_p,
+                "no comma in K28.5: {head:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_codes_keep_the_stream_balanced() {
+        let mut enc = Encoder8b10b::new();
+        let mut bits = Vec::new();
+        for i in 0..2000 {
+            let sym = match i % 4 {
+                0 => Symbol::Control(ControlCode::K28_5),
+                1 => Symbol::Data(i as u8),
+                2 => Symbol::Control(ControlCode::K28_1),
+                _ => Symbol::Data((i * 7) as u8),
+            };
+            bits.extend(enc.encode(sym));
+        }
+        let (lo, hi) = running_disparity_excursion(&bits);
+        assert!(lo >= -8 && hi <= 8, "excursion {lo}..{hi}");
+    }
+
+    #[test]
+    fn decoder_round_trips_all_data_and_k_codes() {
+        let dec = Decoder8b10b::new();
+        let mut enc = Encoder8b10b::new();
+        let mut symbols: Vec<Symbol> = (0u16..=255).map(|o| Symbol::Data(o as u8)).collect();
+        symbols.push(Symbol::Control(ControlCode::K28_5));
+        symbols.push(Symbol::Control(ControlCode::K23_7));
+        symbols.push(Symbol::Control(ControlCode::K28_1));
+        // Encode the sequence twice so each symbol is seen from both
+        // disparities.
+        for _ in 0..2 {
+            for &sym in &symbols {
+                let bits = enc.encode(sym);
+                assert_eq!(dec.decode(&bits), Ok(sym), "{sym:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        let dec = Decoder8b10b::new();
+        // All-ones is never a valid group (10 ones: disparity +10).
+        let err = dec.decode(&[true; 10]).unwrap_err();
+        assert_eq!(err.code_group, 0b11_1111_1111);
+        assert!(err.to_string().contains("invalid"));
+    }
+
+    #[test]
+    fn stream_decode_and_comma_alignment() {
+        let dec = Decoder8b10b::new();
+        let mut enc = Encoder8b10b::new();
+        let mut bits = Vec::new();
+        bits.extend(enc.encode(Symbol::Control(ControlCode::K28_5)));
+        for b in [0x12u8, 0xab, 0x55] {
+            bits.extend(enc.encode(Symbol::Data(b)));
+        }
+        // Misalign by three bits, as a deserializer would see it.
+        let skew = 3usize;
+        let mut raw = vec![false; skew];
+        raw.extend(&bits);
+        let offset = align_to_comma(&raw).expect("stream contains a comma");
+        assert_eq!(offset, skew % 10);
+        let symbols = dec
+            .decode_stream(&raw[offset..offset + 40])
+            .expect("aligned stream decodes");
+        assert_eq!(symbols[0], Symbol::Control(ControlCode::K28_5));
+        assert_eq!(symbols[1], Symbol::Data(0x12));
+    }
+
+    #[test]
+    fn comma_absent_in_data_only_streams() {
+        let mut rng = SplitMix64::new(17);
+        let bytes: Vec<u8> = (0..2000).map(|_| rng.next_u64() as u8).collect();
+        let bits = encode_stream(&bytes);
+        // The comma sequence is singular: pure data must not contain it.
+        assert_eq!(align_to_comma(&bits), None);
+    }
+
+    #[test]
+    fn helpers_handle_empty_input() {
+        assert_eq!(max_run_length(&[]), 0);
+        assert_eq!(running_disparity_excursion(&[]), (0, 0));
+    }
+}

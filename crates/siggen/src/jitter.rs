@@ -1,0 +1,312 @@
+//! Composable jitter models.
+//!
+//! A [`JitterModel`] maps each edge of a stream to a small time
+//! displacement. The classic decomposition — random jitter (RJ, Gaussian,
+//! unbounded), periodic jitter (PJ, sinusoidal), duty-cycle distortion
+//! (DCD, polarity-dependent) and other bounded deterministic jitter —
+//! is mirrored by one type per component plus [`CompositeJitter`] to stack
+//! them. The paper's Fig. 13 input (a DUT output signal with
+//! approximately 26 ps of peak-to-peak jitter) is modelled as RJ + PJ.
+
+use crate::edges::{EdgeKind, EdgeStream};
+use crate::rng::SplitMix64;
+use vardelay_units::{Frequency, Time};
+
+/// A source of per-edge timing displacement.
+///
+/// Implementors are stateful (RNG streams, oscillator phase) and are driven
+/// once per edge in time order.
+pub trait JitterModel {
+    /// Returns the displacement for the edge with index `index`, nominal
+    /// time `time` and polarity `kind`.
+    fn displacement(&mut self, index: usize, time: Time, kind: EdgeKind) -> Time;
+
+    /// Applies the model to a whole stream, producing a displaced copy.
+    ///
+    /// Ordering violations caused by large displacements are repaired with
+    /// a 1 fs minimum spacing (see [`EdgeStream::with_times`]).
+    fn apply(&mut self, stream: &EdgeStream) -> EdgeStream
+    where
+        Self: Sized,
+    {
+        let times: Vec<Time> = stream
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.time + self.displacement(i, e.time, e.kind))
+            .collect();
+        stream.with_times(&times)
+    }
+}
+
+/// Unbounded Gaussian random jitter with a given RMS value.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::{BitPattern, EdgeStream, GaussianRj, JitterModel};
+/// use vardelay_units::{BitRate, Time};
+///
+/// let s = EdgeStream::nrz(&BitPattern::clock(100), BitRate::from_gbps(1.0));
+/// let j = GaussianRj::new(Time::from_ps(2.0), 1).apply(&s);
+/// assert_eq!(j.len(), s.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianRj {
+    sigma: Time,
+    rng: SplitMix64,
+}
+
+impl GaussianRj {
+    /// Creates Gaussian RJ with standard deviation `sigma`.
+    pub fn new(sigma: Time, seed: u64) -> Self {
+        GaussianRj {
+            sigma,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Returns the RMS value.
+    pub fn sigma(&self) -> Time {
+        self.sigma
+    }
+}
+
+impl JitterModel for GaussianRj {
+    fn displacement(&mut self, _index: usize, _time: Time, _kind: EdgeKind) -> Time {
+        self.sigma * self.rng.gaussian()
+    }
+}
+
+/// Sinusoidal periodic jitter: `A·sin(2π·f·t + φ)`.
+#[derive(Debug, Clone)]
+pub struct SinusoidalPj {
+    amplitude: Time,
+    frequency: Frequency,
+    phase: f64,
+}
+
+impl SinusoidalPj {
+    /// Creates PJ with peak displacement `amplitude` at `frequency`,
+    /// starting at phase `phase` radians.
+    pub fn new(amplitude: Time, frequency: Frequency, phase: f64) -> Self {
+        SinusoidalPj {
+            amplitude,
+            frequency,
+            phase,
+        }
+    }
+
+    /// Peak-to-peak displacement contributed by this component (2·A).
+    pub fn peak_to_peak(&self) -> Time {
+        self.amplitude * 2.0
+    }
+}
+
+impl JitterModel for SinusoidalPj {
+    fn displacement(&mut self, _index: usize, time: Time, _kind: EdgeKind) -> Time {
+        let arg = 2.0 * core::f64::consts::PI * self.frequency.as_hz() * time.as_s() + self.phase;
+        self.amplitude * arg.sin()
+    }
+}
+
+/// Duty-cycle distortion: a fixed displacement applied to falling edges
+/// only, compressing or stretching the high phase.
+#[derive(Debug, Clone, Copy)]
+pub struct DutyCycleDistortion {
+    falling_shift: Time,
+}
+
+impl DutyCycleDistortion {
+    /// Creates DCD that moves every falling edge by `falling_shift`
+    /// (positive = later = wider high pulses).
+    pub fn new(falling_shift: Time) -> Self {
+        DutyCycleDistortion { falling_shift }
+    }
+}
+
+impl JitterModel for DutyCycleDistortion {
+    fn displacement(&mut self, _index: usize, _time: Time, kind: EdgeKind) -> Time {
+        match kind {
+            EdgeKind::Rising => Time::ZERO,
+            EdgeKind::Falling => self.falling_shift,
+        }
+    }
+}
+
+/// Bounded uniform jitter in `[-amplitude/2, +amplitude/2]` — a generic
+/// stand-in for bounded uncorrelated deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct BoundedUniformJitter {
+    amplitude: Time,
+    rng: SplitMix64,
+}
+
+impl BoundedUniformJitter {
+    /// Creates bounded jitter with total width `amplitude` (peak-to-peak).
+    pub fn new(amplitude: Time, seed: u64) -> Self {
+        BoundedUniformJitter {
+            amplitude,
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl JitterModel for BoundedUniformJitter {
+    fn displacement(&mut self, _index: usize, _time: Time, _kind: EdgeKind) -> Time {
+        self.amplitude * (self.rng.next_f64() - 0.5)
+    }
+}
+
+/// A stack of jitter components whose displacements add.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::{CompositeJitter, GaussianRj, SinusoidalPj};
+/// use vardelay_units::{Frequency, Time};
+///
+/// // The paper's Fig. 13 DUT-like input: RJ plus a PJ tone.
+/// let model = CompositeJitter::new()
+///     .with(GaussianRj::new(Time::from_ps(1.5), 7))
+///     .with(SinusoidalPj::new(Time::from_ps(6.0), Frequency::from_mhz(100.0), 0.0));
+/// assert_eq!(model.components(), 2);
+/// ```
+#[derive(Default)]
+pub struct CompositeJitter {
+    parts: Vec<Box<dyn JitterModel + Send>>,
+}
+
+impl CompositeJitter {
+    /// Creates an empty composite (zero displacement).
+    pub fn new() -> Self {
+        CompositeJitter::default()
+    }
+
+    /// Adds a component, builder style.
+    pub fn with<M: JitterModel + Send + 'static>(mut self, model: M) -> Self {
+        self.parts.push(Box::new(model));
+        self
+    }
+
+    /// Returns the number of stacked components.
+    pub fn components(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+impl core::fmt::Debug for CompositeJitter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CompositeJitter")
+            .field("components", &self.parts.len())
+            .finish()
+    }
+}
+
+impl JitterModel for CompositeJitter {
+    fn displacement(&mut self, index: usize, time: Time, kind: EdgeKind) -> Time {
+        self.parts
+            .iter_mut()
+            .map(|m| m.displacement(index, time, kind))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::BitPattern;
+    use vardelay_units::BitRate;
+
+    fn stream(n: usize) -> EdgeStream {
+        EdgeStream::nrz(&BitPattern::clock(n), BitRate::from_gbps(1.0))
+    }
+
+    fn displacements(stream: &EdgeStream, jittered: &EdgeStream) -> Vec<f64> {
+        stream
+            .times()
+            .zip(jittered.times())
+            .map(|(a, b)| (b - a).as_ps())
+            .collect()
+    }
+
+    #[test]
+    fn gaussian_rj_statistics() {
+        let s = stream(20_000);
+        let sigma = Time::from_ps(2.0);
+        let j = GaussianRj::new(sigma, 11).apply(&s);
+        let d = displacements(&s, &j);
+        let mean = d.iter().sum::<f64>() / d.len() as f64;
+        let rms = (d.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / d.len() as f64).sqrt();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((rms - 2.0).abs() < 0.1, "rms {rms}");
+    }
+
+    #[test]
+    fn sinusoidal_pj_is_bounded_and_periodic() {
+        let s = stream(10_000);
+        let amp = Time::from_ps(5.0);
+        let j = SinusoidalPj::new(amp, Frequency::from_mhz(50.0), 0.0).apply(&s);
+        let d = displacements(&s, &j);
+        let max = d.iter().cloned().fold(f64::MIN, f64::max);
+        let min = d.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max <= 5.0 + 1e-9 && min >= -5.0 - 1e-9);
+        // With 10k edges over many PJ cycles the swing is fully explored.
+        assert!(max > 4.9 && min < -4.9, "pp {}", max - min);
+    }
+
+    #[test]
+    fn dcd_moves_only_falling_edges() {
+        let s = stream(10);
+        let j = DutyCycleDistortion::new(Time::from_ps(7.0)).apply(&s);
+        for (orig, moved) in s.edges().iter().zip(j.edges()) {
+            let d = (moved.time - orig.time).as_ps();
+            match orig.kind {
+                EdgeKind::Rising => assert!(d.abs() < 1e-9),
+                EdgeKind::Falling => assert!((d - 7.0).abs() < 1e-9),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_uniform_respects_amplitude() {
+        let s = stream(5000);
+        let j = BoundedUniformJitter::new(Time::from_ps(4.0), 3).apply(&s);
+        for d in displacements(&s, &j) {
+            assert!(d.abs() <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn composite_sums_components() {
+        let s = stream(100);
+        let mut c = CompositeJitter::new()
+            .with(DutyCycleDistortion::new(Time::from_ps(3.0)))
+            .with(DutyCycleDistortion::new(Time::from_ps(4.0)));
+        let j = c.apply(&s);
+        let falling: Vec<f64> = s
+            .edges()
+            .iter()
+            .zip(j.edges())
+            .filter(|(o, _)| o.kind == EdgeKind::Falling)
+            .map(|(o, m)| (m.time - o.time).as_ps())
+            .collect();
+        assert!(falling.iter().all(|d| (d - 7.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn apply_preserves_well_formedness_under_heavy_jitter() {
+        let s = stream(1000);
+        // Sigma comparable to the UI: collisions guaranteed, repair must hold.
+        let j = GaussianRj::new(Time::from_ps(600.0), 17).apply(&s);
+        assert!(j.is_well_formed());
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let s = stream(50);
+        let a = GaussianRj::new(Time::from_ps(1.0), 9).apply(&s);
+        let b = GaussianRj::new(Time::from_ps(1.0), 9).apply(&s);
+        assert_eq!(a, b);
+    }
+}

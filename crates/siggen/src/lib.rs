@@ -1,0 +1,53 @@
+//! Digital stimulus generation for the `vardelay` suite.
+//!
+//! This crate plays the role of the paper's bench signal generator (NRZ data
+//! to 7 Gb/s, RZ clocks to 6.8 GHz): it produces deterministic, seeded,
+//! fully-characterized test signals as **edge streams** — ordered lists of
+//! transition times — which the waveform engine then renders into sampled
+//! analog waveforms.
+//!
+//! * [`prbs`] — maximal-length LFSR pseudo-random bit sequences
+//!   (PRBS7 … PRBS31), the standard serial-link test patterns.
+//! * [`pattern`] — finite bit patterns (clock 1010…, custom, PRBS captures).
+//! * [`edges`] — [`EdgeStream`]: NRZ / RZ transition streams at a bit rate.
+//! * [`jitter`] — composable jitter models (Gaussian RJ, sinusoidal PJ,
+//!   duty-cycle distortion, bounded uniform) applied to edge streams.
+//! * [`rng`] — a tiny, stable [`SplitMix64`] generator so results never
+//!   depend on external RNG implementation details.
+//!
+//! # Examples
+//!
+//! Generate a jittered 6.4 Gb/s PRBS7 stream, like the DUT output the paper
+//! delays in Fig. 13:
+//!
+//! ```
+//! use vardelay_siggen::{BitPattern, EdgeStream, GaussianRj, JitterModel};
+//! use vardelay_units::{BitRate, Time};
+//!
+//! let pattern = BitPattern::prbs7(1, 254);
+//! let clean = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
+//! let mut rj = GaussianRj::new(Time::from_ps(1.2), 42);
+//! let noisy = rj.apply(&clean);
+//! assert_eq!(noisy.len(), clean.len());
+//! ```
+
+pub mod compliance;
+pub mod edges;
+pub mod encoding;
+pub mod jitter;
+pub mod pattern;
+pub mod prbs;
+pub mod rng;
+pub mod scrambler;
+pub mod stats;
+
+pub use edges::{Edge, EdgeKind, EdgeStream};
+pub use encoding::{align_to_comma, ControlCode, Decoder8b10b, Encoder8b10b, Symbol};
+pub use jitter::{
+    BoundedUniformJitter, CompositeJitter, DutyCycleDistortion, GaussianRj, JitterModel,
+    SinusoidalPj,
+};
+pub use pattern::{BitPattern, LineCode};
+pub use prbs::{Prbs, PrbsOrder};
+pub use rng::SplitMix64;
+pub use scrambler::Scrambler;

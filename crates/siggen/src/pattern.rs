@@ -1,0 +1,253 @@
+//! Finite bit patterns and line codes.
+
+use crate::prbs::{Prbs, PrbsOrder};
+
+/// How a bit pattern is mapped onto the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LineCode {
+    /// Non-return-to-zero: the level holds for the whole bit period and
+    /// only changes when consecutive bits differ.
+    Nrz,
+    /// Return-to-zero: each `1` bit is a pulse of `duty` × bit-period width;
+    /// `0` bits stay low. An all-ones RZ pattern is a clock.
+    Rz {
+        /// Pulse width as a fraction of the bit period, in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+impl LineCode {
+    /// RZ with the conventional 50 % duty cycle.
+    pub const RZ_HALF: LineCode = LineCode::Rz { duty: 0.5 };
+}
+
+/// A finite sequence of bits used as a repeating stimulus pattern.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::BitPattern;
+///
+/// let clock = BitPattern::clock(8);          // 10101010
+/// assert_eq!(clock.len(), 8);
+/// let word = BitPattern::from_str("1011")?;  // literal pattern
+/// assert_eq!(word.bits(), &[true, false, true, true]);
+/// # Ok::<(), vardelay_siggen::pattern::ParsePatternError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitPattern {
+    bits: Vec<bool>,
+}
+
+/// Error returned by [`BitPattern::from_str`] for characters other than
+/// `0`, `1`, `_` and spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// The offending character.
+    pub character: char,
+    /// Its byte offset in the input.
+    pub position: usize,
+}
+
+impl core::fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid pattern character {:?} at byte {}",
+            self.character, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+impl BitPattern {
+    /// Creates a pattern from explicit bits.
+    pub fn new(bits: Vec<bool>) -> Self {
+        BitPattern { bits }
+    }
+
+    /// Parses a pattern literal such as `"1011_0010"`. Underscores and
+    /// spaces are ignored. Also available through [`core::str::FromStr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePatternError`] on any other character.
+    #[allow(clippy::should_implement_trait)] // the trait impl delegates here
+    pub fn from_str(s: &str) -> Result<Self, ParsePatternError> {
+        let mut bits = Vec::with_capacity(s.len());
+        for (position, character) in s.char_indices() {
+            match character {
+                '0' => bits.push(false),
+                '1' => bits.push(true),
+                '_' | ' ' => {}
+                _ => return Err(ParsePatternError { character, position }),
+            }
+        }
+        Ok(BitPattern { bits })
+    }
+
+    /// A 1010… alternating pattern of `len` bits — the densest NRZ
+    /// stimulus, used by the paper for the delay-vs-Vctrl sweep.
+    pub fn clock(len: usize) -> Self {
+        BitPattern {
+            bits: (0..len).map(|i| i % 2 == 0).collect(),
+        }
+    }
+
+    /// An all-ones pattern of `len` bits. Under [`LineCode::Rz`] this is a
+    /// pulse-train clock, the paper's stress stimulus above 7 Gb/s.
+    pub fn ones(len: usize) -> Self {
+        BitPattern {
+            bits: vec![true; len],
+        }
+    }
+
+    /// The first `len` bits of a seeded PRBS of the given order.
+    pub fn prbs(order: PrbsOrder, seed: u64, len: usize) -> Self {
+        BitPattern {
+            bits: Prbs::new(order, seed).take(len).collect(),
+        }
+    }
+
+    /// Shorthand for [`BitPattern::prbs`] with [`PrbsOrder::Prbs7`].
+    pub fn prbs7(seed: u64, len: usize) -> Self {
+        Self::prbs(PrbsOrder::Prbs7, seed, len)
+    }
+
+    /// Returns the bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Returns the number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` if the pattern holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Concatenates `n` copies of the pattern.
+    pub fn repeat(&self, n: usize) -> Self {
+        let mut bits = Vec::with_capacity(self.bits.len() * n);
+        for _ in 0..n {
+            bits.extend_from_slice(&self.bits);
+        }
+        BitPattern { bits }
+    }
+
+    /// Fraction of bits that are `1` (mark density).
+    ///
+    /// Returns 0 for an empty pattern.
+    pub fn mark_density(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.bits.iter().filter(|&&b| b).count() as f64 / self.bits.len() as f64
+    }
+
+    /// Number of NRZ transitions within the pattern (not counting the wrap
+    /// from last to first bit).
+    pub fn transition_count(&self) -> usize {
+        self.bits.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+impl core::str::FromStr for BitPattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BitPattern::from_str(s)
+    }
+}
+
+impl FromIterator<bool> for BitPattern {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitPattern {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<bool> for BitPattern {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+impl core::fmt::Display for BitPattern {
+    /// Renders the bits as a `01` string (truncated with `…` beyond 64).
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for &b in self.bits.iter().take(64) {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        if self.bits.len() > 64 {
+            f.write_str("…")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_alternates() {
+        let p = BitPattern::clock(6);
+        assert_eq!(p.bits(), &[true, false, true, false, true, false]);
+        assert_eq!(p.transition_count(), 5);
+        assert!((p.mark_density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_accepts_separators() {
+        let p = BitPattern::from_str("10 1_1").unwrap();
+        assert_eq!(p.bits(), &[true, false, true, true]);
+    }
+
+    #[test]
+    fn parse_reports_position() {
+        let err = BitPattern::from_str("10x1").unwrap_err();
+        assert_eq!(err.character, 'x');
+        assert_eq!(err.position, 2);
+        assert!(err.to_string().contains("'x'"));
+    }
+
+    #[test]
+    fn repeat_concatenates() {
+        let p = BitPattern::from_str("10").unwrap().repeat(3);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.bits(), &[true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn prbs_pattern_is_balanced_over_full_period() {
+        let p = BitPattern::prbs7(1, 127);
+        assert!((p.mark_density() - 64.0 / 127.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pattern_metrics() {
+        let p = BitPattern::default();
+        assert!(p.is_empty());
+        assert_eq!(p.mark_density(), 0.0);
+        assert_eq!(p.transition_count(), 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut p: BitPattern = [true, false].into_iter().collect();
+        p.extend([true]);
+        assert_eq!(p.bits(), &[true, false, true]);
+    }
+
+    #[test]
+    fn display_truncates() {
+        assert_eq!(BitPattern::clock(4).to_string(), "1010");
+        assert!(BitPattern::ones(100).to_string().ends_with('…'));
+    }
+}

@@ -1,0 +1,128 @@
+//! Descriptive statistics over patterns and edge streams.
+
+use crate::edges::EdgeStream;
+use crate::pattern::BitPattern;
+use vardelay_units::Time;
+
+/// Summary statistics of a bit pattern's transition structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStats {
+    /// Fraction of `1` bits.
+    pub mark_density: f64,
+    /// NRZ transitions per bit (0 for constant patterns, 1 for 1010…).
+    pub transition_density: f64,
+    /// Longest run of identical bits.
+    pub longest_run: usize,
+}
+
+impl PatternStats {
+    /// Computes statistics for `pattern`.
+    ///
+    /// Returns all-zero stats for an empty pattern.
+    pub fn of(pattern: &BitPattern) -> Self {
+        let bits = pattern.bits();
+        if bits.is_empty() {
+            return PatternStats {
+                mark_density: 0.0,
+                transition_density: 0.0,
+                longest_run: 0,
+            };
+        }
+        let mut longest = 1usize;
+        let mut run = 1usize;
+        for w in bits.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        PatternStats {
+            mark_density: pattern.mark_density(),
+            transition_density: pattern.transition_count() as f64 / bits.len() as f64,
+            longest_run: longest,
+        }
+    }
+}
+
+/// Summary statistics of the spacing between consecutive edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSpacingStats {
+    /// Smallest inter-edge gap.
+    pub min: Time,
+    /// Largest inter-edge gap.
+    pub max: Time,
+    /// Mean inter-edge gap.
+    pub mean: Time,
+    /// Number of gaps measured (`len − 1`).
+    pub count: usize,
+}
+
+impl EdgeSpacingStats {
+    /// Computes spacing statistics, or `None` for streams with fewer than
+    /// two edges.
+    pub fn of(stream: &EdgeStream) -> Option<Self> {
+        let times: Vec<Time> = stream.times().collect();
+        if times.len() < 2 {
+            return None;
+        }
+        let gaps: Vec<Time> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut min = gaps[0];
+        let mut max = gaps[0];
+        let mut sum = Time::ZERO;
+        for &g in &gaps {
+            min = min.min(g);
+            max = max.max(g);
+            sum += g;
+        }
+        Some(EdgeSpacingStats {
+            min,
+            max,
+            mean: sum / gaps.len() as f64,
+            count: gaps.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_units::BitRate;
+
+    #[test]
+    fn pattern_stats_clock() {
+        let s = PatternStats::of(&BitPattern::clock(10));
+        assert!((s.mark_density - 0.5).abs() < 1e-12);
+        assert!((s.transition_density - 0.9).abs() < 1e-12);
+        assert_eq!(s.longest_run, 1);
+    }
+
+    #[test]
+    fn pattern_stats_runs() {
+        let s = PatternStats::of(&BitPattern::from_str("1110001").unwrap());
+        assert_eq!(s.longest_run, 3);
+        assert!((s.mark_density - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_stats_empty() {
+        let s = PatternStats::of(&BitPattern::default());
+        assert_eq!(s.longest_run, 0);
+    }
+
+    #[test]
+    fn spacing_stats_uniform_clock() {
+        let e = EdgeStream::nrz(&BitPattern::clock(100), BitRate::from_gbps(1.0));
+        let s = EdgeSpacingStats::of(&e).unwrap();
+        assert!((s.min.as_ns() - 1.0).abs() < 1e-9);
+        assert!((s.max.as_ns() - 1.0).abs() < 1e-9);
+        assert_eq!(s.count, 99); // 100 edges incl. the t=0 rise
+    }
+
+    #[test]
+    fn spacing_stats_needs_two_edges() {
+        let e = EdgeStream::nrz(&BitPattern::ones(4), BitRate::from_gbps(1.0));
+        assert!(EdgeSpacingStats::of(&e).is_none());
+    }
+}

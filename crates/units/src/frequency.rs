@@ -1,0 +1,217 @@
+//! The [`Frequency`] and [`BitRate`] quantities.
+
+use crate::{quantity_ops, Time};
+
+/// A repetition rate in hertz, used for clock signals and filter corners.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::Frequency;
+///
+/// let rz_clock = Frequency::from_ghz(6.4);
+/// assert!((rz_clock.period().as_ps() - 156.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Frequency(pub(crate) f64);
+
+quantity_ops!(Frequency);
+
+impl Frequency {
+    /// Creates a frequency from hertz.
+    #[inline]
+    pub const fn from_hz(hz: f64) -> Self {
+        Frequency(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub const fn from_mhz(mhz: f64) -> Self {
+        Frequency(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub const fn from_ghz(ghz: f64) -> Self {
+        Frequency(ghz * 1e9)
+    }
+
+    /// Returns the frequency in hertz.
+    #[inline]
+    pub const fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the frequency in megahertz.
+    #[inline]
+    pub fn as_mhz(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Returns the period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Time {
+        assert!(self.0 != 0.0, "period of zero frequency is undefined");
+        Time::from_s(1.0 / self.0)
+    }
+
+    /// Returns the time constant `1/(2*pi*f)` of a one-pole filter whose
+    /// −3 dB corner is at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn one_pole_tau(self) -> Time {
+        assert!(self.0 != 0.0, "time constant of zero frequency is undefined");
+        Time::from_s(1.0 / (2.0 * core::f64::consts::PI * self.0))
+    }
+
+    /// The NRZ bit rate whose fundamental (101010…) tone is this frequency:
+    /// an `f` GHz clock toggles like a `2f` Gb/s NRZ stream. The paper uses
+    /// exactly this equivalence when stressing the circuit with RZ clocks
+    /// beyond the generator's 7 Gb/s NRZ limit.
+    #[inline]
+    pub fn equivalent_nrz_rate(self) -> BitRate {
+        BitRate(self.0 * 2.0)
+    }
+}
+
+impl core::fmt::Display for Frequency {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0.abs() >= 1e9 {
+            write!(f, "{:.3} GHz", self.as_ghz())
+        } else if self.0.abs() >= 1e6 {
+            write!(f, "{:.3} MHz", self.as_mhz())
+        } else {
+            write!(f, "{:.3} Hz", self.0)
+        }
+    }
+}
+
+/// A serial data rate in bits per second.
+///
+/// Distinct from [`Frequency`] because an NRZ stream at `r` Gb/s has a
+/// fundamental at `r/2` GHz — conflating the two is the most common timing
+/// bug in test-bench code.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::BitRate;
+///
+/// let rate = BitRate::from_gbps(6.4);
+/// assert!((rate.bit_period().as_ps() - 156.25).abs() < 1e-9);
+/// assert!((rate.fundamental().as_ghz() - 3.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct BitRate(pub(crate) f64);
+
+quantity_ops!(BitRate);
+
+impl BitRate {
+    /// Creates a bit rate from bits per second.
+    #[inline]
+    pub const fn from_bps(bps: f64) -> Self {
+        BitRate(bps)
+    }
+
+    /// Creates a bit rate from megabits per second.
+    #[inline]
+    pub const fn from_mbps(mbps: f64) -> Self {
+        BitRate(mbps * 1e6)
+    }
+
+    /// Creates a bit rate from gigabits per second.
+    #[inline]
+    pub const fn from_gbps(gbps: f64) -> Self {
+        BitRate(gbps * 1e9)
+    }
+
+    /// Returns the rate in bits per second.
+    #[inline]
+    pub const fn as_bps(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the rate in gigabits per second.
+    #[inline]
+    pub fn as_gbps(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Returns the unit interval (bit period) `1/r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    #[inline]
+    pub fn bit_period(self) -> Time {
+        assert!(self.0 != 0.0, "bit period of zero rate is undefined");
+        Time::from_s(1.0 / self.0)
+    }
+
+    /// Returns the fundamental frequency of the densest (101010…) NRZ
+    /// pattern at this rate, `r/2`.
+    #[inline]
+    pub fn fundamental(self) -> Frequency {
+        Frequency(self.0 / 2.0)
+    }
+}
+
+impl core::fmt::Display for BitRate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3} Gb/s", self.as_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_and_tau() {
+        let f = Frequency::from_ghz(1.0);
+        assert!((f.period().as_ps() - 1000.0).abs() < 1e-9);
+        // tau = 1/(2*pi*1GHz) ≈ 159.15 ps
+        assert!((f.one_pole_tau().as_ps() - 159.154_943).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn zero_frequency_period_panics() {
+        let _ = Frequency::ZERO.period();
+    }
+
+    #[test]
+    fn rz_clock_to_nrz_equivalence() {
+        // Paper: a 6.4 GHz RZ clock is "in some ways comparable to a
+        // 12.8 Gb/s NRZ rate".
+        let eq = Frequency::from_ghz(6.4).equivalent_nrz_rate();
+        assert!((eq.as_gbps() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bit_rate_round_trips() {
+        assert!((BitRate::from_mbps(800.0).as_gbps() - 0.8).abs() < 1e-12);
+        assert!((BitRate::from_bps(6.4e9).as_gbps() - 6.4).abs() < 1e-12);
+        assert!((BitRate::from_gbps(4.8).bit_period().as_ps() - 208.333_333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Frequency::from_ghz(6.4)), "6.400 GHz");
+        assert_eq!(format!("{}", Frequency::from_mhz(250.0)), "250.000 MHz");
+        assert_eq!(format!("{}", BitRate::from_gbps(6.4)), "6.400 Gb/s");
+    }
+}

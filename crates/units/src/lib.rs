@@ -1,0 +1,230 @@
+//! Typed physical quantities for the `vardelay` simulation suite.
+//!
+//! Everything in the suite is measured in picoseconds, millivolts and
+//! gigahertz; raw `f64`s invite unit mistakes (the classic "was that ps or
+//! ns?"). This crate provides thin, `Copy` newtypes over `f64` SI base units
+//! with explicit constructors and accessors per scale:
+//!
+//! * [`Time`] — an instant or interval, stored in seconds.
+//! * [`Voltage`] — stored in volts.
+//! * [`Frequency`] — stored in hertz.
+//! * [`BitRate`] — stored in bits per second.
+//!
+//! # Examples
+//!
+//! ```
+//! use vardelay_units::{Time, Voltage, Frequency, BitRate};
+//!
+//! let bit = BitRate::from_gbps(6.4).bit_period();
+//! assert!((bit.as_ps() - 156.25).abs() < 1e-9);
+//!
+//! let half = bit * 0.5;
+//! assert!(half < bit);
+//!
+//! let swing = Voltage::from_mv(750.0) - Voltage::from_mv(100.0);
+//! assert!((swing.as_mv() - 650.0).abs() < 1e-9);
+//!
+//! let clk = Frequency::from_ghz(6.4);
+//! assert!((clk.period().as_ps() - 156.25).abs() < 1e-9);
+//! ```
+
+mod frequency;
+mod time;
+mod voltage;
+
+pub use frequency::{BitRate, Frequency};
+pub use time::Time;
+pub use voltage::Voltage;
+
+/// Implements arithmetic, ordering helpers, `Display` scaffolding and
+/// constructor/accessor pairs shared by all scalar quantity newtypes.
+macro_rules! quantity_ops {
+    ($ty:ident) => {
+        impl $ty {
+            /// Returns the quantity whose magnitude is zero.
+            pub const ZERO: $ty = $ty(0.0);
+
+            /// Returns the raw magnitude in SI base units.
+            #[inline]
+            pub const fn as_base(self) -> f64 {
+                self.0
+            }
+
+            /// Creates a quantity directly from SI base units.
+            #[inline]
+            pub const fn from_base(value: f64) -> Self {
+                $ty(value)
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                $ty(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $ty(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $ty(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp requires lo <= hi");
+                $ty(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Total ordering that sorts NaN last, mirroring
+            /// [`f64::total_cmp`].
+            #[inline]
+            pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            /// Returns `true` if the magnitude is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $ty {
+            type Output = $ty;
+            #[inline]
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = $ty;
+            #[inline]
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = $ty;
+            #[inline]
+            fn neg(self) -> $ty {
+                $ty(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: f64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = $ty;
+            #[inline]
+            fn div(self, rhs: f64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$ty> for $ty {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $ty) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $ty> for $ty {
+            fn sum<I: Iterator<Item = &'a $ty>>(iter: I) -> $ty {
+                $ty(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+pub(crate) use quantity_ops;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Time>();
+        assert_send_sync::<Voltage>();
+        assert_send_sync::<Frequency>();
+        assert_send_sync::<BitRate>();
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless() {
+        let r = Time::from_ps(50.0) / Time::from_ps(25.0);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Time = (1..=4).map(|i| Time::from_ps(i as f64)).sum();
+        assert!((total.as_ps() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_min_max() {
+        let t = Time::from_ps(200.0);
+        assert_eq!(
+            t.clamp(Time::from_ps(0.0), Time::from_ps(140.0)),
+            Time::from_ps(140.0)
+        );
+        assert_eq!(t.min(Time::from_ps(10.0)), Time::from_ps(10.0));
+        assert_eq!(t.max(Time::from_ps(10.0)), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn clamp_panics_on_inverted_bounds() {
+        let _ = Time::from_ps(1.0).clamp(Time::from_ps(2.0), Time::from_ps(1.0));
+    }
+}

@@ -1,0 +1,188 @@
+//! The [`Time`] quantity: instants and intervals in seconds.
+
+use crate::quantity_ops;
+
+/// An instant on the simulation timeline, or a time interval, in seconds.
+///
+/// The suite deals with sub-picosecond effects over captures of at most a
+/// few microseconds, so an `f64` of seconds (~1e-16 relative precision at
+/// 1 µs) loses nothing while keeping arithmetic ergonomic.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::Time;
+///
+/// let coarse_step = Time::from_ps(33.0);
+/// let four_taps = coarse_step * 3.0;
+/// assert!((four_taps.as_ps() - 99.0).abs() < 1e-9);
+/// assert!(Time::from_fs(500.0) < Time::from_ps(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(pub(crate) f64);
+
+quantity_ops!(Time);
+
+impl Time {
+    /// Creates a time from seconds.
+    #[inline]
+    pub const fn from_s(s: f64) -> Self {
+        Time(s)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: f64) -> Self {
+        Time(us * 1e-6)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: f64) -> Self {
+        Time(ns * 1e-9)
+    }
+
+    /// Creates a time from picoseconds — the suite's working scale.
+    #[inline]
+    pub const fn from_ps(ps: f64) -> Self {
+        Time(ps * 1e-12)
+    }
+
+    /// Creates a time from femtoseconds.
+    #[inline]
+    pub const fn from_fs(fs: f64) -> Self {
+        Time(fs * 1e-15)
+    }
+
+    /// Returns the time in seconds.
+    #[inline]
+    pub const fn as_s(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the time in microseconds.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the time in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the time in picoseconds.
+    #[inline]
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// Returns the time in femtoseconds.
+    #[inline]
+    pub fn as_fs(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Rounds toward negative infinity to a multiple of `step`, i.e. the
+    /// quantization an ATE timing generator applies to a programmed delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vardelay_units::Time;
+    /// // ATE native deskew granularity is ~100 ps.
+    /// let q = Time::from_ps(273.0).floor_to(Time::from_ps(100.0));
+    /// assert!((q.as_ps() - 200.0).abs() < 1e-9);
+    /// ```
+    pub fn floor_to(self, step: Time) -> Time {
+        assert!(step.0 > 0.0, "quantization step must be positive");
+        Time((self.0 / step.0).floor() * step.0)
+    }
+
+    /// Rounds to the nearest multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn round_to(self, step: Time) -> Time {
+        assert!(step.0 > 0.0, "quantization step must be positive");
+        Time((self.0 / step.0).round() * step.0)
+    }
+}
+
+impl core::fmt::Display for Time {
+    /// Formats with an auto-selected engineering scale, e.g. `33.000 ps`.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let a = self.0.abs();
+        let (value, unit) = if a == 0.0 || (1e-12..1e-9).contains(&a) {
+            (self.as_ps(), "ps")
+        } else if a < 1e-12 {
+            (self.as_fs(), "fs")
+        } else if a < 1e-6 {
+            (self.as_ns(), "ns")
+        } else if a < 1e-3 {
+            (self.as_us(), "us")
+        } else {
+            (self.0, "s")
+        };
+        write!(f, "{value:.3} {unit}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_round_trips() {
+        let t = Time::from_ps(156.25);
+        assert!((t.as_ns() - 0.15625).abs() < 1e-12);
+        assert!((t.as_fs() - 156_250.0).abs() < 1e-6);
+        assert!((Time::from_ns(1.0).as_ps() - 1000.0).abs() < 1e-9);
+        assert!((Time::from_us(2.0).as_ns() - 2000.0).abs() < 1e-9);
+        assert!((Time::from_s(1e-12).as_ps() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Time::from_ps(10.0);
+        let b = Time::from_ps(3.0);
+        assert!(a > b);
+        assert!((a - b).as_ps() - 7.0 < 1e-12);
+        assert!(((-b).as_ps() + 3.0).abs() < 1e-12);
+        let mut c = a;
+        c += b;
+        assert!((c.as_ps() - 13.0).abs() < 1e-12);
+        c -= a;
+        assert!((c.as_ps() - 3.0).abs() < 1e-12);
+        assert!(((2.0 * a).as_ps() - 20.0).abs() < 1e-12);
+        assert!(((a / 4.0).as_ps() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization() {
+        let step = Time::from_ps(100.0);
+        assert!((Time::from_ps(399.9).floor_to(step).as_ps() - 300.0).abs() < 1e-9);
+        assert!((Time::from_ps(350.1).round_to(step).as_ps() - 400.0).abs() < 1e-9);
+        assert!((Time::from_ps(-50.0).floor_to(step).as_ps() + 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn quantization_rejects_zero_step() {
+        let _ = Time::from_ps(1.0).floor_to(Time::ZERO);
+    }
+
+    #[test]
+    fn display_picks_engineering_scale() {
+        assert_eq!(format!("{}", Time::from_ps(33.0)), "33.000 ps");
+        assert_eq!(format!("{}", Time::from_fs(750.0)), "750.000 fs");
+        assert_eq!(format!("{}", Time::from_ns(1.5)), "1.500 ns");
+        assert_eq!(format!("{}", Time::ZERO), "0.000 ps");
+    }
+}

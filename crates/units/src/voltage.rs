@@ -1,0 +1,107 @@
+//! The [`Voltage`] quantity.
+
+use crate::quantity_ops;
+
+/// An electrical potential or swing, in volts.
+///
+/// Used for buffer output amplitudes (100–750 mV in the paper's
+/// variable-gain buffer), control voltages (`Vctrl`, 0–1.5 V) and noise
+/// amplitudes.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::Voltage;
+///
+/// let vctrl_span = Voltage::from_v(1.5);
+/// let lsb = vctrl_span / 4096.0; // 12-bit DAC
+/// assert!(lsb.as_mv() < 0.4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Voltage(pub(crate) f64);
+
+quantity_ops!(Voltage);
+
+impl Voltage {
+    /// Creates a voltage from volts.
+    #[inline]
+    pub const fn from_v(v: f64) -> Self {
+        Voltage(v)
+    }
+
+    /// Creates a voltage from millivolts.
+    #[inline]
+    pub const fn from_mv(mv: f64) -> Self {
+        Voltage(mv * 1e-3)
+    }
+
+    /// Creates a voltage from microvolts.
+    #[inline]
+    pub const fn from_uv(uv: f64) -> Self {
+        Voltage(uv * 1e-6)
+    }
+
+    /// Returns the voltage in volts.
+    #[inline]
+    pub const fn as_v(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the voltage in millivolts.
+    #[inline]
+    pub fn as_mv(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the voltage in microvolts.
+    #[inline]
+    pub fn as_uv(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Linearly interpolates between `self` and `other` by fraction
+    /// `t` (`t = 0` yields `self`, `t = 1` yields `other`). `t` outside
+    /// `[0, 1]` extrapolates.
+    #[inline]
+    pub fn lerp(self, other: Voltage, t: f64) -> Voltage {
+        Voltage(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl core::fmt::Display for Voltage {
+    /// Formats in millivolts below 1 V and volts above, e.g. `750.0 mV`.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0.abs() < 1.0 {
+            write!(f, "{:.1} mV", self.as_mv())
+        } else {
+            write!(f, "{:.3} V", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_round_trips() {
+        assert!((Voltage::from_mv(750.0).as_v() - 0.75).abs() < 1e-12);
+        assert!((Voltage::from_v(1.5).as_mv() - 1500.0).abs() < 1e-9);
+        assert!((Voltage::from_uv(500.0).as_mv() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let lo = Voltage::from_mv(100.0);
+        let hi = Voltage::from_mv(750.0);
+        assert_eq!(lo.lerp(hi, 0.0), lo);
+        assert_eq!(lo.lerp(hi, 1.0), hi);
+        assert!((lo.lerp(hi, 0.5).as_mv() - 425.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Voltage::from_mv(750.0)), "750.0 mV");
+        assert_eq!(format!("{}", Voltage::from_v(1.5)), "1.500 V");
+    }
+}

@@ -1,0 +1,152 @@
+//! Threshold-crossing extraction — the oscilloscope's timing measurement.
+
+use crate::waveform::Waveform;
+use vardelay_siggen::{Edge, EdgeKind, EdgeStream};
+use vardelay_units::Time;
+
+/// A detected threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crossing {
+    /// Interpolated crossing instant.
+    pub time: Time,
+    /// Crossing direction.
+    pub kind: EdgeKind,
+}
+
+/// Finds all crossings of `threshold` volts, with linear interpolation
+/// between samples for sub-sample timing resolution.
+///
+/// Samples exactly on the threshold resolve with the following sample's
+/// direction; flat regions on the threshold produce no crossings.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::Time;
+/// use vardelay_waveform::{crossings, Waveform};
+///
+/// let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![-0.4, 0.4, -0.4]);
+/// let xs = crossings(&wf, 0.0);
+/// assert_eq!(xs.len(), 2);
+/// assert!((xs[0].time.as_ps() - 0.5).abs() < 1e-9);
+/// ```
+pub fn crossings(wf: &Waveform, threshold: f64) -> Vec<Crossing> {
+    let samples = wf.samples();
+    let mut out = Vec::new();
+    if samples.len() < 2 {
+        return out;
+    }
+    for i in 0..samples.len() - 1 {
+        let a = samples[i] - threshold;
+        let b = samples[i + 1] - threshold;
+        // Strict sign change, or departure from an exact threshold touch.
+        let crossed = (a < 0.0 && b > 0.0) || (a > 0.0 && b < 0.0) || (a == 0.0 && b != 0.0);
+        if !crossed {
+            continue;
+        }
+        let frac = if a == 0.0 { 0.0 } else { a / (a - b) };
+        out.push(Crossing {
+            time: wf.time_of(i) + wf.dt() * frac,
+            kind: if b > a { EdgeKind::Rising } else { EdgeKind::Falling },
+        });
+    }
+    out
+}
+
+/// Converts a waveform back into an [`EdgeStream`] by extracting its
+/// `threshold` crossings. `ui` is attached as the stream's nominal unit
+/// interval for downstream eye folding.
+///
+/// Glitch pairs caused by noise riding on the threshold are removed by
+/// keeping only polarity-alternating crossings (first crossing wins).
+pub fn to_edge_stream(wf: &Waveform, threshold: f64, ui: Time) -> EdgeStream {
+    let raw = crossings(wf, threshold);
+    let mut edges: Vec<Edge> = Vec::with_capacity(raw.len());
+    for c in raw {
+        match edges.last() {
+            Some(last) if last.kind == c.kind => {} // drop same-polarity glitch
+            _ => edges.push(Edge {
+                time: c.time,
+                kind: c.kind,
+            }),
+        }
+    }
+    let initial_high = edges
+        .first()
+        .is_some_and(|e| e.kind == EdgeKind::Falling);
+    let start = wf.t0();
+    let end = wf.t0() + wf.duration();
+    EdgeStream::from_parts(edges, start, end, initial_high, ui)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RenderConfig;
+    use vardelay_siggen::BitPattern;
+    use vardelay_units::{BitRate, Voltage};
+
+    #[test]
+    fn interpolation_is_subsample_accurate() {
+        // Ramp from -0.3 to +0.1 between samples 0 and 1: crossing at 0.75.
+        let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![-0.3, 0.1]);
+        let xs = crossings(&wf, 0.0);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0].time.as_ps() - 0.75).abs() < 1e-12);
+        assert_eq!(xs[0].kind, EdgeKind::Rising);
+    }
+
+    #[test]
+    fn nonzero_threshold() {
+        let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![0.0, 0.2, 0.0]);
+        let xs = crossings(&wf, 0.1);
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].kind, EdgeKind::Rising);
+        assert_eq!(xs[1].kind, EdgeKind::Falling);
+    }
+
+    #[test]
+    fn exact_touch_resolves_once() {
+        let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![-0.1, 0.0, 0.1]);
+        let xs = crossings(&wf, 0.0);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0].time.as_ps() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_threshold_region_produces_nothing() {
+        let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![0.0, 0.0, 0.0]);
+        assert!(crossings(&wf, 0.0).is_empty());
+    }
+
+    #[test]
+    fn round_trip_stream_waveform_stream() {
+        let rate = BitRate::from_gbps(2.0);
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 64), rate);
+        let cfg = RenderConfig::new(
+            Time::from_ps(0.5),
+            Voltage::from_mv(800.0),
+            Time::from_ps(40.0),
+        );
+        let wf = Waveform::render(&stream, &cfg);
+        let back = to_edge_stream(&wf, 0.0, rate.bit_period());
+        assert_eq!(back.len(), stream.len());
+        assert!(back.is_well_formed());
+        for (a, b) in stream.edges().iter().zip(back.edges()) {
+            assert_eq!(a.kind, b.kind);
+            assert!((a.time - b.time).abs() < Time::from_ps(1.0));
+        }
+    }
+
+    #[test]
+    fn glitches_are_suppressed() {
+        // Noise blip creating rise/rise sequence is cleaned to alternation.
+        let wf = Waveform::new(
+            Time::ZERO,
+            Time::from_ps(1.0),
+            vec![-0.4, 0.4, -0.001, 0.4, -0.4],
+        );
+        let s = to_edge_stream(&wf, 0.0, Time::from_ps(10.0));
+        assert!(s.is_well_formed());
+    }
+}

@@ -1,0 +1,268 @@
+//! Eye-diagram accumulation.
+//!
+//! An [`EyeDiagram`] folds a long capture modulo two unit intervals into a
+//! raster (for rendering and vertical metrics) and collects the threshold
+//! crossing instants folded modulo one UI (for horizontal/jitter metrics).
+//! This mirrors what the paper's sampling oscilloscope displays in
+//! Figs. 12–14.
+
+use crate::crossing::crossings;
+use crate::waveform::Waveform;
+use vardelay_siggen::EdgeStream;
+use vardelay_units::Time;
+
+/// A folded eye: sample raster plus crossing-time population.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_siggen::{BitPattern, EdgeStream};
+/// use vardelay_units::{BitRate, Time, Voltage};
+/// use vardelay_waveform::{EyeDiagram, RenderConfig, Waveform};
+///
+/// let rate = BitRate::from_gbps(4.8);
+/// let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 200), rate);
+/// let wf = Waveform::render(&stream, &RenderConfig::default_source());
+/// let mut eye = EyeDiagram::new(rate.bit_period(), 64, 32, 0.5);
+/// eye.add_waveform(&wf);
+/// assert!(!eye.crossing_offsets().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EyeDiagram {
+    ui: Time,
+    cols: usize,
+    rows: usize,
+    v_limit: f64,
+    counts: Vec<u32>,
+    crossing_offsets: Vec<Time>,
+    samples_accumulated: u64,
+}
+
+impl EyeDiagram {
+    /// Creates an empty eye for signals with unit interval `ui`.
+    ///
+    /// The raster is `cols × rows` spanning two UI horizontally and
+    /// `±v_limit` volts vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ui`, `cols`, `rows` or `v_limit` is not positive.
+    pub fn new(ui: Time, cols: usize, rows: usize, v_limit: f64) -> Self {
+        assert!(ui > Time::ZERO, "unit interval must be positive");
+        assert!(cols > 0 && rows > 0, "raster must be non-empty");
+        assert!(v_limit > 0.0, "voltage limit must be positive");
+        EyeDiagram {
+            ui,
+            cols,
+            rows,
+            v_limit,
+            counts: vec![0; cols * rows],
+            crossing_offsets: Vec::new(),
+            samples_accumulated: 0,
+        }
+    }
+
+    /// The nominal unit interval.
+    pub fn ui(&self) -> Time {
+        self.ui
+    }
+
+    /// Raster width in columns (spanning two UI).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raster height in rows (spanning `±v_limit`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The raster's vertical half-span in volts.
+    pub fn v_limit(&self) -> f64 {
+        self.v_limit
+    }
+
+    /// Hit count of raster cell `(col, row)`; row 0 is the most negative
+    /// voltage.
+    pub fn count_at(&self, col: usize, row: usize) -> u32 {
+        self.counts[row * self.cols + col]
+    }
+
+    /// Total samples folded in so far.
+    pub fn samples_accumulated(&self) -> u64 {
+        self.samples_accumulated
+    }
+
+    /// Folds an instant into a phase offset in `[-ui/2, ui/2)` relative to
+    /// the nearest bit boundary.
+    pub fn fold_offset(&self, t: Time) -> Time {
+        let ui = self.ui.as_s();
+        let x = t.as_s() / ui;
+        let frac = x - x.round();
+        Time::from_s(frac * ui)
+    }
+
+    /// Accumulates a waveform: every sample lands in the raster, and every
+    /// zero crossing joins the crossing population.
+    pub fn add_waveform(&mut self, wf: &Waveform) {
+        let span = self.ui.as_s() * 2.0;
+        for (t, v) in wf.iter_points() {
+            let phase = (t.as_s() / span).rem_euclid(1.0);
+            let col = ((phase * self.cols as f64) as usize).min(self.cols - 1);
+            let norm = ((v + self.v_limit) / (2.0 * self.v_limit)).clamp(0.0, 1.0);
+            let row = ((norm * (self.rows - 1) as f64).round()) as usize;
+            self.counts[row * self.cols + col] += 1;
+            self.samples_accumulated += 1;
+        }
+        for c in crossings(wf, 0.0) {
+            self.crossing_offsets.push(self.fold_offset(c.time));
+        }
+    }
+
+    /// Accumulates only the crossing population from an edge stream (no
+    /// raster content) — the fast path used by edge-domain models.
+    pub fn add_edge_stream(&mut self, stream: &EdgeStream) {
+        for t in stream.times() {
+            self.crossing_offsets.push(self.fold_offset(t));
+        }
+    }
+
+    /// The folded crossing offsets collected so far.
+    pub fn crossing_offsets(&self) -> &[Time] {
+        &self.crossing_offsets
+    }
+
+    /// Peak-to-peak spread of the crossing population — the oscilloscope's
+    /// "total jitter" readout on an eye crossing. `None` until at least one
+    /// crossing was collected.
+    pub fn crossing_peak_to_peak(&self) -> Option<Time> {
+        let min = self
+            .crossing_offsets
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))?;
+        let max = self
+            .crossing_offsets
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))?;
+        Some(*max - *min)
+    }
+
+    /// Mean of the crossing population — the eye-crossing position used to
+    /// measure delay shifts between two circuit settings. `None` until at
+    /// least one crossing was collected.
+    pub fn crossing_mean(&self) -> Option<Time> {
+        if self.crossing_offsets.is_empty() {
+            return None;
+        }
+        Some(
+            self.crossing_offsets.iter().copied().sum::<Time>()
+                / self.crossing_offsets.len() as f64,
+        )
+    }
+
+    /// Vertical eye opening at horizontal position `phase` (fraction of the
+    /// 2-UI raster width; crossings sit at 0.0 and 0.5, eye centres at
+    /// 0.25 and 0.75): the contiguous run of empty raster cells *around
+    /// the 0 V decision threshold* in that column, in volts — a collapsed
+    /// signal hugging the threshold therefore reads as a closed eye even
+    /// if empty space remains near the rails. Returns 0 for a fully
+    /// occupied, threshold-occupied, or never-filled column.
+    pub fn opening_at(&self, phase: f64) -> f64 {
+        let col = (((phase.clamp(0.0, 1.0)) * self.cols as f64) as usize).min(self.cols - 1);
+        let cell_v = 2.0 * self.v_limit / self.rows as f64;
+        let any_occupied = (0..self.rows).any(|row| self.counts[row * self.cols + col] != 0);
+        if !any_occupied {
+            return 0.0;
+        }
+        // The 0 V threshold sits mid-raster; grow the empty run outward
+        // from there.
+        let zero_row = self.rows / 2;
+        if self.counts[zero_row * self.cols + col] != 0 {
+            return 0.0;
+        }
+        let mut lo = zero_row;
+        while lo > 0 && self.counts[(lo - 1) * self.cols + col] == 0 {
+            lo -= 1;
+        }
+        let mut hi = zero_row;
+        while hi + 1 < self.rows && self.counts[(hi + 1) * self.cols + col] == 0 {
+            hi += 1;
+        }
+        (hi - lo + 1) as f64 * cell_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RenderConfig;
+    use vardelay_siggen::BitPattern;
+    use vardelay_units::{BitRate, Voltage};
+
+    fn eye_of(rate_gbps: f64, bits: usize) -> EyeDiagram {
+        let rate = BitRate::from_gbps(rate_gbps);
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(1, bits), rate);
+        let cfg = RenderConfig::new(
+            Time::from_ps(0.5),
+            Voltage::from_mv(800.0),
+            Time::from_ps(40.0),
+        );
+        let wf = Waveform::render(&stream, &cfg);
+        let mut eye = EyeDiagram::new(rate.bit_period(), 80, 40, 0.5);
+        eye.add_waveform(&wf);
+        eye
+    }
+
+    #[test]
+    fn clean_signal_has_tight_crossings() {
+        let eye = eye_of(2.0, 127);
+        // Edges land exactly on bit boundaries → folded offsets ~0.
+        let pp = eye.crossing_peak_to_peak().unwrap();
+        assert!(pp < Time::from_ps(1.5), "pp = {pp}");
+        let mean = eye.crossing_mean().unwrap();
+        assert!(mean.abs() < Time::from_ps(1.0), "mean = {mean}");
+    }
+
+    #[test]
+    fn fold_offset_wraps_to_half_ui() {
+        let eye = EyeDiagram::new(Time::from_ps(100.0), 10, 10, 0.5);
+        assert!((eye.fold_offset(Time::from_ps(510.0)).as_ps() - 10.0).abs() < 1e-9);
+        assert!((eye.fold_offset(Time::from_ps(490.0)).as_ps() + 10.0).abs() < 1e-9);
+        assert!((eye.fold_offset(Time::from_ps(250.0)).as_ps() + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_eye_has_vertical_opening() {
+        let eye = eye_of(2.0, 127);
+        // Eye centre (phase 0.25 of the 2-UI raster) of a clean 2 Gb/s
+        // signal is wide open (> 500 mV of the 800 mV swing).
+        let centre = eye.opening_at(0.25);
+        assert!(centre > 0.5, "opening {centre}");
+        // At the crossing (phase 0.0) the eye is narrower.
+        assert!(eye.opening_at(0.0) < centre);
+    }
+
+    #[test]
+    fn add_edge_stream_populates_crossings_only() {
+        let rate = BitRate::from_gbps(1.0);
+        let stream = EdgeStream::nrz(&BitPattern::clock(50), rate);
+        let mut eye = EyeDiagram::new(rate.bit_period(), 16, 16, 0.5);
+        eye.add_edge_stream(&stream);
+        assert_eq!(eye.crossing_offsets().len(), stream.len());
+        assert_eq!(eye.samples_accumulated(), 0);
+    }
+
+    #[test]
+    fn empty_eye_yields_none() {
+        let eye = EyeDiagram::new(Time::from_ps(100.0), 8, 8, 0.4);
+        assert!(eye.crossing_peak_to_peak().is_none());
+        assert!(eye.crossing_mean().is_none());
+        assert_eq!(eye.opening_at(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn constructor_validates() {
+        let _ = EyeDiagram::new(Time::ZERO, 8, 8, 0.4);
+    }
+}

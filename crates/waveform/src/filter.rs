@@ -1,0 +1,236 @@
+//! Filtering primitives: one-pole low-pass, RC high-pass, slew limiter.
+//!
+//! These three primitives are the entire analog vocabulary the behavioral
+//! buffer model needs: bandwidth (one-pole), AC coupling (high-pass) and —
+//! crucially — the [`SlewLimiter`], whose finite ramp rate is the physical
+//! mechanism behind the paper's amplitude-dependent propagation delay: a
+//! larger programmed swing takes `A/(2·SR)` longer to reach the 50 %
+//! threshold (paper Figs. 4–5).
+
+use crate::waveform::Waveform;
+use vardelay_units::{Frequency, Time};
+
+/// A single-pole low-pass filter, `H(s) = 1/(1 + s·τ)`.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::Frequency;
+/// use vardelay_waveform::OnePole;
+///
+/// let lp = OnePole::with_corner(Frequency::from_ghz(12.0));
+/// assert!(lp.tau().as_ps() > 13.0 && lp.tau().as_ps() < 14.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnePole {
+    tau: Time,
+}
+
+impl OnePole {
+    /// Creates a filter from its time constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not strictly positive.
+    pub fn new(tau: Time) -> Self {
+        assert!(tau > Time::ZERO, "time constant must be positive");
+        OnePole { tau }
+    }
+
+    /// Creates a filter from its −3 dB corner frequency.
+    pub fn with_corner(f3db: Frequency) -> Self {
+        Self::new(f3db.one_pole_tau())
+    }
+
+    /// Returns the time constant.
+    pub fn tau(&self) -> Time {
+        self.tau
+    }
+
+    /// Filters the waveform in place (initial state = first sample, so a
+    /// settled input produces no start-up transient).
+    pub fn apply(&self, wf: &mut Waveform) {
+        if wf.is_empty() {
+            return;
+        }
+        // Exact discretization of the one-pole step response.
+        let alpha = 1.0 - (-(wf.dt() / self.tau)).exp();
+        let samples = wf.samples_mut();
+        let mut y = samples[0];
+        for s in samples.iter_mut() {
+            y += alpha * (*s - y);
+            *s = y;
+        }
+    }
+}
+
+/// A first-order RC high-pass filter, `H(s) = s·τ/(1 + s·τ)` — the AC
+/// coupling the paper uses to inject a noise source onto `Vctrl`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcHighPass {
+    tau: Time,
+}
+
+impl RcHighPass {
+    /// Creates a filter from its time constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not strictly positive.
+    pub fn new(tau: Time) -> Self {
+        assert!(tau > Time::ZERO, "time constant must be positive");
+        RcHighPass { tau }
+    }
+
+    /// Creates a filter from its −3 dB corner frequency.
+    pub fn with_corner(f3db: Frequency) -> Self {
+        Self::new(f3db.one_pole_tau())
+    }
+
+    /// Returns the time constant.
+    pub fn tau(&self) -> Time {
+        self.tau
+    }
+
+    /// Filters the waveform in place. The initial state assumes the input
+    /// has been at its first value forever (output starts at zero).
+    pub fn apply(&self, wf: &mut Waveform) {
+        if wf.is_empty() {
+            return;
+        }
+        let beta = (-(wf.dt() / self.tau)).exp();
+        let samples = wf.samples_mut();
+        let mut y = 0.0;
+        let mut x_prev = samples[0];
+        for s in samples.iter_mut() {
+            let x = *s;
+            y = beta * (y + x - x_prev);
+            x_prev = x;
+            *s = y;
+        }
+    }
+}
+
+/// A symmetric slew-rate limiter: the output follows the input but cannot
+/// move faster than `rate` volts per second in either direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlewLimiter {
+    rate_v_per_s: f64,
+}
+
+impl SlewLimiter {
+    /// Creates a limiter with the given maximum |dV/dt| in volts/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_v_per_s` is not strictly positive.
+    pub fn new(rate_v_per_s: f64) -> Self {
+        assert!(rate_v_per_s > 0.0, "slew rate must be positive");
+        SlewLimiter { rate_v_per_s }
+    }
+
+    /// Creates a limiter from a rate expressed in volts per picosecond
+    /// (the natural unit at these speeds: the paper's buffer slews
+    /// ~0.03 V/ps).
+    pub fn from_v_per_ps(rate: f64) -> Self {
+        Self::new(rate * 1e12)
+    }
+
+    /// Maximum |dV/dt| in volts/second.
+    pub fn rate(&self) -> f64 {
+        self.rate_v_per_s
+    }
+
+    /// Applies the limiter in place (initial state = first sample).
+    pub fn apply(&self, wf: &mut Waveform) {
+        if wf.is_empty() {
+            return;
+        }
+        let max_step = self.rate_v_per_s * wf.dt().as_s();
+        let samples = wf.samples_mut();
+        let mut y = samples[0];
+        for s in samples.iter_mut() {
+            let d = (*s - y).clamp(-max_step, max_step);
+            y += d;
+            *s = y;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_units::Time;
+
+    fn step(n: usize, level: f64) -> Waveform {
+        let mut s = vec![0.0; n];
+        for v in s.iter_mut().skip(1) {
+            *v = level;
+        }
+        Waveform::new(Time::ZERO, Time::from_ps(1.0), s)
+    }
+
+    #[test]
+    fn one_pole_step_response() {
+        let mut wf = step(1000, 1.0);
+        let lp = OnePole::new(Time::from_ps(50.0));
+        lp.apply(&mut wf);
+        // After one tau (50 ps) the response is 1 - 1/e ≈ 0.632.
+        let v = wf.value_at(Time::from_ps(51.0));
+        assert!((v - 0.632).abs() < 0.01, "v = {v}");
+        // Fully settled at the end.
+        assert!((wf.samples()[999] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_pole_no_transient_for_settled_input() {
+        let mut wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![0.4; 100]);
+        OnePole::new(Time::from_ps(20.0)).apply(&mut wf);
+        assert!(wf.samples().iter().all(|&v| (v - 0.4).abs() < 1e-12));
+    }
+
+    #[test]
+    fn high_pass_blocks_dc_and_passes_steps() {
+        let mut wf = step(5000, 1.0);
+        RcHighPass::new(Time::from_ps(200.0)).apply(&mut wf);
+        // Immediately after the step the full swing passes…
+        assert!(wf.samples()[1] > 0.95);
+        // …and decays towards zero (DC blocked).
+        assert!(wf.samples()[4999].abs() < 1e-9);
+    }
+
+    #[test]
+    fn slew_limiter_ramp_rate() {
+        let mut wf = step(200, 1.0);
+        SlewLimiter::from_v_per_ps(0.01).apply(&mut wf);
+        // 1 V at 0.01 V/ps → 100 ps to complete; check mid-ramp value.
+        let v = wf.value_at(Time::from_ps(50.0));
+        assert!((v - 0.49).abs() < 0.02, "v = {v}");
+        assert!((wf.samples()[150] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slew_limiter_is_transparent_for_slow_signals() {
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64 * 0.01).sin() * 0.1).collect();
+        let mut wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), samples.clone());
+        SlewLimiter::from_v_per_ps(1.0).apply(&mut wf);
+        for (a, b) in samples.iter().zip(wf.samples()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_waveforms_are_no_ops() {
+        let mut wf = Waveform::zeros(Time::ZERO, Time::from_ps(1.0), 0);
+        OnePole::new(Time::from_ps(1.0)).apply(&mut wf);
+        RcHighPass::new(Time::from_ps(1.0)).apply(&mut wf);
+        SlewLimiter::new(1.0).apply(&mut wf);
+        assert!(wf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn slew_rate_validated() {
+        let _ = SlewLimiter::new(0.0);
+    }
+}

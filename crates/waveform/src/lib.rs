@@ -1,0 +1,47 @@
+//! Sampled differential waveform engine.
+//!
+//! This crate is the suite's stand-in for the analog domain: a [`Waveform`]
+//! is a uniformly sampled differential voltage trace (one `f64` per sample,
+//! positive = logic high). The behavioral circuit blocks in
+//! `vardelay-analog` transform waveforms; this crate provides the
+//! representation and the signal-processing primitives:
+//!
+//! * [`builder`] — render an edge stream into a waveform with finite rise
+//!   time, swing and sample period.
+//! * [`filter`] — one-pole low-pass, RC high-pass, and the slew-rate
+//!   limiter whose finite ramp is the physical origin of the paper's
+//!   amplitude-dependent delay.
+//! * [`crossing`] — interpolated threshold-crossing extraction, the bridge
+//!   back to the edge domain (this is "what the oscilloscope measures").
+//! * [`eye`] — eye-diagram accumulation (raster plus crossing histograms).
+//! * [`render`] — ASCII eye rendering and CSV export for examples.
+//!
+//! # Examples
+//!
+//! Render a 1 Gb/s clock pattern and recover its edges:
+//!
+//! ```
+//! use vardelay_siggen::{BitPattern, EdgeStream};
+//! use vardelay_units::{BitRate, Time, Voltage};
+//! use vardelay_waveform::{RenderConfig, Waveform, crossings};
+//!
+//! let stream = EdgeStream::nrz(&BitPattern::clock(8), BitRate::from_gbps(1.0));
+//! let cfg = RenderConfig::new(Time::from_ps(1.0), Voltage::from_mv(800.0), Time::from_ps(50.0));
+//! let wf = Waveform::render(&stream, &cfg);
+//! let edges = crossings(&wf, 0.0);
+//! assert_eq!(edges.len(), stream.len());
+//! ```
+
+pub mod builder;
+pub mod crossing;
+pub mod eye;
+pub mod filter;
+pub mod ops;
+pub mod render;
+mod waveform;
+
+pub use builder::RenderConfig;
+pub use crossing::{crossings, to_edge_stream, Crossing};
+pub use eye::EyeDiagram;
+pub use filter::{OnePole, RcHighPass, SlewLimiter};
+pub use waveform::Waveform;

@@ -1,0 +1,188 @@
+//! Element-wise waveform operations.
+
+use crate::waveform::Waveform;
+use vardelay_units::{Time, Voltage};
+
+impl Waveform {
+    /// Multiplies every sample by `gain` in place.
+    pub fn scale(&mut self, gain: f64) {
+        for s in self.samples_mut() {
+            *s *= gain;
+        }
+    }
+
+    /// Adds `offset` volts to every sample in place.
+    pub fn offset(&mut self, offset: Voltage) {
+        let v = offset.as_v();
+        for s in self.samples_mut() {
+            *s += v;
+        }
+    }
+
+    /// Clamps every sample into `[lo, hi]` volts in place — the rail
+    /// limiting of a saturating buffer output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp_rails(&mut self, lo: Voltage, hi: Voltage) {
+        assert!(lo <= hi, "clamp requires lo <= hi");
+        let (lo, hi) = (lo.as_v(), hi.as_v());
+        for s in self.samples_mut() {
+            *s = s.clamp(lo, hi);
+        }
+    }
+
+    /// Inverts the polarity of every sample in place (a differential pair's
+    /// output swap).
+    pub fn invert(&mut self) {
+        for s in self.samples_mut() {
+            *s = -*s;
+        }
+    }
+
+    /// Adds another waveform sample-wise, resampling `other` onto this
+    /// trace's grid by linear interpolation. Regions where `other` has no
+    /// data use its clamped boundary values.
+    pub fn add(&mut self, other: &Waveform) {
+        // Borrow bookkeeping: collect times first, then mutate.
+        let times: Vec<Time> = (0..self.len()).map(|i| self.time_of(i)).collect();
+        for (s, t) in self.samples_mut().iter_mut().zip(times) {
+            *s += other.value_at(t);
+        }
+    }
+
+    /// Applies an arbitrary memoryless nonlinearity `f(v)` in place —
+    /// used for the limiting-amplifier `tanh` characteristic.
+    pub fn map(&mut self, f: impl Fn(f64) -> f64) {
+        for s in self.samples_mut() {
+            *s = f(*s);
+        }
+    }
+
+    /// Returns a copy delayed by `dt` (pure time shift of the axis).
+    pub fn delayed(&self, dt: Time) -> Waveform {
+        Waveform::new(self.t0() + dt, self.dt(), self.samples().to_vec())
+    }
+
+    /// Resamples onto a new grid period by linear interpolation, covering
+    /// the same time span. Upsampling interpolates; downsampling without a
+    /// preceding low-pass aliases, exactly as on real capture hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_dt` is not strictly positive.
+    pub fn resampled(&self, new_dt: Time) -> Waveform {
+        assert!(new_dt > Time::ZERO, "sample period must be positive");
+        if self.is_empty() {
+            return Waveform::new(self.t0(), new_dt, Vec::new());
+        }
+        let n = (self.duration() / new_dt).floor() as usize + 1;
+        let samples = (0..n)
+            .map(|i| self.value_at(self.t0() + new_dt * i as f64))
+            .collect();
+        Waveform::new(self.t0(), new_dt, samples)
+    }
+
+    /// Keeps every `factor`-th sample (no anti-alias filter — compose with
+    /// [`crate::OnePole`] first when decimating broadband content).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn decimated(&self, factor: usize) -> Waveform {
+        assert!(factor > 0, "decimation factor must be positive");
+        let samples: Vec<f64> = self.samples().iter().step_by(factor).copied().collect();
+        Waveform::new(self.t0(), self.dt() * factor as f64, samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf(samples: Vec<f64>) -> Waveform {
+        Waveform::new(Time::ZERO, Time::from_ps(1.0), samples)
+    }
+
+    #[test]
+    fn scale_offset_invert() {
+        let mut w = wf(vec![0.1, -0.2]);
+        w.scale(2.0);
+        assert_eq!(w.samples(), &[0.2, -0.4]);
+        w.offset(Voltage::from_mv(100.0));
+        assert!((w.samples()[0] - 0.3).abs() < 1e-12);
+        w.invert();
+        assert!((w.samples()[0] + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_rails_saturates() {
+        let mut w = wf(vec![-1.0, 0.0, 1.0]);
+        w.clamp_rails(Voltage::from_mv(-400.0), Voltage::from_mv(400.0));
+        assert_eq!(w.samples(), &[-0.4, 0.0, 0.4]);
+    }
+
+    #[test]
+    fn add_resamples_other_grid() {
+        let mut a = wf(vec![0.0, 0.0, 0.0, 0.0]);
+        // `b` on a 2 ps grid: values 0.0, 0.2 at t = 0, 2 ps.
+        let b = Waveform::new(Time::ZERO, Time::from_ps(2.0), vec![0.0, 0.2]);
+        a.add(&b);
+        assert!((a.samples()[1] - 0.1).abs() < 1e-12); // interpolated at 1 ps
+        assert!((a.samples()[3] - 0.2).abs() < 1e-12); // clamped past b's end
+    }
+
+    #[test]
+    fn map_applies_nonlinearity() {
+        let mut w = wf(vec![-10.0, 0.0, 10.0]);
+        w.map(|v| v.tanh());
+        assert!(w.samples()[0] > -1.0 && w.samples()[0] < -0.999);
+        assert_eq!(w.samples()[1], 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_values_on_shared_instants() {
+        let w = Waveform::new(
+            Time::ZERO,
+            Time::from_ps(2.0),
+            (0..10).map(|i| i as f64 * 0.1).collect(),
+        );
+        let up = w.resampled(Time::from_ps(1.0));
+        assert_eq!(up.len(), 19);
+        // Original samples survive; midpoints interpolate.
+        assert!((up.samples()[4] - 0.2).abs() < 1e-12);
+        assert!((up.samples()[5] - 0.25).abs() < 1e-12);
+        // Round-tripping down again recovers the original grid values.
+        let down = up.resampled(Time::from_ps(2.0));
+        for (a, b) in w.samples().iter().zip(down.samples()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decimate_keeps_every_nth() {
+        let w = Waveform::new(
+            Time::ZERO,
+            Time::from_ps(1.0),
+            (0..10).map(f64::from).collect(),
+        );
+        let d = w.decimated(3);
+        assert_eq!(d.samples(), &[0.0, 3.0, 6.0, 9.0]);
+        assert!((d.dt().as_ps() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn decimate_validates_factor() {
+        let _ = Waveform::zeros(Time::ZERO, Time::from_ps(1.0), 4).decimated(0);
+    }
+
+    #[test]
+    fn delayed_shifts_axis_only() {
+        let w = wf(vec![0.5]);
+        let d = w.delayed(Time::from_ps(33.0));
+        assert!((d.t0().as_ps() - 33.0).abs() < 1e-9);
+        assert_eq!(d.samples(), w.samples());
+    }
+}

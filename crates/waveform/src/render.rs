@@ -1,0 +1,111 @@
+//! Text rendering and CSV export — the suite's "scope screen".
+
+use crate::eye::EyeDiagram;
+use crate::waveform::Waveform;
+use std::fmt::Write as _;
+
+/// Renders the eye raster as ASCII art (density-coded: ` .:+#@`), one text
+/// row per raster row, top = positive voltage.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::Time;
+/// use vardelay_waveform::EyeDiagram;
+/// use vardelay_waveform::render::eye_to_ascii;
+///
+/// let eye = EyeDiagram::new(Time::from_ps(100.0), 8, 4, 0.4);
+/// let art = eye_to_ascii(&eye);
+/// assert_eq!(art.lines().count(), 4);
+/// ```
+pub fn eye_to_ascii(eye: &EyeDiagram) -> String {
+    const SHADES: &[u8] = b" .:+#@";
+    let mut max = 1u32;
+    for col in 0..eye.cols() {
+        for row in 0..eye.rows() {
+            max = max.max(eye.count_at(col, row));
+        }
+    }
+    let mut out = String::with_capacity((eye.cols() + 1) * eye.rows());
+    for row in (0..eye.rows()).rev() {
+        for col in 0..eye.cols() {
+            let c = eye.count_at(col, row);
+            let shade = if c == 0 {
+                0
+            } else {
+                // Log-ish mapping keeps faint traces visible.
+                let f = (c as f64).ln() / (max as f64).ln().max(1e-9);
+                1 + ((SHADES.len() - 2) as f64 * f).round() as usize
+            };
+            out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a waveform as two-column CSV (`time_ps,volts`).
+pub fn waveform_to_csv(wf: &Waveform) -> String {
+    let mut out = String::with_capacity(wf.len() * 24 + 16);
+    out.push_str("time_ps,volts\n");
+    for (t, v) in wf.iter_points() {
+        let _ = writeln!(out, "{:.4},{:.6}", t.as_ps(), v);
+    }
+    out
+}
+
+/// Serializes paired series as CSV with a header row.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` have different lengths.
+pub fn series_to_csv(x_label: &str, y_label: &str, xs: &[f64], ys: &[f64]) -> String {
+    assert_eq!(xs.len(), ys.len(), "series must be the same length");
+    let mut out = String::new();
+    let _ = writeln!(out, "{x_label},{y_label}");
+    for (x, y) in xs.iter().zip(ys) {
+        let _ = writeln!(out, "{x:.6},{y:.6}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vardelay_units::Time;
+
+    #[test]
+    fn ascii_eye_dimensions() {
+        let mut eye = EyeDiagram::new(Time::from_ps(100.0), 10, 5, 0.4);
+        let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![0.2; 500]);
+        eye.add_waveform(&wf);
+        let art = eye_to_ascii(&eye);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.len() == 10));
+        // A constant +0.2 V trace paints one row; everything else is blank.
+        assert!(art.contains('@') || art.contains('#'));
+    }
+
+    #[test]
+    fn waveform_csv_round_trip_shape() {
+        let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![0.1, -0.1]);
+        let csv = waveform_to_csv(&wf);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_ps,volts"));
+        assert_eq!(lines.count(), 2);
+    }
+
+    #[test]
+    fn series_csv() {
+        let csv = series_to_csv("vctrl_v", "delay_ps", &[0.0, 1.0], &[2.0, 50.0]);
+        assert!(csv.starts_with("vctrl_v,delay_ps\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn series_csv_validates_lengths() {
+        let _ = series_to_csv("x", "y", &[1.0], &[]);
+    }
+}

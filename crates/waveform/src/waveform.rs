@@ -1,0 +1,208 @@
+//! The [`Waveform`] container.
+
+use vardelay_units::Time;
+
+/// A uniformly sampled differential voltage trace.
+///
+/// Samples are differential volts: `+swing/2` is a settled logic high,
+/// `−swing/2` a settled low, `0.0` the switching threshold. The trace
+/// starts at `t0` and advances `dt` per sample.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_units::Time;
+/// use vardelay_waveform::Waveform;
+///
+/// let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![-0.4, 0.0, 0.4]);
+/// assert_eq!(wf.len(), 3);
+/// assert!((wf.value_at(Time::from_ps(0.5)) + 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    t0: Time,
+    dt: Time,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn new(t0: Time, dt: Time, samples: Vec<f64>) -> Self {
+        assert!(dt > Time::ZERO, "sample period must be positive");
+        Waveform { t0, dt, samples }
+    }
+
+    /// Creates an all-zero waveform with `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn zeros(t0: Time, dt: Time, n: usize) -> Self {
+        Self::new(t0, dt, vec![0.0; n])
+    }
+
+    /// First sample instant.
+    pub fn t0(&self) -> Time {
+        self.t0
+    }
+
+    /// Sample period.
+    pub fn dt(&self) -> Time {
+        self.dt
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the waveform holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration covered, `(len − 1)·dt` (zero for fewer than two samples).
+    pub fn duration(&self) -> Time {
+        if self.samples.len() < 2 {
+            Time::ZERO
+        } else {
+            self.dt * (self.samples.len() - 1) as f64
+        }
+    }
+
+    /// Instant of sample `i`.
+    pub fn time_of(&self, i: usize) -> Time {
+        self.t0 + self.dt * i as f64
+    }
+
+    /// The sample values.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable access to the sample values.
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Consumes the waveform and returns the sample buffer.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Linearly interpolated value at instant `t`, clamping to the first /
+    /// last sample outside the trace.
+    pub fn value_at(&self, t: Time) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let x = (t - self.t0) / self.dt;
+        if x <= 0.0 {
+            return self.samples[0];
+        }
+        let last = self.samples.len() - 1;
+        if x >= last as f64 {
+            return self.samples[last];
+        }
+        let i = x as usize;
+        let frac = x - i as f64;
+        self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac
+    }
+
+    /// Iterates over `(time, value)` points.
+    pub fn iter_points(&self) -> impl Iterator<Item = (Time, f64)> + '_ {
+        self.samples
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.time_of(i), v))
+    }
+
+    /// Largest absolute sample value (0 for an empty trace).
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Minimum and maximum sample values, or `None` for an empty trace.
+    pub fn extremes(&self) -> Option<(f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut lo = self.samples[0];
+        let mut hi = self.samples[0];
+        for &v in &self.samples {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Returns a copy of the samples within `[from, to)` as a new waveform
+    /// starting at the first retained sample's instant.
+    pub fn slice(&self, from: Time, to: Time) -> Waveform {
+        let i0 = (((from - self.t0) / self.dt).ceil().max(0.0)) as usize;
+        let i1 = ((((to - self.t0) / self.dt).ceil().max(0.0)) as usize).min(self.samples.len());
+        let i0 = i0.min(i1);
+        Waveform {
+            t0: self.time_of(i0),
+            dt: self.dt,
+            samples: self.samples[i0..i1].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::new(
+            Time::from_ps(10.0),
+            Time::from_ps(1.0),
+            (0..11).map(|i| i as f64 * 0.1).collect(),
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        let wf = ramp();
+        assert_eq!(wf.len(), 11);
+        assert!((wf.duration().as_ps() - 10.0).abs() < 1e-9);
+        assert!((wf.time_of(3).as_ps() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let wf = ramp();
+        assert!((wf.value_at(Time::from_ps(15.5)) - 0.55).abs() < 1e-12);
+        assert!((wf.value_at(Time::from_ps(0.0)) - 0.0).abs() < 1e-12); // clamp low
+        assert!((wf.value_at(Time::from_ps(99.0)) - 1.0).abs() < 1e-12); // clamp high
+    }
+
+    #[test]
+    fn extremes_and_peak() {
+        let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![-0.3, 0.2, 0.1]);
+        assert_eq!(wf.extremes(), Some((-0.3, 0.2)));
+        assert!((wf.peak() - 0.3).abs() < 1e-12);
+        assert_eq!(Waveform::zeros(Time::ZERO, Time::from_ps(1.0), 0).extremes(), None);
+    }
+
+    #[test]
+    fn slice_respects_bounds() {
+        let wf = ramp();
+        let s = wf.slice(Time::from_ps(12.5), Time::from_ps(16.0));
+        assert_eq!(s.len(), 3); // samples at 13, 14, 15 ps
+        assert!((s.t0().as_ps() - 13.0).abs() < 1e-9);
+        let empty = wf.slice(Time::from_ps(40.0), Time::from_ps(50.0));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_rejected() {
+        let _ = Waveform::new(Time::ZERO, Time::ZERO, vec![]);
+    }
+}

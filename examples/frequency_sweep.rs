@@ -1,0 +1,40 @@
+//! The Fig. 15 experiment as a runnable sweep: fine delay range versus
+//! RZ clock frequency for the 4-stage prototype and the early 2-stage
+//! unit, rendered as an ASCII chart.
+//!
+//! Run with: `cargo run --release --example frequency_sweep`
+
+use vardelay::core::{FineDelayLine, ModelConfig};
+use vardelay::units::{Frequency, Time};
+
+fn bar(value: f64, scale: f64) -> String {
+    let n = ((value / scale) * 50.0).round().max(0.0) as usize;
+    "#".repeat(n)
+}
+
+fn main() {
+    let four = FineDelayLine::new(&ModelConfig::paper_prototype().quiet(), 1);
+    let two = FineDelayLine::new(&ModelConfig::early_two_stage().quiet(), 1);
+
+    println!("fine delay range vs RZ clock frequency (one # = 1.2 ps)\n");
+    println!("{:>6}  {:>8}  {:>8}", "GHz", "4-stage", "2-stage");
+    let max = 60.0;
+    for f in [0.5, 1.0, 1.5, 2.0, 2.6, 3.2, 4.0, 4.8, 5.6, 6.4, 6.8] {
+        let interval = Frequency::from_ghz(f).period() * 0.5;
+        let r4 = four.delay_range(interval).as_ps();
+        let r2 = two.delay_range(interval).as_ps();
+        println!("{f:>6.1}  {r4:>8.1}  {r2:>8.1}   |{}", bar(r4, max));
+        println!("{:>26}   |{}", "", bar(r2, max));
+    }
+
+    println!(
+        "\nthe coarse section's 33 ps step is covered wherever the range \
+         stays above 33 ps;"
+    );
+    println!(
+        "the 4-stage circuit holds that to ~4.8 GHz clocks and remains \
+         usable beyond 6.4 GHz,"
+    );
+    println!("while the 2-stage unit is ineffective past ~6 GHz (paper Fig. 15).");
+    let _ = Time::ZERO;
+}

@@ -1,0 +1,45 @@
+//! A production margin shmoo: sweep the receiver's sampling phase against
+//! injected jitter stress and map the surviving window — the test-floor
+//! view of the injector's §5 application.
+//!
+//! Run with: `cargo run --release --example margin_shmoo`
+
+use vardelay::ate::{margin_shmoo, DutReceiver, ShmooConfig};
+use vardelay::core::ModelConfig;
+use vardelay::units::Time;
+
+fn main() {
+    let model = ModelConfig::paper_prototype().quiet();
+    let receiver = DutReceiver::new(Time::from_ps(30.0), Time::from_ps(30.0));
+    let mut shmoo = ShmooConfig::standard(11);
+    shmoo.steps = 64;
+
+    println!(
+        "shmoo: {} at {}, receiver window ±30 ps, {} stress levels\n",
+        shmoo.bits, shmoo.rate, shmoo.noise_levels.len()
+    );
+    let map = margin_shmoo(&model, &receiver, &shmoo);
+    println!("{}", map.to_table());
+
+    // Visual map: one row per stress level, '#' = clean position.
+    println!("phase →   (each column is 1/{} UI)", shmoo.steps);
+    for (row, &vpp) in map.rows.iter().zip(&shmoo.noise_levels) {
+        let bar: String = (0..map.steps)
+            .map(|i| {
+                if i < row.open_positions {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!("{:>6.0} mVpp |{bar}|", vpp.as_mv());
+    }
+
+    match map.stress_margin_at(0.25) {
+        Some(v) => println!(
+            "\nlargest stress keeping a quarter-UI window open: {v} of injected noise"
+        ),
+        None => println!("\nno stress level keeps a quarter-UI window open"),
+    }
+}

@@ -1,0 +1,50 @@
+//! `vardelay` — a behavioral Rust reproduction of *"Variable Delay of
+//! Multi-Gigahertz Digital Signals for Deskew and Jitter-Injection Test
+//! Applications"* (Keezer, Minier, Ducharme — DATE 2008).
+//!
+//! The paper builds a picosecond-resolution variable delay circuit for
+//! wide-bandwidth data signals: four cascaded variable-gain buffers whose
+//! amplitude-dependent propagation delay gives a continuously adjustable
+//! ~50 ps, plus a passive 4-tap coarse section with 33 ps steps, for a
+//! ~140 ps total range — used to deskew 6.4 Gb/s ATE channels to <5 ps and
+//! to inject controlled jitter for receiver tolerance tests.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! * [`units`] — typed time/voltage/frequency quantities.
+//! * [`siggen`] — PRBS patterns, edge streams, jitter models.
+//! * [`waveform`] — the sampled analog waveform engine.
+//! * [`analog`] — behavioral buffer/line/mux blocks and chain
+//!   characterization.
+//! * [`measure`] — eyes, TIE, TJ, dual-Dirac, bathtubs, linearity.
+//! * [`core`] — **the paper's circuit**: fine line, coarse taps, combined
+//!   circuit, DAC, calibration, jitter injector.
+//! * [`ate`] — tester channels, parallel buses, a DUT receiver and the
+//!   closed-loop deskew application.
+//!
+//! # Quickstart
+//!
+//! Program a calibrated delay and verify it is realized:
+//!
+//! ```
+//! use vardelay::core::{CombinedDelayCircuit, ModelConfig};
+//! use vardelay::units::Time;
+//!
+//! let mut circuit = CombinedDelayCircuit::new(&ModelConfig::paper_prototype(), 1);
+//! circuit.calibrate();
+//! let setting = circuit.set_delay(Time::from_ps(75.0))?;
+//! assert!(setting.predicted_error.abs() < Time::from_ps(1.0));
+//! # Ok::<(), vardelay::core::SetDelayError>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios (bus deskew,
+//! jitter injection, the frequency sweep of Fig. 15, ASCII eye diagrams)
+//! and `DESIGN.md` / `EXPERIMENTS.md` for the experiment index.
+
+pub use vardelay_analog as analog;
+pub use vardelay_ate as ate;
+pub use vardelay_core as core;
+pub use vardelay_measure as measure;
+pub use vardelay_siggen as siggen;
+pub use vardelay_units as units;
+pub use vardelay_waveform as waveform;

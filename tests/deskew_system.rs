@@ -1,0 +1,81 @@
+//! Integration: the ATE deskew application end-to-end, plus receiver-side
+//! verification.
+
+use vardelay::ate::{BusScenario, DeskewEngine, DutReceiver, ParallelBus};
+use vardelay::core::ModelConfig;
+use vardelay::units::{BitRate, Time};
+
+#[test]
+fn hypertransport_scenario_converges_under_5ps() {
+    let mut scenario = BusScenario::hypertransport3(31);
+    assert!(!scenario.ate_native_is_sufficient());
+    let outcome = DeskewEngine::new(&ModelConfig::paper_prototype(), 31)
+        .run(scenario.bus_mut())
+        .expect("healthy bus deskews");
+    assert!(
+        outcome.after_peak_to_peak < scenario.alignment_requirement(),
+        "after {} vs requirement {}",
+        outcome.after_peak_to_peak,
+        scenario.alignment_requirement()
+    );
+}
+
+#[test]
+fn corrected_bus_samples_cleanly_at_a_common_phase() {
+    let mut bus = ParallelBus::with_random_skew(4, BitRate::from_gbps(6.4), Time::from_ps(80.0), 8);
+    let outcome = DeskewEngine::new(&ModelConfig::paper_prototype(), 8)
+        .run(&mut bus)
+        .expect("healthy bus deskews");
+    let rx = DutReceiver::ht3();
+    let phase = rx.best_phase(&outcome.corrected_streams[0], 64);
+    for (i, stream) in outcome.corrected_streams.iter().enumerate() {
+        let rate = rx.violation_rate(stream, phase);
+        assert!(rate < 1e-3, "channel {i}: violation rate {rate}");
+    }
+}
+
+#[test]
+fn uncorrected_bus_fails_at_the_receiver() {
+    // The "before" half of Fig. 2: with ±80 ps of skew at a 156 ps UI,
+    // no single sampling phase is clean for all channels.
+    let bus = ParallelBus::with_random_skew(4, BitRate::from_gbps(6.4), Time::from_ps(80.0), 14);
+    let streams = bus.generate_all();
+    let rx = DutReceiver::ht3();
+    let phase = rx.best_phase(&streams[0], 64);
+    let worst = streams
+        .iter()
+        .map(|s| rx.violation_rate(s, phase))
+        .fold(0.0f64, f64::max);
+    assert!(worst > 0.05, "skewed bus sampled cleanly?! worst {worst}");
+}
+
+#[test]
+fn deskew_is_deterministic_per_seed() {
+    let run = |seed| {
+        let mut bus =
+            ParallelBus::with_random_skew(4, BitRate::from_gbps(6.4), Time::from_ps(60.0), seed);
+        DeskewEngine::new(&ModelConfig::paper_prototype(), seed)
+            .run(&mut bus)
+            .expect("healthy bus deskews")
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a.after_peak_to_peak, b.after_peak_to_peak);
+    assert_eq!(a.corrections, b.corrections);
+}
+
+#[test]
+fn instance_error_degrades_alignment_gracefully() {
+    let run = |sigma_ps: f64| {
+        let mut bus =
+            ParallelBus::with_random_skew(6, BitRate::from_gbps(6.4), Time::from_ps(80.0), 77);
+        DeskewEngine::new(&ModelConfig::paper_prototype(), 77)
+            .with_instance_error(Time::from_ps(sigma_ps))
+            .run(&mut bus)
+            .expect("healthy bus deskews")
+            .after_peak_to_peak
+    };
+    let tight = run(0.1);
+    let loose = run(4.0);
+    assert!(loose > tight, "{tight} vs {loose}");
+}

@@ -1,0 +1,97 @@
+//! Integration: the combined circuit programmed and verified end-to-end
+//! across both simulation engines.
+
+use vardelay::analog::{AnalogBlock, EdgeTransform};
+use vardelay::core::{CombinedDelayCircuit, FineDelayLine, ModelConfig, SetDelayError};
+use vardelay::measure::{mean_delay, tail_mean_delay};
+use vardelay::siggen::{BitPattern, EdgeStream};
+use vardelay::units::{BitRate, Time, Voltage};
+use vardelay::waveform::{to_edge_stream, Waveform};
+
+#[test]
+fn programmed_delays_are_realized_across_the_full_range() {
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let mut circuit = CombinedDelayCircuit::new(&cfg, 3);
+    circuit.calibrate();
+    let max = circuit.total_range().expect("calibrated");
+
+    let rate = BitRate::from_bps(1.0 / 320e-12);
+    let stimulus = EdgeStream::nrz(&BitPattern::clock(24), rate);
+    let wf = Waveform::render(&stimulus, &cfg.render);
+
+    circuit.set_delay(Time::ZERO).expect("zero is in range");
+    let base = to_edge_stream(&circuit.process(&wf), 0.0, rate.bit_period());
+
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let target = max * frac;
+        circuit.set_delay(target).expect("target within range");
+        let out = to_edge_stream(&circuit.process(&wf), 0.0, rate.bit_period());
+        let realized = tail_mean_delay(&base, &out, 8).expect("streams align");
+        assert!(
+            (realized - target).abs() < Time::from_ps(2.5),
+            "target {target}, realized {realized}"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_and_uncalibrated_are_reported() {
+    let mut circuit = CombinedDelayCircuit::new(&ModelConfig::paper_prototype(), 1);
+    assert_eq!(
+        circuit.set_delay(Time::from_ps(1.0)),
+        Err(SetDelayError::NotCalibrated)
+    );
+    circuit.calibrate();
+    let max = circuit.total_range().expect("calibrated");
+    assert!(matches!(
+        circuit.set_delay(max + Time::from_ps(10.0)),
+        Err(SetDelayError::OutOfRange { .. })
+    ));
+}
+
+#[test]
+fn engines_agree_on_fine_delay_within_a_picosecond() {
+    // The characterized edge model must track the waveform engine over the
+    // whole control range and several toggle intervals.
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let mut line = FineDelayLine::new(&cfg, 5);
+    let (vctrls, intervals) = line.default_grids();
+    let mut model = line.edge_model(&vctrls, &intervals, 9);
+
+    for interval_ps in [110.0, 208.0, 640.0] {
+        let interval = Time::from_ps(interval_ps);
+        let rate = BitRate::from_bps(1.0 / interval.as_s());
+        let stim = EdgeStream::nrz(&BitPattern::clock(24), rate);
+        for v in [0.15, 0.6, 1.05, 1.45] {
+            let vctrl = Voltage::from_v(v);
+            line.set_vctrl(vctrl);
+            model.set_vctrl(vctrl);
+            let wf_delay = line.measure_delay(interval);
+            let out = model.transform(&stim);
+            let edge_delay = mean_delay(&stim, &out).expect("same pattern");
+            assert!(
+                (wf_delay - edge_delay).abs() < Time::from_ps(1.0),
+                "engines disagree at {vctrl}, {interval}: {wf_delay} vs {edge_delay}"
+            );
+        }
+    }
+}
+
+#[test]
+fn continuous_coverage_across_coarse_tap_boundaries() {
+    // The fine range exceeds every coarse step, so every target in the
+    // combined range is reachable — including just past each tap.
+    let mut circuit = CombinedDelayCircuit::new(&ModelConfig::paper_prototype().quiet(), 2);
+    circuit.calibrate();
+    for ps in (0..=140).step_by(5) {
+        let target = Time::from_ps(ps as f64);
+        let setting = circuit
+            .set_delay(target)
+            .unwrap_or_else(|e| panic!("target {target} rejected: {e}"));
+        assert!(
+            setting.predicted_error.abs() < Time::from_ps(1.0),
+            "target {target}: predicted error {}",
+            setting.predicted_error
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration: the extension features working together through the
+//! public API — spectral verification of injected jitter, multichannel
+//! programming, drift recovery, coded traffic.
+
+use vardelay::core::{
+    CalibrationStrategy, JitterInjector, ModelConfig, MultiChannelDelay, TempCo,
+};
+use vardelay::measure::{separate_rj_pj, tie_sequence};
+use vardelay::siggen::{
+    BitPattern, EdgeStream, GaussianRj, JitterModel, SinusoidalPj,
+};
+use vardelay::units::{BitRate, Frequency, Time, Voltage};
+
+#[test]
+fn injected_gaussian_noise_is_spectrally_tone_free() {
+    // Gaussian injection must show up as RJ-like (no dominant tones),
+    // distinguishing the injector from a PJ source.
+    let mut injector = JitterInjector::new(&ModelConfig::paper_prototype().quiet(), 21);
+    injector.set_noise_peak_to_peak(Voltage::from_mv(600.0));
+    let stream = EdgeStream::nrz(&BitPattern::clock(8000), BitRate::from_gbps(3.2));
+    let out = injector.inject(&stream);
+    let tie = tie_sequence(&out);
+    let split = separate_rj_pj(&tie, out.ui(), 3).expect("long capture");
+    assert!(
+        split.rj_rms > Time::from_ps(2.0),
+        "injected randomness invisible: {}",
+        split.rj_rms
+    );
+    // Any residual tone stays small relative to the random part.
+    for tone in &split.tones {
+        assert!(
+            tone.amplitude < split.rj_rms * 2.0,
+            "spurious dominant tone {tone:?}"
+        );
+    }
+}
+
+#[test]
+fn pj_on_the_input_survives_the_circuit_and_is_detected() {
+    // A deliberate PJ tone on the stimulus must still be identifiable at
+    // the circuit output — the measurement chain the §5 application needs.
+    let rate = BitRate::from_gbps(3.2);
+    let clean = EdgeStream::nrz(&BitPattern::clock(8000), rate);
+    let tone_freq = Frequency::from_mhz(23.0);
+    let input = SinusoidalPj::new(Time::from_ps(5.0), tone_freq, 0.0).apply(&clean);
+
+    let mut injector = JitterInjector::new(&ModelConfig::paper_prototype().quiet(), 5);
+    let out = injector.inject(&input);
+    let tie = tie_sequence(&out);
+    // Clock pattern: edge spacing is one UI.
+    let split = separate_rj_pj(&tie, rate.bit_period(), 3).expect("long capture");
+    let found = split
+        .tones
+        .iter()
+        .any(|t| (t.frequency.as_mhz() - 23.0).abs() < 3.0 && t.amplitude > Time::from_ps(3.0));
+    assert!(found, "tone not recovered: {:?}", split.tones);
+}
+
+#[test]
+fn multichannel_deskews_a_staircase_to_subpicosecond_prediction() {
+    let mut unit = MultiChannelDelay::new(&ModelConfig::paper_prototype().quiet(), 4, 3);
+    unit.calibrate(CalibrationStrategy::PerChannel);
+    let targets: Vec<Time> = (0..4).map(|i| Time::from_ps(20.0 + 30.0 * i as f64)).collect();
+    let settings = unit.set_delays(&targets).expect("targets in range");
+    for (t, s) in targets.iter().zip(&settings) {
+        assert!(
+            s.predicted_error.abs() < Time::from_ps(0.5),
+            "target {t}: {}",
+            s.predicted_error
+        );
+    }
+}
+
+#[test]
+fn drifted_unit_recovers_after_recalibration() {
+    let cold = ModelConfig::paper_prototype().quiet();
+    let hot = cold.at_temperature_offset(35.0, &TempCo::default());
+    let mut unit = MultiChannelDelay::new(&hot, 2, 9);
+    unit.calibrate(CalibrationStrategy::PerChannel);
+    // Recalibrated on the hot hardware: accuracy is restored.
+    let acc = unit
+        .setting_accuracy(Time::from_ps(60.0))
+        .expect("in range");
+    assert!(acc < Time::from_ps(5.0), "accuracy {acc}");
+}
+
+#[test]
+fn coded_and_scrambled_traffic_share_the_jitter_budget() {
+    let r = vardelay_bench::extensions::x4_coded_traffic(3000);
+    assert!(r.coded_tj > Time::ZERO && r.prbs_tj > Time::ZERO);
+    let ratio = r.coded_tj / r.prbs_tj;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn injection_engines_cross_validate() {
+    // The edge-domain injector (characterized table, per-edge Vctrl) and
+    // the waveform-domain modulated fine line (per-sample amplitude) must
+    // agree on the injected jitter magnitude for the same noise program.
+    use vardelay::analog::OuNoise;
+    use vardelay::core::FineDelayLine;
+    use vardelay::measure::JitterStats;
+    use vardelay::waveform::{to_edge_stream, Waveform};
+
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let rate = BitRate::from_gbps(3.2);
+    let bits = 600;
+    let stream = EdgeStream::nrz(&BitPattern::clock(bits), rate);
+    let sigma = Voltage::from_mv(120.0);
+    let bw = Frequency::from_mhz(200.0);
+
+    // Waveform engine: render the Vctrl trace from the same OU process
+    // and run the modulated fine line.
+    let wf = Waveform::render(&stream, &cfg.render);
+    let mut noise = OuNoise::new(sigma, bw, 33);
+    let mut vctrl = noise.waveform(wf.t0(), wf.dt(), wf.len());
+    vctrl.offset(Voltage::from_v(0.75));
+    let mut line = FineDelayLine::new(&cfg, 1);
+    let out_wf = line.process_modulated(&wf, &vctrl);
+    let out_stream = to_edge_stream(&out_wf, 0.0, rate.bit_period());
+    let wf_rms = JitterStats::from_times(&tie_sequence(&out_stream))
+        .expect("edges exist")
+        .rms;
+
+    // Edge engine: the injector with the same noise statistics.
+    let mut injector = JitterInjector::new(&cfg, 33);
+    injector.set_noise(sigma, bw);
+    let out_edges = injector.inject(&EdgeStream::nrz(
+        &BitPattern::clock(bits * 4),
+        rate,
+    ));
+    let edge_rms = JitterStats::from_times(&tie_sequence(&out_edges))
+        .expect("edges exist")
+        .rms;
+
+    assert!(wf_rms > Time::from_ps(1.0), "waveform path injected nothing");
+    assert!(edge_rms > Time::from_ps(1.0), "edge path injected nothing");
+    let ratio = wf_rms / edge_rms;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "engines disagree: waveform {wf_rms} vs edge {edge_rms}"
+    );
+}
+
+#[test]
+fn injection_noise_bandwidth_matters() {
+    // A lower-bandwidth noise source produces slower Vctrl wander, which
+    // the per-edge sampling converts into more correlated (but comparably
+    // sized) jitter; the RMS must stay within a factor of the fast case.
+    let stream = EdgeStream::nrz(&BitPattern::clock(6000), BitRate::from_gbps(3.2));
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let rms_at = |bw_mhz: f64| {
+        let mut injector = JitterInjector::new(&cfg, 17);
+        injector.set_noise(Voltage::from_mv(120.0), Frequency::from_mhz(bw_mhz));
+        let out = injector.inject(&stream);
+        let tie = tie_sequence(&out);
+        vardelay::measure::JitterStats::from_times(&tie)
+            .expect("capture carries edges")
+            .rms
+    };
+    let slow = rms_at(5.0);
+    let fast = rms_at(500.0);
+    assert!(slow > Time::from_ps(1.0) && fast > Time::from_ps(1.0));
+    assert!(slow / fast < 3.0 && fast / slow < 3.0, "{slow} vs {fast}");
+}

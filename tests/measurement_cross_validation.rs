@@ -1,0 +1,153 @@
+//! Integration: independent measurement methods agreeing on the same
+//! physical quantity — the strongest check a simulator can offer.
+
+use vardelay::analog::{AnalogBlock, LossyChannel};
+use vardelay::core::{FineDelayLine, ModelConfig};
+use vardelay::measure::{mean_delay, tail_mean_delay, xcorr_delay};
+use vardelay::siggen::{BitPattern, EdgeStream};
+use vardelay::units::{BitRate, Time, Voltage};
+use vardelay::waveform::{to_edge_stream, RenderConfig, Waveform};
+
+#[test]
+fn crossing_and_correlation_delay_agree_on_the_fine_line() {
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let rate = BitRate::from_gbps(2.0);
+    let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 64), rate);
+    let wf = Waveform::render(&stream, &cfg.render);
+
+    let mut line = FineDelayLine::new(&cfg, 1);
+    for v in [0.2, 0.8, 1.4] {
+        line.set_vctrl(Voltage::from_v(v));
+        let out = line.process(&wf);
+
+        let out_stream = to_edge_stream(&out, 0.0, rate.bit_period());
+        let by_crossings = tail_mean_delay(&stream, &out_stream, 8).expect("edges align");
+        let by_xcorr =
+            xcorr_delay(&wf, &out, Time::from_ps(600.0)).expect("well-posed traces");
+        assert!(
+            (by_crossings - by_xcorr).abs() < Time::from_ps(3.0),
+            "at {v} V: crossings {by_crossings} vs xcorr {by_xcorr}"
+        );
+    }
+}
+
+#[test]
+fn correlation_still_measures_after_a_lossy_channel() {
+    // The crossing method degrades when the channel attenuates the swing;
+    // cross-correlation keeps working and both agree where both work.
+    let rate = BitRate::from_gbps(2.0);
+    let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 64), rate);
+    let wf = Waveform::render(&stream, &RenderConfig::default_source());
+    let mut channel = LossyChannel::new(
+        Time::from_ps(750.0),
+        8.0,
+        vardelay::units::Frequency::from_ghz(6.0),
+    );
+    let out = channel.process(&wf);
+
+    let by_xcorr = xcorr_delay(&wf, &out, Time::from_ns(1.2)).expect("well-posed");
+    // Flight time plus two poles of group delay (2·tau ≈ 53 ps).
+    assert!(
+        (by_xcorr.as_ps() - 750.0) > 20.0 && (by_xcorr.as_ps() - 750.0) < 120.0,
+        "xcorr {by_xcorr}"
+    );
+
+    let out_stream = to_edge_stream(&out, 0.0, rate.bit_period());
+    if out_stream.len() == stream.len() {
+        let by_crossings = mean_delay(&stream, &out_stream).expect("paired");
+        assert!(
+            (by_crossings - by_xcorr).abs() < Time::from_ps(10.0),
+            "crossings {by_crossings} vs xcorr {by_xcorr}"
+        );
+    }
+}
+
+#[test]
+fn cdr_residual_matches_open_loop_tie_for_wideband_jitter() {
+    use vardelay::ate::BangBangCdr;
+    use vardelay::measure::{tie_sequence, JitterStats};
+    use vardelay::siggen::{GaussianRj, JitterModel};
+
+    let rate = BitRate::from_gbps(6.4);
+    let clean = EdgeStream::nrz(&BitPattern::prbs7(1, 20_000), rate);
+    let jittered = GaussianRj::new(Time::from_ps(2.5), 7).apply(&clean);
+
+    // Open-loop TIE RMS…
+    let open = JitterStats::from_times(&tie_sequence(&jittered))
+        .expect("edges exist")
+        .rms;
+    // …versus the CDR's residual RMS: wideband RJ is above the loop
+    // bandwidth, so the loop cannot remove it.
+    let cdr = BangBangCdr::new(rate.bit_period(), Time::from_ps(0.4));
+    let track = cdr.track(&jittered);
+    let tail = &track.residual[track.residual.len() / 2..];
+    let closed = JitterStats::from_times(tail).expect("edges exist").rms;
+    assert!(
+        (open - closed).abs() < open * 0.35,
+        "open {open} vs closed {closed}"
+    );
+}
+
+#[test]
+fn circuit_ddj_is_monotone_in_preceding_run_length() {
+    // The envelope-settling mechanism implies: the longer the line rested,
+    // the larger the developed swing, the later the next crossing. The
+    // DDJ decomposition must see monotone context means on circuit output.
+    use vardelay::analog::EdgeTransform;
+    use vardelay::measure::ddj_by_run_length;
+
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let line = FineDelayLine::new(&cfg, 1);
+    let (vctrls, intervals) = line.default_grids();
+    let mut model = line.edge_model(&vctrls, &intervals, 2);
+    model.set_vctrl(Voltage::from_v(0.75));
+
+    let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 5000), BitRate::from_gbps(6.4));
+    let out = model.transform(&stream);
+    let d = ddj_by_run_length(&out, 7).expect("long capture");
+    let populated: Vec<f64> = d
+        .context_means
+        .iter()
+        .zip(&d.context_counts)
+        .filter(|&(_, &c)| c > 20)
+        .map(|(m, _)| m.as_ps())
+        .collect();
+    assert!(populated.len() >= 4, "too few contexts: {populated:?}");
+    for w in populated.windows(2) {
+        assert!(w[1] > w[0] - 0.1, "not monotone: {populated:?}");
+    }
+    // The total DDJ is a visible, bounded effect.
+    assert!(d.ddj_peak_to_peak > Time::from_ps(2.0), "{}", d.ddj_peak_to_peak);
+    assert!(d.ddj_peak_to_peak < Time::from_ps(20.0), "{}", d.ddj_peak_to_peak);
+}
+
+#[test]
+fn stress_pattern_extracts_more_ddj_than_prbs() {
+    // The run-stress compliance pattern maximizes long-run -> single-bit
+    // events, so it must expose at least as much DDJ as PRBS7.
+    use vardelay::analog::EdgeTransform;
+    use vardelay::measure::ddj_by_run_length;
+    use vardelay::siggen::compliance::run_stress;
+
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let line = FineDelayLine::new(&cfg, 1);
+    let (vctrls, intervals) = line.default_grids();
+    let rate = BitRate::from_gbps(6.4);
+
+    let ddj_of = |pattern: &BitPattern| {
+        let mut model = line.edge_model(&vctrls, &intervals, 2);
+        model.set_vctrl(Voltage::from_v(0.75));
+        let out = model.transform(&EdgeStream::nrz(pattern, rate));
+        ddj_by_run_length(&out, 7)
+            .expect("long capture")
+            .ddj_peak_to_peak
+    };
+
+    let prbs = ddj_of(&BitPattern::prbs7(1, 4000));
+    let stress = ddj_of(&run_stress(7, 6, 300));
+    assert!(
+        stress >= prbs * 0.9,
+        "stress {stress} should be at least PRBS-level {prbs}"
+    );
+}
+

@@ -1,0 +1,94 @@
+//! Integration: the paper's evaluation shapes, asserted at reduced sizes.
+//!
+//! These mirror the rows of EXPERIMENTS.md: each assertion checks the
+//! qualitative claim of a figure (who wins, trend direction, crossover),
+//! not the absolute number.
+
+use vardelay_bench::{ablation, eyes, fine_delay, injection, skew};
+use vardelay::units::Time;
+
+#[test]
+fn fig7_curve_is_monotone_sigmoid_with_56ps_scale_range() {
+    let series = fine_delay::fig7_delay_vs_vctrl(21);
+    let summary = fine_delay::fig7_summary(&series);
+    assert!((45.0..70.0).contains(&summary.range.as_ps()));
+    assert!(summary.mid_r_squared > 0.95);
+    // Slope flattens near the extremes (the paper's "changes in slope").
+    let first_step = series.ys[1] - series.ys[0];
+    let mid_step = series.ys[11] - series.ys[10];
+    let last_step = series.ys[20] - series.ys[19];
+    assert!(mid_step > first_step, "{mid_step} vs {first_step}");
+    assert!(mid_step > last_step, "{mid_step} vs {last_step}");
+}
+
+#[test]
+fn fig9_taps_deviate_by_only_a_few_picoseconds() {
+    let taps = fine_delay::fig9_coarse_taps();
+    for t in &taps {
+        let dev = (t.measured - t.designed).abs();
+        assert!(dev < Time::from_ps(5.0), "tap {}: deviation {dev}", t.tap);
+    }
+    // Monotone ascending taps.
+    for w in taps.windows(2) {
+        assert!(w[1].measured > w[0].measured);
+    }
+}
+
+#[test]
+fn fig12_fig13_added_jitter_is_bounded_and_grows_with_rate() {
+    let slow = eyes::fig12_eye_4g8(3000);
+    let fast = eyes::fig13_eye_6g4(3000);
+    assert!(slow.added_tj > Time::ZERO);
+    assert!(slow.added_tj < Time::from_ps(15.0), "{}", slow.added_tj);
+    assert!(fast.added_tj < Time::from_ps(22.0), "{}", fast.added_tj);
+    assert!(fast.added_tj > slow.added_tj * 0.8);
+}
+
+#[test]
+fn fig14_range_compresses_but_circuit_stays_usable() {
+    let r = eyes::fig14_rz_6g4(3000);
+    let dc = fine_delay::fig7_summary(&fine_delay::fig7_delay_vs_vctrl(9)).range;
+    assert!(r.fine_range < dc * 0.7, "no compression: {} vs {dc}", r.fine_range);
+    assert!(r.fine_range > Time::from_ps(15.0), "collapsed: {}", r.fine_range);
+    assert!(r.output_tj < Time::from_ps(18.0));
+}
+
+#[test]
+fn fig15_four_stage_dominates_and_two_stage_dies_first() {
+    let (s4, s2) = fine_delay::fig15_range_vs_frequency(&[0.5, 2.6, 4.8, 6.4]);
+    for ((_, a), (_, b)) in s4.points().zip(s2.points()) {
+        assert!(a > b);
+    }
+    // The 2-stage range at 6.4 GHz is below the 33 ps coverage requirement
+    // ("ineffective"), while the 4-stage held 33 ps to at least 4.8 GHz.
+    assert!(s2.ys[3] < 15.0, "2-stage at 6.4 GHz: {}", s2.ys[3]);
+    assert!(s4.ys[2] > 33.0, "4-stage at 4.8 GHz: {}", s4.ys[2]);
+}
+
+#[test]
+fn fig16_fig17_injection_transfer() {
+    let r = injection::fig16_injection(3000);
+    assert!(r.injected_tj > r.baseline_tj * 2.5);
+    let series = injection::fig17_injection_sweep(2000, 5);
+    // Roughly linear growth: the last point is within 2x of a linear
+    // extrapolation from the second point.
+    let lin = series.ys[1] * 4.0;
+    assert!(series.ys[4] > lin * 0.4 && series.ys[4] < lin * 2.0);
+}
+
+#[test]
+fn fig2_deskew_beats_5ps_from_80ps_of_skew() {
+    let outcome = skew::fig2_deskew(4);
+    assert!(outcome.before_peak_to_peak > Time::from_ps(20.0));
+    assert!(outcome.after_peak_to_peak < Time::from_ps(5.0));
+}
+
+#[test]
+fn ablation_shows_the_four_stage_sweet_spot() {
+    let rows = ablation::stage_count_ablation(5, 1500);
+    // Below 3 stages the 33 ps coarse step cannot be covered at speed.
+    assert!(rows[1].range_at_6g4 < Time::from_ps(33.0));
+    assert!(rows[3].dc_range > Time::from_ps(45.0));
+    // Jitter keeps growing with depth — the reason not to cascade more.
+    assert!(rows[4].added_tj > rows[2].added_tj);
+}

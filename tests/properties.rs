@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) over the suite's core invariants.
+
+use proptest::prelude::*;
+use vardelay::analog::DelayTable;
+use vardelay::core::{CalibrationTable, VctrlDac};
+use vardelay::measure::{tie_sequence, Histogram};
+use vardelay::siggen::{
+    BitPattern, EdgeStream, GaussianRj, JitterModel, Prbs, PrbsOrder, SplitMix64,
+};
+use vardelay::units::{BitRate, Time, Voltage};
+
+proptest! {
+    /// Any PRBS7 window of one full period is balanced (64 ones).
+    #[test]
+    fn prbs7_window_balance(seed in 1u64..1000) {
+        let ones = Prbs::new(PrbsOrder::Prbs7, seed)
+            .take(127)
+            .filter(|&b| b)
+            .count();
+        prop_assert_eq!(ones, 64);
+    }
+
+    /// NRZ encoding of any pattern yields a well-formed stream whose edge
+    /// count equals the pattern's transition count (plus the initial rise
+    /// when bit 0 is high).
+    #[test]
+    fn nrz_edge_count_matches_transitions(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let pattern = BitPattern::new(bits.clone());
+        let stream = EdgeStream::nrz(&pattern, BitRate::from_gbps(2.0));
+        prop_assert!(stream.is_well_formed());
+        let expected = pattern.transition_count() + usize::from(bits[0]);
+        prop_assert_eq!(stream.len(), expected);
+    }
+
+    /// Jitter application never breaks stream invariants, whatever the
+    /// sigma.
+    #[test]
+    fn jitter_preserves_well_formedness(
+        sigma_ps in 0.0f64..500.0,
+        seed in 0u64..500,
+        bits in 2usize..300,
+    ) {
+        let stream = EdgeStream::nrz(&BitPattern::clock(bits), BitRate::from_gbps(2.0));
+        let jittered = GaussianRj::new(Time::from_ps(sigma_ps), seed).apply(&stream);
+        prop_assert!(jittered.is_well_formed());
+        prop_assert_eq!(jittered.len(), stream.len());
+    }
+
+    /// A pure time shift leaves TIE at zero for any pattern and delay.
+    #[test]
+    fn tie_is_shift_invariant(
+        delay_ps in -400.0f64..400.0,
+        seed in 1u64..100,
+    ) {
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(seed, 254), BitRate::from_gbps(2.0));
+        let tie = tie_sequence(&stream.delayed(Time::from_ps(delay_ps)));
+        for t in tie {
+            prop_assert!(t.abs() < Time::from_fs(50.0), "residual {}", t);
+        }
+    }
+
+    /// DAC code→voltage→code round-trips exactly for every code.
+    #[test]
+    fn dac_round_trip(bits in 2u8..16, code_frac in 0.0f64..1.0) {
+        let dac = VctrlDac::new(bits, Voltage::ZERO, Voltage::from_v(1.5));
+        let code = (code_frac * (dac.levels() - 1) as f64) as u32;
+        prop_assert_eq!(dac.code_for(dac.voltage(code)), code);
+    }
+
+    /// Calibration inversion round-trips for arbitrary monotone curves.
+    #[test]
+    fn calibration_inversion_round_trip(
+        base_ps in 50.0f64..300.0,
+        slope in 5.0f64..60.0,
+        curvature in -2.0f64..2.0,
+        target_frac in 0.0f64..1.0,
+    ) {
+        let grid: Vec<Voltage> = (0..12)
+            .map(|i| Voltage::from_v(1.5 * i as f64 / 11.0))
+            .collect();
+        let table = CalibrationTable::from_measurement(&grid, |v| {
+            let x = v.as_v();
+            Time::from_ps(base_ps + slope * x + curvature * x * x)
+        });
+        let target = table.min_delay() + table.range() * target_frac;
+        let vctrl = table.vctrl_for_delay(target).expect("target within span");
+        let back = table.delay_at(vctrl);
+        prop_assert!(
+            (back - target).abs() < Time::from_ps(0.7),
+            "target {} -> {}", target, back
+        );
+    }
+
+    /// Delay-table lookups always stay within the measured value envelope.
+    #[test]
+    fn delay_table_interpolation_is_bounded(
+        v_query in -1.0f64..3.0,
+        i_query in 10.0f64..5000.0,
+    ) {
+        let table = DelayTable::new(
+            vec![Voltage::from_v(0.0), Voltage::from_v(0.75), Voltage::from_v(1.5)],
+            vec![Time::from_ps(100.0), Time::from_ps(1000.0)],
+            vec![
+                vec![Time::from_ps(200.0), Time::from_ps(205.0)],
+                vec![Time::from_ps(220.0), Time::from_ps(235.0)],
+                vec![Time::from_ps(240.0), Time::from_ps(260.0)],
+            ],
+        );
+        let d = table.delay_at(Voltage::from_v(v_query), Time::from_ps(i_query));
+        prop_assert!(d >= Time::from_ps(200.0) && d <= Time::from_ps(260.0), "{}", d);
+    }
+
+    /// Histogram totals are conserved: in-range + underflow + overflow.
+    #[test]
+    fn histogram_conserves_samples(data in proptest::collection::vec(-100.0f64..100.0, 1..500)) {
+        let mut h = Histogram::new(-50.0, 50.0, 16);
+        h.extend(data.iter().copied());
+        let binned: u64 = (0..h.bins()).map(|i| h.count_in_bin(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+        // Percentiles are order statistics of the retained samples.
+        let p0 = h.percentile(0.0).expect("non-empty");
+        let p1 = h.percentile(1.0).expect("non-empty");
+        prop_assert!(p0 <= p1);
+    }
+
+    /// `with_times` repairs arbitrary displacements into a valid stream.
+    #[test]
+    fn with_times_always_repairs(
+        displacements in proptest::collection::vec(-2000.0f64..2000.0, 4..100),
+    ) {
+        let stream = EdgeStream::nrz(
+            &BitPattern::clock(displacements.len()),
+            BitRate::from_gbps(1.0),
+        );
+        let times: Vec<Time> = stream
+            .times()
+            .zip(&displacements)
+            .map(|(t, &d)| t + Time::from_ps(d))
+            .collect();
+        let repaired = stream.with_times(&times);
+        prop_assert!(repaired.is_well_formed());
+    }
+
+    /// SplitMix64 uniform samples respect their bounds for any seed.
+    #[test]
+    fn rng_uniform_bounds(seed in any::<u64>(), lo in -10.0f64..0.0, width in 0.001f64..20.0) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            let x = rng.uniform(lo, lo + width);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests over the extension subsystems: line coding,
+//! scrambling, CDR tracking, eye masks, DDJ decomposition and
+//! cross-correlation.
+
+use proptest::prelude::*;
+use vardelay::analog::DeEmphasis;
+use vardelay::ate::BangBangCdr;
+use vardelay::measure::{ddj_by_run_length, xcorr_delay, EyeMask};
+use vardelay::siggen::encoding::{
+    max_run_length, running_disparity_excursion, Decoder8b10b, Encoder8b10b, Symbol,
+};
+use vardelay::siggen::{
+    BitPattern, EdgeStream, GaussianRj, JitterModel, Scrambler,
+};
+use vardelay::units::{BitRate, Time, Voltage};
+use vardelay::waveform::{RenderConfig, Waveform};
+
+proptest! {
+    /// Any byte sequence survives 8b/10b encode → decode, from any point
+    /// in the disparity state machine.
+    #[test]
+    fn eightb_tenb_round_trips(bytes in proptest::collection::vec(any::<u8>(), 1..100)) {
+        let mut enc = Encoder8b10b::new();
+        let dec = Decoder8b10b::new();
+        for &b in &bytes {
+            let group = enc.encode(Symbol::Data(b));
+            prop_assert_eq!(dec.decode(&group), Ok(Symbol::Data(b)));
+        }
+    }
+
+    /// Encoded streams keep their running digital sum bounded and their
+    /// run lengths short, whatever the payload.
+    #[test]
+    fn eightb_tenb_stream_invariants(bytes in proptest::collection::vec(any::<u8>(), 10..300)) {
+        let mut enc = Encoder8b10b::new();
+        let bits = enc.encode_bytes(&bytes);
+        let (lo, hi) = running_disparity_excursion(&bits);
+        prop_assert!(lo >= -10 && hi <= 10, "excursion {}..{}", lo, hi);
+        prop_assert!(max_run_length(&bits) <= 6);
+    }
+
+    /// Scrambling is an involution from any synchronized state.
+    #[test]
+    fn scrambler_involution(state in 1u16.., bytes in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let mut tx = Scrambler::with_state(state);
+        let mut rx = Scrambler::with_state(state);
+        let scrambled = tx.scrambled(&bytes);
+        prop_assert_eq!(rx.scrambled(&scrambled), bytes);
+    }
+
+    /// The CDR's residual phase error is always bounded by half a UI,
+    /// whatever jitter rides on the stream.
+    #[test]
+    fn cdr_residual_is_bounded(sigma_ps in 0.0f64..40.0, seed in 0u64..200) {
+        let rate = BitRate::from_gbps(6.4);
+        let clean = EdgeStream::nrz(&BitPattern::prbs7(1, 500), rate);
+        let stream = GaussianRj::new(Time::from_ps(sigma_ps), seed).apply(&clean);
+        let cdr = BangBangCdr::new(rate.bit_period(), Time::from_ps(0.5));
+        let track = cdr.track(&stream);
+        let half_ui = rate.bit_period() * 0.5;
+        for r in &track.residual {
+            prop_assert!(r.abs() <= half_ui + Time::from_fs(1.0), "residual {}", r);
+        }
+    }
+
+    /// Hexagonal masks contain their centre, exclude points beyond their
+    /// extent, and widening is monotone.
+    #[test]
+    fn mask_geometry(w in 0.05f64..0.45, h in 0.01f64..0.4, margin in 0.0f64..0.04) {
+        let mask = EyeMask::hexagon(w, h);
+        prop_assert!(mask.contains(0.0, 0.0));
+        prop_assert!(!mask.contains(w * 1.01 + 1e-9, 0.0));
+        prop_assert!(!mask.contains(0.0, h * 1.01 + 1e-9));
+        // Every point of the base mask stays inside the widened mask.
+        let widened = mask.widened(margin);
+        for frac in [-0.9, -0.5, 0.0, 0.5, 0.9] {
+            let x = w * frac;
+            if mask.contains(x, 0.0) {
+                prop_assert!(widened.contains(x, 0.0));
+            }
+        }
+    }
+
+    /// Clean streams decompose to (near-)zero DDJ for any PRBS seed.
+    #[test]
+    fn ddj_of_clean_streams_is_zero(seed in 1u64..200) {
+        let s = EdgeStream::nrz(&BitPattern::prbs7(seed, 1000), BitRate::from_gbps(6.4));
+        if let Some(d) = ddj_by_run_length(&s, 7) {
+            prop_assert!(d.ddj_peak_to_peak < Time::from_ps(0.01));
+            prop_assert!(d.residual_rms < Time::from_ps(0.01));
+        }
+    }
+
+    /// Cross-correlation recovers arbitrary axis shifts exactly.
+    #[test]
+    fn xcorr_recovers_axis_shifts(shift_ps in -300.0f64..300.0) {
+        let stream = EdgeStream::nrz(&BitPattern::prbs7(1, 32), BitRate::from_gbps(2.0));
+        let cfg = RenderConfig::new(
+            Time::from_ps(1.0),
+            Voltage::from_mv(800.0),
+            Time::from_ps(60.0),
+        );
+        let a = Waveform::render(&stream, &cfg);
+        let b = a.delayed(Time::from_ps(shift_ps));
+        let d = xcorr_delay(&a, &b, Time::from_ps(400.0)).expect("well-posed");
+        prop_assert!((d.as_ps() - shift_ps).abs() < 0.05, "{} vs {}", d, shift_ps);
+    }
+
+    /// The de-emphasis tap weight matches its dB rating analytically.
+    #[test]
+    fn deemphasis_tap_weight_consistency(db in 0.0f64..11.9) {
+        let drv = DeEmphasis::new(Time::from_ps(100.0), db);
+        let d = drv.tap_weight();
+        let ratio = (1.0 - d) / (1.0 + d);
+        prop_assert!((20.0 * ratio.log10() + db).abs() < 1e-9);
+        prop_assert!((0.0..1.0).contains(&d));
+    }
+}
