@@ -78,7 +78,10 @@ impl BufferCoreConfig {
             self.bandwidth > Frequency::ZERO,
             "bandwidth must be positive"
         );
-        assert!(self.noise_rms >= Voltage::ZERO, "noise must be non-negative");
+        assert!(
+            self.noise_rms >= Voltage::ZERO,
+            "noise must be non-negative"
+        );
         assert!(self.prop_delay >= Time::ZERO, "delay must be non-negative");
         assert!(
             self.envelope_tau >= Time::ZERO,
@@ -236,7 +239,11 @@ mod tests {
         cfg
     }
 
-    fn process_stream(core: &mut BufferCore, rate: BitRate, bits: usize) -> (EdgeStream, EdgeStream) {
+    fn process_stream(
+        core: &mut BufferCore,
+        rate: BitRate,
+        bits: usize,
+    ) -> (EdgeStream, EdgeStream) {
         let stream = EdgeStream::nrz(&BitPattern::clock(bits), rate);
         let wf = Waveform::render(&stream, &RenderConfig::default_source());
         let out = core.process(&wf);

@@ -10,7 +10,13 @@
 //! frequency roll-off, and applying it per-edge on real data produces the
 //! data-dependent jitter the paper observes at 6.4 Gb/s.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::block::{AnalogBlock, EdgeTransform};
+use crate::fingerprint::Fingerprint;
+use vardelay_runner::Runner;
 use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
 use vardelay_units::{BitRate, Time, Voltage};
 use vardelay_waveform::{to_edge_stream, RenderConfig, Waveform};
@@ -33,7 +39,10 @@ impl DelayTable {
     /// Panics if grids are empty, unsorted, or the value matrix has the
     /// wrong shape.
     pub fn new(vctrls: Vec<Voltage>, intervals: Vec<Time>, delays: Vec<Vec<Time>>) -> Self {
-        assert!(!vctrls.is_empty() && !intervals.is_empty(), "grids must be non-empty");
+        assert!(
+            !vctrls.is_empty() && !intervals.is_empty(),
+            "grids must be non-empty"
+        );
         assert!(
             vctrls.windows(2).all(|w| w[0] < w[1]),
             "vctrl grid must be strictly ascending"
@@ -126,38 +135,159 @@ impl DelayTable {
 /// Panics if the grids are empty or if a chain output produces no
 /// measurable crossings at some grid point (signal completely lost).
 pub fn measure_delay_table(
-    build: &mut dyn FnMut(Voltage) -> Box<dyn AnalogBlock + Send>,
+    build: &(dyn Fn(Voltage) -> Box<dyn AnalogBlock + Send> + Sync),
     vctrls: &[Voltage],
     intervals: &[Time],
     render: &RenderConfig,
 ) -> DelayTable {
-    assert!(!vctrls.is_empty() && !intervals.is_empty(), "grids must be non-empty");
+    measure_delay_table_with(Runner::global(), build, vctrls, intervals, render)
+}
+
+/// [`measure_delay_table`] on an explicit [`Runner`] (used by the
+/// determinism regression tests to force thread counts).
+///
+/// Every grid cell builds its own chain from scratch and shares no state
+/// with any other cell, so the fan-out is bit-identical to the serial
+/// nested loop at every thread count.
+pub fn measure_delay_table_with(
+    runner: Runner,
+    build: &(dyn Fn(Voltage) -> Box<dyn AnalogBlock + Send> + Sync),
+    vctrls: &[Voltage],
+    intervals: &[Time],
+    render: &RenderConfig,
+) -> DelayTable {
+    assert!(
+        !vctrls.is_empty() && !intervals.is_empty(),
+        "grids must be non-empty"
+    );
     const WARMUP_EDGES: usize = 8;
     const TOTAL_BITS: usize = 24;
 
-    let mut delays = Vec::with_capacity(vctrls.len());
-    for &vctrl in vctrls {
-        let mut row = Vec::with_capacity(intervals.len());
-        for &interval in intervals {
-            let rate = BitRate::from_bps(1.0 / interval.as_s());
-            let stimulus = EdgeStream::nrz(&BitPattern::clock(TOTAL_BITS), rate);
-            let wf = Waveform::render(&stimulus, render);
-            let mut chain = build(vctrl);
-            let out_wf = chain.process(&wf);
-            let out = to_edge_stream(&out_wf, 0.0, rate.bit_period());
-            assert!(
-                out.len() > WARMUP_EDGES,
-                "chain output lost the signal at vctrl={vctrl}, interval={interval}"
-            );
-            // Polarity-safe tail pairing: robust to start-up transients
-            // and to a final edge cut off by the capture window.
-            let mean = vardelay_measure::tail_mean_delay(&stimulus, &out, WARMUP_EDGES)
-                .expect("chain output carries measurable edges");
-            row.push(mean);
-        }
-        delays.push(row);
-    }
+    let cells: Vec<(Voltage, Time)> = vctrls
+        .iter()
+        .flat_map(|&v| intervals.iter().map(move |&i| (v, i)))
+        .collect();
+    let flat = runner.par_map(&cells, |_, &(vctrl, interval)| {
+        let rate = BitRate::from_bps(1.0 / interval.as_s());
+        let stimulus = EdgeStream::nrz(&BitPattern::clock(TOTAL_BITS), rate);
+        let wf = Waveform::render(&stimulus, render);
+        let mut chain = build(vctrl);
+        let out_wf = chain.process(&wf);
+        let out = to_edge_stream(&out_wf, 0.0, rate.bit_period());
+        assert!(
+            out.len() > WARMUP_EDGES,
+            "chain output lost the signal at vctrl={vctrl}, interval={interval}"
+        );
+        // Polarity-safe tail pairing: robust to start-up transients
+        // and to a final edge cut off by the capture window.
+        vardelay_measure::tail_mean_delay(&stimulus, &out, WARMUP_EDGES)
+            .expect("chain output carries measurable edges")
+    });
+    let delays = flat
+        .chunks(intervals.len())
+        .map(|row| row.to_vec())
+        .collect();
     DelayTable::new(vctrls.to_vec(), intervals.to_vec(), delays)
+}
+
+// ---------------------------------------------------------------------------
+// Characterization cache
+// ---------------------------------------------------------------------------
+
+fn cache() -> &'static Mutex<HashMap<u64, Arc<DelayTable>>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<DelayTable>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("VARDELAY_NO_CACHE").is_none())
+}
+
+/// `(hits, misses)` counters of the process-wide characterization cache.
+pub fn characterization_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Empties the characterization cache (counters are left running). Meant
+/// for tests and for benchmarks that need a cold start.
+pub fn clear_characterization_cache() {
+    cache().lock().expect("cache lock").clear();
+}
+
+/// [`measure_delay_table`], memoized on `(model_key, grids, render)`.
+///
+/// `model_key` must fingerprint **everything** `build` closes over that
+/// can influence the measurement (see `ModelConfig::fingerprint` in
+/// `vardelay-core`, and DESIGN.md §8 for the invalidation rule); the grid
+/// values and render settings are folded in here. On a hit the stored
+/// table is cloned and `build` is never called. Disable with the
+/// `VARDELAY_NO_CACHE` environment variable (checked once per process).
+pub fn measure_delay_table_cached(
+    model_key: u64,
+    build: &(dyn Fn(Voltage) -> Box<dyn AnalogBlock + Send> + Sync),
+    vctrls: &[Voltage],
+    intervals: &[Time],
+    render: &RenderConfig,
+) -> DelayTable {
+    measure_delay_table_cached_with(
+        Runner::global(),
+        model_key,
+        build,
+        vctrls,
+        intervals,
+        render,
+    )
+}
+
+/// [`measure_delay_table_cached`] on an explicit [`Runner`].
+pub fn measure_delay_table_cached_with(
+    runner: Runner,
+    model_key: u64,
+    build: &(dyn Fn(Voltage) -> Box<dyn AnalogBlock + Send> + Sync),
+    vctrls: &[Voltage],
+    intervals: &[Time],
+    render: &RenderConfig,
+) -> DelayTable {
+    if !cache_enabled() {
+        return measure_delay_table_with(runner, build, vctrls, intervals, render);
+    }
+    let mut fp = Fingerprint::new();
+    fp.push_u64(model_key);
+    fp.push_usize(vctrls.len());
+    for v in vctrls {
+        fp.push_f64(v.as_v());
+    }
+    fp.push_usize(intervals.len());
+    for i in intervals {
+        fp.push_f64(i.as_s());
+    }
+    fp.push_f64(render.dt.as_s())
+        .push_f64(render.swing.as_v())
+        .push_f64(render.rise_time.as_s())
+        .push_f64(render.padding.as_s());
+    let key = fp.finish();
+
+    if let Some(table) = cache().lock().expect("cache lock").get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return DelayTable::clone(table);
+    }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    // Measure outside the lock: a miss must not serialize unrelated
+    // characterizations. A racing duplicate measurement is harmless — both
+    // sides compute the identical table.
+    let table = measure_delay_table_with(runner, build, vctrls, intervals, render);
+    cache()
+        .lock()
+        .expect("cache lock")
+        .insert(key, Arc::new(table.clone()));
+    table
 }
 
 /// A table-driven edge-domain delay element with per-edge random jitter —
@@ -299,11 +429,11 @@ mod tests {
 
     #[test]
     fn measured_table_of_a_pure_line_is_flat() {
-        let mut build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+        let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
             Box::new(TransmissionLine::new(Time::from_ps(33.0)))
         };
         let table = measure_delay_table(
-            &mut build,
+            &build,
             &[Voltage::ZERO, Voltage::from_v(1.5)],
             &[Time::from_ps(500.0), Time::from_ps(1000.0)],
             &RenderConfig::default_source(),
@@ -320,13 +450,13 @@ mod tests {
     fn measured_vga_table_shows_amplitude_dependence() {
         let mut cfg = VgaBufferConfig::paper_default();
         cfg.core.noise_rms = Voltage::ZERO;
-        let mut build = move |v: Voltage| -> Box<dyn AnalogBlock + Send> {
+        let build = move |v: Voltage| -> Box<dyn AnalogBlock + Send> {
             let mut buf = VgaBuffer::new(cfg.clone(), 1);
             buf.set_vctrl(v);
             Box::new(buf)
         };
         let table = measure_delay_table(
-            &mut build,
+            &build,
             &[Voltage::ZERO, Voltage::from_v(0.75), Voltage::from_v(1.5)],
             &[Time::from_ps(1000.0)],
             &RenderConfig::default_source(),
@@ -342,10 +472,7 @@ mod tests {
     fn characterized_delay_applies_table() {
         let table = table_2x2();
         let mut model = CharacterizedDelay::new(table, Voltage::from_v(1.0), Time::ZERO, 1);
-        let stream = EdgeStream::nrz(
-            &BitPattern::clock(10),
-            BitRate::from_bps(1.0 / 200e-12),
-        );
+        let stream = EdgeStream::nrz(&BitPattern::clock(10), BitRate::from_bps(1.0 / 200e-12));
         let out = model.transform(&stream);
         let d = vardelay_measure::mean_delay(&stream, &out).unwrap();
         // All intervals are 200 ps → delay 40 ps at vctrl = 1 V.
@@ -356,10 +483,7 @@ mod tests {
     fn per_edge_vctrls_modulate_delay() {
         let table = table_2x2();
         let mut model = CharacterizedDelay::new(table, Voltage::ZERO, Time::ZERO, 1);
-        let stream = EdgeStream::nrz(
-            &BitPattern::clock(4),
-            BitRate::from_bps(1.0 / 200e-12),
-        );
+        let stream = EdgeStream::nrz(&BitPattern::clock(4), BitRate::from_bps(1.0 / 200e-12));
         let vctrls: Vec<Voltage> = (0..stream.len())
             .map(|i| {
                 if i % 2 == 0 {
@@ -372,6 +496,75 @@ mod tests {
         let out = model.transform_with_vctrls(&stream, &vctrls);
         let seq = vardelay_measure::delay_sequence(&stream, &out).unwrap();
         assert!((seq[1] - seq[0]).as_ps() > 15.0); // 40 vs 20 ps
+    }
+
+    #[test]
+    fn measured_table_is_thread_count_invariant() {
+        let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+            Box::new(TransmissionLine::new(Time::from_ps(21.0)))
+        };
+        let vctrls = [Voltage::ZERO, Voltage::from_v(0.7), Voltage::from_v(1.5)];
+        let intervals = [Time::from_ps(400.0), Time::from_ps(800.0)];
+        let render = RenderConfig::default_source();
+        let serial =
+            measure_delay_table_with(Runner::serial(), &build, &vctrls, &intervals, &render);
+        for threads in [2, 4, 8] {
+            let parallel = measure_delay_table_with(
+                Runner::new(threads),
+                &build,
+                &vctrls,
+                &intervals,
+                &render,
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cached_table_matches_uncached_and_hits_on_repeat() {
+        let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+            Box::new(TransmissionLine::new(Time::from_ps(11.0)))
+        };
+        let vctrls = [Voltage::ZERO, Voltage::from_v(1.0)];
+        let intervals = [Time::from_ps(600.0)];
+        let render = RenderConfig::default_source();
+        // A key private to this test so parallel tests cannot collide.
+        let key = 0xc0de_cafe_0000_0001;
+        let uncached = measure_delay_table(&build, &vctrls, &intervals, &render);
+        let first = measure_delay_table_cached(key, &build, &vctrls, &intervals, &render);
+        assert_eq!(first, uncached);
+        let (hits_before, _) = characterization_cache_stats();
+        let second = measure_delay_table_cached(key, &build, &vctrls, &intervals, &render);
+        assert_eq!(second, first);
+        if cache_enabled() {
+            let (hits_after, _) = characterization_cache_stats();
+            assert!(hits_after > hits_before, "repeat lookup should hit");
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_grids_and_keys() {
+        let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+            Box::new(TransmissionLine::new(Time::from_ps(5.0)))
+        };
+        let render = RenderConfig::default_source();
+        let key = 0xc0de_cafe_0000_0002;
+        let a = measure_delay_table_cached(
+            key,
+            &build,
+            &[Voltage::ZERO],
+            &[Time::from_ps(500.0)],
+            &render,
+        );
+        // Same key, different grid → different cache entry, correct grid out.
+        let b = measure_delay_table_cached(
+            key,
+            &build,
+            &[Voltage::ZERO],
+            &[Time::from_ps(900.0)],
+            &render,
+        );
+        assert_ne!(a.intervals(), b.intervals());
     }
 
     #[test]

@@ -103,7 +103,9 @@ mod tests {
     fn fast_noise_passes_on_top_of_bias() {
         let c = AcCoupling::new(Frequency::from_mhz(1.0), Voltage::from_v(0.75));
         // A fast square wave well above the corner passes nearly unattenuated.
-        let samples: Vec<f64> = (0..1000).map(|i| if i % 10 < 5 { 0.1 } else { -0.1 }).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| if i % 10 < 5 { 0.1 } else { -0.1 })
+            .collect();
         let input = Waveform::new(Time::ZERO, Time::from_ps(100.0), samples);
         let out = c.couple(&input);
         let (lo, hi) = out.extremes().unwrap();
@@ -118,7 +120,9 @@ mod tests {
     #[test]
     fn gain_attenuates() {
         let c = AcCoupling::new(Frequency::from_mhz(1.0), Voltage::ZERO).with_gain(0.5);
-        let samples: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.2 } else { -0.2 }).collect();
+        let samples: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.2 } else { -0.2 })
+            .collect();
         let input = Waveform::new(Time::ZERO, Time::from_ps(100.0), samples);
         let out = c.couple(&input);
         let (lo, hi) = out.extremes().unwrap();

@@ -37,10 +37,7 @@ impl CrosstalkCoupling {
     ///
     /// Panics unless `0 <= coupling < 1` and `tau > 0`.
     pub fn new(coupling: f64, tau: Time) -> Self {
-        assert!(
-            (0.0..1.0).contains(&coupling),
-            "coupling must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&coupling), "coupling must be in [0, 1)");
         assert!(tau > Time::ZERO, "coupling time scale must be positive");
         CrosstalkCoupling { coupling, tau }
     }

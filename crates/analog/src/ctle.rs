@@ -144,11 +144,7 @@ mod tests {
 
     #[test]
     fn dc_behaviour_is_unity_gain() {
-        let mut eq = Ctle::new(
-            Frequency::from_ghz(1.0),
-            Frequency::from_ghz(10.0),
-            1.0,
-        );
+        let mut eq = Ctle::new(Frequency::from_ghz(1.0), Frequency::from_ghz(10.0), 1.0);
         let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![0.3; 2000]);
         let out = eq.process(&wf);
         assert!((out.samples()[1999] - 0.3).abs() < 1e-6);

@@ -155,8 +155,7 @@ mod tests {
         use vardelay_units::Frequency;
         let rate = BitRate::from_gbps(6.4);
         let wf = render(rate, 400);
-        let channel =
-            || LossyChannel::new(Time::from_ns(1.0), 2.0, Frequency::from_ghz(2.5));
+        let channel = || LossyChannel::new(Time::from_ns(1.0), 2.0, Frequency::from_ghz(2.5));
 
         let plain = channel().process(&wf);
         let mut drv = DeEmphasis::pcie_3p5db(rate.bit_period());
@@ -180,8 +179,7 @@ mod tests {
         use vardelay_units::Frequency;
         let rate = BitRate::from_gbps(6.4);
         let wf = render(rate, 400);
-        let channel =
-            || LossyChannel::new(Time::from_ns(1.0), 2.0, Frequency::from_ghz(2.5));
+        let channel = || LossyChannel::new(Time::from_ns(1.0), 2.0, Frequency::from_ghz(2.5));
         let pp_at = |db: f64| {
             let mut drv = DeEmphasis::new(rate.bit_period(), db);
             let out = channel().process(&drv.process(&wf));

@@ -120,10 +120,8 @@ mod tests {
         let rate = BitRate::from_gbps(1.0);
         let stream = EdgeStream::nrz(&BitPattern::clock(8), rate);
         let wf = Waveform::render(&stream, &RenderConfig::default_source());
-        let mut fan = FanoutBuffer::new(2, quiet(), 1).with_output_skews(vec![
-            Time::ZERO,
-            Time::from_ps(5.0),
-        ]);
+        let mut fan = FanoutBuffer::new(2, quiet(), 1)
+            .with_output_skews(vec![Time::ZERO, Time::from_ps(5.0)]);
         let outs = fan.fan_out(&wf);
         let a = to_edge_stream(&outs[0], 0.0, rate.bit_period());
         let b = to_edge_stream(&outs[1], 0.0, rate.bit_period());

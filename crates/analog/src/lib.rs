@@ -36,6 +36,7 @@ pub mod crosstalk;
 pub mod ctle;
 pub mod deemphasis;
 pub mod fanout;
+pub mod fingerprint;
 pub mod lossy;
 pub mod mux;
 pub mod noise;
@@ -45,12 +46,17 @@ pub mod vga_buffer;
 pub use block::{AnalogBlock, EdgeTransform};
 pub use buffer_core::{BufferCore, BufferCoreConfig};
 pub use chain::{Chain, EdgeChain};
-pub use characterize::{measure_delay_table, CharacterizedDelay, DelayTable};
+pub use characterize::{
+    characterization_cache_stats, clear_characterization_cache, measure_delay_table,
+    measure_delay_table_cached, measure_delay_table_cached_with, measure_delay_table_with,
+    CharacterizedDelay, DelayTable,
+};
 pub use coupling::AcCoupling;
 pub use crosstalk::CrosstalkCoupling;
 pub use ctle::Ctle;
 pub use deemphasis::DeEmphasis;
 pub use fanout::FanoutBuffer;
+pub use fingerprint::Fingerprint;
 pub use lossy::LossyChannel;
 pub use mux::{Mux4, SelectTapError};
 pub use noise::OuNoise;

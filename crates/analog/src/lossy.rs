@@ -39,7 +39,10 @@ impl LossyChannel {
     ///
     /// Panics if the flight time or loss is negative.
     pub fn new(flight_time: Time, dc_loss_db: f64, corner: Frequency) -> Self {
-        assert!(flight_time >= Time::ZERO, "flight time must be non-negative");
+        assert!(
+            flight_time >= Time::ZERO,
+            "flight time must be non-negative"
+        );
         assert!(dc_loss_db >= 0.0, "loss must be non-negative");
         LossyChannel {
             flight_time,

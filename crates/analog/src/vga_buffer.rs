@@ -265,7 +265,10 @@ mod tests {
             let out = buf.process(&wf);
             let d = mean_delay(&stream, &to_edge_stream(&out, 0.0, rate.bit_period())).unwrap();
             if let Some(p) = prev {
-                assert!(d >= p - Time::from_fs(200.0), "delay not monotone: {d} < {p}");
+                assert!(
+                    d >= p - Time::from_fs(200.0),
+                    "delay not monotone: {d} < {p}"
+                );
             }
             prev = Some(d);
         }

@@ -85,6 +85,15 @@ impl ParallelBus {
         self.channels.iter().map(AteChannel::generate).collect()
     }
 
+    /// [`ParallelBus::generate_all`] on an explicit
+    /// [`Runner`](vardelay_runner::Runner). Channels render independently
+    /// (each [`AteChannel::generate`] derives its jitter from the channel's
+    /// own stored seed), so the result is bit-identical to the serial map
+    /// at every thread count.
+    pub fn generate_all_with(&self, runner: vardelay_runner::Runner) -> Vec<EdgeStream> {
+        runner.par_map(&self.channels, |_, ch| ch.generate())
+    }
+
     /// The intrinsic skews, per channel.
     pub fn intrinsic_skews(&self) -> Vec<Time> {
         self.channels

@@ -223,8 +223,7 @@ mod tests {
         let base = stream(20_000);
         let amp = Time::from_ps(20.0);
         let residual_pp = |freq_mhz: f64| {
-            let jittered =
-                SinusoidalPj::new(amp, Frequency::from_mhz(freq_mhz), 0.0).apply(&base);
+            let jittered = SinusoidalPj::new(amp, Frequency::from_mhz(freq_mhz), 0.0).apply(&base);
             let track = cdr().track(&jittered);
             let tail = &track.residual[track.residual.len() / 2..];
             JitterStats::from_times(tail)
@@ -241,7 +240,10 @@ mod tests {
             fast > amp * 1.2,
             "fast PJ should pass through untracked: {fast}"
         );
-        assert!(fast > slow * 1.5, "no high-pass behaviour: {slow} vs {fast}");
+        assert!(
+            fast > slow * 1.5,
+            "no high-pass behaviour: {slow} vs {fast}"
+        );
     }
 
     #[test]
@@ -253,11 +255,7 @@ mod tests {
         let stats = JitterStats::from_times(tail).expect("edges exist");
         // Wideband RJ is above the loop bandwidth: RMS survives (within
         // the dither the loop itself adds).
-        assert!(
-            (stats.rms.as_ps() - 2.0).abs() < 0.8,
-            "rms {}",
-            stats.rms
-        );
+        assert!((stats.rms.as_ps() - 2.0).abs() < 0.8, "rms {}", stats.rms);
     }
 
     #[test]
@@ -265,20 +263,12 @@ mod tests {
         let base = stream(5_000);
         let rx = DutReceiver::new(Time::from_ps(50.0), Time::from_ps(50.0));
         // A huge but very slow sinusoid: tracked, so no violations…
-        let slow = SinusoidalPj::new(
-            Time::from_ps(60.0),
-            Frequency::from_mhz(0.02),
-            0.0,
-        )
-        .apply(&base);
+        let slow =
+            SinusoidalPj::new(Time::from_ps(60.0), Frequency::from_mhz(0.02), 0.0).apply(&base);
         assert_eq!(cdr().violation_rate(&slow, &rx), 0.0);
         // …whereas the same amplitude at high frequency fails hard.
-        let fast = SinusoidalPj::new(
-            Time::from_ps(60.0),
-            Frequency::from_mhz(300.0),
-            0.0,
-        )
-        .apply(&base);
+        let fast =
+            SinusoidalPj::new(Time::from_ps(60.0), Frequency::from_mhz(300.0), 0.0).apply(&base);
         assert!(cdr().violation_rate(&fast, &rx) > 0.05);
     }
 
@@ -298,14 +288,7 @@ mod tests {
             .iter()
             .map(|&m| Frequency::from_mhz(m))
             .collect();
-        let mask = jitter_tolerance_mask(
-            &cdr(),
-            &rx,
-            &base,
-            &freqs,
-            Time::from_ps(400.0),
-            1e-3,
-        );
+        let mask = jitter_tolerance_mask(&cdr(), &rx, &base, &freqs, Time::from_ps(400.0), 1e-3);
         // Tolerance decreases (weakly) with frequency…
         for w in mask.windows(2) {
             assert!(
@@ -321,10 +304,7 @@ mod tests {
         );
         // The high-frequency floor is set by the static margin (~33 ps).
         let floor = mask[3].tolerated_amplitude;
-        assert!(
-            (10.0..60.0).contains(&floor.as_ps()),
-            "floor {floor}"
-        );
+        assert!((10.0..60.0).contains(&floor.as_ps()), "floor {floor}");
     }
 
     #[test]

@@ -166,9 +166,7 @@ mod tests {
             Time::ZERO,
             1,
         );
-        let mut moved = base
-            .clone()
-            .with_intrinsic_skew(Time::from_ps(63.0));
+        let mut moved = base.clone().with_intrinsic_skew(Time::from_ps(63.0));
         moved.program_delay(Time::from_ps(200.0));
         let d = mean_delay(&base.generate(), &moved.generate()).unwrap();
         assert!((d.as_ps() - 263.0).abs() < 1e-9, "d {d}");

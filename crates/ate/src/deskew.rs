@@ -12,6 +12,7 @@
 use crate::bus::ParallelBus;
 use vardelay_core::{CombinedDelayCircuit, DelaySetting, ModelConfig, SetDelayError};
 use vardelay_measure::mean_delay;
+use vardelay_runner::Runner;
 use vardelay_siggen::{EdgeStream, GaussianRj, JitterModel, SplitMix64};
 use vardelay_units::Time;
 
@@ -100,16 +101,19 @@ pub struct DeskewEngine {
     /// per-channel vardelay boards), 1σ.
     instance_error_sigma: Time,
     seed: u64,
+    runner: Runner,
 }
 
 impl DeskewEngine {
     /// Creates an engine with the paper-prototype vardelay model and a
-    /// 0.8 ps 1σ per-circuit instance mismatch.
+    /// 0.8 ps 1σ per-circuit instance mismatch, running on the global
+    /// [`Runner`].
     pub fn new(config: &ModelConfig, seed: u64) -> Self {
         DeskewEngine {
             config: config.clone(),
             instance_error_sigma: Time::from_ps(0.8),
             seed,
+            runner: Runner::global(),
         }
     }
 
@@ -121,6 +125,13 @@ impl DeskewEngine {
     pub fn with_instance_error(mut self, sigma: Time) -> Self {
         assert!(sigma >= Time::ZERO, "instance error must be non-negative");
         self.instance_error_sigma = sigma;
+        self
+    }
+
+    /// Overrides the runner, builder style — determinism tests force
+    /// thread counts through this.
+    pub fn with_runner(mut self, runner: Runner) -> Self {
+        self.runner = runner;
         self
     }
 
@@ -136,15 +147,17 @@ impl DeskewEngine {
     pub fn run(&self, bus: &mut ParallelBus) -> Result<DeskewOutcome, DeskewError> {
         let mut rng = SplitMix64::new(self.seed);
 
-        // 1. Measure the incoming skews against channel 0.
-        let streams = bus.generate_all();
-        let skews: Vec<Time> = streams
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
+        // 1. Measure the incoming skews against channel 0. Generation and
+        // pairing fan out per channel; errors keep channel order, so the
+        // first failing channel is reported exactly as in the serial loop.
+        let streams = bus.generate_all_with(self.runner);
+        let skews: Vec<Time> = self
+            .runner
+            .par_map(&streams, |i, s| {
                 mean_delay(&streams[0], s)
                     .map_err(|_| DeskewError::UnmeasurableChannel { channel: i })
             })
+            .into_iter()
             .collect::<Result<_, _>>()?;
         let latest = skews
             .iter()
@@ -159,31 +172,27 @@ impl DeskewEngine {
         // One calibration serves all channel circuits (same design); each
         // instance then differs by a static mismatch term.
         let mut reference_circuit = CombinedDelayCircuit::new(&self.config, self.seed);
-        reference_circuit.calibrate();
+        reference_circuit.calibrate_with(self.runner);
 
-        // 2–3. Correct every channel: align to the latest channel.
-        let mut corrections = Vec::with_capacity(bus.width());
-        let mut corrected = Vec::with_capacity(bus.width());
+        // 2. Serial prepass in channel order: everything that consumes the
+        // engine's sequential RNG (the per-instance mismatch draws) or
+        // mutates shared state (programming, circuit settings) stays in
+        // the exact order of the serial loop so results are bit-identical
+        // at every thread count.
         let chain_rj = self.config.chain_rj(self.config.active_components());
+        let mut corrections = Vec::with_capacity(bus.width());
+        let mut realized = Vec::with_capacity(bus.width());
         for (i, skew) in skews.iter().enumerate() {
             let required = latest - *skew;
             let resolution = bus.channels()[i].timing_resolution();
             let ate_part = required.floor_to(resolution);
             let residue = required - ate_part;
-            let setting = reference_circuit.set_delay(residue).map_err(|source| {
-                DeskewError::CorrectionOutOfRange { channel: i, source }
-            })?;
+            let setting = reference_circuit
+                .set_delay(residue)
+                .map_err(|source| DeskewError::CorrectionOutOfRange { channel: i, source })?;
             let instance_error = self.instance_error_sigma * rng.gaussian();
-            let realized = setting.predicted_delay + instance_error;
-
+            realized.push(setting.predicted_delay + instance_error);
             bus.channels_mut()[i].program_delay(ate_part);
-            let through = bus.channels()[i].generate().delayed(realized);
-            let out = if chain_rj > Time::ZERO {
-                GaussianRj::new(chain_rj, self.seed.wrapping_add(0x515 + i as u64))
-                    .apply(&through)
-            } else {
-                through
-            };
             corrections.push(ChannelCorrection {
                 channel: i,
                 measured_skew: *skew,
@@ -192,14 +201,24 @@ impl DeskewEngine {
                 vardelay_setting: setting,
                 residual: Time::ZERO, // filled in below
             });
-            corrected.push(out);
         }
 
+        // 3. Heavy per-channel work in parallel: regenerate each corrected
+        // stream and apply the chain's RJ from the channel's private,
+        // index-derived jitter seed (no draws from the shared `rng`).
+        let corrected: Vec<EdgeStream> = self.runner.run(bus.width(), |i| {
+            let through = bus.channels()[i].generate().delayed(realized[i]);
+            if chain_rj > Time::ZERO {
+                GaussianRj::new(chain_rj, self.seed.wrapping_add(0x515 + i as u64)).apply(&through)
+            } else {
+                through
+            }
+        });
+
         // 4. Re-measure the corrected bus.
-        let after: Vec<Time> = corrected
-            .iter()
-            .map(|s| mean_delay(&corrected[0], s).expect("corrected channels keep the pattern"))
-            .collect();
+        let after: Vec<Time> = self.runner.par_map(&corrected, |_, s| {
+            mean_delay(&corrected[0], s).expect("corrected channels keep the pattern")
+        });
         let hi = after
             .iter()
             .copied()
@@ -258,8 +277,7 @@ mod tests {
     fn ate_alone_cannot_reach_the_target() {
         // Quantizing the required delays to 100 ps leaves up to ±50 ps —
         // this is the paper's motivation in one assertion.
-        let bus =
-            ParallelBus::with_random_skew(4, BitRate::from_gbps(6.4), Time::from_ps(80.0), 3);
+        let bus = ParallelBus::with_random_skew(4, BitRate::from_gbps(6.4), Time::from_ps(80.0), 3);
         let streams = bus.generate_all();
         let skews: Vec<Time> = streams
             .iter()

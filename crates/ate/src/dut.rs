@@ -261,9 +261,7 @@ mod tests {
         let rx = DutReceiver::ht3();
         let pattern = BitPattern::prbs7(1, 100);
         let s = EdgeStream::nrz(&pattern, BitRate::from_gbps(6.4));
-        assert!(rx
-            .bit_error_ratio(&s, s.ui() * 0.5, &[true; 5])
-            .is_none());
+        assert!(rx.bit_error_ratio(&s, s.ui() * 0.5, &[true; 5]).is_none());
     }
 
     #[test]

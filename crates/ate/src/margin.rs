@@ -97,11 +97,7 @@ impl ShmooConfig {
 /// # Panics
 ///
 /// Panics if the configuration has no scan positions or no stress levels.
-pub fn margin_shmoo(
-    model: &ModelConfig,
-    receiver: &DutReceiver,
-    shmoo: &ShmooConfig,
-) -> MarginMap {
+pub fn margin_shmoo(model: &ModelConfig, receiver: &DutReceiver, shmoo: &ShmooConfig) -> MarginMap {
     assert!(shmoo.steps > 0, "shmoo needs scan positions");
     assert!(!shmoo.noise_levels.is_empty(), "shmoo needs stress levels");
     let stream = EdgeStream::nrz(&BitPattern::prbs7(1, shmoo.bits), shmoo.rate);

@@ -74,13 +74,16 @@ impl Retimer {
                     break;
                 }
             }
-            let phase = current_sample
-                + ui * ((nominal - current_sample) / ui).round();
+            let phase = current_sample + ui * ((nominal - current_sample) / ui).round();
             let bit = input.level_at(phase);
             if bit != level {
                 edges.push(Edge {
                     time: phase - ui * 0.5,
-                    kind: if bit { EdgeKind::Rising } else { EdgeKind::Falling },
+                    kind: if bit {
+                        EdgeKind::Rising
+                    } else {
+                        EdgeKind::Falling
+                    },
                 });
                 level = bit;
             }

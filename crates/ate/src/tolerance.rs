@@ -46,7 +46,9 @@ impl JitterToleranceTest {
             bits: 4000,
             receiver: DutReceiver::new(Time::from_ps(50.0), Time::from_ps(50.0)),
             fail_threshold: 1e-3,
-            noise_steps: (0..13).map(|i| Voltage::from_mv(i as f64 * 100.0)).collect(),
+            noise_steps: (0..13)
+                .map(|i| Voltage::from_mv(i as f64 * 100.0))
+                .collect(),
             seed,
         }
     }
@@ -145,10 +147,7 @@ mod tests {
         let r = run_standard();
         let t = r.max_tolerated.expect("at least the clean step passes");
         // ~28 ps of margin tolerates tens of ps of bounded injected TJ.
-        assert!(
-            (15.0..200.0).contains(&t.as_ps()),
-            "tolerated {t}"
-        );
+        assert!((15.0..200.0).contains(&t.as_ps()), "tolerated {t}");
         assert!(r.meets(Time::from_ps(15.0)));
         assert!(!r.meets(Time::from_ps(500.0)));
     }

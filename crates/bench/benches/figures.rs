@@ -59,9 +59,7 @@ fn bench_fig2(c: &mut Criterion) {
 }
 
 fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("fig01_eye_alignment", |b| {
-        b.iter(skew::fig1_eye_alignment)
-    });
+    c.bench_function("fig01_eye_alignment", |b| b.iter(skew::fig1_eye_alignment));
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -112,6 +110,31 @@ fn bench_extensions(c: &mut Criterion) {
     });
 }
 
+fn bench_runner(c: &mut Criterion) {
+    use vardelay_core::{FineDelayLine, ModelConfig};
+    use vardelay_runner::Runner;
+
+    // Serial-vs-parallel fan-out of the same sweep: the ratio of these
+    // two is the runner's wall-clock win on this host.
+    c.bench_function("runner_fig7_serial", |b| {
+        b.iter(|| fine_delay::fig7_delay_vs_vctrl_with(Runner::serial(), 7))
+    });
+    c.bench_function("runner_fig7_parallel", |b| {
+        b.iter(|| fine_delay::fig7_delay_vs_vctrl_with(Runner::global(), 7))
+    });
+
+    // Characterization with a warm cache versus a forced remeasure.
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let line = FineDelayLine::new(&cfg, 1);
+    let (vctrls, intervals) = line.default_grids();
+    let small_v = &vctrls[..3];
+    let small_i = &intervals[..2];
+    line.characterize(small_v, small_i); // prime the cache
+    c.bench_function("characterize_cached", |b| {
+        b.iter(|| line.characterize(small_v, small_i))
+    });
+}
+
 criterion_group! {
     name = figures;
     config = Criterion::default()
@@ -121,6 +144,7 @@ criterion_group! {
     targets =
         bench_fig7, bench_fig9, bench_fig12, bench_fig13, bench_fig14,
         bench_fig15, bench_fig16, bench_fig17, bench_fig2, bench_fig1,
-        bench_table1, bench_ablation, bench_engine_throughput, bench_extensions
+        bench_table1, bench_ablation, bench_engine_throughput, bench_extensions,
+        bench_runner
 }
 criterion_main!(figures);

@@ -5,6 +5,7 @@ use crate::EXPERIMENT_SEED;
 use vardelay_analog::EdgeTransform;
 use vardelay_core::{FineDelayLine, ModelConfig};
 use vardelay_measure::{tie_sequence, JitterStats};
+use vardelay_runner::Runner;
 use vardelay_siggen::{BitPattern, EdgeStream};
 use vardelay_units::{BitRate, Time, Voltage};
 
@@ -25,28 +26,39 @@ pub struct StageAblation {
 /// trade-off that motivates the paper's choice of four stages plus a
 /// passive coarse section.
 pub fn stage_count_ablation(max_stages: usize, bits: usize) -> Vec<StageAblation> {
+    stage_count_ablation_with(Runner::global(), max_stages, bits)
+}
+
+/// [`stage_count_ablation`] on an explicit [`Runner`]. Cells are fully
+/// independent — each builds its own line and seeds its edge model with
+/// `EXPERIMENT_SEED + stages` — so the fan-out is bit-identical to the
+/// serial loop.
+pub fn stage_count_ablation_with(
+    runner: Runner,
+    max_stages: usize,
+    bits: usize,
+) -> Vec<StageAblation> {
     let rate = BitRate::from_gbps(6.4);
     let clean = EdgeStream::nrz(&BitPattern::prbs7(1, bits), rate);
-    (1..=max_stages)
-        .map(|stages| {
-            let mut cfg = ModelConfig::paper_prototype();
-            cfg.stages = stages;
-            let line = FineDelayLine::new(&cfg.quiet(), EXPERIMENT_SEED);
-            let (vctrls, intervals) = line.default_grids();
-            let mut model = line.edge_model(&vctrls, &intervals, EXPERIMENT_SEED + stages as u64);
-            model.set_vctrl(Voltage::from_v(0.75));
-            let out = model.transform(&clean);
-            let added = JitterStats::from_times(&tie_sequence(&out))
-                .expect("stream carries edges")
-                .peak_to_peak;
-            StageAblation {
-                stages,
-                dc_range: line.delay_range(Time::from_ps(1000.0)),
-                range_at_6g4: line.delay_range(Time::from_ps(78.0)),
-                added_tj: added,
-            }
-        })
-        .collect()
+    runner.run(max_stages, |idx| {
+        let stages = idx + 1;
+        let mut cfg = ModelConfig::paper_prototype();
+        cfg.stages = stages;
+        let line = FineDelayLine::new(&cfg.quiet(), EXPERIMENT_SEED);
+        let (vctrls, intervals) = line.default_grids();
+        let mut model = line.edge_model(&vctrls, &intervals, EXPERIMENT_SEED + stages as u64);
+        model.set_vctrl(Voltage::from_v(0.75));
+        let out = model.transform(&clean);
+        let added = JitterStats::from_times(&tie_sequence(&out))
+            .expect("stream carries edges")
+            .peak_to_peak;
+        StageAblation {
+            stages,
+            dc_range: line.delay_range(Time::from_ps(1000.0)),
+            range_at_6g4: line.delay_range(Time::from_ps(78.0)),
+            added_tj: added,
+        }
+    })
 }
 
 /// The "one coarse level of logic vs a second fine cascade" comparison:
@@ -149,8 +161,10 @@ pub fn control_strategy_ablation() -> ControlStrategyAblation {
         staggered.push(line.measure_delay(interval).as_ps());
     }
     let range = |ys: &[f64]| {
-        Time::from_ps(ys.iter().cloned().fold(f64::MIN, f64::max)
-            - ys.iter().cloned().fold(f64::MAX, f64::min))
+        Time::from_ps(
+            ys.iter().cloned().fold(f64::MIN, f64::max)
+                - ys.iter().cloned().fold(f64::MAX, f64::min),
+        )
     };
     ControlStrategyAblation {
         common_range: range(&common),

@@ -9,22 +9,62 @@
 //! ```
 
 use std::fs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
+use vardelay_analog::characterization_cache_stats;
 use vardelay_ate::report::{deskew_summary, deskew_table};
-use vardelay_bench::{ablation, eyes, fine_delay, injection, output_dir, skew};
+use vardelay_bench::{ablation, eyes, fine_delay, injection, skew, try_output_dir};
 use vardelay_measure::report::fmt_ps;
 use vardelay_measure::{Series, Table};
+use vardelay_runner::Runner;
+
+/// Name of the experiment currently running, so a failed write can say
+/// which experiment's output was lost.
+static CURRENT_EXPERIMENT: Mutex<String> = Mutex::new(String::new());
+/// Human-readable descriptions of every failed write.
+static SAVE_FAILURES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+/// Total CSV data points written (the repro throughput denominator).
+static CSV_POINTS: AtomicUsize = AtomicUsize::new(0);
+
+fn set_current_experiment(name: &str) {
+    name.clone_into(&mut CURRENT_EXPERIMENT.lock().expect("experiment name lock"));
+}
+
+fn save_csv(name: &str, csv: &str) {
+    let experiment = CURRENT_EXPERIMENT
+        .lock()
+        .expect("experiment name lock")
+        .clone();
+    let result = try_output_dir().and_then(|dir| {
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, csv).map(|()| path)
+    });
+    match result {
+        Ok(path) => {
+            CSV_POINTS.fetch_add(csv.lines().count().saturating_sub(1), Ordering::Relaxed);
+            println!("  [csv: {}]", path.display());
+        }
+        Err(e) => {
+            let failure = format!(
+                "experiment {experiment}: could not save {name}.csv under target/repro: {e}"
+            );
+            eprintln!("repro: {failure}");
+            SAVE_FAILURES
+                .lock()
+                .expect("failure list lock")
+                .push(failure);
+        }
+    }
+}
 
 fn save_series(name: &str, series: &Series) {
-    let path = output_dir().join(format!("{name}.csv"));
-    fs::write(&path, series.to_csv()).expect("write CSV");
-    println!("  [csv: {}]", path.display());
+    save_csv(name, &series.to_csv());
 }
 
 fn save_table(name: &str, table: &Table) {
-    let path = output_dir().join(format!("{name}.csv"));
-    fs::write(&path, table.to_csv()).expect("write CSV");
-    println!("  [csv: {}]", path.display());
+    save_csv(name, &table.to_csv());
 }
 
 fn series_table(title: &str, series: &[&Series]) -> Table {
@@ -100,10 +140,7 @@ fn fig13() {
 
 fn fig14() {
     println!("\n### Fig. 14 — 6.4 GHz RZ clock");
-    eye_result(
-        &eyes::fig14_rz_6g4(8000),
-        "fine range 23.5 ps, TJ 10.5 ps",
-    );
+    eye_result(&eyes::fig14_rz_6g4(8000), "fine range 23.5 ps, TJ 10.5 ps");
 }
 
 fn fig15() {
@@ -264,13 +301,52 @@ fn extensions() {
     );
 }
 
+/// Writes the machine-readable runtime record next to the CSVs (and a
+/// copy at the repository root for the benchmark tracker).
+fn write_runtime_record(arg: &str, wall_s: f64, timings: &[(String, f64)]) {
+    let points = CSV_POINTS.load(Ordering::Relaxed);
+    let (hits, misses) = characterization_cache_stats();
+    let per_experiment = timings
+        .iter()
+        .map(|(name, s)| format!("    \"{name}\": {s:.3}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiments\": \"{arg}\",\n  \"threads\": {},\n  \"wall_s\": {wall_s:.3},\n  \
+         \"csv_points\": {points},\n  \"points_per_s\": {:.3},\n  \
+         \"characterization_cache_hits\": {hits},\n  \"characterization_cache_misses\": {misses},\n  \
+         \"per_experiment_s\": {{\n{per_experiment}\n  }}\n}}\n",
+        Runner::global().threads(),
+        if wall_s > 0.0 { points as f64 / wall_s } else { 0.0 },
+    );
+    for path in ["BENCH_repro.json".into(), {
+        let mut p = std::path::PathBuf::from("target/repro");
+        p.push("BENCH_repro.json");
+        p
+    }] {
+        if let Err(e) = fs::write(&path, &json) {
+            eprintln!("repro: could not write {}: {e}", path.display());
+        }
+    }
+    println!(
+        "\nruntime: {wall_s:.2} s on {} thread(s), {points} CSV points, cache {hits} hits / {misses} misses \
+         [BENCH_repro.json]",
+        Runner::global().threads()
+    );
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     let run_all = arg == "all";
+    let started = Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     let mut ran = false;
     let mut run = |name: &str, f: &dyn Fn()| {
         if run_all || arg == name {
+            set_current_experiment(name);
+            let t0 = Instant::now();
             f();
+            timings.push((name.to_owned(), t0.elapsed().as_secs_f64()));
             ran = true;
         }
     };
@@ -292,5 +368,17 @@ fn main() {
             "unknown experiment {arg:?}; expected one of: all fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17 table1 ablation extensions"
         );
         std::process::exit(2);
+    }
+    write_runtime_record(&arg, started.elapsed().as_secs_f64(), &timings);
+    let failures = SAVE_FAILURES.lock().expect("failure list lock");
+    if !failures.is_empty() {
+        eprintln!(
+            "\nrepro: {} output file(s) could not be written:",
+            failures.len()
+        );
+        for f in failures.iter() {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
     }
 }

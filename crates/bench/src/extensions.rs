@@ -5,9 +5,7 @@
 use crate::EXPERIMENT_SEED;
 use vardelay_analog::EdgeTransform;
 use vardelay_ate::{JitterToleranceTest, ToleranceResult};
-use vardelay_core::{
-    CalibrationStrategy, FineDelayLine, ModelConfig, MultiChannelDelay, TempCo,
-};
+use vardelay_core::{CalibrationStrategy, FineDelayLine, ModelConfig, MultiChannelDelay, TempCo};
 use vardelay_measure::{tie_sequence, JitterStats};
 use vardelay_siggen::{BitPattern, EdgeStream, Encoder8b10b, SplitMix64, Symbol};
 use vardelay_units::{BitRate, Time, Voltage};
@@ -202,10 +200,7 @@ mod tests {
             r.interpolator_clock_error
         );
         // …but collapses the data eye, while vardelay keeps it open.
-        assert!(
-            r.vardelay_height > r.interpolator_height * 2.0,
-            "{r:?}"
-        );
+        assert!(r.vardelay_height > r.interpolator_height * 2.0, "{r:?}");
         assert!(r.vardelay_height > r.input_height * 0.5, "{r:?}");
     }
 

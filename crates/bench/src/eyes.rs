@@ -173,11 +173,7 @@ mod tests {
         );
         assert!(r.output_tj > r.input_tj);
         // Paper: +13 ps at 6.4 Gb/s ("slightly more jitter above 6 Gb/s").
-        assert!(
-            r.added_tj < Time::from_ps(22.0),
-            "added {}",
-            r.added_tj
-        );
+        assert!(r.added_tj < Time::from_ps(22.0), "added {}", r.added_tj);
     }
 
     #[test]
@@ -191,11 +187,7 @@ mod tests {
         );
         // Clock pattern: no data-dependent jitter, so TJ stays modest
         // (paper: 10.5 ps).
-        assert!(
-            r.output_tj < Time::from_ps(18.0),
-            "tj {}",
-            r.output_tj
-        );
+        assert!(r.output_tj < Time::from_ps(18.0), "tj {}", r.output_tj);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::EXPERIMENT_SEED;
 use vardelay_core::{CoarseDelaySection, CombinedDelayCircuit, FineDelayLine, ModelConfig};
 use vardelay_measure::{linear_fit, Series};
+use vardelay_runner::Runner;
 use vardelay_siggen::{BitPattern, EdgeStream};
 use vardelay_units::{BitRate, Frequency, Time, Voltage};
 use vardelay_waveform::Waveform;
@@ -14,17 +15,31 @@ use vardelay_waveform::Waveform;
 /// reports the delay *change* relative to the first point, exactly the
 /// quantity the paper plots.
 pub fn fig7_delay_vs_vctrl(points: usize) -> Series {
+    fig7_delay_vs_vctrl_with(Runner::global(), points)
+}
+
+/// [`fig7_delay_vs_vctrl`] on an explicit [`Runner`].
+///
+/// Sweep points are independent — [`FineDelayLine::measure_delay`] probes
+/// a fresh noise-free seed-0 copy, so fanning points out is bit-identical
+/// to the serial sweep at every thread count.
+pub fn fig7_delay_vs_vctrl_with(runner: Runner, points: usize) -> Series {
     let cfg = ModelConfig::paper_prototype().quiet();
-    let mut line = FineDelayLine::new(&cfg, EXPERIMENT_SEED);
+    let line = FineDelayLine::new(&cfg, EXPERIMENT_SEED);
     let interval = Time::from_ps(1000.0);
+    let vs: Vec<Voltage> = (0..points)
+        .map(|i| Voltage::from_v(1.5 * i as f64 / (points - 1) as f64))
+        .collect();
+    let delays = runner.par_map(&vs, |_, &v| {
+        let mut probe = line.clone();
+        probe.set_vctrl(v);
+        probe.measure_delay(interval)
+    });
     let mut series = Series::new("4-stage fine delay", "vctrl_v", "delay_change_ps");
-    let mut base: Option<Time> = None;
-    for i in 0..points {
-        let v = Voltage::from_v(1.5 * i as f64 / (points - 1) as f64);
-        line.set_vctrl(v);
-        let d = line.measure_delay(interval);
-        let base_d = *base.get_or_insert(d);
-        series.push(v.as_v(), (d - base_d).as_ps());
+    if let Some(&base) = delays.first() {
+        for (v, &d) in vs.iter().zip(&delays) {
+            series.push(v.as_v(), (d - base).as_ps());
+        }
     }
     series
 }
@@ -51,8 +66,8 @@ pub fn fig7_summary(series: &Series) -> Fig7Summary {
     let n = series.len();
     let lo = n / 5;
     let hi = n - n / 5;
-    let fit = linear_fit(&series.xs[lo..hi], &series.ys[lo..hi])
-        .expect("mid-range sweep is well-posed");
+    let fit =
+        linear_fit(&series.xs[lo..hi], &series.ys[lo..hi]).expect("mid-range sweep is well-posed");
     Fig7Summary {
         range: Time::from_ps(series.y_range().expect("non-empty")),
         mid_slope_ps_per_v: fit.slope,
@@ -92,14 +107,24 @@ pub fn fig9_coarse_taps() -> Vec<CoarseTapResult> {
 /// prototype and the early 2-stage unit. An RZ clock at `f` toggles every
 /// `1/(2f)`.
 pub fn fig15_range_vs_frequency(freqs_ghz: &[f64]) -> (Series, Series) {
+    fig15_range_vs_frequency_with(Runner::global(), freqs_ghz)
+}
+
+/// [`fig15_range_vs_frequency`] on an explicit [`Runner`]. Frequency
+/// points are independent ([`FineDelayLine::delay_range`] probes clones),
+/// so the fan-out reproduces the serial sweep bit-for-bit.
+pub fn fig15_range_vs_frequency_with(runner: Runner, freqs_ghz: &[f64]) -> (Series, Series) {
     let four = FineDelayLine::new(&ModelConfig::paper_prototype().quiet(), EXPERIMENT_SEED);
     let two = FineDelayLine::new(&ModelConfig::early_two_stage().quiet(), EXPERIMENT_SEED);
+    let ranges = runner.par_map(freqs_ghz, |_, &f| {
+        let interval = Frequency::from_ghz(f).period() * 0.5;
+        (four.delay_range(interval), two.delay_range(interval))
+    });
     let mut s4 = Series::new("4-stage", "freq_ghz", "range_ps");
     let mut s2 = Series::new("2-stage", "freq_ghz", "range_ps");
-    for &f in freqs_ghz {
-        let interval = Frequency::from_ghz(f).period() * 0.5;
-        s4.push(f, four.delay_range(interval).as_ps());
-        s2.push(f, two.delay_range(interval).as_ps());
+    for (&f, (r4, r2)) in freqs_ghz.iter().zip(&ranges) {
+        s4.push(f, r4.as_ps());
+        s2.push(f, r2.as_ps());
     }
     (s4, s2)
 }

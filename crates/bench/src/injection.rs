@@ -3,6 +3,7 @@
 use crate::EXPERIMENT_SEED;
 use vardelay_core::{JitterInjector, ModelConfig};
 use vardelay_measure::{tie_sequence, JitterStats, Series};
+use vardelay_runner::Runner;
 use vardelay_siggen::{BitPattern, EdgeStream, GaussianRj, JitterModel};
 use vardelay_units::{BitRate, Time, Voltage};
 
@@ -59,19 +60,33 @@ pub fn fig16_injection(bits: usize) -> InjectionResult {
 /// Returns `(amplitude_v, added_jitter_ps)` where "added" is relative to
 /// the silent-injector baseline, matching the paper's y-axis.
 pub fn fig17_injection_sweep(bits: usize, points: usize) -> Series {
+    fig17_injection_sweep_with(Runner::global(), bits, points)
+}
+
+/// [`fig17_injection_sweep`] on an explicit [`Runner`].
+///
+/// Each amplitude point gets a fresh injector, which is bit-identical to
+/// reprogramming a shared one: [`JitterInjector::set_noise_peak_to_peak`]
+/// fully resets the noise process (fixed derived seed) and edge history,
+/// and the quiet model draws no per-edge RNG. The characterization cache
+/// absorbs the rebuild cost — every injector shares one table.
+pub fn fig17_injection_sweep_with(runner: Runner, bits: usize, points: usize) -> Series {
     let input = reference_stream(bits);
     let cfg = ModelConfig::paper_prototype().quiet();
     let mut silent = JitterInjector::new(&cfg, EXPERIMENT_SEED);
     let baseline = tj_pp(&silent.inject(&input));
 
+    let vpps: Vec<Voltage> = (0..points)
+        .map(|i| Voltage::from_v(i as f64 / (points - 1).max(1) as f64))
+        .collect();
+    let tjs = runner.par_map(&vpps, |_, &vpp| {
+        let mut injector = JitterInjector::new(&cfg, EXPERIMENT_SEED);
+        injector.set_noise_peak_to_peak(vpp);
+        tj_pp(&injector.inject(&input))
+    });
     let mut series = Series::new("injected jitter", "noise_vpp_v", "added_jitter_ps");
-    for i in 0..points {
-        let vpp = Voltage::from_v(i as f64 / (points - 1).max(1) as f64);
-        // Reprogramming the noise source resets the injector's state, so
-        // the (expensive) characterization is shared across the sweep.
-        silent.set_noise_peak_to_peak(vpp);
-        let tj = tj_pp(&silent.inject(&input));
-        series.push(vpp.as_v(), (tj - baseline).as_ps().max(0.0));
+    for (vpp, tj) in vpps.iter().zip(&tjs) {
+        series.push(vpp.as_v(), (*tj - baseline).as_ps().max(0.0));
     }
     series
 }

@@ -25,14 +25,27 @@ pub mod skew;
 /// reproducible run-to-run.
 pub const EXPERIMENT_SEED: u64 = 20080310; // DATE'08 week
 
+/// Returns the directory experiment CSVs are written to, creating it (and
+/// any missing parents) if needed.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the directory cannot be created —
+/// callers report which experiment's output was lost and keep going
+/// rather than crashing mid-run.
+pub fn try_output_dir() -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from("target/repro");
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
 /// Returns the directory experiment CSVs are written to, creating it if
 /// needed.
 ///
 /// # Panics
 ///
-/// Panics if the directory cannot be created.
+/// Panics if the directory cannot be created; fallible callers should use
+/// [`try_output_dir`].
 pub fn output_dir() -> std::path::PathBuf {
-    let dir = std::path::PathBuf::from("target/repro");
-    std::fs::create_dir_all(&dir).expect("create target/repro");
-    dir
+    try_output_dir().expect("create target/repro")
 }

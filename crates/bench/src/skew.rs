@@ -5,11 +5,19 @@ use crate::EXPERIMENT_SEED;
 use vardelay_ate::{DeskewEngine, DeskewOutcome, DutReceiver, ParallelBus};
 use vardelay_core::ModelConfig;
 use vardelay_measure::Series;
+use vardelay_runner::Runner;
 use vardelay_units::{BitRate, Time};
 
 /// Fig. 2 — deskews a `width`-channel 6.4 Gb/s bus with ±80 ps intrinsic
 /// skew using ATE 100 ps steps plus one vardelay circuit per channel.
 pub fn fig2_deskew(width: usize) -> DeskewOutcome {
+    fig2_deskew_with(Runner::global(), width)
+}
+
+/// [`fig2_deskew`] on an explicit [`Runner`] (the deskew loop's serial
+/// RNG draws happen in a channel-ordered prepass, so the outcome is
+/// bit-identical at every thread count).
+pub fn fig2_deskew_with(runner: Runner, width: usize) -> DeskewOutcome {
     let mut bus = ParallelBus::with_random_skew(
         width,
         BitRate::from_gbps(6.4),
@@ -17,6 +25,7 @@ pub fn fig2_deskew(width: usize) -> DeskewOutcome {
         EXPERIMENT_SEED,
     );
     DeskewEngine::new(&ModelConfig::paper_prototype(), EXPERIMENT_SEED)
+        .with_runner(runner)
         .run(&mut bus)
         .expect("a healthy bus deskews")
 }

@@ -185,11 +185,17 @@ impl CalibrationTable {
     /// Serializes the table as two-column CSV (`vctrl_v,delay_ps`) — the
     /// persistence format a test-cell host stores between lots.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("vctrl_v,delay_ps
-");
+        let mut out = String::from(
+            "vctrl_v,delay_ps
+",
+        );
         for (v, d) in self.vctrls.iter().zip(&self.delays) {
-            out.push_str(&format!("{:.9},{:.6}
-", v.as_v(), d.as_ps()));
+            out.push_str(&format!(
+                "{:.9},{:.6}
+",
+                v.as_v(),
+                d.as_ps()
+            ));
         }
         out
     }
@@ -294,10 +300,7 @@ mod tests {
             i += 1;
             d
         });
-        assert!(table
-            .delays()
-            .windows(2)
-            .all(|w| w[0] <= w[1]));
+        assert!(table.delays().windows(2).all(|w| w[0] <= w[1]));
         // Inversion across the flattened segment still works.
         assert!(table.vctrl_for_delay(Time::from_ps(5.0)).is_ok());
     }
@@ -327,14 +330,13 @@ mod tests {
 
     #[test]
     fn csv_errors_are_located() {
-        let err = CalibrationTable::from_csv("vctrl_v,delay_ps\n0.0,1.0\nnonsense,2.0\n")
-            .unwrap_err();
+        let err =
+            CalibrationTable::from_csv("vctrl_v,delay_ps\n0.0,1.0\nnonsense,2.0\n").unwrap_err();
         assert_eq!(err.line, 3);
         assert!(err.to_string().contains("line 3"));
         let short = CalibrationTable::from_csv("vctrl_v,delay_ps\n0.0,1.0\n").unwrap_err();
         assert!(short.reason.contains("two points"));
-        let unsorted =
-            CalibrationTable::from_csv("1.0,5.0\n0.5,3.0\n").unwrap_err();
+        let unsorted = CalibrationTable::from_csv("1.0,5.0\n0.5,3.0\n").unwrap_err();
         assert!(unsorted.reason.contains("ascending"));
     }
 

@@ -7,6 +7,7 @@ use crate::dac::VctrlDac;
 use crate::error::SetDelayError;
 use crate::fine::FineDelayLine;
 use vardelay_analog::AnalogBlock;
+use vardelay_runner::Runner;
 use vardelay_units::{Time, Voltage};
 use vardelay_waveform::Waveform;
 
@@ -85,6 +86,11 @@ impl CombinedDelayCircuit {
         self.calibrate_at(Time::from_ps(320.0), 17)
     }
 
+    /// [`CombinedDelayCircuit::calibrate`] on an explicit [`Runner`].
+    pub fn calibrate_with(&mut self, runner: Runner) -> &CalibrationTable {
+        self.calibrate_at_with(runner, Time::from_ps(320.0), 17)
+    }
+
     /// Installs an externally measured calibration table — used by
     /// multi-channel units sharing one channel's curve, and by hosts that
     /// persist calibrations across sessions.
@@ -98,6 +104,23 @@ impl CombinedDelayCircuit {
     ///
     /// Panics if `points < 2`.
     pub fn calibrate_at(&mut self, interval: Time, points: usize) -> &CalibrationTable {
+        self.calibrate_at_with(Runner::global(), interval, points)
+    }
+
+    /// [`CombinedDelayCircuit::calibrate_at`] on an explicit [`Runner`].
+    /// Grid points are measured in parallel — each probes a fresh clone of
+    /// the fine line, so the table is bit-identical to the serial sweep at
+    /// every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn calibrate_at_with(
+        &mut self,
+        runner: Runner,
+        interval: Time,
+        points: usize,
+    ) -> &CalibrationTable {
         assert!(points >= 2, "calibration needs at least two points");
         let grid: Vec<Voltage> = (0..points)
             .map(|i| {
@@ -107,10 +130,14 @@ impl CombinedDelayCircuit {
             })
             .collect();
         let fine = self.fine.clone();
-        let table = CalibrationTable::from_measurement(&grid, |v| {
+        let delays = runner.par_map(&grid, |_, &v| {
             let mut probe = fine.clone();
             probe.set_vctrl(v);
             probe.measure_delay(interval)
+        });
+        let mut next = delays.into_iter();
+        let table = CalibrationTable::from_measurement(&grid, |_| {
+            next.next().expect("one measured delay per grid point")
         });
         self.calibration = Some(table);
         self.calibration.as_ref().expect("just stored")
@@ -124,7 +151,10 @@ impl CombinedDelayCircuit {
     ///
     /// Returns [`SetDelayError::NotCalibrated`] before calibration.
     pub fn total_range(&self) -> Result<Time, SetDelayError> {
-        let cal = self.calibration.as_ref().ok_or(SetDelayError::NotCalibrated)?;
+        let cal = self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?;
         Ok(self.coarse.max_tap_delay() + cal.range())
     }
 
@@ -138,7 +168,10 @@ impl CombinedDelayCircuit {
     /// [`SetDelayError::OutOfRange`] if `target` exceeds the combined
     /// range.
     pub fn set_delay(&mut self, target: Time) -> Result<DelaySetting, SetDelayError> {
-        let cal = self.calibration.as_ref().ok_or(SetDelayError::NotCalibrated)?;
+        let cal = self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?;
         let fine_range = cal.range();
         let max = self.coarse.max_tap_delay() + fine_range;
         if target < Time::ZERO || target > max {
@@ -193,7 +226,10 @@ impl CombinedDelayCircuit {
     ///
     /// Returns [`SetDelayError::NotCalibrated`] before calibration.
     pub fn setting_resolution(&self) -> Result<Time, SetDelayError> {
-        let cal = self.calibration.as_ref().ok_or(SetDelayError::NotCalibrated)?;
+        let cal = self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?;
         Ok(self.dac.delay_resolution(cal.mean_slope_s_per_v()))
     }
 
@@ -241,10 +277,7 @@ mod tests {
     fn total_range_meets_the_120ps_requirement() {
         let c = calibrated();
         let range = c.total_range().unwrap();
-        assert!(
-            range > Time::from_ps(120.0),
-            "combined range only {range}"
-        );
+        assert!(range > Time::from_ps(120.0), "combined range only {range}");
         assert!(range < Time::from_ps(180.0), "implausibly large {range}");
     }
 

@@ -7,9 +7,20 @@
 //! (4-stage range ≈ 23.5 ps at a 6.4 GHz RZ clock; 2-stage ineffective
 //! beyond ~6 GHz) — and then left untouched.
 
-use vardelay_analog::{BufferCoreConfig, VgaBufferConfig};
+use vardelay_analog::{BufferCoreConfig, Fingerprint, VgaBufferConfig};
 use vardelay_units::{Frequency, Time, Voltage};
 use vardelay_waveform::RenderConfig;
+
+fn push_core(fp: &mut Fingerprint, core: &BufferCoreConfig) {
+    fp.push_f64(core.swing.as_v())
+        .push_f64(core.v_lin.as_v())
+        .push_f64(core.slew_v_per_s)
+        .push_f64(core.bandwidth.as_hz())
+        .push_f64(core.noise_rms.as_v())
+        .push_f64(core.prop_delay.as_s())
+        .push_f64(core.envelope_tau.as_s())
+        .push_f64(core.envelope_floor.as_v());
+}
 
 /// Complete behavioral model of one delay-circuit channel.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +142,37 @@ impl ModelConfig {
         self.stage_rj * (n as f64).sqrt()
     }
 
+    /// A 64-bit structural fingerprint of every field that can influence a
+    /// measurement of this model — the characterization-cache key (see
+    /// DESIGN.md §8). Two configurations share a fingerprint only when all
+    /// parameters are bit-identical, so a cached [`DelayTable`] keyed on it
+    /// is exact, never approximate.
+    ///
+    /// [`DelayTable`]: vardelay_analog::DelayTable
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        push_core(&mut fp, &self.vga.core);
+        fp.push_f64(self.vga.amp_min.as_v())
+            .push_f64(self.vga.amp_max.as_v())
+            .push_f64(self.vga.vctrl_min.as_v())
+            .push_f64(self.vga.vctrl_max.as_v())
+            .push_f64(self.vga.control_sharpness);
+        push_core(&mut fp, &self.fixed);
+        fp.push_usize(self.stages);
+        for t in &self.coarse_taps {
+            fp.push_f64(t.as_s());
+        }
+        for t in &self.coarse_tap_deviations {
+            fp.push_f64(t.as_s());
+        }
+        fp.push_f64(self.stage_rj.as_s());
+        fp.push_f64(self.render.dt.as_s())
+            .push_f64(self.render.swing.as_v())
+            .push_f64(self.render.rise_time.as_s())
+            .push_f64(self.render.padding.as_s());
+        fp.finish()
+    }
+
     /// Validates all nested configuration.
     ///
     /// # Panics
@@ -174,6 +216,27 @@ mod tests {
         let one = cfg.chain_rj(1);
         let four = cfg.chain_rj(4);
         assert!((four / one - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_measurement_parameter() {
+        let base = ModelConfig::paper_prototype();
+        assert_eq!(
+            base.fingerprint(),
+            ModelConfig::paper_prototype().fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ModelConfig::early_two_stage().fingerprint()
+        );
+        // quiet() changes noise fields → must invalidate the cache key.
+        assert_ne!(base.fingerprint(), base.quiet().fingerprint());
+        let mut render_tweak = base.clone();
+        render_tweak.render.padding = Time::from_ps(501.0);
+        assert_ne!(base.fingerprint(), render_tweak.fingerprint());
+        let mut tap_tweak = base.clone();
+        tap_tweak.coarse_tap_deviations[3] = Time::from_ps(-3.0);
+        assert_ne!(base.fingerprint(), tap_tweak.fingerprint());
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl ModelConfig {
         cfg.vga.core.slew_v_per_s *= slew_factor;
         cfg.fixed.slew_v_per_s *= slew_factor;
         let amp_factor = 1.0 + tempco.amplitude_rel_per_k * delta_k;
-        assert!(amp_factor > 0.0, "temperature drift drove amplitude negative");
+        assert!(
+            amp_factor > 0.0,
+            "temperature drift drove amplitude negative"
+        );
         cfg.vga.amp_min = cfg.vga.amp_min * amp_factor;
         cfg.vga.amp_max = cfg.vga.amp_max * amp_factor;
         cfg.validate();
@@ -143,7 +146,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "slew")]
     fn absurd_drift_is_rejected() {
-        let _ = ModelConfig::paper_prototype()
-            .at_temperature_offset(1e6, &TempCo::default());
+        let _ = ModelConfig::paper_prototype().at_temperature_offset(1e6, &TempCo::default());
     }
 }

@@ -54,6 +54,8 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("200.000 ps"));
         assert!(s.contains("140.000 ps"));
-        assert!(SetDelayError::NotCalibrated.to_string().contains("calibrate"));
+        assert!(SetDelayError::NotCalibrated
+            .to_string()
+            .contains("calibrate"));
     }
 }

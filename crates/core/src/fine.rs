@@ -4,8 +4,10 @@
 
 use crate::config::ModelConfig;
 use vardelay_analog::{
-    measure_delay_table, AnalogBlock, CharacterizedDelay, DelayTable, LimitingBuffer, VgaBuffer,
+    measure_delay_table_cached_with, AnalogBlock, CharacterizedDelay, DelayTable, LimitingBuffer,
+    VgaBuffer,
 };
+use vardelay_runner::Runner;
 use vardelay_siggen::{BitPattern, EdgeStream};
 use vardelay_units::{BitRate, Time, Voltage};
 use vardelay_waveform::{to_edge_stream, Waveform};
@@ -47,10 +49,7 @@ impl FineDelayLine {
         let stages: Vec<VgaBuffer> = (0..config.stages)
             .map(|i| VgaBuffer::new(config.vga.clone(), seed.wrapping_add(i as u64 * 0x9e37)))
             .collect();
-        let output_stage = LimitingBuffer::new(
-            config.fixed.clone(),
-            seed.wrapping_add(0xbeef),
-        );
+        let output_stage = LimitingBuffer::new(config.fixed.clone(), seed.wrapping_add(0xbeef));
         let mid = config.vga.vctrl_min.lerp(config.vga.vctrl_max, 0.5);
         let mut line = FineDelayLine {
             stages,
@@ -150,22 +149,43 @@ impl FineDelayLine {
     }
 
     /// Characterizes the full line into a `delay(Vctrl, interval)` table
-    /// using the waveform engine (noise disabled).
+    /// using the waveform engine (noise disabled). Grid cells are measured
+    /// in parallel on the global [`Runner`], and the table is memoized by
+    /// the quiet model's fingerprint — the closure builds a fresh seed-0
+    /// noise-free line per cell, so the result depends only on the
+    /// configuration and grids.
     pub fn characterize(&self, vctrls: &[Voltage], intervals: &[Time]) -> DelayTable {
+        self.characterize_with(Runner::global(), vctrls, intervals)
+    }
+
+    /// [`FineDelayLine::characterize`] on an explicit [`Runner`] (used by
+    /// determinism tests to force thread counts).
+    pub fn characterize_with(
+        &self,
+        runner: Runner,
+        vctrls: &[Voltage],
+        intervals: &[Time],
+    ) -> DelayTable {
         let cfg = self.config.quiet();
         let render = self.config.render.clone();
-        let mut build = move |v: Voltage| -> Box<dyn AnalogBlock + Send> {
+        let key = cfg.fingerprint();
+        let build = move |v: Voltage| -> Box<dyn AnalogBlock + Send> {
             let mut line = FineDelayLine::new(&cfg, 0);
             line.set_vctrl(v);
             Box::new(line)
         };
-        measure_delay_table(&mut build, vctrls, intervals, &render)
+        measure_delay_table_cached_with(runner, key, &build, vctrls, intervals, &render)
     }
 
     /// Builds the fast edge-domain model of this line: the characterized
     /// delay table plus the aggregate random jitter of `stages + 1` active
     /// components.
-    pub fn edge_model(&self, vctrls: &[Voltage], intervals: &[Time], seed: u64) -> CharacterizedDelay {
+    pub fn edge_model(
+        &self,
+        vctrls: &[Voltage],
+        intervals: &[Time],
+        seed: u64,
+    ) -> CharacterizedDelay {
         let table = self.characterize(vctrls, intervals);
         let rj = self.config.chain_rj(self.stage_count() + 1);
         CharacterizedDelay::new(table, self.vctrl, rj, seed)

@@ -107,7 +107,11 @@ mod tests {
     fn clean_stream_has_no_ddj() {
         let s = EdgeStream::nrz(&BitPattern::prbs7(1, 2540), BitRate::from_gbps(6.4));
         let d = ddj_by_run_length(&s, 7).expect("long capture");
-        assert!(d.ddj_peak_to_peak < Time::from_fs(100.0), "{:?}", d.ddj_peak_to_peak);
+        assert!(
+            d.ddj_peak_to_peak < Time::from_fs(100.0),
+            "{:?}",
+            d.ddj_peak_to_peak
+        );
         assert!(d.residual_rms < Time::from_fs(100.0));
     }
 
@@ -165,7 +169,11 @@ mod tests {
             d.residual_rms
         );
         // Context means agree within statistical noise → small DDJ figure.
-        assert!(d.ddj_peak_to_peak < Time::from_ps(0.5), "{}", d.ddj_peak_to_peak);
+        assert!(
+            d.ddj_peak_to_peak < Time::from_ps(0.5),
+            "{}",
+            d.ddj_peak_to_peak
+        );
     }
 
     #[test]

@@ -146,7 +146,11 @@ pub fn tail_mean_delay(
     if r_end == 0 {
         return Err(MeasureDelayError::Empty);
     }
-    let n = r_end.min(d.len()).saturating_sub(warmup).max(1).min(r_end.min(d.len()));
+    let n = r_end
+        .min(d.len())
+        .saturating_sub(warmup)
+        .max(1)
+        .min(r_end.min(d.len()));
     let r_tail = &r[r_end - n..r_end];
     let d_tail = &d[d.len() - n..];
     let mut sum = Time::ZERO;

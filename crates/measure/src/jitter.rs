@@ -215,10 +215,7 @@ mod tests {
             .collect();
         let tj = dual_dirac_tj(&pop, 1e-12).unwrap().as_ps();
         let expect = 2.0 * 7.034 * sigma_ps;
-        assert!(
-            (tj - expect).abs() / expect < 0.12,
-            "tj {tj} vs {expect}"
-        );
+        assert!((tj - expect).abs() / expect < 0.12, "tj {tj} vs {expect}");
     }
 
     #[test]
@@ -233,10 +230,7 @@ mod tests {
             .collect();
         let tj = dual_dirac_tj(&pop, 1e-12).unwrap().as_ps();
         let expect = 10.0 + 2.0 * 7.034 * 0.5;
-        assert!(
-            (tj - expect).abs() / expect < 0.12,
-            "tj {tj} vs {expect}"
-        );
+        assert!((tj - expect).abs() / expect < 0.12, "tj {tj} vs {expect}");
     }
 
     #[test]

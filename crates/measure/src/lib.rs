@@ -42,6 +42,6 @@ pub use linearity::{linear_fit, LinearFit};
 pub use mask::{EyeMask, MaskTestResult};
 pub use report::Table;
 pub use spectrum::{separate_rj_pj, tie_spectrum, RjPjSplit, SpectralLine};
-pub use sweep::Series;
+pub use sweep::{ParseSeriesError, Series};
 pub use tie::{tie_sequence, tie_sequence_with_ui};
 pub use xcorr::xcorr_delay;

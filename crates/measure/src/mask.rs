@@ -73,9 +73,7 @@ impl EyeMask {
         for i in 0..n {
             let (xi, yi) = self.vertices[i];
             let (xj, yj) = self.vertices[j];
-            if ((yi > y_v) != (yj > y_v))
-                && (x_ui < (xj - xi) * (y_v - yi) / (yj - yi) + xi)
-            {
+            if ((yi > y_v) != (yj > y_v)) && (x_ui < (xj - xi) * (y_v - yi) / (yj - yi) + xi) {
                 inside = !inside;
             }
             j = i;

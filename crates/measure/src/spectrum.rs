@@ -99,11 +99,7 @@ fn remove_tone(samples: &mut [f64], k_over_n: f64) -> f64 {
 /// amplitude are fitted and removed; whatever remains is reported as RJ.
 ///
 /// Returns `None` for sequences shorter than 16 samples.
-pub fn separate_rj_pj(
-    tie: &[Time],
-    sample_interval: Time,
-    max_tones: usize,
-) -> Option<RjPjSplit> {
+pub fn separate_rj_pj(tie: &[Time], sample_interval: Time, max_tones: usize) -> Option<RjPjSplit> {
     if tie.len() < 16 || sample_interval <= Time::ZERO {
         return None;
     }

@@ -1,6 +1,22 @@
 //! Labelled x/y series from parameter sweeps.
 
-use serde::{Deserialize, Serialize};
+/// Error returned by [`Series::from_csv`] when the text is not a series
+/// CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSeriesError {
+    /// 1-based line number of the offending row (0 for a missing header).
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl core::fmt::Display for ParseSeriesError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CSV line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseSeriesError {}
 
 /// A labelled series of `(x, y)` points, the output shape of every sweep
 /// experiment (delay vs Vctrl, range vs frequency, injected jitter vs noise
@@ -17,7 +33,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.len(), 2);
 /// assert!((s.y_max().unwrap() - 56.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Human-readable curve label (e.g. `"4-stage"`).
     pub label: String,
@@ -59,14 +75,25 @@ impl Series {
         self.xs.is_empty()
     }
 
-    /// Smallest y value.
+    /// Smallest y value. NaN points are skipped (a dropped sweep point
+    /// must not poison the whole series); `None` if the series is empty
+    /// or all-NaN.
     pub fn y_min(&self) -> Option<f64> {
-        self.ys.iter().copied().reduce(f64::min)
+        self.ys
+            .iter()
+            .copied()
+            .filter(|y| !y.is_nan())
+            .reduce(f64::min)
     }
 
-    /// Largest y value.
+    /// Largest y value. NaN points are skipped; `None` if the series is
+    /// empty or all-NaN.
     pub fn y_max(&self) -> Option<f64> {
-        self.ys.iter().copied().reduce(f64::max)
+        self.ys
+            .iter()
+            .copied()
+            .filter(|y| !y.is_nan())
+            .reduce(f64::max)
     }
 
     /// y span (max − min).
@@ -103,6 +130,45 @@ impl Series {
             out.push_str(&format!("{x:.6},{y:.6}\n"));
         }
         out
+    }
+
+    /// Parses the output of [`Series::to_csv`] back into a series (labels
+    /// from the header row, `label` from the argument since the CSV does
+    /// not carry it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSeriesError`] on a missing/malformed header or any
+    /// row that is not two comma-separated numbers.
+    pub fn from_csv(label: &str, csv: &str) -> Result<Self, ParseSeriesError> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or_else(|| ParseSeriesError {
+            line: 0,
+            reason: "missing header row".to_owned(),
+        })?;
+        let (x_label, y_label) = header.split_once(',').ok_or_else(|| ParseSeriesError {
+            line: 1,
+            reason: format!("header {header:?} is not \"x,y\""),
+        })?;
+        let mut series = Series::new(label, x_label, y_label);
+        for (i, row) in lines.enumerate() {
+            let line = i + 2;
+            if row.is_empty() {
+                continue;
+            }
+            let (xs, ys) = row.split_once(',').ok_or_else(|| ParseSeriesError {
+                line,
+                reason: format!("row {row:?} is not \"x,y\""),
+            })?;
+            let parse = |field: &str| {
+                field.trim().parse::<f64>().map_err(|e| ParseSeriesError {
+                    line,
+                    reason: format!("bad number {field:?}: {e}"),
+                })
+            };
+            series.push(parse(xs)?, parse(ys)?);
+        }
+        Ok(series)
     }
 
     /// Returns `(x, y)` pairs.
@@ -155,20 +221,67 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn csv_round_trip() {
         let s = sample();
-        let json = serde_json_like(&s);
-        assert!(json.contains("\"label\":\"test\""));
+        let back = Series::from_csv("test", &s.to_csv()).expect("own CSV parses");
+        assert_eq!(back.label, s.label);
+        assert_eq!(back.x_label, s.x_label);
+        assert_eq!(back.y_label, s.y_label);
+        // to_csv prints 6 decimals, so round-tripping is exact for these
+        // values.
+        assert_eq!(back.xs, s.xs);
+        assert_eq!(back.ys, s.ys);
     }
 
-    // Minimal structural check without depending on serde_json: serialize
-    // through serde's derived impl via a tiny hand-rolled JSON writer is
-    // out of scope, so just confirm the type implements the traits.
-    fn serde_json_like(s: &Series) -> String {
-        format!(
-            "{{\"label\":\"{}\",\"points\":{}}}",
-            s.label,
-            s.len()
-        )
+    #[test]
+    fn csv_parse_errors_carry_line_numbers() {
+        let missing = Series::from_csv("t", "").unwrap_err();
+        assert_eq!(missing.line, 0);
+
+        let bad_header = Series::from_csv("t", "just-one-column\n").unwrap_err();
+        assert_eq!(bad_header.line, 1);
+
+        let bad_row = Series::from_csv("t", "x,y\n1.0,2.0\nnot-a-number,3\n").unwrap_err();
+        assert_eq!(bad_row.line, 3);
+        assert!(bad_row.to_string().contains("line 3"), "{bad_row}");
+
+        let not_two = Series::from_csv("t", "x,y\n42\n").unwrap_err();
+        assert_eq!(not_two.line, 2);
+    }
+
+    #[test]
+    fn nan_points_do_not_poison_extrema() {
+        let mut s = Series::new("nan", "x", "y");
+        s.push(0.0, f64::NAN);
+        s.push(1.0, 5.0);
+        s.push(2.0, -3.0);
+        s.push(3.0, f64::NAN);
+        assert_eq!(s.y_min(), Some(-3.0));
+        assert_eq!(s.y_max(), Some(5.0));
+        assert_eq!(s.y_range(), Some(8.0));
+    }
+
+    #[test]
+    fn all_nan_series_has_no_extrema() {
+        let mut s = Series::new("nan", "x", "y");
+        s.push(0.0, f64::NAN);
+        s.push(1.0, f64::NAN);
+        assert_eq!(s.y_min(), None);
+        assert_eq!(s.y_max(), None);
+        assert_eq!(s.y_range(), None);
+    }
+
+    #[test]
+    fn empty_series_full_behavior() {
+        let s = Series::new("e", "x", "y");
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.y_range(), None);
+        assert_eq!(s.points().count(), 0);
+        // CSV of an empty series is just the header, and round-trips.
+        let csv = s.to_csv();
+        assert_eq!(csv, "x,y\n");
+        let back = Series::from_csv("e", &csv).unwrap();
+        assert!(back.is_empty());
     }
 }

@@ -127,7 +127,10 @@ mod tests {
         let wrong_pp = crate::jitter::JitterStats::from_times(&wrong)
             .unwrap()
             .peak_to_peak;
-        assert!(wrong_pp > Time::from_ps(50.0), "unexpectedly clean: {wrong_pp}");
+        assert!(
+            wrong_pp > Time::from_ps(50.0),
+            "unexpectedly clean: {wrong_pp}"
+        );
         // …while the half-period reference sees a clean clock.
         let right = tie_sequence_with_ui(&s, s.ui() * 0.5);
         let right_pp = crate::jitter::JitterStats::from_times(&right)

@@ -61,7 +61,11 @@ pub fn xcorr_delay(reference: &Waveform, delayed: &Waveform, max_lag: Time) -> O
             den_b += y * y;
         }
         let den = (den_a * den_b).sqrt();
-        let r = if den <= 0.0 { f64::NEG_INFINITY } else { num / den };
+        let r = if den <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            num / den
+        };
         scores.push((k, r));
         if r > best_r {
             best_r = r;

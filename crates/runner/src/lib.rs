@@ -1,0 +1,264 @@
+//! Deterministic parallel fan-out for the experiment suite.
+//!
+//! Every sweep in the workspace — `Vctrl` grids, frequency points,
+//! noise-amplitude steps, ablation cells, bus channels — is a batch of
+//! **independent** tasks. This crate runs such batches on a scoped thread
+//! pool while guaranteeing that results are *bit-identical at every
+//! thread count*:
+//!
+//! * results are collected by task index, never by completion order;
+//! * no task shares mutable state (or an RNG) with another task — code
+//!   that needs randomness derives one private stream per task with
+//!   [`task_seed`], instead of drawing from a sequential generator whose
+//!   consumption order would depend on scheduling.
+//!
+//! The thread count comes from `std::thread::available_parallelism`,
+//! overridable with the `VARDELAY_THREADS` environment variable
+//! (`VARDELAY_THREADS=1` is the serial baseline). See DESIGN.md §8 for
+//! the determinism rules.
+//!
+//! # Examples
+//!
+//! ```
+//! use vardelay_runner::Runner;
+//!
+//! let squares = Runner::new(4).run(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! // A different thread count produces the identical result.
+//! assert_eq!(squares, Runner::new(1).run(8, |i| i * i));
+//! ```
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use vardelay_siggen::SplitMix64;
+
+/// Derives the seed of task `task_index`'s private RNG stream from the
+/// experiment's root seed.
+///
+/// The rule (documented in DESIGN.md §8, fixed forever for
+/// reproducibility): XOR the root seed with `(index + 1) · φ64` — the
+/// 64-bit golden-ratio constant SplitMix64 itself increments by — then
+/// advance one SplitMix64 step. Distinct indices land in statistically
+/// independent regions of the generator's sequence, and the `+ 1` keeps
+/// task 0 from collapsing onto the raw root seed.
+///
+/// # Examples
+///
+/// ```
+/// use vardelay_runner::task_seed;
+///
+/// let a = task_seed(20080310, 0);
+/// let b = task_seed(20080310, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, task_seed(20080310, 0)); // pure function of (seed, index)
+/// ```
+pub fn task_seed(root_seed: u64, task_index: u64) -> u64 {
+    const PHI64: u64 = 0x9e37_79b9_7f4a_7c15;
+    SplitMix64::new(root_seed ^ task_index.wrapping_add(1).wrapping_mul(PHI64)).next_u64()
+}
+
+/// A fixed-width scoped thread pool that maps tasks by index.
+///
+/// `Runner` is `Copy` — it is a policy (a thread count), not a pool of
+/// live threads; threads are scoped to each call and joined before it
+/// returns, so a panicking task propagates to the caller exactly as in
+/// the serial path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner using `threads` worker threads (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded runner — the serial reference path.
+    pub fn serial() -> Self {
+        Runner::new(1)
+    }
+
+    /// A runner sized from the `VARDELAY_THREADS` environment variable,
+    /// falling back to `std::thread::available_parallelism`.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("VARDELAY_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Runner::new(threads)
+    }
+
+    /// The process-wide default runner (first use fixes the size from the
+    /// environment, see [`Runner::from_env`]).
+    pub fn global() -> Runner {
+        static GLOBAL: OnceLock<Runner> = OnceLock::new();
+        *GLOBAL.get_or_init(Runner::from_env)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, fanning tasks out across the pool; the
+    /// result vector is ordered by item index regardless of which thread
+    /// computed what, so the output is identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first panicking task (by join order).
+    pub fn par_map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Runs tasks `0..n` through `f`, returning results in task order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first panicking task (by join order).
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        // Work-stealing by atomic index; each worker keeps (index, value)
+        // pairs locally so no result ever waits on a lock.
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| resume_unwind(e)))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, value) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "task {i} computed twice");
+            slots[i] = Some(value);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("task {i} never ran")))
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::global()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_index() {
+        let out = Runner::new(8).run(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let work = |i: usize| {
+            let mut rng = SplitMix64::new(task_seed(42, i as u64));
+            (0..50).map(|_| rng.next_f64()).sum::<f64>()
+        };
+        let serial = Runner::serial().run(37, work);
+        for threads in [2, 3, 8, 16] {
+            let parallel = Runner::new(threads).run(37, work);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_items_and_indices() {
+        let items = vec![10, 20, 30];
+        let out = Runner::new(2).par_map(&items, |i, &x| x + i);
+        assert_eq!(out, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let empty: Vec<usize> = Runner::new(4).run(0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(Runner::new(4).run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        assert_eq!(Runner::new(0).threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "task boom")]
+    fn task_panics_propagate() {
+        Runner::new(4).run(8, |i| {
+            if i == 5 {
+                panic!("task boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn task_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..1000).map(|i| task_seed(20080310, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "collision in task seeds");
+        assert_eq!(task_seed(20080310, 123), seeds[123]);
+    }
+
+    #[test]
+    fn task_streams_decorrelate() {
+        // Adjacent tasks' streams must behave independently.
+        let mut a = SplitMix64::new(task_seed(7, 0));
+        let mut b = SplitMix64::new(task_seed(7, 1));
+        let n = 2000;
+        let corr: f64 = (0..n)
+            .map(|_| (a.next_f64() - 0.5) * (b.next_f64() - 0.5))
+            .sum::<f64>()
+            / n as f64;
+        assert!(corr.abs() < 0.02, "corr {corr}");
+    }
+}

@@ -89,15 +89,11 @@ mod tests {
         // the D30.3 payload (bits 10..170) toggles far less than the
         // D21.5 payload (bits 180..340).
         let bits = p.bits();
-        let density = |s: &[bool]| {
-            s.windows(2).filter(|w| w[0] != w[1]).count() as f64 / s.len() as f64
-        };
+        let density =
+            |s: &[bool]| s.windows(2).filter(|w| w[0] != w[1]).count() as f64 / s.len() as f64;
         let sparse = density(&bits[10..170]);
         let dense = density(&bits[180..340]);
-        assert!(
-            dense > sparse + 0.2,
-            "sparse {sparse} vs dense {dense}"
-        );
+        assert!(dense > sparse + 0.2, "sparse {sparse} vs dense {dense}");
     }
 
     #[test]

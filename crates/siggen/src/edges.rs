@@ -102,7 +102,11 @@ impl EdgeStream {
             if bit != level {
                 edges.push(Edge {
                     time: ui * i as f64,
-                    kind: if bit { EdgeKind::Rising } else { EdgeKind::Falling },
+                    kind: if bit {
+                        EdgeKind::Rising
+                    } else {
+                        EdgeKind::Falling
+                    },
                 });
                 level = bit;
             }

@@ -319,9 +319,10 @@ impl Decoder8b10b {
     /// Returns [`DecodeSymbolError`] for groups outside the code.
     pub fn decode(&self, bits: &[bool]) -> Result<Symbol, DecodeSymbolError> {
         let key = group_key(bits);
-        self.table.get(&key).copied().ok_or(DecodeSymbolError {
-            code_group: key,
-        })
+        self.table
+            .get(&key)
+            .copied()
+            .ok_or(DecodeSymbolError { code_group: key })
     }
 
     /// Decodes a whole aligned bit stream (length truncated to a multiple
@@ -439,11 +440,7 @@ mod tests {
                     }
                 }
                 let bits = enc.encode(Symbol::Data(octet as u8));
-                let group: u16 = bits
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &b)| (b as u16) << i)
-                    .sum();
+                let group: u16 = bits.iter().enumerate().map(|(i, &b)| (b as u16) << i).sum();
                 assert!(
                     seen.insert(group),
                     "collision at D{octet} (start {start:?})"

@@ -81,7 +81,12 @@ impl BitPattern {
                 '0' => bits.push(false),
                 '1' => bits.push(true),
                 '_' | ' ' => {}
-                _ => return Err(ParsePatternError { character, position }),
+                _ => {
+                    return Err(ParsePatternError {
+                        character,
+                        position,
+                    })
+                }
             }
         }
         Ok(BitPattern { bits })

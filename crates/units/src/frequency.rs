@@ -73,7 +73,10 @@ impl Frequency {
     /// Panics if the frequency is zero.
     #[inline]
     pub fn one_pole_tau(self) -> Time {
-        assert!(self.0 != 0.0, "time constant of zero frequency is undefined");
+        assert!(
+            self.0 != 0.0,
+            "time constant of zero frequency is undefined"
+        );
         Time::from_s(1.0 / (2.0 * core::f64::consts::PI * self.0))
     }
 

@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn empty_stream_renders_flat_line() {
-        let stream = EdgeStream::nrz(&BitPattern::from_str("0000").unwrap(), BitRate::from_gbps(1.0));
+        let stream = EdgeStream::nrz(
+            &BitPattern::from_str("0000").unwrap(),
+            BitRate::from_gbps(1.0),
+        );
         let wf = Waveform::render(&stream, &RenderConfig::default_source());
         let (lo, hi) = wf.extremes().unwrap();
         assert!((lo + 0.4).abs() < 1e-9 && (hi + 0.4).abs() < 1e-9);

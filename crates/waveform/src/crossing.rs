@@ -47,7 +47,11 @@ pub fn crossings(wf: &Waveform, threshold: f64) -> Vec<Crossing> {
         let frac = if a == 0.0 { 0.0 } else { a / (a - b) };
         out.push(Crossing {
             time: wf.time_of(i) + wf.dt() * frac,
-            kind: if b > a { EdgeKind::Rising } else { EdgeKind::Falling },
+            kind: if b > a {
+                EdgeKind::Rising
+            } else {
+                EdgeKind::Falling
+            },
         });
     }
     out
@@ -71,9 +75,7 @@ pub fn to_edge_stream(wf: &Waveform, threshold: f64, ui: Time) -> EdgeStream {
             }),
         }
     }
-    let initial_high = edges
-        .first()
-        .is_some_and(|e| e.kind == EdgeKind::Falling);
+    let initial_high = edges.first().is_some_and(|e| e.kind == EdgeKind::Falling);
     let start = wf.t0();
     let end = wf.t0() + wf.duration();
     EdgeStream::from_parts(edges, start, end, initial_high, ui)

@@ -136,14 +136,8 @@ impl EyeDiagram {
     /// "total jitter" readout on an eye crossing. `None` until at least one
     /// crossing was collected.
     pub fn crossing_peak_to_peak(&self) -> Option<Time> {
-        let min = self
-            .crossing_offsets
-            .iter()
-            .min_by(|a, b| a.total_cmp(b))?;
-        let max = self
-            .crossing_offsets
-            .iter()
-            .max_by(|a, b| a.total_cmp(b))?;
+        let min = self.crossing_offsets.iter().min_by(|a, b| a.total_cmp(b))?;
+        let max = self.crossing_offsets.iter().max_by(|a, b| a.total_cmp(b))?;
         Some(*max - *min)
     }
 

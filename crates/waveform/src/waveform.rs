@@ -187,7 +187,10 @@ mod tests {
         let wf = Waveform::new(Time::ZERO, Time::from_ps(1.0), vec![-0.3, 0.2, 0.1]);
         assert_eq!(wf.extremes(), Some((-0.3, 0.2)));
         assert!((wf.peak() - 0.3).abs() < 1e-12);
-        assert_eq!(Waveform::zeros(Time::ZERO, Time::from_ps(1.0), 0).extremes(), None);
+        assert_eq!(
+            Waveform::zeros(Time::ZERO, Time::from_ps(1.0), 0).extremes(),
+            None
+        );
     }
 
     #[test]

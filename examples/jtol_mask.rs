@@ -26,16 +26,12 @@ fn main() {
         .iter()
         .map(|&m| Frequency::from_mhz(m))
         .collect();
-    let mask = jitter_tolerance_mask(
-        &cdr,
-        &rx,
-        &base,
-        &freqs,
-        Time::from_ps(2000.0),
-        1e-3,
-    );
+    let mask = jitter_tolerance_mask(&cdr, &rx, &base, &freqs, Time::from_ps(2000.0), 1e-3);
 
-    println!("{:>12} {:>16}  (one # = 25 ps)", "PJ frequency", "tolerated amp");
+    println!(
+        "{:>12} {:>16}  (one # = 25 ps)",
+        "PJ frequency", "tolerated amp"
+    );
     for p in &mask {
         let bars = (p.tolerated_amplitude.as_ps() / 25.0).round() as usize;
         println!(

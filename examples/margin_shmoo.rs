@@ -16,7 +16,9 @@ fn main() {
 
     println!(
         "shmoo: {} at {}, receiver window ±30 ps, {} stress levels\n",
-        shmoo.bits, shmoo.rate, shmoo.noise_levels.len()
+        shmoo.bits,
+        shmoo.rate,
+        shmoo.noise_levels.len()
     );
     let map = margin_shmoo(&model, &receiver, &shmoo);
     println!("{}", map.to_table());
@@ -25,21 +27,15 @@ fn main() {
     println!("phase →   (each column is 1/{} UI)", shmoo.steps);
     for (row, &vpp) in map.rows.iter().zip(&shmoo.noise_levels) {
         let bar: String = (0..map.steps)
-            .map(|i| {
-                if i < row.open_positions {
-                    '#'
-                } else {
-                    '.'
-                }
-            })
+            .map(|i| if i < row.open_positions { '#' } else { '.' })
             .collect();
         println!("{:>6.0} mVpp |{bar}|", vpp.as_mv());
     }
 
     match map.stress_margin_at(0.25) {
-        Some(v) => println!(
-            "\nlargest stress keeping a quarter-UI window open: {v} of injected noise"
-        ),
+        Some(v) => {
+            println!("\nlargest stress keeping a quarter-UI window open: {v} of injected noise")
+        }
         None => println!("\nno stress level keeps a quarter-UI window open"),
     }
 }

@@ -2,13 +2,9 @@
 //! public API — spectral verification of injected jitter, multichannel
 //! programming, drift recovery, coded traffic.
 
-use vardelay::core::{
-    CalibrationStrategy, JitterInjector, ModelConfig, MultiChannelDelay, TempCo,
-};
+use vardelay::core::{CalibrationStrategy, JitterInjector, ModelConfig, MultiChannelDelay, TempCo};
 use vardelay::measure::{separate_rj_pj, tie_sequence};
-use vardelay::siggen::{
-    BitPattern, EdgeStream, GaussianRj, JitterModel, SinusoidalPj,
-};
+use vardelay::siggen::{BitPattern, EdgeStream, JitterModel, SinusoidalPj};
 use vardelay::units::{BitRate, Frequency, Time, Voltage};
 
 #[test]
@@ -60,7 +56,9 @@ fn pj_on_the_input_survives_the_circuit_and_is_detected() {
 fn multichannel_deskews_a_staircase_to_subpicosecond_prediction() {
     let mut unit = MultiChannelDelay::new(&ModelConfig::paper_prototype().quiet(), 4, 3);
     unit.calibrate(CalibrationStrategy::PerChannel);
-    let targets: Vec<Time> = (0..4).map(|i| Time::from_ps(20.0 + 30.0 * i as f64)).collect();
+    let targets: Vec<Time> = (0..4)
+        .map(|i| Time::from_ps(20.0 + 30.0 * i as f64))
+        .collect();
     let settings = unit.set_delays(&targets).expect("targets in range");
     for (t, s) in targets.iter().zip(&settings) {
         assert!(
@@ -125,15 +123,15 @@ fn injection_engines_cross_validate() {
     // Edge engine: the injector with the same noise statistics.
     let mut injector = JitterInjector::new(&cfg, 33);
     injector.set_noise(sigma, bw);
-    let out_edges = injector.inject(&EdgeStream::nrz(
-        &BitPattern::clock(bits * 4),
-        rate,
-    ));
+    let out_edges = injector.inject(&EdgeStream::nrz(&BitPattern::clock(bits * 4), rate));
     let edge_rms = JitterStats::from_times(&tie_sequence(&out_edges))
         .expect("edges exist")
         .rms;
 
-    assert!(wf_rms > Time::from_ps(1.0), "waveform path injected nothing");
+    assert!(
+        wf_rms > Time::from_ps(1.0),
+        "waveform path injected nothing"
+    );
     assert!(edge_rms > Time::from_ps(1.0), "edge path injected nothing");
     let ratio = wf_rms / edge_rms;
     assert!(

@@ -22,8 +22,7 @@ fn crossing_and_correlation_delay_agree_on_the_fine_line() {
 
         let out_stream = to_edge_stream(&out, 0.0, rate.bit_period());
         let by_crossings = tail_mean_delay(&stream, &out_stream, 8).expect("edges align");
-        let by_xcorr =
-            xcorr_delay(&wf, &out, Time::from_ps(600.0)).expect("well-posed traces");
+        let by_xcorr = xcorr_delay(&wf, &out, Time::from_ps(600.0)).expect("well-posed traces");
         assert!(
             (by_crossings - by_xcorr).abs() < Time::from_ps(3.0),
             "at {v} V: crossings {by_crossings} vs xcorr {by_xcorr}"
@@ -117,8 +116,16 @@ fn circuit_ddj_is_monotone_in_preceding_run_length() {
         assert!(w[1] > w[0] - 0.1, "not monotone: {populated:?}");
     }
     // The total DDJ is a visible, bounded effect.
-    assert!(d.ddj_peak_to_peak > Time::from_ps(2.0), "{}", d.ddj_peak_to_peak);
-    assert!(d.ddj_peak_to_peak < Time::from_ps(20.0), "{}", d.ddj_peak_to_peak);
+    assert!(
+        d.ddj_peak_to_peak > Time::from_ps(2.0),
+        "{}",
+        d.ddj_peak_to_peak
+    );
+    assert!(
+        d.ddj_peak_to_peak < Time::from_ps(20.0),
+        "{}",
+        d.ddj_peak_to_peak
+    );
 }
 
 #[test]
@@ -150,4 +157,3 @@ fn stress_pattern_extracts_more_ddj_than_prbs() {
         "stress {stress} should be at least PRBS-level {prbs}"
     );
 }
-

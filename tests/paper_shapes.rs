@@ -4,8 +4,8 @@
 //! qualitative claim of a figure (who wins, trend direction, crossover),
 //! not the absolute number.
 
-use vardelay_bench::{ablation, eyes, fine_delay, injection, skew};
 use vardelay::units::Time;
+use vardelay_bench::{ablation, eyes, fine_delay, injection, skew};
 
 #[test]
 fn fig7_curve_is_monotone_sigmoid_with_56ps_scale_range() {
@@ -48,8 +48,16 @@ fn fig12_fig13_added_jitter_is_bounded_and_grows_with_rate() {
 fn fig14_range_compresses_but_circuit_stays_usable() {
     let r = eyes::fig14_rz_6g4(3000);
     let dc = fine_delay::fig7_summary(&fine_delay::fig7_delay_vs_vctrl(9)).range;
-    assert!(r.fine_range < dc * 0.7, "no compression: {} vs {dc}", r.fine_range);
-    assert!(r.fine_range > Time::from_ps(15.0), "collapsed: {}", r.fine_range);
+    assert!(
+        r.fine_range < dc * 0.7,
+        "no compression: {} vs {dc}",
+        r.fine_range
+    );
+    assert!(
+        r.fine_range > Time::from_ps(15.0),
+        "collapsed: {}",
+        r.fine_range
+    );
     assert!(r.output_tj < Time::from_ps(18.0));
 }
 

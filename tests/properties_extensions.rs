@@ -9,9 +9,7 @@ use vardelay::measure::{ddj_by_run_length, xcorr_delay, EyeMask};
 use vardelay::siggen::encoding::{
     max_run_length, running_disparity_excursion, Decoder8b10b, Encoder8b10b, Symbol,
 };
-use vardelay::siggen::{
-    BitPattern, EdgeStream, GaussianRj, JitterModel, Scrambler,
-};
+use vardelay::siggen::{BitPattern, EdgeStream, GaussianRj, JitterModel, Scrambler};
 use vardelay::units::{BitRate, Time, Voltage};
 use vardelay::waveform::{RenderConfig, Waveform};
 

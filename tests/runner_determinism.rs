@@ -1,0 +1,66 @@
+//! Parallel-vs-serial determinism regression tests.
+//!
+//! The runner's contract (DESIGN.md §8) is that every experiment is
+//! *bit-identical* at every thread count: results are collected by task
+//! index and every task derives private state (fresh blocks, per-task RNG
+//! streams) instead of sharing a sequential generator. These tests pin
+//! that contract on the two experiments the paper's applications depend
+//! on — the Fig. 7 fine-delay sweep (E1) and the Fig. 2 bus deskew (E9) —
+//! by comparing the exact CSV bytes a `repro` run would write.
+
+use vardelay_ate::report::deskew_table;
+use vardelay_bench::{fine_delay, skew};
+use vardelay_core::{FineDelayLine, ModelConfig};
+use vardelay_runner::Runner;
+
+#[test]
+fn fig7_series_csv_is_byte_identical_at_any_thread_count() {
+    let serial = fine_delay::fig7_delay_vs_vctrl_with(Runner::new(1), 7).to_csv();
+    for threads in [2, 8] {
+        let parallel = fine_delay::fig7_delay_vs_vctrl_with(Runner::new(threads), 7).to_csv();
+        assert_eq!(serial, parallel, "fig7 CSV diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fig15_series_csv_is_byte_identical_at_any_thread_count() {
+    let freqs = [0.5, 6.4];
+    let (s4, s2) = fine_delay::fig15_range_vs_frequency_with(Runner::new(1), &freqs);
+    let (p4, p2) = fine_delay::fig15_range_vs_frequency_with(Runner::new(4), &freqs);
+    assert_eq!(s4.to_csv(), p4.to_csv());
+    assert_eq!(s2.to_csv(), p2.to_csv());
+}
+
+#[test]
+fn deskew_outcome_is_byte_identical_at_any_thread_count() {
+    let serial = skew::fig2_deskew_with(Runner::new(1), 4);
+    let serial_csv = deskew_table(&serial).to_csv();
+    for threads in [2, 8] {
+        let parallel = skew::fig2_deskew_with(Runner::new(threads), 4);
+        assert_eq!(
+            serial, parallel,
+            "deskew outcome diverged at {threads} threads"
+        );
+        assert_eq!(serial_csv, deskew_table(&parallel).to_csv());
+    }
+}
+
+#[test]
+fn characterization_is_identical_across_thread_counts_and_cache_states() {
+    let line = FineDelayLine::new(&ModelConfig::paper_prototype().quiet(), 1);
+    let (vctrls, intervals) = line.default_grids();
+    let vctrls = &vctrls[..3];
+    let intervals = &intervals[..2];
+
+    let serial = line.characterize_with(Runner::new(1), vctrls, intervals);
+    for threads in [2, 8] {
+        // Clearing between runs forces a real remeasure at this thread
+        // count instead of a trivial cache hit.
+        vardelay_analog::clear_characterization_cache();
+        let parallel = line.characterize_with(Runner::new(threads), vctrls, intervals);
+        assert_eq!(serial, parallel, "table diverged at {threads} threads");
+    }
+    // And the warm-cache path returns the same table again.
+    let cached = line.characterize_with(Runner::new(3), vctrls, intervals);
+    assert_eq!(serial, cached);
+}
