@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::block::{AnalogBlock, EdgeTransform};
 use crate::fingerprint::Fingerprint;
+use vardelay_obs as obs;
 use vardelay_runner::Runner;
 use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
 use vardelay_units::{BitRate, Time, Voltage};
@@ -194,13 +195,21 @@ pub fn measure_delay_table_with(
 // Characterization cache
 // ---------------------------------------------------------------------------
 
-fn cache() -> &'static Mutex<HashMap<u64, Arc<DelayTable>>> {
-    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<DelayTable>>>> = OnceLock::new();
+/// One cache entry: a per-key single-flight slot. The first caller to
+/// reach `get_or_init` measures; racing callers for the same key block
+/// inside the `OnceLock` until the table exists instead of launching a
+/// duplicate `vctrls × intervals` waveform sweep (the cache-stampede
+/// bug: both racers used to measure *and* both counted a miss).
+type CacheSlot = Arc<OnceLock<Arc<DelayTable>>>;
+
+fn cache() -> &'static Mutex<HashMap<u64, CacheSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, CacheSlot>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static SINGLE_FLIGHT_WAITS: AtomicU64 = AtomicU64::new(0);
 
 fn cache_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
@@ -208,6 +217,9 @@ fn cache_enabled() -> bool {
 }
 
 /// `(hits, misses)` counters of the process-wide characterization cache.
+/// A miss is counted once per *measurement*, not once per caller — a
+/// racer that waited for another thread's in-flight measurement counts
+/// under [`characterization_single_flight_waits`] instead.
 pub fn characterization_cache_stats() -> (u64, u64) {
     (
         CACHE_HITS.load(Ordering::Relaxed),
@@ -215,8 +227,16 @@ pub fn characterization_cache_stats() -> (u64, u64) {
     )
 }
 
+/// How many cache lookups blocked on another thread's in-flight
+/// measurement of the same key (and were spared a duplicate sweep).
+pub fn characterization_single_flight_waits() -> u64 {
+    SINGLE_FLIGHT_WAITS.load(Ordering::Relaxed)
+}
+
 /// Empties the characterization cache (counters are left running). Meant
-/// for tests and for benchmarks that need a cold start.
+/// for tests and for benchmarks that need a cold start. Threads already
+/// waiting on an in-flight measurement keep their slot and complete
+/// normally; only future lookups start cold.
 pub fn clear_characterization_cache() {
     cache().lock().expect("cache lock").clear();
 }
@@ -274,20 +294,39 @@ pub fn measure_delay_table_cached_with(
         .push_f64(render.padding.as_s());
     let key = fp.finish();
 
-    if let Some(table) = cache().lock().expect("cache lock").get(&key) {
-        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-        return DelayTable::clone(table);
-    }
-    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-    // Measure outside the lock: a miss must not serialize unrelated
-    // characterizations. A racing duplicate measurement is harmless — both
-    // sides compute the identical table.
-    let table = measure_delay_table_with(runner, build, vctrls, intervals, render);
-    cache()
+    // The map lock is held only long enough to fetch/insert the per-key
+    // slot; the measurement itself runs inside the slot's `OnceLock`, so
+    // misses on *different* keys never serialize each other, while
+    // racing misses on the *same* key single-flight: one thread measures,
+    // the rest block until the table exists.
+    let slot: CacheSlot = cache()
         .lock()
         .expect("cache lock")
-        .insert(key, Arc::new(table.clone()));
-    table
+        .entry(key)
+        .or_default()
+        .clone();
+    if let Some(table) = slot.get() {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        obs::counter("analog.cache_hits").incr();
+        return DelayTable::clone(table);
+    }
+    let mut measured_here = false;
+    let table = slot.get_or_init(|| {
+        // Runs exactly once per slot no matter how many callers race, so
+        // the miss count equals the measurement count by construction.
+        measured_here = true;
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        obs::counter("analog.cache_misses").incr();
+        let _span = obs::span("analog.characterize_miss_us");
+        Arc::new(measure_delay_table_with(
+            runner, build, vctrls, intervals, render,
+        ))
+    });
+    if !measured_here {
+        SINGLE_FLIGHT_WAITS.fetch_add(1, Ordering::Relaxed);
+        obs::counter("analog.single_flight_waits").incr();
+    }
+    DelayTable::clone(table)
 }
 
 /// A table-driven edge-domain delay element with per-edge random jitter —
@@ -398,6 +437,16 @@ mod tests {
     use super::*;
     use crate::tline::TransmissionLine;
     use crate::vga_buffer::{VgaBuffer, VgaBufferConfig};
+
+    /// Tests that assert on the global hit/miss/wait counters must not
+    /// interleave with other cache-touching tests in this binary.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn counter_lock() -> std::sync::MutexGuard<'static, ()> {
+        COUNTER_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn table_2x2() -> DelayTable {
         DelayTable::new(
@@ -522,6 +571,7 @@ mod tests {
 
     #[test]
     fn cached_table_matches_uncached_and_hits_on_repeat() {
+        let _counters = counter_lock();
         let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
             Box::new(TransmissionLine::new(Time::from_ps(11.0)))
         };
@@ -544,6 +594,7 @@ mod tests {
 
     #[test]
     fn cache_distinguishes_grids_and_keys() {
+        let _counters = counter_lock();
         let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
             Box::new(TransmissionLine::new(Time::from_ps(5.0)))
         };
@@ -565,6 +616,79 @@ mod tests {
             &render,
         );
         assert_ne!(a.intervals(), b.intervals());
+    }
+
+    /// The cache-stampede regression test (ISSUE 2): two threads missing
+    /// on the same key must produce **one** measurement and **one**
+    /// counted miss; the loser waits for the winner's table instead of
+    /// re-running the full `vctrls × intervals` sweep.
+    ///
+    /// The barrier forces the race deterministically: the leader's build
+    /// closure blocks on the barrier *inside* the single-flight slot, and
+    /// the second thread only starts its lookup once the barrier has
+    /// released — i.e. provably while the first measurement is still in
+    /// flight.
+    #[test]
+    fn racing_identical_keys_measure_once_and_count_one_miss() {
+        if !cache_enabled() {
+            return; // VARDELAY_NO_CACHE=1: nothing to single-flight.
+        }
+        let _counters = counter_lock();
+        let key = 0xc0de_cafe_0000_0003;
+        let build_calls = std::sync::atomic::AtomicU64::new(0);
+        let barrier = std::sync::Barrier::new(2);
+        let vctrls = [Voltage::ZERO];
+        let intervals = [Time::from_ps(700.0)];
+        let render = RenderConfig::default_source();
+
+        let leader_build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+            barrier.wait();
+            // Hold the measurement in flight long enough for the second
+            // thread to reach the cache and block on the slot.
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            build_calls.fetch_add(1, Ordering::Relaxed);
+            Box::new(TransmissionLine::new(Time::from_ps(17.0)))
+        };
+        let racer_build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+            build_calls.fetch_add(1, Ordering::Relaxed);
+            Box::new(TransmissionLine::new(Time::from_ps(17.0)))
+        };
+
+        let (hits0, misses0) = characterization_cache_stats();
+        let waits0 = characterization_single_flight_waits();
+        let (a, b) = std::thread::scope(|scope| {
+            let leader = scope.spawn(|| {
+                measure_delay_table_cached(key, &leader_build, &vctrls, &intervals, &render)
+            });
+            let racer = scope.spawn(|| {
+                // Released exactly when the leader is inside its build
+                // closure, i.e. mid-measurement.
+                barrier.wait();
+                measure_delay_table_cached(key, &racer_build, &vctrls, &intervals, &render)
+            });
+            (leader.join().unwrap(), racer.join().unwrap())
+        });
+
+        assert_eq!(a, b, "racers must observe the same table");
+        assert_eq!(
+            build_calls.load(Ordering::Relaxed),
+            1,
+            "exactly one measurement may run for one key"
+        );
+        let (hits1, misses1) = characterization_cache_stats();
+        assert_eq!(misses1 - misses0, 1, "exactly one miss for the race");
+        // The racer either blocked on the in-flight measurement (the
+        // expected path) or — if wildly descheduled — arrived after
+        // completion and counted a plain hit; both prove no stampede.
+        let waited = characterization_single_flight_waits() - waits0;
+        let hit = hits1 - hits0;
+        assert_eq!(waited + hit, 1, "waits {waited} hits {hit}");
+
+        // A later lookup on the same key is a plain hit.
+        let again = measure_delay_table_cached(key, &racer_build, &vctrls, &intervals, &render);
+        assert_eq!(again, a);
+        assert_eq!(characterization_cache_stats().1, misses1, "no extra miss");
+        assert_eq!(build_calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub use block::{AnalogBlock, EdgeTransform};
 pub use buffer_core::{BufferCore, BufferCoreConfig};
 pub use chain::{Chain, EdgeChain};
 pub use characterize::{
-    characterization_cache_stats, clear_characterization_cache, measure_delay_table,
-    measure_delay_table_cached, measure_delay_table_cached_with, measure_delay_table_with,
-    CharacterizedDelay, DelayTable,
+    characterization_cache_stats, characterization_single_flight_waits,
+    clear_characterization_cache, measure_delay_table, measure_delay_table_cached,
+    measure_delay_table_cached_with, measure_delay_table_with, CharacterizedDelay, DelayTable,
 };
 pub use coupling::AcCoupling;
 pub use crosstalk::CrosstalkCoupling;

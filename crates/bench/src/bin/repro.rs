@@ -1,24 +1,36 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation
 //! from the behavioral model and prints the same rows/series the paper
-//! reports. CSVs are written under `target/repro/`.
+//! reports. CSVs are written under `target/repro/`; every run appends one
+//! record to the `BENCH_repro.json` journal (JSONL, append-only — a
+//! single-figure run never clobbers the record of a full `all` run).
 //!
 //! Usage:
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|table1|ablation]
+//! repro [all|fig1|fig2|fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|table1|ablation|extensions]
+//! repro compare   # regression gate: diff the latest two `all` journal
+//!                 # records, exit non-zero on >10 % wall-clock regression
 //! ```
 
 use std::fs;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use vardelay_analog::characterization_cache_stats;
+use vardelay_analog::{characterization_cache_stats, characterization_single_flight_waits};
 use vardelay_ate::report::{deskew_summary, deskew_table};
 use vardelay_bench::{ablation, eyes, fine_delay, injection, skew, try_output_dir};
 use vardelay_measure::report::fmt_ps;
 use vardelay_measure::{Series, Table};
+use vardelay_obs as obs;
+use vardelay_obs::journal;
+use vardelay_obs::json::Value;
 use vardelay_runner::Runner;
+
+/// The append-only benchmark journal at the repository root (see
+/// EXPERIMENTS.md §Runtime for the record schema).
+const JOURNAL_PATH: &str = "BENCH_repro.json";
 
 /// Name of the experiment currently running, so a failed write can say
 /// which experiment's output was lost.
@@ -27,6 +39,9 @@ static CURRENT_EXPERIMENT: Mutex<String> = Mutex::new(String::new());
 static SAVE_FAILURES: Mutex<Vec<String>> = Mutex::new(Vec::new());
 /// Total CSV data points written (the repro throughput denominator).
 static CSV_POINTS: AtomicUsize = AtomicUsize::new(0);
+/// Total CSV files written (journal accounting; tracked outside the obs
+/// registry so the record stays correct with `VARDELAY_OBS=0`).
+static CSV_FILES: AtomicUsize = AtomicUsize::new(0);
 
 fn set_current_experiment(name: &str) {
     name.clone_into(&mut CURRENT_EXPERIMENT.lock().expect("experiment name lock"));
@@ -44,6 +59,9 @@ fn save_csv(name: &str, csv: &str) {
     match result {
         Ok(path) => {
             CSV_POINTS.fetch_add(csv.lines().count().saturating_sub(1), Ordering::Relaxed);
+            CSV_FILES.fetch_add(1, Ordering::Relaxed);
+            obs::counter("repro.csv_files").incr();
+            obs::counter("repro.csv_bytes").add(csv.len() as u64);
             println!("  [csv: {}]", path.display());
         }
         Err(e) => {
@@ -122,25 +140,40 @@ fn eye_result(r: &eyes::EyeExperimentResult, paper: &str) {
     println!("  paper: {paper}");
 }
 
+/// The eye/TJ summary CSV for Figs. 12–14 (EXPERIMENTS.md promises every
+/// experiment lands CSVs in `target/repro/`).
+fn eye_summary_table(r: &eyes::EyeExperimentResult) -> Table {
+    let mut table = Table::new(&r.label, &["metric", "ps"]);
+    for (metric, value) in [
+        ("fine_range_ps", r.fine_range),
+        ("input_tj_ps", r.input_tj),
+        ("output_tj_ps", r.output_tj),
+        ("added_tj_ps", r.added_tj),
+    ] {
+        table.push_owned_row(vec![metric.to_owned(), format!("{:.3}", value.as_ps())]);
+    }
+    table
+}
+
 fn fig12() {
     println!("\n### Fig. 12 — 4.8 Gb/s eye");
-    eye_result(
-        &eyes::fig12_eye_4g8(8000),
-        "fine range 49.5 ps, TJ out 18.5 ps (~+7 ps)",
-    );
+    let r = eyes::fig12_eye_4g8(8000);
+    eye_result(&r, "fine range 49.5 ps, TJ out 18.5 ps (~+7 ps)");
+    save_table("fig12_eye_summary", &eye_summary_table(&r));
 }
 
 fn fig13() {
     println!("\n### Fig. 13 — 6.4 Gb/s eye through combined circuit");
-    eye_result(
-        &eyes::fig13_eye_6g4(8000),
-        "TJ in 26 ps -> TJ out 39 ps (+13 ps)",
-    );
+    let r = eyes::fig13_eye_6g4(8000);
+    eye_result(&r, "TJ in 26 ps -> TJ out 39 ps (+13 ps)");
+    save_table("fig13_eye_summary", &eye_summary_table(&r));
 }
 
 fn fig14() {
     println!("\n### Fig. 14 — 6.4 GHz RZ clock");
-    eye_result(&eyes::fig14_rz_6g4(8000), "fine range 23.5 ps, TJ 10.5 ps");
+    let r = eyes::fig14_rz_6g4(8000);
+    eye_result(&r, "fine range 23.5 ps, TJ 10.5 ps");
+    save_table("fig14_eye_summary", &eye_summary_table(&r));
 }
 
 fn fig15() {
@@ -164,6 +197,16 @@ fn fig16() {
         r.reference_tj, r.baseline_tj, r.noise_vpp, r.injected_tj
     );
     println!("paper: reference 8 ps -> 69 ps with 900 mVpp noise");
+    let mut table = Table::new("Fig.16 jitter injection at 3.2 Gb/s", &["metric", "value"]);
+    for (metric, value) in [
+        ("reference_tj_ps", r.reference_tj.as_ps()),
+        ("baseline_tj_ps", r.baseline_tj.as_ps()),
+        ("injected_tj_ps", r.injected_tj.as_ps()),
+        ("noise_vpp_mv", r.noise_vpp.as_v() * 1e3),
+    ] {
+        table.push_owned_row(vec![metric.to_owned(), format!("{value:.3}")]);
+    }
+    save_table("fig16_injection_summary", &table);
 }
 
 fn fig17() {
@@ -301,42 +344,115 @@ fn extensions() {
     );
 }
 
-/// Writes the machine-readable runtime record next to the CSVs (and a
-/// copy at the repository root for the benchmark tracker).
+/// Best-effort `git describe` so journal records are attributable to a
+/// commit; falls back to `"unknown"` outside a git checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Appends this run's record to the `BENCH_repro.json` journal (one
+/// JSONL line per run — **append**, never overwrite, so a single-figure
+/// run cannot clobber the trajectory of full `all` runs) and writes the
+/// same record to `target/repro/BENCH_repro_last.json` for consumers
+/// that only want the latest run.
 fn write_runtime_record(arg: &str, wall_s: f64, timings: &[(String, f64)]) {
     let points = CSV_POINTS.load(Ordering::Relaxed);
+    let files = CSV_FILES.load(Ordering::Relaxed);
     let (hits, misses) = characterization_cache_stats();
-    let per_experiment = timings
-        .iter()
-        .map(|(name, s)| format!("    \"{name}\": {s:.3}"))
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let json = format!(
-        "{{\n  \"experiments\": \"{arg}\",\n  \"threads\": {},\n  \"wall_s\": {wall_s:.3},\n  \
-         \"csv_points\": {points},\n  \"points_per_s\": {:.3},\n  \
-         \"characterization_cache_hits\": {hits},\n  \"characterization_cache_misses\": {misses},\n  \
-         \"per_experiment_s\": {{\n{per_experiment}\n  }}\n}}\n",
-        Runner::global().threads(),
-        if wall_s > 0.0 { points as f64 / wall_s } else { 0.0 },
-    );
-    for path in ["BENCH_repro.json".into(), {
-        let mut p = std::path::PathBuf::from("target/repro");
-        p.push("BENCH_repro.json");
-        p
-    }] {
-        if let Err(e) = fs::write(&path, &json) {
-            eprintln!("repro: could not write {}: {e}", path.display());
+    let waits = characterization_single_flight_waits();
+    let mut per_experiment = Value::obj();
+    for (name, s) in timings {
+        per_experiment = per_experiment.with(name, (s * 1000.0).round() / 1000.0);
+    }
+    let record = Value::obj()
+        .with("schema", journal::SCHEMA_VERSION)
+        .with("experiments", arg)
+        .with("threads", Runner::global().threads())
+        .with("git", git_describe())
+        .with("unix_ms", unix_ms())
+        .with("wall_s", (wall_s * 1000.0).round() / 1000.0)
+        .with("csv_files", files)
+        .with("csv_points", points)
+        .with(
+            "points_per_s",
+            if wall_s > 0.0 {
+                ((points as f64 / wall_s) * 1000.0).round() / 1000.0
+            } else {
+                0.0
+            },
+        )
+        .with("cache_hits", hits)
+        .with("cache_misses", misses)
+        .with("single_flight_waits", waits)
+        .with("per_experiment_s", per_experiment);
+    if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
+        eprintln!("repro: could not append to {JOURNAL_PATH}: {e}");
+    }
+    if let Ok(dir) = try_output_dir() {
+        let last = dir.join("BENCH_repro_last.json");
+        if let Err(e) = fs::write(&last, record.render() + "\n") {
+            eprintln!("repro: could not write {}: {e}", last.display());
         }
     }
     println!(
-        "\nruntime: {wall_s:.2} s on {} thread(s), {points} CSV points, cache {hits} hits / {misses} misses \
-         [BENCH_repro.json]",
+        "\nruntime: {wall_s:.2} s on {} thread(s), {points} CSV points in {files} files, \
+         cache {hits} hits / {misses} misses / {waits} single-flight waits \
+         [journal: {JOURNAL_PATH}]",
         Runner::global().threads()
     );
+    if obs::enabled() {
+        println!(
+            "\n--- metrics ({}) ---\n{}",
+            "vardelay-obs",
+            obs::snapshot()
+        );
+    }
+}
+
+/// `repro compare` — the regression gate: diffs the latest two `all`
+/// records in the journal and fails (exit 1) when the newer wall clock
+/// regressed by more than [`journal::DEFAULT_THRESHOLD`]. Exit 2 when
+/// there are not yet two comparable records.
+fn run_compare() -> ! {
+    let records = match journal::load(Path::new(JOURNAL_PATH)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
+        Ok(cmp) => {
+            println!("repro compare: {cmp}");
+            std::process::exit(i32::from(cmp.regressed));
+        }
+        Err(e) => {
+            eprintln!("repro compare: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    if arg == "compare" {
+        run_compare();
+    }
     let run_all = arg == "all";
     let started = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
@@ -344,6 +460,7 @@ fn main() {
     let mut run = |name: &str, f: &dyn Fn()| {
         if run_all || arg == name {
             set_current_experiment(name);
+            let _span = obs::span(&format!("repro.{name}_us"));
             let t0 = Instant::now();
             f();
             timings.push((name.to_owned(), t0.elapsed().as_secs_f64()));
@@ -365,7 +482,7 @@ fn main() {
     run("extensions", &extensions);
     if !ran {
         eprintln!(
-            "unknown experiment {arg:?}; expected one of: all fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17 table1 ablation extensions"
+            "unknown experiment {arg:?}; expected one of: all fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17 table1 ablation extensions compare"
         );
         std::process::exit(2);
     }

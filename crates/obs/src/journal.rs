@@ -1,0 +1,423 @@
+//! The append-only benchmark journal and its regression gate.
+//!
+//! `BENCH_repro.json` is a JSONL file: **one JSON object per line, one
+//! line per `repro` run**, appended — never overwritten — so the
+//! repository's performance trajectory is a real time series. A
+//! `fig9`-only run can no longer clobber the record of a full `all` run;
+//! it just adds a line keyed by its own `experiments` field.
+//!
+//! Record schema (`schema: 1`), all fields flat except
+//! `per_experiment_s`:
+//!
+//! ```json
+//! {"schema":1,"experiments":"all","threads":4,"git":"d813bb2",
+//!  "unix_ms":1754550000000,"wall_s":6.5,"csv_files":12,
+//!  "csv_points":1934,"points_per_s":297.5,"cache_hits":20,
+//!  "cache_misses":7,"single_flight_waits":0,
+//!  "per_experiment_s":{"fig7":0.9}}
+//! ```
+//!
+//! [`load`] also accepts the legacy format (one pretty-printed object
+//! spanning the whole file) so a pre-journal `BENCH_repro.json` reads as
+//! a one-record journal.
+//!
+//! The gate: [`compare_latest`] takes the latest two records of the same
+//! experiment set (same thread count — wall clock across different
+//! widths is not comparable) and flags a regression when the newer wall
+//! clock exceeds the older by more than the threshold. `repro compare`
+//! wires this to CI.
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::Value;
+
+/// Version stamped into every record's `schema` field.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default regression-gate threshold: newer wall clock more than 10 %
+/// above the older one fails.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// Appends one record as a single JSONL line, creating the file if
+/// missing. The write is a single `write_all` of `line + "\n"` through
+/// `O_APPEND`, so concurrent appenders interleave whole lines.
+///
+/// A legacy pre-journal file (one pretty-printed object spanning the
+/// whole file) is first migrated in place to a one-line JSONL record, so
+/// appending to it never produces an unparseable hybrid.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (callers report and continue; a
+/// benchmark run must not die on a read-only checkout).
+pub fn append(path: &Path, record: &Value) -> io::Result<()> {
+    migrate_legacy(path)?;
+    let mut line = record.render();
+    line.push('\n');
+    OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?
+        .write_all(line.as_bytes())
+}
+
+/// Rewrites a legacy whole-file JSON object as one compact JSONL line.
+/// JSONL files (first line parses on its own), missing files and
+/// unparseable files are left untouched.
+fn migrate_legacy(path: &Path) -> io::Result<()> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if content.trim().is_empty() {
+        return Ok(());
+    }
+    let first_line_is_record = content
+        .lines()
+        .next()
+        .is_some_and(|l| Value::parse(l).is_ok());
+    if first_line_is_record {
+        return Ok(());
+    }
+    if let Ok(legacy) = Value::parse(&content) {
+        std::fs::write(path, legacy.render() + "\n")?;
+    }
+    Ok(())
+}
+
+/// A journal that could not be read or parsed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read (missing file is **not** an error —
+    /// [`load`] returns an empty journal).
+    Io(io::Error),
+    /// A line (1-based; 0 for whole-file legacy parse) failed to parse.
+    Parse {
+        /// 1-based line number, 0 when the whole file failed as one
+        /// document.
+        line: usize,
+        /// The parser's diagnosis.
+        error: crate::json::ParseError,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Parse { line, error } => {
+                write!(f, "journal line {line}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Loads every record in the journal, oldest first. A missing file is an
+/// empty journal. A file that parses as one JSON document (the legacy
+/// pre-journal format, or a one-line journal) yields one record.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] on unreadable files, [`JournalError::Parse`]
+/// with the offending line number on malformed records.
+pub fn load(path: &Path) -> Result<Vec<Value>, JournalError> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    if content.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    // Legacy tolerance: the whole file as one document (also covers a
+    // one-line journal — identical result either way).
+    if let Ok(single) = Value::parse(&content) {
+        return Ok(vec![single]);
+    }
+    content
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| Value::parse(l).map_err(|error| JournalError::Parse { line: i + 1, error }))
+        .collect()
+}
+
+/// The latest-two-records wall-clock comparison `repro compare` prints
+/// and gates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// `experiments` key both records share.
+    pub experiments: String,
+    /// Thread count both records share.
+    pub threads: u64,
+    /// Wall clock of the older record (seconds).
+    pub older_wall_s: f64,
+    /// Wall clock of the newer record (seconds).
+    pub newer_wall_s: f64,
+    /// `newer / older` (∞ when the older wall clock is 0).
+    pub ratio: f64,
+    /// The gate threshold the comparison was made against.
+    pub threshold: f64,
+    /// Whether the newer run exceeds the older by more than `threshold`.
+    pub regressed: bool,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} s -> {:.3} s ({:+.1} % on {} thread(s); gate \u{00b1}{:.0} %): {}",
+            self.experiments,
+            self.older_wall_s,
+            self.newer_wall_s,
+            (self.ratio - 1.0) * 100.0,
+            self.threads,
+            self.threshold * 100.0,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Why two comparable records could not be found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompareError {
+    /// Fewer than two records match the experiment set.
+    TooFewRecords {
+        /// Matching records found.
+        found: usize,
+        /// The experiment set looked for.
+        experiments: String,
+    },
+    /// The latest two matching records ran at different thread counts, so
+    /// their wall clocks are not comparable.
+    ThreadMismatch {
+        /// Older record's thread count.
+        older: u64,
+        /// Newer record's thread count.
+        newer: u64,
+    },
+    /// A matching record is missing a required numeric field.
+    MissingField(&'static str),
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompareError::TooFewRecords { found, experiments } => write!(
+                f,
+                "need two {experiments:?} journal records to compare, found {found} \
+                 (run `repro {experiments}` twice)"
+            ),
+            CompareError::ThreadMismatch { older, newer } => write!(
+                f,
+                "latest runs used different thread counts ({older} vs {newer}); \
+                 wall clocks are not comparable"
+            ),
+            CompareError::MissingField(field) => {
+                write!(f, "journal record is missing numeric field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+/// Compares the latest two records whose `experiments` field equals
+/// `experiments`, flagging a regression when the newer wall clock
+/// exceeds the older by more than `threshold` (fractional, e.g. `0.10`).
+///
+/// # Errors
+///
+/// See [`CompareError`] — fewer than two matching records, a thread-count
+/// mismatch between them, or records without `wall_s`/`threads`.
+pub fn compare_latest(
+    records: &[Value],
+    experiments: &str,
+    threshold: f64,
+) -> Result<Comparison, CompareError> {
+    let matching: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("experiments").and_then(Value::as_str) == Some(experiments))
+        .collect();
+    let [.., older, newer] = matching.as_slice() else {
+        return Err(CompareError::TooFewRecords {
+            found: matching.len(),
+            experiments: experiments.to_owned(),
+        });
+    };
+    let threads = |r: &Value| {
+        r.get("threads")
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField("threads"))
+    };
+    let wall = |r: &Value| {
+        r.get("wall_s")
+            .and_then(Value::as_f64)
+            .ok_or(CompareError::MissingField("wall_s"))
+    };
+    let (older_threads, newer_threads) = (threads(older)?, threads(newer)?);
+    if older_threads != newer_threads {
+        return Err(CompareError::ThreadMismatch {
+            older: older_threads,
+            newer: newer_threads,
+        });
+    }
+    let (older_wall_s, newer_wall_s) = (wall(older)?, wall(newer)?);
+    let ratio = if older_wall_s > 0.0 {
+        newer_wall_s / older_wall_s
+    } else if newer_wall_s > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    Ok(Comparison {
+        experiments: experiments.to_owned(),
+        threads: newer_threads,
+        older_wall_s,
+        newer_wall_s,
+        ratio,
+        threshold,
+        regressed: ratio > 1.0 + threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(experiments: &str, threads: u64, wall_s: f64) -> Value {
+        Value::obj()
+            .with("schema", SCHEMA_VERSION)
+            .with("experiments", experiments)
+            .with("threads", threads)
+            .with("wall_s", wall_s)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "vardelay_obs_journal_{name}_{}",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn append_accumulates_lines() {
+        let path = temp_path("append");
+        let _ = std::fs::remove_file(&path);
+        append(&path, &record("all", 1, 6.5)).unwrap();
+        append(&path, &record("fig9", 1, 0.01)).unwrap();
+        append(&path, &record("all", 1, 6.4)).unwrap();
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[1].get("experiments").unwrap().as_str(),
+            Some("fig9")
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty_journal() {
+        assert!(load(Path::new("/nonexistent/vardelay.jsonl"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn legacy_single_object_loads_as_one_record() {
+        let path = temp_path("legacy");
+        std::fs::write(
+            &path,
+            "{\n  \"experiments\": \"fig9\",\n  \"threads\": 1,\n  \"wall_s\": 0.011\n}\n",
+        )
+        .unwrap();
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].get("wall_s").unwrap().as_f64(), Some(0.011));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn appending_to_a_legacy_file_migrates_it() {
+        let path = temp_path("migrate");
+        std::fs::write(
+            &path,
+            "{\n  \"experiments\": \"all\",\n  \"threads\": 1,\n  \"wall_s\": 6.5\n}\n",
+        )
+        .unwrap();
+        append(&path, &record("fig9", 1, 0.01)).unwrap();
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 2, "legacy record + appended record");
+        assert_eq!(records[0].get("experiments").unwrap().as_str(), Some("all"));
+        assert_eq!(records[0].get("wall_s").unwrap().as_f64(), Some(6.5));
+        assert_eq!(
+            records[1].get("experiments").unwrap().as_str(),
+            Some("fig9")
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_line_reports_its_number() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "{\"experiments\":\"all\"}\nnot json\n").unwrap();
+        match load(&path) {
+            Err(JournalError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compare_picks_latest_two_matching() {
+        let records = vec![
+            record("all", 1, 10.0),
+            record("fig9", 1, 0.01), // interleaved single-figure run: ignored
+            record("all", 1, 6.0),
+            record("all", 1, 6.3),
+        ];
+        let c = compare_latest(&records, "all", DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(c.older_wall_s, 6.0);
+        assert_eq!(c.newer_wall_s, 6.3);
+        assert!(!c.regressed, "{c}");
+    }
+
+    #[test]
+    fn compare_flags_regression_over_threshold() {
+        let records = vec![record("all", 1, 6.0), record("all", 1, 6.61)];
+        let c = compare_latest(&records, "all", 0.10).unwrap();
+        assert!(c.regressed, "{c}");
+        // And just inside the gate passes.
+        let records = vec![record("all", 1, 6.0), record("all", 1, 6.59)];
+        assert!(!compare_latest(&records, "all", 0.10).unwrap().regressed);
+    }
+
+    #[test]
+    fn compare_requires_two_records_and_equal_threads() {
+        assert_eq!(
+            compare_latest(&[record("all", 1, 6.0)], "all", 0.1),
+            Err(CompareError::TooFewRecords {
+                found: 1,
+                experiments: "all".to_owned()
+            })
+        );
+        assert_eq!(
+            compare_latest(&[record("all", 1, 6.0), record("all", 4, 2.0)], "all", 0.1),
+            Err(CompareError::ThreadMismatch { older: 1, newer: 4 })
+        );
+    }
+}

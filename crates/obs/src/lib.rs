@@ -1,0 +1,42 @@
+//! Observability for the vardelay workspace — dependency-free, like
+//! everything else here.
+//!
+//! Three layers, from hot to cold:
+//!
+//! 1. **Metrics** ([`metrics`]): process-wide named [`Counter`]s,
+//!    streaming log₂-bucketed [`Histogram`]s (microsecond-scale by
+//!    convention) and [`span`] timers that record into them on drop. All
+//!    lock-free on the hot path (atomics only) and gated by
+//!    [`enabled`] — instrumentation must never change experiment
+//!    results, only describe them (pinned by
+//!    `tests/runner_determinism.rs`).
+//! 2. **JSON** ([`json`]): a hand-rolled [`json::Value`] with a compact
+//!    renderer and a recursive-descent parser. The workspace has no
+//!    `serde`; this is the one place JSON is read or written.
+//! 3. **Journal** ([`journal`]): an append-only JSONL benchmark journal
+//!    (`BENCH_repro.json`) — one record per `repro` run — with a loader
+//!    that also accepts the legacy single-object format, and a
+//!    [`journal::compare_latest`] regression gate used by
+//!    `repro compare` in CI.
+//!
+//! # Examples
+//!
+//! ```
+//! use vardelay_obs as obs;
+//!
+//! obs::counter("doc.events").incr();
+//! {
+//!     let _span = obs::span("doc.work_us");
+//!     // ... timed work ...
+//! }
+//! assert!(obs::counter("doc.events").get() >= 1);
+//! ```
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+
+pub use metrics::{
+    counter, enabled, histogram, registry, set_enabled, snapshot, span, Counter, Histogram,
+    HistogramSummary, Registry, Snapshot, Span,
+};

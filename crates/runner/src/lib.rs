@@ -17,6 +17,12 @@
 //! (`VARDELAY_THREADS=1` is the serial baseline). See DESIGN.md §8 for
 //! the determinism rules.
 //!
+//! Every batch is instrumented through `vardelay-obs` (DESIGN.md §9):
+//! batch/task counters, a per-batch duration span, worker-balance and
+//! queue-drain histograms. Instrumentation is purely observational — the
+//! determinism tests run with it on and off and assert byte-identical
+//! CSVs.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,9 +35,11 @@
 //! ```
 
 use std::panic::resume_unwind;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
+use vardelay_obs as obs;
 use vardelay_siggen::SplitMix64;
 
 /// Derives the seed of task `task_index`'s private RNG stream from the
@@ -128,6 +136,14 @@ impl Runner {
 
     /// Runs tasks `0..n` through `f`, returning results in task order.
     ///
+    /// Instrumented with `vardelay-obs` (observational only — never
+    /// touches task results): `runner.batches` / `runner.tasks` counters,
+    /// a `runner.batch_us` span over the whole fan-out, a
+    /// `runner.tasks_per_worker` histogram exposing scheduling balance,
+    /// and `runner.queue_drain_us` — the tail latency between the last
+    /// task being *claimed* and the last worker *finishing*, i.e. how
+    /// long the batch runs starved with an empty queue.
+    ///
     /// # Panics
     ///
     /// Re-raises the panic of the first panicking task (by join order).
@@ -136,14 +152,30 @@ impl Runner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let instrumented = obs::enabled() && n > 0;
+        let batch_span = instrumented.then(|| {
+            obs::counter("runner.batches").incr();
+            obs::counter("runner.tasks").add(n as u64);
+            obs::span("runner.batch_us")
+        });
         let workers = self.threads.min(n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            let out = (0..n).map(f).collect();
+            if instrumented {
+                obs::histogram("runner.tasks_per_worker").record(n as u64);
+                obs::histogram("runner.queue_drain_us").record(0);
+            }
+            drop(batch_span);
+            return out;
         }
 
         // Work-stealing by atomic index; each worker keeps (index, value)
         // pairs locally so no result ever waits on a lock.
         let next = AtomicUsize::new(0);
+        // Micros from batch start to the moment a worker first saw the
+        // queue empty (u64::MAX until then).
+        let drained_at_us = AtomicU64::new(u64::MAX);
+        let batch_start = Instant::now();
         let f = &f;
         let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -157,6 +189,12 @@ impl Runner {
                             }
                             local.push((i, f(i)));
                         }
+                        if instrumented {
+                            drained_at_us.fetch_min(
+                                batch_start.elapsed().as_micros() as u64,
+                                Ordering::Relaxed,
+                            );
+                        }
                         local
                     })
                 })
@@ -166,6 +204,18 @@ impl Runner {
                 .map(|h| h.join().unwrap_or_else(|e| resume_unwind(e)))
                 .collect()
         });
+        if instrumented {
+            let balance = obs::histogram("runner.tasks_per_worker");
+            for worker in &per_worker {
+                balance.record(worker.len() as u64);
+            }
+            let drained = drained_at_us.load(Ordering::Relaxed);
+            if drained != u64::MAX {
+                let total = batch_start.elapsed().as_micros() as u64;
+                obs::histogram("runner.queue_drain_us").record(total.saturating_sub(drained));
+            }
+        }
+        drop(batch_span);
 
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         for (i, value) in per_worker.into_iter().flatten() {
@@ -247,6 +297,19 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len(), "collision in task seeds");
         assert_eq!(task_seed(20080310, 123), seeds[123]);
+    }
+
+    #[test]
+    fn instrumentation_counts_batches_and_tasks() {
+        obs::set_enabled(true);
+        let batches = obs::counter("runner.batches").get();
+        let tasks = obs::counter("runner.tasks").get();
+        let out = Runner::new(4).run(12, |i| i);
+        assert_eq!(out.len(), 12);
+        assert!(obs::counter("runner.batches").get() > batches);
+        assert!(obs::counter("runner.tasks").get() >= tasks + 12);
+        // Worker balance histogram observed the batch.
+        assert!(obs::histogram("runner.tasks_per_worker").count() > 0);
     }
 
     #[test]
