@@ -33,7 +33,10 @@ pub mod tolerance;
 pub use bus::ParallelBus;
 pub use cdr::{jitter_tolerance_mask, BangBangCdr, CdrTrack, MaskPoint};
 pub use channel::AteChannel;
-pub use deskew::{ChannelCorrection, DeskewEngine, DeskewError, DeskewOutcome};
+pub use deskew::{
+    ChannelCorrection, DegradedOutcome, DegradedPolicy, DeskewEngine, DeskewError, DeskewOutcome,
+    MeasurementFaultHook, QuarantinedChannel,
+};
 pub use dut::DutReceiver;
 pub use margin::{margin_shmoo, MarginMap, MarginRow, ShmooConfig};
 pub use retimer::Retimer;

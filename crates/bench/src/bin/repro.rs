@@ -7,10 +7,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|table1|ablation|extensions]
+//! repro [all|fig1|fig2|fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|table1|ablation|extensions|faults]
 //! repro compare   # regression gate: diff the latest two `all` journal
 //!                 # records, exit non-zero on >10 % wall-clock regression
 //! ```
+//!
+//! `repro faults` runs the fault-injection campaign (DESIGN.md §10): every
+//! fault class from `vardelay-faults` is injected and the run fails
+//! (exit 1) unless each one is detected by the self-test or the degraded
+//! deskew loop.
 
 use std::fs;
 use std::path::Path;
@@ -20,7 +25,9 @@ use std::time::Instant;
 
 use vardelay_analog::{characterization_cache_stats, characterization_single_flight_waits};
 use vardelay_ate::report::{deskew_summary, deskew_table};
-use vardelay_bench::{ablation, eyes, fine_delay, injection, skew, try_output_dir};
+use vardelay_bench::{
+    ablation, eyes, faults_campaign, fine_delay, injection, skew, try_output_dir,
+};
 use vardelay_measure::report::fmt_ps;
 use vardelay_measure::{Series, Table};
 use vardelay_obs as obs;
@@ -43,15 +50,38 @@ static CSV_POINTS: AtomicUsize = AtomicUsize::new(0);
 /// registry so the record stays correct with `VARDELAY_OBS=0`).
 static CSV_FILES: AtomicUsize = AtomicUsize::new(0);
 
+// The experiment-name and failure-list locks are only ever held around
+// trivial reads/pushes, but a panicking experiment (the whole point of the
+// fault campaign) can still poison them — recover the data instead of
+// compounding the panic, since a poisoned diagnostics list is still a
+// valid diagnostics list.
 fn set_current_experiment(name: &str) {
-    name.clone_into(&mut CURRENT_EXPERIMENT.lock().expect("experiment name lock"));
+    name.clone_into(
+        &mut CURRENT_EXPERIMENT
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+}
+
+fn current_experiment() -> String {
+    CURRENT_EXPERIMENT
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Records a diagnostic that must turn the run's exit status red, without
+/// aborting the remaining experiments.
+fn record_save_failure(failure: String) {
+    eprintln!("repro: {failure}");
+    SAVE_FAILURES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(failure);
 }
 
 fn save_csv(name: &str, csv: &str) {
-    let experiment = CURRENT_EXPERIMENT
-        .lock()
-        .expect("experiment name lock")
-        .clone();
+    let experiment = current_experiment();
     let result = try_output_dir().and_then(|dir| {
         let path = dir.join(format!("{name}.csv"));
         fs::write(&path, csv).map(|()| path)
@@ -65,14 +95,9 @@ fn save_csv(name: &str, csv: &str) {
             println!("  [csv: {}]", path.display());
         }
         Err(e) => {
-            let failure = format!(
+            record_save_failure(format!(
                 "experiment {experiment}: could not save {name}.csv under target/repro: {e}"
-            );
-            eprintln!("repro: {failure}");
-            SAVE_FAILURES
-                .lock()
-                .expect("failure list lock")
-                .push(failure);
+            ));
         }
     }
 }
@@ -87,10 +112,26 @@ fn save_table(name: &str, table: &Table) {
 
 fn series_table(title: &str, series: &[&Series]) -> Table {
     let first = series.first().expect("at least one series");
+    // Series swept over different grids used to index everything with the
+    // first one's length and panic mid-run; validate up front, record a
+    // red-exit diagnostic, and render the common prefix instead.
+    let rows = series.iter().map(|s| s.len()).min().unwrap_or(0);
+    if series.iter().any(|s| s.len() != rows) {
+        let lengths = series
+            .iter()
+            .map(|s| format!("{} has {} points", s.label, s.len()))
+            .collect::<Vec<_>>()
+            .join("; ");
+        record_save_failure(format!(
+            "experiment {}: series lengths differ in table {title:?} ({lengths}); \
+             truncated to the common {rows} rows",
+            current_experiment()
+        ));
+    }
     let mut headers = vec![first.x_label.as_str()];
     headers.extend(series.iter().map(|s| s.label.as_str()));
     let mut table = Table::new(title, &headers);
-    for i in 0..first.len() {
+    for i in 0..rows {
         let mut row = vec![format!("{:.3}", first.xs[i])];
         for s in series {
             row.push(format!("{:.2}", s.ys[i]));
@@ -344,6 +385,25 @@ fn extensions() {
     );
 }
 
+fn faults() {
+    println!("\n### Faults — injected-fault detection campaign (DESIGN.md \u{a7}10)");
+    let campaign = faults_campaign::faults_campaign();
+    if !campaign.injection_enabled {
+        println!("{}", campaign.summary());
+        return;
+    }
+    let table = campaign.table();
+    println!("{table}");
+    println!("{}", campaign.summary());
+    save_table("faults_campaign", &table);
+    if campaign.detected() < campaign.expected() || !campaign.degraded_all_ok() {
+        record_save_failure(format!(
+            "experiment faults: campaign below expectations — {}",
+            campaign.summary()
+        ));
+    }
+}
+
 /// Best-effort `git describe` so journal records are attributable to a
 /// commit; falls back to `"unknown"` outside a git checkout.
 fn git_describe() -> String {
@@ -480,14 +540,17 @@ fn main() {
     run("table1", &table1);
     run("ablation", &ablation_report);
     run("extensions", &extensions);
+    run("faults", &faults);
     if !ran {
         eprintln!(
-            "unknown experiment {arg:?}; expected one of: all fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17 table1 ablation extensions compare"
+            "unknown experiment {arg:?}; expected one of: all fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17 table1 ablation extensions faults compare"
         );
         std::process::exit(2);
     }
     write_runtime_record(&arg, started.elapsed().as_secs_f64(), &timings);
-    let failures = SAVE_FAILURES.lock().expect("failure list lock");
+    let failures = SAVE_FAILURES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if !failures.is_empty() {
         eprintln!(
             "\nrepro: {} output file(s) could not be written:",

@@ -1,0 +1,479 @@
+//! The fault-injection campaign (`repro faults`).
+//!
+//! Injects every fault class from the DESIGN.md §10 taxonomy through
+//! `vardelay-faults` and scores whether the corresponding detector — the
+//! circuit self-test ([`vardelay_core::selftest`]) or the degraded-mode
+//! deskew loop ([`vardelay_ate::DeskewEngine::run_degraded`]) — catches
+//! it. The campaign is the chaos smoke test CI runs: every injected fault
+//! must be detected, and degraded deskew must still align the healthy
+//! channels of an 8-channel HyperTransport-3 bus with two dead drivers.
+//!
+//! Determinism: every scenario derives its randomness from
+//! [`FaultPlan::seed_for`] on a fixed lane index, scenarios are collected
+//! by index, and all floating-point detail strings use fixed precision —
+//! the campaign CSV is byte-identical at every thread count.
+
+use crate::EXPERIMENT_SEED;
+use std::sync::Arc;
+use vardelay_ate::scenario::BusScenario;
+use vardelay_ate::{DegradedPolicy, DeskewEngine};
+use vardelay_core::selftest::{check_calibration, test_dac};
+use vardelay_core::{CoarseDelaySection, CombinedDelayCircuit, FineDelayLine, ModelConfig};
+use vardelay_faults::{
+    corrupt_table, FaultKind, FaultPlan, FaultyDac, MuxSelectFault, TransientFaults,
+};
+use vardelay_measure::Table;
+use vardelay_runner::Runner;
+use vardelay_units::{Time, Voltage};
+
+/// One scenario of the campaign: a named fault group injected together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Stable scenario name (CSV key).
+    pub name: &'static str,
+    /// The faults injected in this scenario.
+    pub faults: Vec<FaultKind>,
+}
+
+/// The outcome of injecting one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// `label(param)` of every injected fault, `+`-joined.
+    pub injected: String,
+    /// Whether the detector caught the fault.
+    pub detected: bool,
+    /// For driver faults: whether degraded deskew still met the healthy
+    /// channels' target. `None` where degraded mode is not involved.
+    pub degraded_ok: Option<bool>,
+    /// Deterministic human-readable evidence.
+    pub detail: String,
+}
+
+/// The full campaign result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaign {
+    /// Per-scenario outcomes, in scenario order.
+    pub outcomes: Vec<FaultOutcome>,
+    /// Whether injection was enabled (the `VARDELAY_FAULTS` kill switch).
+    pub injection_enabled: bool,
+}
+
+impl FaultCampaign {
+    /// Number of scenarios whose fault was detected.
+    pub fn detected(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.detected).count()
+    }
+
+    /// Number of scenarios run (every one is expected to be detected).
+    pub fn expected(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether every degraded-mode scenario met its alignment target.
+    pub fn degraded_all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.degraded_ok.unwrap_or(true))
+    }
+
+    /// The campaign summary line (CI greps this).
+    pub fn summary(&self) -> String {
+        if !self.injection_enabled {
+            return "faults: injection disabled (VARDELAY_FAULTS=0); campaign skipped".to_owned();
+        }
+        format!(
+            "faults: detected {}/{} injected faults, degraded deskew {}",
+            self.detected(),
+            self.expected(),
+            if self.degraded_all_ok() {
+                "ok"
+            } else {
+                "FAILED"
+            }
+        )
+    }
+
+    /// Renders the campaign as a report table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "Fault-injection campaign",
+            &["scenario", "injected", "detected", "degraded_ok", "detail"],
+        );
+        for o in &self.outcomes {
+            table.push_owned_row(vec![
+                o.scenario.clone(),
+                o.injected.clone(),
+                if o.detected { "yes" } else { "NO" }.to_owned(),
+                match o.degraded_ok {
+                    Some(true) => "yes".to_owned(),
+                    Some(false) => "NO".to_owned(),
+                    None => "-".to_owned(),
+                },
+                o.detail.clone(),
+            ]);
+        }
+        table
+    }
+}
+
+/// The standard campaign plan: one scenario per fault class in the
+/// taxonomy, rooted at `seed`.
+pub fn standard_scenarios() -> Vec<FaultScenario> {
+    vec![
+        FaultScenario {
+            name: "dac_stuck_low",
+            faults: vec![FaultKind::DacStuckLow { bit: 9 }],
+        },
+        FaultScenario {
+            name: "dac_stuck_high",
+            faults: vec![FaultKind::DacStuckHigh { bit: 2 }],
+        },
+        FaultScenario {
+            name: "dac_flaky_bit",
+            faults: vec![FaultKind::DacFlakyBit {
+                bit: 6,
+                probability: 0.25,
+            }],
+        },
+        FaultScenario {
+            name: "calibration_spike",
+            faults: vec![FaultKind::CalibrationSpike {
+                point: 4,
+                spike: Time::from_ps(80.0),
+            }],
+        },
+        FaultScenario {
+            name: "mux_select_stuck",
+            faults: vec![FaultKind::MuxSelectStuck {
+                line: 1,
+                level: true,
+            }],
+        },
+        FaultScenario {
+            name: "tap_deviation",
+            faults: vec![FaultKind::TapDeviation {
+                tap: 2,
+                extra: Time::from_ps(12.0),
+            }],
+        },
+        FaultScenario {
+            name: "dead_drivers",
+            faults: vec![
+                FaultKind::DeadDriver { channel: 2 },
+                FaultKind::DeadDriver { channel: 5 },
+            ],
+        },
+        FaultScenario {
+            name: "weak_driver",
+            faults: vec![FaultKind::WeakDriver {
+                channel: 1,
+                fail_attempts: 2,
+            }],
+        },
+        FaultScenario {
+            name: "temp_step",
+            faults: vec![FaultKind::TempStep { delta_k: 40.0 }],
+        },
+    ]
+}
+
+/// Runs the standard campaign on the global [`Runner`].
+pub fn faults_campaign() -> FaultCampaign {
+    faults_campaign_with(Runner::global())
+}
+
+/// Runs the standard campaign, fanning scenarios out on `runner`.
+///
+/// Every scenario is a pure function of its plan-derived seed, so the
+/// result (and its CSV) is identical at every thread count.
+pub fn faults_campaign_with(runner: Runner) -> FaultCampaign {
+    let scenarios = standard_scenarios();
+    let mut plan = FaultPlan::new(EXPERIMENT_SEED);
+    for s in &scenarios {
+        for f in &s.faults {
+            plan = plan.with(*f);
+        }
+    }
+    if plan.active().is_empty() {
+        return FaultCampaign {
+            outcomes: Vec::new(),
+            injection_enabled: false,
+        };
+    }
+    let outcomes = runner.run(scenarios.len(), |i| {
+        run_scenario(&scenarios[i], plan.seed_for(i as u64))
+    });
+    FaultCampaign {
+        outcomes,
+        injection_enabled: true,
+    }
+}
+
+/// Injects one scenario and runs its detector. Everything inside uses a
+/// serial runner — the campaign parallelizes *across* scenarios.
+fn run_scenario(scenario: &FaultScenario, seed: u64) -> FaultOutcome {
+    let injected = scenario
+        .faults
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("+");
+    let (detected, degraded_ok, detail) = match scenario.faults[0] {
+        FaultKind::DacStuckLow { .. }
+        | FaultKind::DacStuckHigh { .. }
+        | FaultKind::DacFlakyBit { .. } => detect_dac_fault(&scenario.faults, seed),
+        FaultKind::CalibrationSpike { point, spike } => detect_calibration_spike(point, spike),
+        FaultKind::MuxSelectStuck { .. } => detect_mux_fault(&scenario.faults),
+        FaultKind::TapDeviation { tap, extra } => detect_tap_deviation(tap, extra),
+        FaultKind::DeadDriver { .. } | FaultKind::WeakDriver { .. } => {
+            detect_driver_faults(&scenario.faults)
+        }
+        FaultKind::TempStep { delta_k } => detect_temp_step(delta_k),
+    };
+    FaultOutcome {
+        scenario: scenario.name.to_owned(),
+        injected,
+        detected,
+        degraded_ok,
+        detail,
+    }
+}
+
+fn detect_dac_fault(faults: &[FaultKind], seed: u64) -> (bool, Option<bool>, String) {
+    use vardelay_core::VctrlDac;
+    let mut dac = FaultyDac::from_plan(VctrlDac::twelve_bit(), faults, seed);
+    let health = test_dac(&mut dac);
+    let detected = faults.iter().all(|f| match *f {
+        FaultKind::DacStuckLow { bit } => health.stuck_low & (1 << bit) != 0,
+        FaultKind::DacStuckHigh { bit } => health.stuck_high & (1 << bit) != 0,
+        FaultKind::DacFlakyBit { .. } => health.flaky != 0,
+        _ => true,
+    });
+    let detail = format!(
+        "stuck_low={:#06x} stuck_high={:#06x} flaky={:#06x}",
+        health.stuck_low, health.stuck_high, health.flaky
+    );
+    (detected, None, detail)
+}
+
+fn detect_calibration_spike(point: usize, spike: Time) -> (bool, Option<bool>, String) {
+    let mut circuit = CombinedDelayCircuit::new(&ModelConfig::paper_prototype().quiet(), 1);
+    let clean = circuit.calibrate().clone();
+    let corrupted = corrupt_table(&clean, point, spike);
+    let health = check_calibration(&corrupted, Time::from_ps(15.0));
+    let clean_health = check_calibration(&clean, Time::from_ps(15.0));
+    let detected = !health.is_healthy() && clean_health.is_healthy();
+    let detail = format!(
+        "flat {}/{} points (clean {}/{})",
+        health.flat_points, health.points, clean_health.flat_points, clean_health.points
+    );
+    (detected, None, detail)
+}
+
+fn detect_mux_fault(faults: &[FaultKind]) -> (bool, Option<bool>, String) {
+    let fault = MuxSelectFault::from_plan(faults);
+    let coarse = CoarseDelaySection::new(&ModelConfig::paper_prototype().quiet(), 1);
+    // A tap sweep through broken select lines realizes fewer than four
+    // distinct delays.
+    let mut realized: Vec<i64> = (0..4)
+        .map(|t| (coarse.tap_delay(fault.effective_tap(t)).as_ps() * 1000.0).round() as i64)
+        .collect();
+    realized.sort_unstable();
+    realized.dedup();
+    let detected = realized.len() < 4;
+    let reachable = fault
+        .reachable_taps()
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join("+");
+    let detail = format!(
+        "reachable taps {reachable}; {} distinct delays",
+        realized.len()
+    );
+    (detected, None, detail)
+}
+
+fn detect_tap_deviation(tap: usize, extra: Time) -> (bool, Option<bool>, String) {
+    let cfg = ModelConfig::paper_prototype().quiet();
+    let broken = FaultKind::TapDeviation { tap, extra }.apply_to_config(&cfg);
+    let healthy_delay = CoarseDelaySection::new(&cfg, 1).tap_delay(tap);
+    let broken_delay = CoarseDelaySection::new(&broken, 1).tap_delay(tap);
+    let deviation = (broken_delay - healthy_delay).abs();
+    // The paper's own instance deviates a few ps from design (Fig. 9);
+    // flag anything beyond that manufacturing band.
+    let detected = deviation > Time::from_ps(8.0);
+    let detail = format!(
+        "tap {tap}: {:.1} ps vs designed-instance {:.1} ps",
+        broken_delay.as_ps(),
+        healthy_delay.as_ps()
+    );
+    (detected, None, detail)
+}
+
+fn detect_driver_faults(faults: &[FaultKind]) -> (bool, Option<bool>, String) {
+    let transients = TransientFaults::from_plan(faults);
+    let dead = transients.dead_channels();
+    let hook: vardelay_ate::MeasurementFaultHook = {
+        let transients = transients.clone();
+        Arc::new(move |channel, attempt| transients.fails(channel, attempt))
+    };
+    let engine = DeskewEngine::new(&ModelConfig::paper_prototype(), EXPERIMENT_SEED)
+        .with_runner(Runner::serial())
+        .with_measurement_faults(hook);
+
+    // First pass with no retry budget: every faulty driver (dead or
+    // weak) must surface as a quarantine — that is the detection.
+    let no_retry = DegradedPolicy {
+        max_measure_attempts: 1,
+        ..DegradedPolicy::default()
+    };
+    let mut bus = BusScenario::hypertransport3(EXPERIMENT_SEED);
+    let strict = engine.run_degraded(bus.bus_mut(), no_retry);
+    let faulty_channels: Vec<usize> = {
+        let mut all: Vec<usize> = faults
+            .iter()
+            .filter_map(|f| match *f {
+                FaultKind::DeadDriver { channel } | FaultKind::WeakDriver { channel, .. } => {
+                    Some(channel)
+                }
+                _ => None,
+            })
+            .collect();
+        all.sort_unstable();
+        all
+    };
+    let strictly_detected = strict
+        .as_ref()
+        .map(|o| o.quarantined_channels() == faulty_channels)
+        .unwrap_or(false);
+
+    // Second pass with the default retry budget: weak drivers recover;
+    // only the truly dead stay quarantined, and the healthy remainder
+    // must still meet the paper's target.
+    let mut bus = BusScenario::hypertransport3(EXPERIMENT_SEED);
+    match engine.run_degraded(bus.bus_mut(), DegradedPolicy::default()) {
+        Ok(outcome) => {
+            let detected = strictly_detected && outcome.quarantined_channels() == dead;
+            let degraded_ok = outcome.meets_5ps_target()
+                && outcome.healthy_count() == bus.bus().width() - dead.len();
+            let quarantined = outcome
+                .quarantined_channels()
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join("+");
+            let detail = format!(
+                "quarantined [{quarantined}]; healthy {} aligned to {:.2} ps",
+                outcome.healthy_count(),
+                outcome.after_peak_to_peak.as_ps()
+            );
+            (detected, Some(degraded_ok), detail)
+        }
+        Err(e) => (false, Some(false), format!("degraded run failed: {e}")),
+    }
+}
+
+fn detect_temp_step(delta_k: f64) -> (bool, Option<bool>, String) {
+    let cold = ModelConfig::paper_prototype().quiet();
+    let hot = FaultKind::TempStep { delta_k }.apply_to_config(&cold);
+
+    // Calibrate cold, operate hot on the stale table — the §4 drift
+    // experiment. The realized-delay error against the programmed target
+    // is the detection signal; recalibrating must shrink it.
+    let mut reference = CombinedDelayCircuit::new(&cold, 4);
+    let cold_cal = reference.calibrate().clone();
+    let mut circuit = CombinedDelayCircuit::new(&hot, 4);
+    circuit.install_calibration(cold_cal);
+    let target = Time::from_ps(60.0);
+    let setting = circuit.set_delay(target).expect("target in range");
+    let mut probe = FineDelayLine::new(&hot, 4);
+    probe.set_vctrl(setting.vctrl);
+    let hot_delay = probe.measure_delay(Time::from_ps(320.0));
+    probe.set_vctrl(Voltage::ZERO);
+    let hot_zero = probe.measure_delay(Time::from_ps(320.0));
+    let realized = circuit.coarse().tap_delay(setting.tap) + (hot_delay - hot_zero);
+    let stale_error = (realized - target).abs();
+
+    let mut fresh = CombinedDelayCircuit::new(&hot, 4);
+    fresh.calibrate();
+    let fresh_setting = fresh.set_delay(target).expect("target in range");
+    let mut fresh_probe = FineDelayLine::new(&hot, 4);
+    fresh_probe.set_vctrl(fresh_setting.vctrl);
+    let fresh_delay = fresh_probe.measure_delay(Time::from_ps(320.0));
+    fresh_probe.set_vctrl(Voltage::ZERO);
+    let fresh_zero = fresh_probe.measure_delay(Time::from_ps(320.0));
+    let fresh_realized = fresh.coarse().tap_delay(fresh_setting.tap) + (fresh_delay - fresh_zero);
+    let fresh_error = (fresh_realized - target).abs();
+
+    let detected = stale_error > Time::from_ps(0.5) && stale_error > fresh_error * 2.0;
+    let detail = format!(
+        "stale error {:.2} ps vs recalibrated {:.2} ps at +{delta_k} K",
+        stale_error.as_ps(),
+        fresh_error.as_ps()
+    );
+    (detected, None, detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The kill switch is process-global; tests that flip it must not
+    /// interleave.
+    static ENABLE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn every_standard_fault_is_detected() {
+        let _guard = ENABLE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        vardelay_faults::set_enabled(true);
+        let campaign = faults_campaign_with(Runner::serial());
+        assert!(campaign.injection_enabled);
+        assert_eq!(
+            campaign.detected(),
+            campaign.expected(),
+            "undetected scenarios: {:?}",
+            campaign
+                .outcomes
+                .iter()
+                .filter(|o| !o.detected)
+                .collect::<Vec<_>>()
+        );
+        assert!(campaign.degraded_all_ok(), "{:?}", campaign.outcomes);
+        assert_eq!(campaign.expected(), standard_scenarios().len());
+        assert!(campaign.summary().contains("detected 9/9"));
+    }
+
+    #[test]
+    fn campaign_is_byte_identical_at_every_thread_count() {
+        let _guard = ENABLE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        vardelay_faults::set_enabled(true);
+        let serial = faults_campaign_with(Runner::serial());
+        for threads in [2, 4] {
+            let parallel = faults_campaign_with(Runner::new(threads));
+            assert_eq!(
+                serial.table().to_csv(),
+                parallel.table().to_csv(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_switch_skips_the_campaign() {
+        let _guard = ENABLE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        vardelay_faults::set_enabled(false);
+        let campaign = faults_campaign_with(Runner::serial());
+        vardelay_faults::set_enabled(true);
+        assert!(!campaign.injection_enabled);
+        assert_eq!(campaign.expected(), 0);
+        assert!(campaign.summary().contains("skipped"));
+    }
+}

@@ -17,6 +17,7 @@
 pub mod ablation;
 pub mod extensions;
 pub mod eyes;
+pub mod faults_campaign;
 pub mod fine_delay;
 pub mod injection;
 pub mod skew;

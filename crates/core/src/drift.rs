@@ -148,4 +148,47 @@ mod tests {
     fn absurd_drift_is_rejected() {
         let _ = ModelConfig::paper_prototype().at_temperature_offset(1e6, &TempCo::default());
     }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn absurd_amplitude_drift_is_rejected() {
+        // Slew coefficient zeroed so the amplitude assert is the one that
+        // fires — pins the documented panic for each unphysical factor.
+        let tempco = TempCo {
+            slew_rel_per_k: 0.0,
+            ..TempCo::default()
+        };
+        let _ = ModelConfig::paper_prototype().at_temperature_offset(3000.0, &tempco);
+    }
+
+    #[test]
+    fn cooling_drift_is_also_physical() {
+        // Negative offsets raise slew/amplitude; prop_delay is clamped at
+        // zero rather than going negative.
+        let cfg = ModelConfig::paper_prototype().at_temperature_offset(-60.0, &TempCo::default());
+        cfg.validate();
+        assert!(cfg.vga.core.prop_delay >= Time::ZERO);
+        assert!(cfg.fixed.prop_delay >= Time::ZERO);
+    }
+
+    proptest::proptest! {
+        /// Any physically plausible operating-temperature excursion (a DIB
+        /// runs perhaps ±60 K around its calibration point) must yield a
+        /// configuration that still validates and keeps every drifted
+        /// parameter physical.
+        #[test]
+        fn physical_configs_survive_realistic_drift(delta_k in -60.0f64..60.0) {
+            let base = ModelConfig::paper_prototype();
+            let hot = base.at_temperature_offset(delta_k, &TempCo::default());
+            hot.validate();
+            proptest::prop_assert!(hot.vga.core.slew_v_per_s > 0.0, "delta {delta_k}");
+            proptest::prop_assert!(hot.fixed.slew_v_per_s > 0.0);
+            proptest::prop_assert!(hot.vga.core.prop_delay >= Time::ZERO);
+            proptest::prop_assert!(hot.vga.amp_max > hot.vga.amp_min);
+            // Drift is bounded: a ±60 K excursion moves the per-stage
+            // delay by at most 60 · 50 fs = 3 ps.
+            let dp = (hot.vga.core.prop_delay - base.vga.core.prop_delay).abs();
+            proptest::prop_assert!(dp <= Time::from_ps(3.0 + 1e-9), "delta {delta_k}: {dp}");
+        }
+    }
 }

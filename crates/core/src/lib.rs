@@ -17,6 +17,10 @@
 //!   [`CalibrationTable`] (paper Fig. 10).
 //! * [`JitterInjector`] — the §5 variant: AC-coupled voltage noise on
 //!   `Vctrl` converts to timing jitter on the passed signal.
+//! * [`selftest`] — built-in circuit self-test: DAC stuck/flaky-bit
+//!   sweep and calibration-corruption checks feeding a [`CircuitHealth`]
+//!   verdict (consumed by the fault-injection campaigns and the
+//!   degraded-mode deskew loop).
 //!
 //! # Examples
 //!
@@ -44,6 +48,7 @@ pub mod error;
 pub mod fine;
 pub mod injector;
 pub mod multichannel;
+pub mod selftest;
 
 pub use baseline::PhaseInterpolator;
 pub use calibration::{CalibrationError, CalibrationTable, ParseCalibrationError};
@@ -56,3 +61,7 @@ pub use error::SetDelayError;
 pub use fine::FineDelayLine;
 pub use injector::JitterInjector;
 pub use multichannel::{CalibrationStrategy, InstanceSpread, MultiChannelDelay};
+pub use selftest::{
+    check_calibration, test_dac, CalibrationHealth, CircuitHealth, DacHealth, DacUnderTest,
+    HealthVerdict,
+};

@@ -1,0 +1,434 @@
+//! Built-in circuit self-test (BIST).
+//!
+//! The paper's own hardware never matches its design — the coarse taps
+//! came out 0/33/70/95 ps instead of 0/33/66/99 ps, and the deskew loop
+//! lives under the DIB for months while calibration drifts. A production
+//! installation therefore needs a way to ask *"is this channel still
+//! trustworthy?"* before programming delays through it. This module
+//! provides that check:
+//!
+//! * [`test_dac`] sweeps a control DAC through walking-one / walking-zero
+//!   probe codes plus a coarse monotonicity ramp, detecting **stuck** and
+//!   **flaky** bits and gross non-monotonicity;
+//! * [`check_calibration`] inspects a measured [`CalibrationTable`] for
+//!   the footprint of corrupted points — monotonization flattens a
+//!   corrupted spike into a long flat run, so an excessive flat fraction
+//!   or a collapsed range marks the table suspect;
+//! * [`CircuitHealth`] aggregates both into a verdict the degraded-mode
+//!   deskew loop uses to quarantine channels (DESIGN.md §10).
+//!
+//! Real hardware is exercised through the [`DacUnderTest`] trait so the
+//! same test drives the ideal [`VctrlDac`] and the fault-injected models
+//! in `vardelay-faults`.
+
+use crate::calibration::CalibrationTable;
+use crate::dac::VctrlDac;
+use vardelay_units::{Time, Voltage};
+
+/// A control DAC as seen by the self-test: something that converts codes
+/// to voltages. `convert` takes `&mut self` because faulty hardware is
+/// stateful (a flaky bit flips on some conversions and not others).
+pub trait DacUnderTest {
+    /// Resolution in bits.
+    fn bits(&self) -> u8;
+    /// The designed full-scale span (nameplate, not measured) — the
+    /// yardstick stuck-bit thresholds are computed from.
+    fn nominal_span(&self) -> Voltage;
+    /// Performs one conversion of `code`.
+    fn convert(&mut self, code: u32) -> Voltage;
+}
+
+impl DacUnderTest for VctrlDac {
+    fn bits(&self) -> u8 {
+        self.bits()
+    }
+
+    fn nominal_span(&self) -> Voltage {
+        self.span()
+    }
+
+    fn convert(&mut self, code: u32) -> Voltage {
+        self.voltage(code)
+    }
+}
+
+/// Per-bit DAC health report from [`test_dac`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DacHealth {
+    /// Resolution of the tested DAC.
+    pub bits: u8,
+    /// Bits that contribute no output swing and read back low.
+    pub stuck_low: u32,
+    /// Bits that contribute no output swing and read back high.
+    pub stuck_high: u32,
+    /// Bits whose repeated conversions of the same code disagree.
+    pub flaky: u32,
+    /// Largest downward output step observed on the ascending code ramp,
+    /// in nominal LSBs (0 for a monotonic DAC).
+    pub worst_inversion_lsb: f64,
+}
+
+impl DacHealth {
+    /// All bits that failed the stuck test, regardless of polarity.
+    pub fn stuck_mask(&self) -> u32 {
+        self.stuck_low | self.stuck_high
+    }
+
+    /// Whether every bit toggles, repeats consistently, and the ramp is
+    /// monotonic to within one nominal LSB.
+    pub fn is_healthy(&self) -> bool {
+        self.stuck_mask() == 0 && self.flaky == 0 && self.worst_inversion_lsb <= 1.0
+    }
+}
+
+/// Number of repeated conversions per probe code when hunting flaky bits.
+const FLAKY_PROBES: usize = 8;
+
+/// Sweeps `dac` and reports per-bit health.
+///
+/// Bit `b` is **stuck** when neither the walking-one probe
+/// (`1 << b` vs `0`) nor the walking-zero probe (`full` vs
+/// `full & !(1 << b)`) moves the output by at least a quarter of the
+/// bit's designed contribution. It is **flaky** when repeated conversions
+/// of the same probe code disagree by more than a tenth of an LSB. A
+/// coarse ascending ramp additionally records the worst downward step.
+pub fn test_dac(dac: &mut impl DacUnderTest) -> DacHealth {
+    let bits = dac.bits();
+    let levels = 1u64 << bits;
+    let full = (levels - 1) as u32;
+    let lsb = dac.nominal_span() / (levels - 1) as f64;
+    let mut stuck_low = 0u32;
+    let mut stuck_high = 0u32;
+    let mut flaky = 0u32;
+
+    let probe = |dac: &mut dyn DacUnderTest, code: u32, flaky_bit: &mut bool| -> Voltage {
+        let first = dac.convert(code);
+        for _ in 1..FLAKY_PROBES {
+            if (dac.convert(code) - first).abs() > lsb * 0.1 {
+                *flaky_bit = true;
+            }
+        }
+        first
+    };
+
+    let mut flaky_zero = false;
+    let zero = probe(dac, 0, &mut flaky_zero);
+    let mut flaky_full = false;
+    let top = probe(dac, full, &mut flaky_full);
+    for b in 0..bits {
+        let weight = lsb * (1u64 << b) as f64;
+        let mut bit_flaky = flaky_zero || flaky_full;
+        // Walking one: only bit b set, against all-zeros.
+        let one = probe(dac, 1 << b, &mut bit_flaky);
+        let rise = (one - zero).abs();
+        // Walking zero: bit b cleared from all-ones.
+        let hole = probe(dac, full & !(1u32 << b), &mut bit_flaky);
+        let drop = (top - hole).abs();
+        if rise < weight * 0.25 && drop < weight * 0.25 {
+            // The bit contributes nothing; the polarity shows in the
+            // all-zeros conversion — a stuck-high bit leaks its weight
+            // into the output even when every bit is requested low.
+            if zero >= weight * 0.5 {
+                stuck_high |= 1 << b;
+            } else {
+                stuck_low |= 1 << b;
+            }
+        }
+        if bit_flaky {
+            flaky |= 1 << b;
+        }
+    }
+
+    // Coarse ascending ramp: ~256 samples across the code space; a
+    // healthy DAC never steps downward.
+    let step = (levels / 256).max(1) as u32;
+    let mut worst_inversion = 0.0f64;
+    let mut prev = dac.convert(0);
+    let mut code = step;
+    while u64::from(code) < levels {
+        let v = dac.convert(code);
+        if v < prev {
+            worst_inversion = worst_inversion.max((prev - v) / lsb);
+        }
+        prev = v;
+        code = code.saturating_add(step);
+    }
+
+    DacHealth {
+        bits,
+        stuck_low,
+        stuck_high,
+        flaky,
+        worst_inversion_lsb: worst_inversion,
+    }
+}
+
+/// Health report of a measured calibration table from
+/// [`check_calibration`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationHealth {
+    /// Number of grid points in the table.
+    pub points: usize,
+    /// Points flattened onto their predecessor by monotonization — the
+    /// footprint a corrupted (spiked or decreasing) measurement leaves.
+    pub flat_points: usize,
+    /// The usable fine range of the table.
+    pub range: Time,
+    /// The smallest range the check was told to accept.
+    pub expected_min_range: Time,
+}
+
+impl CalibrationHealth {
+    /// The fraction of interior points that carry no delay information.
+    pub fn flat_fraction(&self) -> f64 {
+        if self.points <= 1 {
+            return 0.0;
+        }
+        self.flat_points as f64 / (self.points - 1) as f64
+    }
+
+    /// Whether the curve still looks like a measured transfer function:
+    /// enough range and no more than a quarter of its segments flat.
+    /// (A handful of flat segments is normal — monotonization absorbs
+    /// measurement noise — but a corrupted point flattens a long run.)
+    pub fn is_healthy(&self) -> bool {
+        self.range >= self.expected_min_range && self.flat_fraction() <= 0.25
+    }
+}
+
+/// Inspects a calibration table for the footprint of corruption.
+///
+/// `expected_min_range` is the smallest fine range a working channel of
+/// this design can produce (the paper's 4-stage prototype measures
+/// ~56 ps at low rate; ~15 ps is a safe floor across operating points).
+pub fn check_calibration(table: &CalibrationTable, expected_min_range: Time) -> CalibrationHealth {
+    let delays = table.delays();
+    let flat_points = delays.windows(2).filter(|w| w[1] <= w[0]).count();
+    CalibrationHealth {
+        points: delays.len(),
+        flat_points,
+        range: table.range(),
+        expected_min_range,
+    }
+}
+
+/// Overall verdict of a circuit self-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// Every check passed; the channel may be trusted.
+    Healthy,
+    /// Usable with reduced accuracy (flaky DAC bit, noisy calibration) —
+    /// a deskew loop should prefer other channels as references.
+    Degraded,
+    /// Stuck hardware or a corrupt calibration; quarantine the channel.
+    Faulty,
+}
+
+/// Aggregated self-test report for one delay channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitHealth {
+    /// DAC sweep results.
+    pub dac: DacHealth,
+    /// Calibration-table inspection results.
+    pub calibration: CalibrationHealth,
+}
+
+impl CircuitHealth {
+    /// Combines the per-subsystem checks into one verdict: stuck bits or
+    /// an unusable calibration are [`HealthVerdict::Faulty`]; flaky bits
+    /// or gross DAC non-monotonicity degrade; otherwise healthy.
+    pub fn verdict(&self) -> HealthVerdict {
+        if self.dac.stuck_mask() != 0 || !self.calibration.is_healthy() {
+            return HealthVerdict::Faulty;
+        }
+        if self.dac.flaky != 0 || self.dac.worst_inversion_lsb > 1.0 {
+            return HealthVerdict::Degraded;
+        }
+        HealthVerdict::Healthy
+    }
+}
+
+impl core::fmt::Display for CircuitHealth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:?}: dac stuck {:#014b} flaky {:#014b}, calibration range {} ({} / {} points flat)",
+            self.verdict(),
+            self.dac.stuck_mask(),
+            self.dac.flaky,
+            self.calibration.range,
+            self.calibration.flat_points,
+            self.calibration.points,
+        )
+    }
+}
+
+impl crate::combined::CombinedDelayCircuit {
+    /// Runs the built-in self-test on this circuit: sweeps its DAC and
+    /// inspects its calibration table (measuring one with
+    /// [`calibrate`](Self::calibrate) first if none is installed).
+    ///
+    /// The ideal behavioral models always come back
+    /// [`HealthVerdict::Healthy`]; the point of the API is that the
+    /// fault-injected wrappers in `vardelay-faults` do not.
+    pub fn self_test(&mut self) -> CircuitHealth {
+        if self.calibration().is_none() {
+            self.calibrate();
+        }
+        let mut dac = *self.dac();
+        let dac_health = test_dac(&mut dac);
+        let table = self.calibration().expect("calibrated above");
+        let cal_health = check_calibration(table, Time::from_ps(15.0));
+        CircuitHealth {
+            dac: dac_health,
+            calibration: cal_health,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn ideal_dac_passes() {
+        let mut dac = VctrlDac::twelve_bit();
+        let h = test_dac(&mut dac);
+        assert!(h.is_healthy(), "{h:?}");
+        assert_eq!(h.stuck_mask(), 0);
+        assert_eq!(h.flaky, 0);
+        assert_eq!(h.worst_inversion_lsb, 0.0);
+        assert_eq!(h.bits, 12);
+    }
+
+    /// A hand-rolled faulty DAC (the full fault models live in
+    /// `vardelay-faults`; this pins the *detector* independently).
+    struct BrokenDac {
+        inner: VctrlDac,
+        or_mask: u32,
+        and_mask: u32,
+    }
+
+    impl DacUnderTest for BrokenDac {
+        fn bits(&self) -> u8 {
+            self.inner.bits()
+        }
+        fn nominal_span(&self) -> Voltage {
+            self.inner.span()
+        }
+        fn convert(&mut self, code: u32) -> Voltage {
+            self.inner.voltage((code | self.or_mask) & self.and_mask)
+        }
+    }
+
+    #[test]
+    fn stuck_low_bit_is_detected() {
+        let mut dac = BrokenDac {
+            inner: VctrlDac::twelve_bit(),
+            or_mask: 0,
+            and_mask: !(1 << 7),
+        };
+        let h = test_dac(&mut dac);
+        assert_eq!(h.stuck_low, 1 << 7, "{h:?}");
+        assert_eq!(h.stuck_high, 0);
+        assert!(!h.is_healthy());
+    }
+
+    #[test]
+    fn stuck_high_bit_is_detected() {
+        let mut dac = BrokenDac {
+            inner: VctrlDac::twelve_bit(),
+            or_mask: 1 << 2,
+            and_mask: u32::MAX,
+        };
+        let h = test_dac(&mut dac);
+        assert_eq!(h.stuck_high, 1 << 2, "{h:?}");
+        assert_eq!(h.stuck_low, 0);
+    }
+
+    #[test]
+    fn healthy_calibration_passes() {
+        let grid: Vec<Voltage> = (0..17)
+            .map(|i| Voltage::from_v(1.5 * i as f64 / 16.0))
+            .collect();
+        let table = CalibrationTable::from_measurement(&grid, |v| {
+            Time::from_ps(100.0 + 28.0 * (1.0 + (3.0 * (v.as_v() - 0.75)).tanh()))
+        });
+        let h = check_calibration(&table, Time::from_ps(15.0));
+        assert!(h.is_healthy(), "{h:?}");
+        assert_eq!(h.flat_points, 0);
+    }
+
+    #[test]
+    fn corrupted_spike_leaves_a_detectable_flat_run() {
+        let grid: Vec<Voltage> = (0..17)
+            .map(|i| Voltage::from_v(1.5 * i as f64 / 16.0))
+            .collect();
+        // A corrupted measurement at point 4 spikes +80 ps; the running
+        // maximum flattens every following genuine point onto it.
+        let mut calls = 0usize;
+        let table = CalibrationTable::from_measurement(&grid, |v| {
+            let spike = if calls == 4 {
+                Time::from_ps(80.0)
+            } else {
+                Time::ZERO
+            };
+            calls += 1;
+            Time::from_ps(100.0 + 35.0 * v.as_v() / 1.5) + spike
+        });
+        let h = check_calibration(&table, Time::from_ps(15.0));
+        assert!(!h.is_healthy(), "{h:?}");
+        assert!(h.flat_fraction() > 0.25, "flat {}", h.flat_fraction());
+    }
+
+    #[test]
+    fn collapsed_range_is_unhealthy() {
+        let grid = [Voltage::ZERO, Voltage::from_v(0.75), Voltage::from_v(1.5)];
+        let table = CalibrationTable::from_measurement(&grid, |_| Time::from_ps(100.0));
+        let h = check_calibration(&table, Time::from_ps(15.0));
+        assert!(!h.is_healthy());
+        assert_eq!(h.range, Time::ZERO);
+    }
+
+    #[test]
+    fn combined_circuit_self_test_is_healthy() {
+        let mut c =
+            crate::combined::CombinedDelayCircuit::new(&ModelConfig::paper_prototype().quiet(), 1);
+        let health = c.self_test();
+        assert_eq!(health.verdict(), HealthVerdict::Healthy, "{health}");
+        // Self-test calibrated on demand.
+        assert!(c.calibration().is_some());
+    }
+
+    #[test]
+    fn verdict_ladder() {
+        let healthy_dac = DacHealth {
+            bits: 12,
+            stuck_low: 0,
+            stuck_high: 0,
+            flaky: 0,
+            worst_inversion_lsb: 0.0,
+        };
+        let healthy_cal = CalibrationHealth {
+            points: 17,
+            flat_points: 0,
+            range: Time::from_ps(50.0),
+            expected_min_range: Time::from_ps(15.0),
+        };
+        let h = CircuitHealth {
+            dac: healthy_dac,
+            calibration: healthy_cal,
+        };
+        assert_eq!(h.verdict(), HealthVerdict::Healthy);
+        let mut flaky = h;
+        flaky.dac.flaky = 1 << 3;
+        assert_eq!(flaky.verdict(), HealthVerdict::Degraded);
+        let mut stuck = h;
+        stuck.dac.stuck_low = 1 << 11;
+        assert_eq!(stuck.verdict(), HealthVerdict::Faulty);
+        let mut flat = h;
+        flat.calibration.flat_points = 9;
+        assert_eq!(flat.verdict(), HealthVerdict::Faulty);
+    }
+}

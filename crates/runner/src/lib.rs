@@ -17,6 +17,13 @@
 //! (`VARDELAY_THREADS=1` is the serial baseline). See DESIGN.md §8 for
 //! the determinism rules.
 //!
+//! Two failure disciplines are offered: [`Runner::run`] propagates the
+//! first task panic to the caller (the default — a bug in experiment code
+//! should abort loudly), while [`Runner::try_run`] isolates each task
+//! under `catch_unwind` and returns `Vec<Result<T, TaskError>>`, with an
+//! optional deterministic bounded-[`RetryPolicy`] — the substrate of the
+//! fault-injection campaigns (DESIGN.md §10).
+//!
 //! Every batch is instrumented through `vardelay-obs` (DESIGN.md §9):
 //! batch/task counters, a per-batch duration span, worker-balance and
 //! queue-drain histograms. Instrumentation is purely observational — the
@@ -34,13 +41,99 @@
 //! assert_eq!(squares, Runner::new(1).run(8, |i| i * i));
 //! ```
 
-use std::panic::resume_unwind;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 use vardelay_obs as obs;
 use vardelay_siggen::SplitMix64;
+
+/// Error describing one failed task in a fallible batch run through
+/// [`Runner::try_run`].
+///
+/// The message is the panic payload when it was a `&str`/`String` (the
+/// overwhelmingly common case — `panic!`, `assert!`, `expect`), so the
+/// error is a deterministic function of the task's inputs and campaign
+/// results containing it stay bit-reproducible at every thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Index of the failed task within its batch.
+    pub task: usize,
+    /// How many times the task was attempted (≥ 1).
+    pub attempts: u32,
+    /// The panic message of the final attempt.
+    pub message: String,
+}
+
+impl core::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "task {} panicked after {} attempt(s): {}",
+            self.task, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Bounded-retry policy for [`Runner::try_run_with_retry`].
+///
+/// Retries are for *transient* faults (a flaky measurement, an injected
+/// soft error); each retry simply re-invokes the task closure with the
+/// same index. The backoff schedule is **deterministic and simulated**:
+/// `backoff_base_us << (attempt − 1)` is recorded in the
+/// `runner.retry_backoff_us` histogram but never slept on, so retrying
+/// changes no experiment bytes and costs no wall clock (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per task (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Base of the simulated exponential backoff schedule, microseconds.
+    pub backoff_base_us: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt per task.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_us: 0,
+        }
+    }
+
+    /// Up to `max_attempts` attempts with a 100 µs simulated backoff base.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff_base_us: 100,
+        }
+    }
+
+    /// The simulated backoff before retry number `attempt` (1-based count
+    /// of attempts already made).
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        self.backoff_base_us << (attempt - 1).min(16)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Renders a caught panic payload as a stable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Derives the seed of task `task_index`'s private RNG stream from the
 /// experiment's root seed.
@@ -228,6 +321,81 @@ impl Runner {
             .map(|(i, slot)| slot.unwrap_or_else(|| panic!("task {i} never ran")))
             .collect()
     }
+
+    /// Fallible variant of [`Runner::run`]: every task runs under
+    /// [`catch_unwind`] isolation, so one panicking task degrades the
+    /// batch to a per-task [`TaskError`] instead of aborting it. Results
+    /// keep task order, and since the error message is derived from the
+    /// panic payload, the whole `Vec` is bit-identical at every thread
+    /// count.
+    ///
+    /// The default [`Runner::run`] stays panic-propagating — use this
+    /// path when a batch must survive faulty members (fault-injection
+    /// campaigns, degraded-mode deskew).
+    pub fn try_run<T, F>(&self, n: usize, f: F) -> Vec<Result<T, TaskError>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.try_run_with_retry(n, RetryPolicy::none(), f)
+    }
+
+    /// [`Runner::try_run`] with a deterministic bounded-retry policy: a
+    /// panicking task is re-invoked up to `policy.max_attempts` times
+    /// before its [`TaskError`] is recorded. Backoff is simulated (see
+    /// [`RetryPolicy`]) — recorded in `runner.retry_backoff_us`, never
+    /// slept on — so retried batches stay bit-reproducible.
+    ///
+    /// Instrumented with `runner.task_panics` / `runner.task_retries`
+    /// counters and a `runner.task_attempts` histogram.
+    pub fn try_run_with_retry<T, F>(
+        &self,
+        n: usize,
+        policy: RetryPolicy,
+        f: F,
+    ) -> Vec<Result<T, TaskError>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let max_attempts = policy.max_attempts.max(1);
+        let f = &f;
+        self.run(n, move |i| {
+            let mut attempt = 0;
+            loop {
+                attempt += 1;
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(value) => {
+                        if obs::enabled() {
+                            obs::histogram("runner.task_attempts").record(attempt as u64);
+                        }
+                        return Ok(value);
+                    }
+                    Err(payload) => {
+                        if obs::enabled() {
+                            obs::counter("runner.task_panics").incr();
+                        }
+                        if attempt < max_attempts {
+                            if obs::enabled() {
+                                obs::counter("runner.task_retries").incr();
+                                obs::histogram("runner.retry_backoff_us")
+                                    .record(policy.backoff_us(attempt));
+                            }
+                            continue;
+                        }
+                        if obs::enabled() {
+                            obs::histogram("runner.task_attempts").record(attempt as u64);
+                        }
+                        return Err(TaskError {
+                            task: i,
+                            attempts: attempt,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+        })
+    }
 }
 
 impl Default for Runner {
@@ -310,6 +478,80 @@ mod tests {
         assert!(obs::counter("runner.tasks").get() >= tasks + 12);
         // Worker balance histogram observed the batch.
         assert!(obs::histogram("runner.tasks_per_worker").count() > 0);
+    }
+
+    #[test]
+    fn try_run_isolates_a_panicking_task() {
+        // Acceptance pin: a 64-task batch with one injected panic returns
+        // 63 Ok results and 1 Err(TaskError), identically at every thread
+        // count.
+        let work = |i: usize| {
+            if i == 17 {
+                panic!("injected fault on task 17");
+            }
+            i * 2
+        };
+        let serial = Runner::serial().try_run(64, work);
+        for threads in [2, 4, 8, 16] {
+            let parallel = Runner::new(threads).try_run(64, work);
+            assert_eq!(serial, parallel, "try_run diverged at {threads} threads");
+        }
+        assert_eq!(serial.iter().filter(|r| r.is_ok()).count(), 63);
+        let err = serial[17].as_ref().unwrap_err();
+        assert_eq!(err.task, 17);
+        assert_eq!(err.attempts, 1);
+        assert_eq!(err.message, "injected fault on task 17");
+        assert!(err.to_string().contains("task 17"));
+        // Healthy neighbours are untouched.
+        assert_eq!(serial[16], Ok(32));
+        assert_eq!(serial[18], Ok(36));
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_faults_deterministically() {
+        use std::sync::atomic::AtomicU32;
+        // Task 3 fails on its first two attempts, then succeeds; task 9
+        // fails forever. Attempt counters are per-task so the transient
+        // schedule is independent of scheduling order.
+        let failures: Vec<AtomicU32> = (0..16).map(|_| AtomicU32::new(0)).collect();
+        let work = |i: usize| {
+            let attempt = failures[i].fetch_add(1, Ordering::Relaxed) + 1;
+            if i == 3 && attempt <= 2 {
+                panic!("transient fault");
+            }
+            if i == 9 {
+                panic!("permanent fault");
+            }
+            i
+        };
+        let out = Runner::new(4).try_run_with_retry(16, RetryPolicy::attempts(3), work);
+        assert_eq!(out[3], Ok(3), "transient fault must be retried away");
+        let err = out[9].as_ref().unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(err.message, "permanent fault");
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 15);
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_exponential_and_bounded() {
+        let p = RetryPolicy::attempts(4);
+        assert_eq!(p.backoff_us(1), 100);
+        assert_eq!(p.backoff_us(2), 200);
+        assert_eq!(p.backoff_us(3), 400);
+        // The shift is clamped so absurd attempt counts cannot overflow.
+        assert_eq!(p.backoff_us(1000), 100 << 16);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn try_run_without_faults_matches_run() {
+        let fallible = Runner::new(4).try_run(32, |i| i * i);
+        let infallible = Runner::new(4).run(32, |i| i * i);
+        assert_eq!(
+            fallible.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            infallible
+        );
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! System tests for the fault-injection subsystem (DESIGN.md §10).
+//!
+//! Pins the acceptance criteria of the `vardelay-faults` PR end to end:
+//!
+//! * `Runner::try_run` isolates a panicking task deterministically at
+//!   every thread count;
+//! * the circuit self-test detects injected stuck-DAC-bit and
+//!   non-monotonic-calibration faults;
+//! * degraded-mode deskew on an 8-channel HyperTransport-3 bus with two
+//!   injected dead channels aligns the six healthy channels to <5 ps and
+//!   reports exactly the quarantined pair;
+//! * the seeded fault campaign produces byte-identical CSVs serial vs
+//!   parallel.
+
+use std::sync::Arc;
+use vardelay_ate::scenario::BusScenario;
+use vardelay_ate::{DegradedPolicy, DeskewEngine, MeasurementFaultHook};
+use vardelay_bench::faults_campaign;
+use vardelay_core::selftest::{check_calibration, test_dac};
+use vardelay_core::{CombinedDelayCircuit, ModelConfig, VctrlDac};
+use vardelay_faults::{corrupt_table, FaultKind, FaultPlan, FaultyDac, TransientFaults};
+use vardelay_runner::Runner;
+use vardelay_units::Time;
+
+#[test]
+fn try_run_isolates_one_injected_panic_at_every_thread_count() {
+    // Acceptance: a 64-task batch with one injected panic returns 63 Ok
+    // and 1 Err, identically at every thread count.
+    let run = |runner: Runner| {
+        runner.try_run(64, |i| {
+            assert!(i != 17, "injected fault in task 17");
+            i * i
+        })
+    };
+    let reference = run(Runner::serial());
+    assert_eq!(reference.iter().filter(|r| r.is_ok()).count(), 63);
+    assert_eq!(reference.iter().filter(|r| r.is_err()).count(), 1);
+    assert!(reference[17].is_err());
+    for threads in [2, 4, 8, 16] {
+        assert_eq!(run(Runner::new(threads)), reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn self_test_detects_the_injected_dac_and_calibration_faults() {
+    vardelay_faults::set_enabled(true);
+    let plan = FaultPlan::new(99)
+        .with(FaultKind::DacStuckLow { bit: 11 })
+        .with(FaultKind::CalibrationSpike {
+            point: 4,
+            spike: Time::from_ps(80.0),
+        });
+
+    let mut dac = FaultyDac::from_plan(VctrlDac::twelve_bit(), plan.active(), plan.seed_for(0));
+    let dac_health = test_dac(&mut dac);
+    assert_eq!(dac_health.stuck_low, 1 << 11, "{dac_health:?}");
+
+    let mut circuit = CombinedDelayCircuit::new(&ModelConfig::paper_prototype().quiet(), 1);
+    let clean = circuit.calibrate().clone();
+    let spiked = corrupt_table(&clean, 4, Time::from_ps(80.0));
+    assert!(check_calibration(&clean, Time::from_ps(15.0)).is_healthy());
+    assert!(!check_calibration(&spiked, Time::from_ps(15.0)).is_healthy());
+}
+
+#[test]
+fn ht3_bus_with_two_dead_channels_still_aligns_the_healthy_six() {
+    vardelay_faults::set_enabled(true);
+    let plan = FaultPlan::new(2008)
+        .with(FaultKind::DeadDriver { channel: 2 })
+        .with(FaultKind::DeadDriver { channel: 5 });
+    let transients = TransientFaults::from_plan(plan.active());
+    let hook: MeasurementFaultHook = Arc::new(move |c, a| transients.fails(c, a));
+
+    let mut scenario = BusScenario::hypertransport3(2008);
+    let outcome = DeskewEngine::new(&ModelConfig::paper_prototype(), 2008)
+        .with_measurement_faults(hook)
+        .run_degraded(scenario.bus_mut(), DegradedPolicy::default())
+        .expect("six healthy channels remain");
+
+    assert_eq!(outcome.quarantined_channels(), vec![2, 5]);
+    assert_eq!(outcome.healthy_count(), 6);
+    assert!(
+        outcome.after_peak_to_peak < scenario.alignment_requirement(),
+        "healthy channels aligned to {} (need {})",
+        outcome.after_peak_to_peak,
+        scenario.alignment_requirement()
+    );
+}
+
+#[test]
+fn fault_campaign_csv_is_byte_identical_serial_vs_parallel() {
+    vardelay_faults::set_enabled(true);
+    let serial = faults_campaign::faults_campaign_with(Runner::new(1));
+    let parallel = faults_campaign::faults_campaign_with(Runner::new(4));
+    assert_eq!(serial.table().to_csv(), parallel.table().to_csv());
+    assert_eq!(serial.detected(), serial.expected());
+    assert!(serial.degraded_all_ok());
+}
