@@ -1,39 +1,51 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation
 //! from the behavioral model and prints the same rows/series the paper
-//! reports. CSVs are written under `target/repro/`; every run appends one
-//! record to the `BENCH_repro.json` journal (JSONL, append-only — a
-//! single-figure run never clobbers the record of a full `all` run).
+//! reports. CSVs are written under `target/repro/` **atomically** (staged
+//! as `<file>.tmp`, then renamed — a kill mid-run never leaves a torn
+//! CSV); every run appends one record to the `BENCH_repro.json` journal
+//! (JSONL, append-only under an advisory lock — a single-figure run never
+//! clobbers the record of a full `all` run, and two concurrent repro
+//! processes cannot interleave a line).
 //!
 //! Usage:
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig7|fig9|fig12|fig13|fig14|fig15|fig16|fig17|table1|ablation|extensions|faults]
-//! repro compare   # regression gate: diff the latest two `all` journal
-//!                 # records, exit non-zero on >10 % wall-clock regression
+//! repro [all|<name>[,<name>...]] [--resume]
+//!   names: fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17
+//!          table1 ablation extensions faults
+//! repro compare   # regression gate: diff the latest two valid `all`
+//!                 # journal records, exit non-zero on >10 % wall-clock
+//!                 # regression (exit 2 when <2 valid records remain)
 //! ```
+//!
+//! After each experiment a checkpoint (input fingerprint + CSV digests)
+//! lands under `target/repro/checkpoints/`; `--resume` skips experiments
+//! whose checkpoint still matches, so a killed campaign continues from
+//! where it died with byte-identical final CSVs (DESIGN.md §11).
 //!
 //! `repro faults` runs the fault-injection campaign (DESIGN.md §10): every
 //! fault class from `vardelay-faults` is injected and the run fails
 //! (exit 1) unless each one is detected by the self-test or the degraded
 //! deskew loop.
 
-use std::fs;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vardelay_analog::{characterization_cache_stats, characterization_single_flight_waits};
 use vardelay_ate::report::{deskew_summary, deskew_table};
+use vardelay_bench::checkpoint::{checkpoint_dir, Checkpoint, CsvRecord};
 use vardelay_bench::{
-    ablation, eyes, faults_campaign, fine_delay, injection, skew, try_output_dir,
+    ablation, artifact, checkpoint, eyes, faults_campaign, fine_delay, injection, skew,
+    try_output_dir,
 };
 use vardelay_measure::report::fmt_ps;
 use vardelay_measure::{Series, Table};
 use vardelay_obs as obs;
 use vardelay_obs::journal;
 use vardelay_obs::json::Value;
-use vardelay_runner::Runner;
+use vardelay_runner::{Deadline, Runner};
 
 /// The append-only benchmark journal at the repository root (see
 /// EXPERIMENTS.md §Runtime for the record schema).
@@ -49,6 +61,9 @@ static CSV_POINTS: AtomicUsize = AtomicUsize::new(0);
 /// Total CSV files written (journal accounting; tracked outside the obs
 /// registry so the record stays correct with `VARDELAY_OBS=0`).
 static CSV_FILES: AtomicUsize = AtomicUsize::new(0);
+/// (file name, content digest) of every CSV the *currently running*
+/// experiment wrote — drained into that experiment's checkpoint.
+static CSV_DIGESTS: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
 
 // The experiment-name and failure-list locks are only ever held around
 // trivial reads/pushes, but a panicking experiment (the whole point of the
@@ -84,12 +99,19 @@ fn save_csv(name: &str, csv: &str) {
     let experiment = current_experiment();
     let result = try_output_dir().and_then(|dir| {
         let path = dir.join(format!("{name}.csv"));
-        fs::write(&path, csv).map(|()| path)
+        // Staged-then-renamed: a kill at any instant leaves either the
+        // complete old file, the complete new file, or a stale `.tmp`
+        // the next run sweeps — never a torn CSV (DESIGN.md §11).
+        artifact::write_atomic(&path, csv).map(|()| path)
     });
     match result {
         Ok(path) => {
             CSV_POINTS.fetch_add(csv.lines().count().saturating_sub(1), Ordering::Relaxed);
             CSV_FILES.fetch_add(1, Ordering::Relaxed);
+            CSV_DIGESTS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((format!("{name}.csv"), artifact::digest(csv)));
             obs::counter("repro.csv_files").incr();
             obs::counter("repro.csv_bytes").add(csv.len() as u64);
             println!("  [csv: {}]", path.display());
@@ -100,6 +122,17 @@ fn save_csv(name: &str, csv: &str) {
             ));
         }
     }
+}
+
+/// Drains the CSV records accumulated since the last drain (i.e. the
+/// current experiment's outputs).
+fn drain_csv_digests() -> Vec<CsvRecord> {
+    CSV_DIGESTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .drain(..)
+        .map(|(file, digest)| CsvRecord { file, digest })
+        .collect()
 }
 
 fn save_series(name: &str, series: &Series) {
@@ -430,51 +463,68 @@ fn unix_ms() -> u64 {
 /// run cannot clobber the trajectory of full `all` runs) and writes the
 /// same record to `target/repro/BENCH_repro_last.json` for consumers
 /// that only want the latest run.
-fn write_runtime_record(arg: &str, wall_s: f64, timings: &[(String, f64)]) {
+///
+/// A run that produced **no CSV output at all** (a skipped campaign —
+/// e.g. `repro faults` under `VARDELAY_FAULTS=0` — or a `--resume` run
+/// where every checkpoint matched) appends nothing: a zero-point record
+/// carries no measurement and would only pollute the time series. A
+/// `--resume` run that skipped *some* experiments is recorded with
+/// `resumed: true` so `repro compare` knows not to use its partial wall
+/// clock as a baseline.
+fn write_runtime_record(arg: &str, wall_s: f64, timings: &[(String, f64)], resume_skips: usize) {
     let points = CSV_POINTS.load(Ordering::Relaxed);
     let files = CSV_FILES.load(Ordering::Relaxed);
     let (hits, misses) = characterization_cache_stats();
     let waits = characterization_single_flight_waits();
-    let mut per_experiment = Value::obj();
-    for (name, s) in timings {
-        per_experiment = per_experiment.with(name, (s * 1000.0).round() / 1000.0);
-    }
-    let record = Value::obj()
-        .with("schema", journal::SCHEMA_VERSION)
-        .with("experiments", arg)
-        .with("threads", Runner::global().threads())
-        .with("git", git_describe())
-        .with("unix_ms", unix_ms())
-        .with("wall_s", (wall_s * 1000.0).round() / 1000.0)
-        .with("csv_files", files)
-        .with("csv_points", points)
-        .with(
-            "points_per_s",
-            if wall_s > 0.0 {
-                ((points as f64 / wall_s) * 1000.0).round() / 1000.0
-            } else {
-                0.0
-            },
-        )
-        .with("cache_hits", hits)
-        .with("cache_misses", misses)
-        .with("single_flight_waits", waits)
-        .with("per_experiment_s", per_experiment);
-    if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
-        eprintln!("repro: could not append to {JOURNAL_PATH}: {e}");
-    }
-    if let Ok(dir) = try_output_dir() {
-        let last = dir.join("BENCH_repro_last.json");
-        if let Err(e) = fs::write(&last, record.render() + "\n") {
-            eprintln!("repro: could not write {}: {e}", last.display());
-        }
-    }
     println!(
         "\nruntime: {wall_s:.2} s on {} thread(s), {points} CSV points in {files} files, \
          cache {hits} hits / {misses} misses / {waits} single-flight waits \
          [journal: {JOURNAL_PATH}]",
         Runner::global().threads()
     );
+    if points == 0 && files == 0 {
+        println!("repro: no CSV output this run; zero-point journal append skipped");
+    } else {
+        let mut per_experiment = Value::obj();
+        for (name, s) in timings {
+            per_experiment = per_experiment.with(name, (s * 1000.0).round() / 1000.0);
+        }
+        let mut record = Value::obj()
+            .with("schema", journal::SCHEMA_VERSION)
+            .with("experiments", arg)
+            .with("threads", Runner::global().threads())
+            .with("git", git_describe())
+            .with("unix_ms", unix_ms())
+            .with("wall_s", (wall_s * 1000.0).round() / 1000.0)
+            .with("csv_files", files)
+            .with("csv_points", points)
+            .with(
+                "points_per_s",
+                if wall_s > 0.0 {
+                    ((points as f64 / wall_s) * 1000.0).round() / 1000.0
+                } else {
+                    0.0
+                },
+            )
+            .with("cache_hits", hits)
+            .with("cache_misses", misses)
+            .with("single_flight_waits", waits);
+        if resume_skips > 0 {
+            record = record
+                .with("resumed", true)
+                .with("resume_skips", resume_skips);
+        }
+        record = record.with("per_experiment_s", per_experiment);
+        if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
+            eprintln!("repro: could not append to {JOURNAL_PATH}: {e}");
+        }
+        if let Ok(dir) = try_output_dir() {
+            let last = dir.join("BENCH_repro_last.json");
+            if let Err(e) = artifact::write_atomic(&last, &(record.render() + "\n")) {
+                eprintln!("repro: could not write {}: {e}", last.display());
+            }
+        }
+    }
     if obs::enabled() {
         println!(
             "\n--- metrics ({}) ---\n{}",
@@ -508,46 +558,178 @@ fn run_compare() -> ! {
     }
 }
 
-fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    if arg == "compare" {
-        run_compare();
+/// Every experiment, in the paper's presentation order — the order
+/// `repro all` runs them and the order checkpoints are laid down in.
+const EXPERIMENTS: &[(&str, fn())] = &[
+    ("fig7", fig7),
+    ("fig9", fig9),
+    ("fig12", fig12),
+    ("fig13", fig13),
+    ("fig14", fig14),
+    ("fig15", fig15),
+    ("fig16", fig16),
+    ("fig17", fig17),
+    ("fig2", fig2),
+    ("fig1", fig1),
+    ("table1", table1),
+    ("ablation", ablation_report),
+    ("extensions", extensions),
+    ("faults", faults),
+];
+
+/// Resolves `all` or a comma-separated selection against the experiment
+/// table. `Err` carries the first unknown name.
+fn parse_selection(arg: &str) -> Result<Vec<(&'static str, fn())>, String> {
+    if arg == "all" {
+        return Ok(EXPERIMENTS.to_vec());
     }
-    let run_all = arg == "all";
+    let mut picked = Vec::new();
+    for name in arg.split(',').filter(|s| !s.is_empty()) {
+        match EXPERIMENTS.iter().find(|(n, _)| *n == name) {
+            Some(&entry) => picked.push(entry),
+            None => return Err(name.to_owned()),
+        }
+    }
+    if picked.is_empty() {
+        return Err(arg.to_owned());
+    }
+    Ok(picked)
+}
+
+fn usage_exit(unknown: &str) -> ! {
+    let names = EXPERIMENTS
+        .iter()
+        .map(|(n, _)| *n)
+        .collect::<Vec<_>>()
+        .join(" ");
+    eprintln!(
+        "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | compare\n  names: {names}"
+    );
+    std::process::exit(2);
+}
+
+fn save_failure_count() -> usize {
+    SAVE_FAILURES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len()
+}
+
+/// Runs one experiment, under a post-hoc deadline when
+/// `VARDELAY_DEADLINE_MS` is set. Returns whether the experiment is
+/// checkpointable (completed within budget without panicking).
+fn run_experiment(name: &str, f: fn(), budget: Option<Duration>) -> bool {
+    let Some(budget) = budget else {
+        f();
+        return true;
+    };
+    // One task on the serial runner: the supervisor thread flags the
+    // straggler, and even an experiment that never polls the token is
+    // caught post-hoc (elapsed > budget ⇒ DeadlineExceeded).
+    match Runner::serial()
+        .run_with_deadline(1, budget, |_, _deadline: &Deadline| f())
+        .pop()
+    {
+        Some(Ok(())) => true,
+        Some(Err(e)) => {
+            record_save_failure(format!("experiment {name}: {e}"));
+            false
+        }
+        None => false,
+    }
+}
+
+fn main() {
+    let mut resume = false;
+    let mut selection_arg: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            "compare" => run_compare(),
+            _ if arg.starts_with('-') => usage_exit(&arg),
+            _ if selection_arg.is_some() => usage_exit(&arg),
+            _ => selection_arg = Some(arg),
+        }
+    }
+    let arg = selection_arg.unwrap_or_else(|| "all".to_owned());
+    let selection = parse_selection(&arg).unwrap_or_else(|unknown| usage_exit(&unknown));
+
+    // A previous run killed mid-write can only leave `.tmp` stage files
+    // behind (renames are atomic); clear them before producing output.
+    match artifact::sweep_stale_tmp(Path::new("target/repro")) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => println!("repro: swept {n} stale .tmp file(s) from an interrupted run"),
+    }
+
+    let deadline_budget = Deadline::budget_from_env();
+    if let Some(b) = deadline_budget {
+        println!(
+            "repro: per-experiment deadline {} ms (VARDELAY_DEADLINE_MS)",
+            b.as_millis()
+        );
+    }
+
     let started = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
-    let mut ran = false;
-    let mut run = |name: &str, f: &dyn Fn()| {
-        if run_all || arg == name {
-            set_current_experiment(name);
-            let _span = obs::span(&format!("repro.{name}_us"));
-            let t0 = Instant::now();
-            f();
-            timings.push((name.to_owned(), t0.elapsed().as_secs_f64()));
-            ran = true;
+    let mut resume_skips = 0usize;
+    for &(name, f) in &selection {
+        let fp = checkpoint::fingerprint(name);
+        let out_dir = try_output_dir();
+        let ckpt_dir = out_dir.as_ref().map(|out| checkpoint_dir(out)).ok();
+        if resume {
+            let matched = out_dir
+                .as_ref()
+                .ok()
+                .zip(ckpt_dir.as_ref())
+                .is_some_and(|(out, dir)| {
+                    Checkpoint::load(dir, name).is_some_and(|ck| ck.matches(fp, out))
+                });
+            if matched {
+                println!("repro: {name} — checkpoint matches, skipped (--resume)");
+                obs::counter("repro.checkpoint_skips").incr();
+                resume_skips += 1;
+                continue;
+            }
         }
-    };
-    run("fig7", &fig7);
-    run("fig9", &fig9);
-    run("fig12", &fig12);
-    run("fig13", &fig13);
-    run("fig14", &fig14);
-    run("fig15", &fig15);
-    run("fig16", &fig16);
-    run("fig17", &fig17);
-    run("fig2", &fig2);
-    run("fig1", &fig1);
-    run("table1", &table1);
-    run("ablation", &ablation_report);
-    run("extensions", &extensions);
-    run("faults", &faults);
-    if !ran {
-        eprintln!(
-            "unknown experiment {arg:?}; expected one of: all fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17 table1 ablation extensions faults compare"
-        );
-        std::process::exit(2);
+        set_current_experiment(name);
+        drain_csv_digests(); // discard any leftovers from a failed experiment
+        let failures_before = save_failure_count();
+        let t0 = Instant::now();
+        let completed = {
+            let _span = obs::span(&format!("repro.{name}_us"));
+            run_experiment(name, f, deadline_budget)
+        };
+        timings.push((name.to_owned(), t0.elapsed().as_secs_f64()));
+        let csvs = drain_csv_digests();
+        if completed && save_failure_count() == failures_before {
+            let ck = Checkpoint {
+                experiment: name.to_owned(),
+                fingerprint: fp,
+                csvs,
+            };
+            match ckpt_dir.as_ref().map(|dir| ck.save(dir)) {
+                Some(Ok(_)) | None => {}
+                // Warn-only: a lost checkpoint just means resume re-runs
+                // this experiment.
+                Some(Err(e)) => eprintln!("repro: could not checkpoint {name}: {e}"),
+            }
+        }
+        // The chaos gate's seeded crash: dies *after* the checkpoint
+        // lands, the worst case for resume correctness.
+        vardelay_faults::kill_point(name);
     }
-    write_runtime_record(&arg, started.elapsed().as_secs_f64(), &timings);
+    if resume_skips > 0 {
+        println!(
+            "repro: resumed — {resume_skips} experiment(s) skipped, {} re-run",
+            selection.len() - resume_skips
+        );
+    }
+    write_runtime_record(
+        &arg,
+        started.elapsed().as_secs_f64(),
+        &timings,
+        resume_skips,
+    );
     let failures = SAVE_FAILURES
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);

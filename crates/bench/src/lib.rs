@@ -15,6 +15,8 @@
 //! paper-vs-measured records.
 
 pub mod ablation;
+pub mod artifact;
+pub mod checkpoint;
 pub mod extensions;
 pub mod eyes;
 pub mod faults_campaign;

@@ -32,12 +32,18 @@ impl Scratch {
     /// Runs `repro <arg>` with the scratch dir as cwd, returning the exit
     /// code.
     fn repro(&self, arg: &str) -> i32 {
-        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
-            .arg(arg)
-            .current_dir(&self.dir)
-            .output()
-            .expect("spawn repro");
-        out.status.code().unwrap_or(-1)
+        self.repro_env(&[arg], &[]).status.code().unwrap_or(-1)
+    }
+
+    /// Runs `repro` with arbitrary args and extra environment variables,
+    /// returning the full output for stderr assertions.
+    fn repro_env(&self, args: &[&str], envs: &[(&str, &str)]) -> std::process::Output {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+        cmd.args(args).current_dir(&self.dir);
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        cmd.output().expect("spawn repro")
     }
 }
 
@@ -137,4 +143,67 @@ fn unknown_subcommand_exits_with_usage_error() {
     let scratch = Scratch::new("usage");
     assert_eq!(scratch.repro("fig99"), 2);
     assert!(!Path::new(&scratch.journal_path()).exists());
+    // Unknown names inside a comma selection are rejected the same way.
+    assert_eq!(scratch.repro("fig9,fig99"), 2);
+    assert!(!Path::new(&scratch.journal_path()).exists());
+}
+
+/// The ISSUE 4 satellite bug: `repro faults` with the injection kill
+/// switch thrown (`VARDELAY_FAULTS=0`) runs no campaign and writes no
+/// CSV — it used to append a `"wall_s":0,"csv_points":0` record that
+/// poisoned the journal's time series. Zero-output runs must not append.
+#[test]
+fn zero_output_run_appends_no_journal_record() {
+    let scratch = Scratch::new("zero_record");
+    let out = scratch.repro_env(&["faults"], &[("VARDELAY_FAULTS", "0")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("zero-point journal append skipped"),
+        "the skip is announced: {stdout}"
+    );
+    assert!(
+        !scratch.journal_path().exists(),
+        "no journal record for a run that produced nothing"
+    );
+    assert!(
+        !scratch
+            .dir
+            .join("target/repro/BENCH_repro_last.json")
+            .exists(),
+        "no last-run record either"
+    );
+}
+
+/// `repro compare` must fail with a clear one-line error — not a panic,
+/// not a silent pass — when fewer than two valid records remain after
+/// filtering zero-point and resumed records.
+#[test]
+fn compare_reports_too_few_records_after_filtering() {
+    let scratch = Scratch::new("compare_filtered");
+    // One healthy record, one zero-point record (the old bug's droppings),
+    // one resumed partial run: only the first is a valid baseline.
+    journal::append(&scratch.journal_path(), &seeded_all_record(6.5)).unwrap();
+    journal::append(
+        &scratch.journal_path(),
+        &seeded_all_record(0.0)
+            .with("csv_points", 0u64)
+            .with("csv_files", 0u64),
+    )
+    .unwrap();
+    journal::append(
+        &scratch.journal_path(),
+        &seeded_all_record(1.2)
+            .with("resumed", true)
+            .with("resume_skips", 12u64),
+    )
+    .unwrap();
+    let out = scratch.repro_env(&["compare"], &[]);
+    assert_eq!(out.status.code(), Some(2), "not comparable → exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let line = stderr.lines().find(|l| !l.is_empty()).unwrap_or_default();
+    assert!(
+        line.contains("need two valid") && line.contains("found 1"),
+        "one clear diagnostic line, got: {stderr}"
+    );
 }

@@ -1,0 +1,198 @@
+//! The kill-mid-run chaos gate (ISSUE 4 tentpole acceptance): a `repro`
+//! campaign killed partway through and resumed with `--resume` must end
+//! with every CSV **byte-identical** to an uninterrupted run, leave no
+//! `.tmp` stage file behind, and never tear the journal. The kill is
+//! seeded with `VARDELAY_KILL_AFTER=<experiment>` (`vardelay-faults`),
+//! which aborts the process immediately after that experiment's
+//! checkpoint lands — the worst case for resume correctness.
+//!
+//! The selection `fig9,fig1,table1` keeps the test fast (all three are
+//! sub-100 ms experiments); CI's chaos job runs the same protocol over
+//! the full `all` campaign in release mode.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use vardelay_obs::journal;
+use vardelay_obs::json::Value;
+
+/// The fast experiment selection both runs execute.
+const SELECTION: &str = "fig9,fig1,table1";
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("vardelay_resume_e2e_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch { dir }
+    }
+
+    fn repro(&self, args: &[&str], envs: &[(&str, &str)]) -> std::process::Output {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+        cmd.args(args).current_dir(&self.dir);
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        cmd.output().expect("spawn repro")
+    }
+
+    fn out_dir(&self) -> PathBuf {
+        self.dir.join("target/repro")
+    }
+
+    /// File name → contents for every CSV under `target/repro/`.
+    fn csvs(&self) -> BTreeMap<String, Vec<u8>> {
+        let mut map = BTreeMap::new();
+        for entry in std::fs::read_dir(self.out_dir()).expect("read output dir") {
+            let entry = entry.unwrap();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".csv") {
+                map.insert(name, std::fs::read(entry.path()).unwrap());
+            }
+        }
+        map
+    }
+
+    fn tmp_files(&self) -> Vec<String> {
+        let mut found = Vec::new();
+        let mut stack = vec![self.out_dir()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "tmp") {
+                    found.push(path.display().to_string());
+                }
+            }
+        }
+        found
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_to_byte_identical_csvs() {
+    // Reference: the same selection, uninterrupted.
+    let clean = Scratch::new("clean");
+    let out = clean.repro(&[SELECTION], &[]);
+    assert!(out.status.success(), "clean run failed: {out:?}");
+    let reference = clean.csvs();
+    assert_eq!(reference.len(), 3, "three experiments → three CSVs");
+
+    // Chaos: the same selection, killed right after fig9's checkpoint.
+    let chaos = Scratch::new("chaos");
+    let killed = chaos.repro(&[SELECTION], &[("VARDELAY_KILL_AFTER", "fig9")]);
+    assert!(
+        !killed.status.success(),
+        "the seeded abort must kill the process"
+    );
+    assert!(
+        chaos.tmp_files().is_empty(),
+        "an interrupted run never leaves .tmp files: {:?}",
+        chaos.tmp_files()
+    );
+    assert!(
+        chaos.out_dir().join("checkpoints/fig9.json").is_file(),
+        "fig9's checkpoint landed before the abort"
+    );
+    // The journal survived the abort in a loadable state (here: the kill
+    // happens before the final append, so it is simply absent).
+    journal::load(&chaos.dir.join("BENCH_repro.json")).expect("journal loadable after kill");
+
+    // Sabotage on top of the crash: a stale stage file and a torn journal
+    // line, exactly what a kill inside a write would leave behind.
+    std::fs::write(chaos.out_dir().join("fig01_eye_scan.csv.tmp"), "torn").unwrap();
+    let journal_path = chaos.dir.join("BENCH_repro.json");
+    journal::append(
+        &journal_path,
+        &Value::obj()
+            .with("schema", journal::SCHEMA_VERSION)
+            .with("experiments", SELECTION)
+            .with("wall_s", 9.9),
+    )
+    .unwrap();
+    let full = std::fs::read(&journal_path).unwrap();
+    std::fs::write(&journal_path, &full[..full.len() - 7]).unwrap(); // tear mid-line
+
+    // Resume: fig9 skips (checkpoint matches), fig1 + table1 re-run.
+    let resumed = chaos.repro(&[SELECTION, "--resume"], &[]);
+    assert!(resumed.status.success(), "resume failed: {resumed:?}");
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("fig9 — checkpoint matches, skipped"),
+        "fig9 must be skipped on resume: {stdout}"
+    );
+    assert!(
+        stdout.contains("swept 1 stale .tmp"),
+        "the stale stage file is swept at startup: {stdout}"
+    );
+
+    // Acceptance: every CSV byte-identical to the uninterrupted run.
+    assert_eq!(
+        chaos.csvs(),
+        reference,
+        "resumed CSVs differ from clean run"
+    );
+    assert!(chaos.tmp_files().is_empty());
+
+    // The torn journal line was repaired (dropped), the resumed run's
+    // record appended cleanly, and it is flagged `resumed`.
+    let records = journal::load(&journal_path).expect("journal healthy after resume");
+    assert_eq!(records.len(), 1, "torn line dropped, resume record kept");
+    assert_eq!(
+        records[0].get("resumed").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        records[0].get("resume_skips").and_then(Value::as_u64),
+        Some(1)
+    );
+}
+
+/// `--resume` trusts nothing but matching digests: a CSV tampered with
+/// after the crash forces its experiment to re-run.
+#[test]
+fn resume_reruns_experiments_whose_outputs_were_tampered() {
+    let scratch = Scratch::new("tamper");
+    let out = scratch.repro(&[SELECTION], &[]);
+    assert!(out.status.success());
+    let reference = scratch.csvs();
+
+    std::fs::write(
+        scratch.out_dir().join("fig09_coarse_taps.csv"),
+        "tap,ps\n0,999.0\n",
+    )
+    .unwrap();
+
+    let resumed = scratch.repro(&[SELECTION, "--resume"], &[]);
+    assert!(resumed.status.success());
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        !stdout.contains("fig9 — checkpoint matches"),
+        "tampered fig9 must re-run: {stdout}"
+    );
+    assert!(
+        stdout.contains("fig1 — checkpoint matches, skipped"),
+        "untouched fig1 still skips: {stdout}"
+    );
+    assert_eq!(
+        scratch.csvs(),
+        reference,
+        "re-running restores the tampered CSV byte-for-byte"
+    );
+}

@@ -67,6 +67,32 @@ pub fn set_enabled(on: bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash injection
+// ---------------------------------------------------------------------------
+
+/// A named crash-injection point for the kill-and-resume chaos gate
+/// (DESIGN.md §11).
+///
+/// `repro` calls `kill_point(name)` immediately after experiment
+/// `name`'s checkpoint is written. When the environment carries
+/// `VARDELAY_KILL_AFTER=<name>`, the matching call **aborts the
+/// process** — no unwinding, no destructors, no flushes — which is the
+/// closest simulation of a mid-campaign `kill -9` that a portable test
+/// can arrange. The chaos CI job launches `repro all` with a kill point
+/// set, then proves that `repro all --resume` completes the campaign
+/// with byte-identical CSVs.
+///
+/// The point is deterministic by construction: it is named, not timed,
+/// so the same environment kills the same campaign at the same place on
+/// every machine. Unset (the default), this is a no-op on every call.
+pub fn kill_point(name: &str) {
+    if std::env::var("VARDELAY_KILL_AFTER").as_deref() == Ok(name) {
+        eprintln!("faults: VARDELAY_KILL_AFTER={name} reached — simulating a crash");
+        std::process::abort();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fault taxonomy
 // ---------------------------------------------------------------------------
 

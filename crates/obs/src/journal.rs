@@ -30,7 +30,8 @@
 use std::fmt;
 use std::fs::OpenOptions;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use crate::json::Value;
 
@@ -41,20 +42,133 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// above the older one fails.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
+/// How long [`JournalLock::acquire`] spins before giving up.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A lock file whose holder cannot be proven alive after this age is
+/// considered abandoned (fallback for lock files without a readable pid,
+/// e.g. written by a foreign tool).
+const LOCK_STALE_AGE: Duration = Duration::from_secs(30);
+
+/// An advisory inter-process lock guarding journal mutations.
+///
+/// The lock is a sibling `<journal>.lock` file created with
+/// `O_CREAT | O_EXCL` and holding the owner's pid; it is removed on
+/// [`Drop`]. Two concurrent `repro` processes therefore serialize their
+/// appends (and the legacy-migration / torn-tail-repair rewrites, which
+/// are *not* atomic on their own). A lock whose recorded pid is no
+/// longer alive — the holder crashed between create and remove — is
+/// broken automatically, so a killed campaign never wedges the journal.
+#[derive(Debug)]
+pub struct JournalLock {
+    lock_path: PathBuf,
+}
+
+impl JournalLock {
+    /// Acquires the advisory lock for `journal`, spinning (5 ms steps)
+    /// up to [`LOCK_TIMEOUT`] and breaking stale locks left by dead
+    /// holders.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when a live holder keeps the lock past the timeout, or
+    /// the underlying I/O error from creating the lock file.
+    pub fn acquire(journal: &Path) -> io::Result<JournalLock> {
+        let lock_path = lock_path_for(journal);
+        let deadline = Instant::now() + LOCK_TIMEOUT;
+        loop {
+            match OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut file) => {
+                    // Best-effort pid tag: staleness detection reads it.
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(JournalLock { lock_path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&lock_path) {
+                        crate::metrics::counter("journal.stale_locks_broken").incr();
+                        let _ = std::fs::remove_file(&lock_path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "journal lock {} held past {:?} by a live process",
+                                lock_path.display(),
+                                LOCK_TIMEOUT
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.lock_path);
+    }
+}
+
+/// The sibling lock-file path for a journal (`BENCH_repro.json` →
+/// `BENCH_repro.json.lock`).
+pub fn lock_path_for(journal: &Path) -> PathBuf {
+    let mut name = journal
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "journal".to_owned());
+    name.push_str(".lock");
+    journal.with_file_name(name)
+}
+
+/// Whether a lock file was abandoned by a dead holder: its recorded pid
+/// no longer exists (checked via `/proc` where available), or — when no
+/// pid can be read — the file is older than [`LOCK_STALE_AGE`].
+fn lock_is_stale(lock_path: &Path) -> bool {
+    if let Some(pid) = std::fs::read_to_string(lock_path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+    {
+        if cfg!(target_os = "linux") {
+            return !Path::new(&format!("/proc/{pid}")).exists();
+        }
+    }
+    std::fs::metadata(lock_path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| mtime.elapsed().ok())
+        .is_some_and(|age| age > LOCK_STALE_AGE)
+}
+
 /// Appends one record as a single JSONL line, creating the file if
 /// missing. The write is a single `write_all` of `line + "\n"` through
-/// `O_APPEND`, so concurrent appenders interleave whole lines.
+/// `O_APPEND`, so concurrent appenders interleave whole lines; on top of
+/// that the whole operation holds the [`JournalLock`], because the two
+/// in-place repairs below are read-modify-write:
 ///
-/// A legacy pre-journal file (one pretty-printed object spanning the
-/// whole file) is first migrated in place to a one-line JSONL record, so
-/// appending to it never produces an unparseable hybrid.
+/// * a legacy pre-journal file (one pretty-printed object spanning the
+///   whole file) is migrated to a one-line JSONL record, so appending to
+///   it never produces an unparseable hybrid;
+/// * a **torn final line** — a crash mid-append leaves a prefix with no
+///   trailing newline — is truncated away (counted in the
+///   `journal.torn_lines` counter) so the new record starts on its own
+///   line instead of concatenating onto the wreckage.
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error (callers report and continue; a
 /// benchmark run must not die on a read-only checkout).
 pub fn append(path: &Path, record: &Value) -> io::Result<()> {
+    let _lock = JournalLock::acquire(path)?;
     migrate_legacy(path)?;
+    repair_torn_tail(path)?;
     let mut line = record.render();
     line.push('\n');
     OpenOptions::new()
@@ -62,6 +176,23 @@ pub fn append(path: &Path, record: &Value) -> io::Result<()> {
         .append(true)
         .open(path)?
         .write_all(line.as_bytes())
+}
+
+/// Truncates a torn final line (content after the last `\n`) so appends
+/// land on a line boundary. A healthy journal (newline-terminated or
+/// empty/missing) is untouched.
+fn repair_torn_tail(path: &Path) -> io::Result<()> {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if content.is_empty() || content.ends_with('\n') {
+        return Ok(());
+    }
+    let keep = content.rfind('\n').map_or(0, |i| i + 1);
+    crate::metrics::counter("journal.torn_lines").incr();
+    std::fs::write(path, &content[..keep])
 }
 
 /// Rewrites a legacy whole-file JSON object as one compact JSONL line.
@@ -128,6 +259,15 @@ impl From<io::Error> for JournalError {
 /// empty journal. A file that parses as one JSON document (the legacy
 /// pre-journal format, or a one-line journal) yields one record.
 ///
+/// **Torn-tail recovery:** a crash mid-append leaves a final line that
+/// is a prefix of a record with no trailing newline. Such a line — the
+/// file does not end in `\n` *and* its last line fails to parse — is
+/// dropped (counted in the `journal.torn_lines` counter) instead of
+/// failing the whole load: the torn record's run died before reporting,
+/// so there is nothing to preserve. A malformed line anywhere *else*
+/// (newline-terminated garbage) is still a hard [`JournalError::Parse`]
+/// — that is corruption, not tearing.
+///
 /// # Errors
 ///
 /// [`JournalError::Io`] on unreadable files, [`JournalError::Parse`]
@@ -146,12 +286,23 @@ pub fn load(path: &Path) -> Result<Vec<Value>, JournalError> {
     if let Ok(single) = Value::parse(&content) {
         return Ok(vec![single]);
     }
-    content
+    let torn_tail_possible = !content.ends_with('\n');
+    let lines: Vec<(usize, &str)> = content
         .lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
-        .map(|(i, l)| Value::parse(l).map_err(|error| JournalError::Parse { line: i + 1, error }))
-        .collect()
+        .collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (pos, (i, l)) in lines.iter().enumerate() {
+        match Value::parse(l) {
+            Ok(v) => records.push(v),
+            Err(_) if torn_tail_possible && pos == lines.len() - 1 => {
+                crate::metrics::counter("journal.torn_lines").incr();
+            }
+            Err(error) => return Err(JournalError::Parse { line: i + 1, error }),
+        }
+    }
+    Ok(records)
 }
 
 /// The latest-two-records wall-clock comparison `repro compare` prints
@@ -193,9 +344,11 @@ impl fmt::Display for Comparison {
 /// Why two comparable records could not be found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompareError {
-    /// Fewer than two records match the experiment set.
+    /// Fewer than two *valid* records match the experiment set
+    /// (zero-point records — `csv_points: 0`, e.g. a skipped campaign —
+    /// are not valid comparison baselines and are filtered out first).
     TooFewRecords {
-        /// Matching records found.
+        /// Valid matching records found.
         found: usize,
         /// The experiment set looked for.
         experiments: String,
@@ -217,8 +370,8 @@ impl fmt::Display for CompareError {
         match self {
             CompareError::TooFewRecords { found, experiments } => write!(
                 f,
-                "need two {experiments:?} journal records to compare, found {found} \
-                 (run `repro {experiments}` twice)"
+                "need two valid {experiments:?} journal records to compare, found {found} \
+                 after ignoring zero-point and resumed records (run `repro {experiments}` twice)"
             ),
             CompareError::ThreadMismatch { older, newer } => write!(
                 f,
@@ -234,14 +387,35 @@ impl fmt::Display for CompareError {
 
 impl std::error::Error for CompareError {}
 
+/// Whether a record carries real measurement work. A record whose
+/// `csv_points` is present and zero (a skipped campaign, e.g.
+/// `VARDELAY_FAULTS=0`, or a fully-checkpointed `--resume` run) measures
+/// nothing and must not become a comparison baseline — its near-zero
+/// wall clock would flag every honest successor as a regression. Records
+/// *without* a `csv_points` field (legacy) are kept.
+pub fn is_zero_point(record: &Value) -> bool {
+    record.get("csv_points").and_then(Value::as_u64) == Some(0)
+}
+
+/// Whether a record came from a `--resume` run that skipped
+/// checkpointed experiments (`resumed: true`). Its wall clock covers
+/// only the re-run remainder of the campaign, so it cannot serve as a
+/// baseline for full runs.
+pub fn is_resumed(record: &Value) -> bool {
+    record.get("resumed").and_then(Value::as_bool) == Some(true)
+}
+
 /// Compares the latest two records whose `experiments` field equals
 /// `experiments`, flagging a regression when the newer wall clock
 /// exceeds the older by more than `threshold` (fractional, e.g. `0.10`).
+/// Zero-point and partially-resumed records (see [`is_zero_point`],
+/// [`is_resumed`]) are ignored — neither measures a full campaign.
 ///
 /// # Errors
 ///
-/// See [`CompareError`] — fewer than two matching records, a thread-count
-/// mismatch between them, or records without `wall_s`/`threads`.
+/// See [`CompareError`] — fewer than two valid matching records, a
+/// thread-count mismatch between them, or records without
+/// `wall_s`/`threads`.
 pub fn compare_latest(
     records: &[Value],
     experiments: &str,
@@ -250,6 +424,7 @@ pub fn compare_latest(
     let matching: Vec<&Value> = records
         .iter()
         .filter(|r| r.get("experiments").and_then(Value::as_str) == Some(experiments))
+        .filter(|r| !is_zero_point(r) && !is_resumed(r))
         .collect();
     let [.., older, newer] = matching.as_slice() else {
         return Err(CompareError::TooFewRecords {
@@ -380,6 +555,139 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_counted() {
+        crate::set_enabled(true);
+        let path = temp_path("torn");
+        // A healthy record, then a crash mid-append: the second line is
+        // truncated mid-byte with no trailing newline.
+        let healthy = record("all", 1, 6.5).render();
+        let torn = &record("all", 1, 6.6).render()[..20];
+        std::fs::write(&path, format!("{healthy}\n{torn}")).unwrap();
+
+        let before = crate::metrics::counter("journal.torn_lines").get();
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 1, "exactly the torn line is dropped");
+        assert_eq!(records[0].get("wall_s").and_then(Value::as_f64), Some(6.5));
+        assert_eq!(
+            crate::metrics::counter("journal.torn_lines").get(),
+            before + 1,
+            "torn line increments journal.torn_lines"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn newline_terminated_garbage_is_still_a_parse_error() {
+        // Tearing can only truncate the trailing newline away; a garbage
+        // line *with* its newline is corruption and must stay loud.
+        let path = temp_path("garbage");
+        std::fs::write(&path, "{\"experiments\":\"all\"}\nnot json\n").unwrap();
+        match load(&path) {
+            Err(JournalError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_repairs_a_torn_tail_before_writing() {
+        let path = temp_path("repair");
+        let healthy = record("all", 1, 6.5).render();
+        std::fs::write(&path, format!("{healthy}\n{{\"experiments\":\"al")).unwrap();
+
+        append(&path, &record("all", 1, 6.4)).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !content.contains("{\"experiments\":\"al{"),
+            "new record must not concatenate onto the torn tail: {content:?}"
+        );
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 2, "healthy + appended; torn tail gone");
+        assert_eq!(records[1].get("wall_s").and_then(Value::as_f64), Some(6.4));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_pid_is_broken() {
+        let path = temp_path("stale_lock");
+        let _ = std::fs::remove_file(&path);
+        // Plant a lock whose holder pid cannot exist.
+        std::fs::write(lock_path_for(&path), "4294967294").unwrap();
+        append(&path, &record("all", 1, 6.5)).unwrap();
+        assert_eq!(load(&path).unwrap().len(), 1);
+        assert!(!lock_path_for(&path).exists(), "lock released after append");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appends_serialize_into_whole_lines() {
+        let path = temp_path("concurrent");
+        let _ = std::fs::remove_file(&path);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let path = &path;
+                scope.spawn(move || {
+                    for k in 0..4 {
+                        append(path, &record("all", 1, (t * 10 + k) as f64)).unwrap();
+                    }
+                });
+            }
+        });
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 32, "every append landed as its own line");
+        assert!(!lock_path_for(&path).exists(), "no lock file left behind");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compare_ignores_zero_point_records() {
+        let zero = record("all", 1, 0.0).with("csv_points", 0u64);
+        assert!(is_zero_point(&zero));
+        // A skipped-campaign record must be invisible to the gate: the
+        // real baseline is the latest two records with actual points.
+        let records = vec![
+            record("all", 1, 6.0).with("csv_points", 172u64),
+            record("all", 1, 6.2).with("csv_points", 172u64),
+            zero.clone(),
+        ];
+        let c = compare_latest(&records, "all", DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(c.older_wall_s, 6.0);
+        assert_eq!(c.newer_wall_s, 6.2);
+        assert!(!c.regressed, "{c}");
+        // With only one valid record left, the error is the clear
+        // one-liner, not a bogus comparison against the zero record.
+        let records = vec![record("all", 1, 6.0).with("csv_points", 172u64), zero];
+        let err = compare_latest(&records, "all", DEFAULT_THRESHOLD).unwrap_err();
+        assert_eq!(
+            err,
+            CompareError::TooFewRecords {
+                found: 1,
+                experiments: "all".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("zero-point"), "{err}");
+        // Legacy records without csv_points stay comparable.
+        assert!(!is_zero_point(&record("all", 1, 6.0)));
+    }
+
+    #[test]
+    fn compare_ignores_partially_resumed_records() {
+        // A --resume run only re-ran part of the campaign: its wall
+        // clock would make every honest full run look regressed.
+        let records = vec![
+            record("all", 1, 6.0).with("csv_points", 172u64),
+            record("all", 1, 1.8)
+                .with("csv_points", 40u64)
+                .with("resumed", true),
+            record("all", 1, 6.2).with("csv_points", 172u64),
+        ];
+        let c = compare_latest(&records, "all", DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(c.older_wall_s, 6.0);
+        assert_eq!(c.newer_wall_s, 6.2);
+        assert!(!c.regressed, "{c}");
     }
 
     #[test]
