@@ -108,6 +108,20 @@ impl DelayTable {
         low + (high - low) * fv
     }
 
+    /// The delay-vs-`Vctrl` curve at one preceding interval: one
+    /// `(vctrl, delay)` point per grid voltage, interpolated across the
+    /// interval axis. This is the cache-backed solve entry point the
+    /// calibration path uses — a table memoized by
+    /// [`measure_delay_table_cached`] answers every later curve request
+    /// without re-measuring, so concurrent consumers (e.g. the
+    /// `vardelay-serve` channels) share one characterization.
+    pub fn curve_at(&self, interval: Time) -> Vec<(Voltage, Time)> {
+        self.vctrls
+            .iter()
+            .map(|&v| (v, self.delay_at(v, interval)))
+            .collect()
+    }
+
     /// The measured delay span (max − min across the whole table).
     pub fn delay_span(&self) -> Time {
         let mut lo = Time::from_s(f64::INFINITY);

@@ -13,9 +13,18 @@
 //! repro [all|<name>[,<name>...]] [--resume]
 //!   names: fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17
 //!          table1 ablation extensions faults
-//! repro compare   # regression gate: diff the latest two valid `all`
+//! repro compare [all|serve-bench]
+//!                 # regression gate: diff the latest two valid `all`
 //!                 # journal records, exit non-zero on >10 % wall-clock
-//!                 # regression (exit 2 when <2 valid records remain)
+//!                 # regression (exit 2 when <2 valid records remain);
+//!                 # with no target, also gates the latest two
+//!                 # serve-bench records when the journal has them
+//! repro serve     # the delay-control server (DESIGN.md §12): listens
+//!                 # on VARDELAY_SERVE_ADDR until a wire `shutdown`,
+//!                 # then drains and appends a serve-drain record
+//! repro serve-bench
+//!                 # seeded open-loop load generator; appends a
+//!                 # serve-bench latency/throughput journal record
 //! ```
 //!
 //! After each experiment a checkpoint (input fingerprint + CSV digests)
@@ -37,8 +46,8 @@ use vardelay_analog::{characterization_cache_stats, characterization_single_flig
 use vardelay_ate::report::{deskew_summary, deskew_table};
 use vardelay_bench::checkpoint::{checkpoint_dir, Checkpoint, CsvRecord};
 use vardelay_bench::{
-    ablation, artifact, checkpoint, eyes, faults_campaign, fine_delay, injection, skew,
-    try_output_dir,
+    ablation, artifact, checkpoint, eyes, faults_campaign, fine_delay, injection, serve_bench,
+    skew, try_output_dir,
 };
 use vardelay_measure::report::fmt_ps;
 use vardelay_measure::{Series, Table};
@@ -538,7 +547,7 @@ fn write_runtime_record(arg: &str, wall_s: f64, timings: &[(String, f64)], resum
 /// records in the journal and fails (exit 1) when the newer wall clock
 /// regressed by more than [`journal::DEFAULT_THRESHOLD`]. Exit 2 when
 /// there are not yet two comparable records.
-fn run_compare() -> ! {
+fn run_compare(target: Option<&str>) -> ! {
     let records = match journal::load(Path::new(JOURNAL_PATH)) {
         Ok(r) => r,
         Err(e) => {
@@ -546,16 +555,160 @@ fn run_compare() -> ! {
             std::process::exit(2);
         }
     };
-    match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
-        Ok(cmp) => {
-            println!("repro compare: {cmp}");
-            std::process::exit(i32::from(cmp.regressed));
+    match target {
+        None => {
+            // Default gate: the `all` wall clock, plus the serving SLO
+            // whenever the journal holds two serve-bench records. A
+            // journal with fewer serve records is not an error — serving
+            // may simply never have been benchmarked on this checkout.
+            let mut regressed = false;
+            match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    regressed |= cmp.regressed;
+                }
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
+            match journal::compare_latest_serve(&records, journal::SERVE_THRESHOLD) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    regressed |= cmp.regressed;
+                }
+                Err(journal::CompareError::TooFewRecords { .. }) => {}
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
+            std::process::exit(i32::from(regressed));
         }
-        Err(e) => {
-            eprintln!("repro compare: {e}");
+        Some("all") => match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
+            Ok(cmp) => {
+                println!("repro compare: {cmp}");
+                std::process::exit(i32::from(cmp.regressed));
+            }
+            Err(e) => {
+                eprintln!("repro compare: {e}");
+                std::process::exit(2);
+            }
+        },
+        Some("serve-bench") => {
+            match journal::compare_latest_serve(&records, journal::SERVE_THRESHOLD) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    std::process::exit(i32::from(cmp.regressed));
+                }
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!(
+                "repro compare: unknown target {other:?} (expected \"all\" or \"serve-bench\")"
+            );
             std::process::exit(2);
         }
     }
+}
+
+/// `repro serve` — runs the standalone delay-control server until a
+/// wire `shutdown` request arrives, then drains gracefully and appends
+/// a `serve-drain` record to the journal (so the CI smoke job can
+/// assert the drain flushed its counters).
+fn run_serve() -> ! {
+    let config = vardelay_serve::ServeConfig::from_env();
+    let handle = match vardelay_serve::serve(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("repro serve: listening on {}", handle.addr());
+    let report = handle.join();
+    println!("repro serve: {report}");
+    let record = Value::obj()
+        .with("schema", journal::SCHEMA_VERSION)
+        .with("experiments", "serve-drain")
+        .with("git", git_describe())
+        .with("unix_ms", unix_ms())
+        .with("requests", report.stats.requests)
+        .with("ok", report.stats.ok)
+        .with("parse_errors", report.stats.parse_errors)
+        .with("bad_requests", report.stats.bad_requests)
+        .with("overloaded", report.stats.overloaded)
+        .with("deadline_exceeded", report.stats.deadline_exceeded)
+        .with("internal_errors", report.stats.internal_errors)
+        .with("batched", report.stats.batched);
+    if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
+        eprintln!("repro serve: could not append to {JOURNAL_PATH}: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `repro serve-bench` — the serving-SLO benchmark. With
+/// `VARDELAY_SERVE_ADDR` set, drives the server already listening
+/// there; otherwise spins up an in-process server on an ephemeral port,
+/// drives it, and drains it. Either way the run appends a `serve-bench`
+/// journal record for `repro compare` to gate.
+fn run_serve_bench() -> ! {
+    let load = serve_bench::LoadConfig::default();
+    let external = std::env::var("VARDELAY_SERVE_ADDR")
+        .ok()
+        .filter(|a| !a.trim().is_empty());
+    let result = match external {
+        Some(addr) => {
+            let addr: std::net::SocketAddr = match addr.parse() {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("repro serve-bench: bad VARDELAY_SERVE_ADDR {addr:?}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!("repro serve-bench: driving external server at {addr}");
+            serve_bench::run_load(addr, &load)
+        }
+        None => {
+            let handle = match vardelay_serve::serve(vardelay_serve::ServeConfig::in_process()) {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("repro serve-bench: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!(
+                "repro serve-bench: in-process server on {} (set VARDELAY_SERVE_ADDR to \
+                 drive an external one)",
+                handle.addr()
+            );
+            let report = serve_bench::run_load(handle.addr(), &load);
+            handle.shutdown();
+            let drained = handle.join();
+            println!("repro serve-bench: {drained}");
+            report
+        }
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro serve-bench: load generator failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", report.summary());
+    let record = report.record(&git_describe(), unix_ms());
+    if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
+        eprintln!("repro serve-bench: could not append to {JOURNAL_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!("repro serve-bench: record appended [journal: {JOURNAL_PATH}]");
+    std::process::exit(0);
 }
 
 /// Every experiment, in the paper's presentation order — the order
@@ -578,15 +731,21 @@ const EXPERIMENTS: &[(&str, fn())] = &[
 ];
 
 /// Resolves `all` or a comma-separated selection against the experiment
-/// table. `Err` carries the first unknown name.
+/// table. Duplicate names are collapsed to their first occurrence —
+/// `repro fig12,fig12` must not run the experiment twice and
+/// double-write its checkpoint. `Err` carries the first unknown name.
 fn parse_selection(arg: &str) -> Result<Vec<(&'static str, fn())>, String> {
     if arg == "all" {
         return Ok(EXPERIMENTS.to_vec());
     }
-    let mut picked = Vec::new();
+    let mut picked: Vec<(&'static str, fn())> = Vec::new();
     for name in arg.split(',').filter(|s| !s.is_empty()) {
         match EXPERIMENTS.iter().find(|(n, _)| *n == name) {
-            Some(&entry) => picked.push(entry),
+            Some(&entry) => {
+                if !picked.iter().any(|(n, _)| *n == entry.0) {
+                    picked.push(entry);
+                }
+            }
             None => return Err(name.to_owned()),
         }
     }
@@ -603,7 +762,8 @@ fn usage_exit(unknown: &str) -> ! {
         .collect::<Vec<_>>()
         .join(" ");
     eprintln!(
-        "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | compare\n  names: {names}"
+        "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | \
+         compare [all|serve-bench] | serve | serve-bench\n  names: {names}"
     );
     std::process::exit(2);
 }
@@ -640,12 +800,19 @@ fn run_experiment(name: &str, f: fn(), budget: Option<Duration>) -> bool {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => run_compare(args.get(1).map(String::as_str)),
+        Some("serve") => run_serve(),
+        Some("serve-bench") => run_serve_bench(),
+        _ => {}
+    }
     let mut resume = false;
     let mut selection_arg: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         match arg.as_str() {
             "--resume" => resume = true,
-            "compare" => run_compare(),
+            "compare" => run_compare(None),
             _ if arg.starts_with('-') => usage_exit(&arg),
             _ if selection_arg.is_some() => usage_exit(&arg),
             _ => selection_arg = Some(arg),
@@ -742,5 +909,33 @@ fn main() {
             eprintln!("  - {f}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_selection;
+
+    #[test]
+    fn selection_deduplicates_and_preserves_first_occurrence_order() {
+        let names = |arg: &str| -> Vec<&'static str> {
+            parse_selection(arg)
+                .unwrap()
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect()
+        };
+        assert_eq!(names("fig12,fig12"), vec!["fig12"]);
+        assert_eq!(names("fig9,fig12,fig9,fig12,fig9"), vec!["fig9", "fig12"]);
+        // Dedup never reorders: first occurrence wins.
+        assert_eq!(names("faults,fig7,faults"), vec!["faults", "fig7"]);
+    }
+
+    #[test]
+    fn selection_rejects_unknown_names_anywhere_in_the_list() {
+        assert_eq!(parse_selection("fig12,bogus"), Err("bogus".to_owned()));
+        assert_eq!(parse_selection("bogus,fig12"), Err("bogus".to_owned()));
+        assert_eq!(parse_selection(""), Err("".to_owned()));
+        assert_eq!(parse_selection(",,"), Err(",,".to_owned()));
     }
 }

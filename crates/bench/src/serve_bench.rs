@@ -1,0 +1,367 @@
+//! `repro serve-bench`: the in-process load generator and SLO record.
+//!
+//! Drives a `vardelay-serve` instance with `N` client threads on an
+//! **open-loop** arrival schedule: each client's send times are fixed
+//! up front from seeded exponential gaps ([`vardelay_runner::task_seed`]
+//! per client) and never react to server speed — a client that falls
+//! behind its schedule (because responses are slow) stops sleeping and
+//! fires back-to-back until it catches up, so a slow server faces
+//! *more* concurrent pressure, not politely reduced load. Latency is
+//! measured send→response per request; backlog the server accumulates
+//! under that pressure lands in the tail quantiles.
+//!
+//! Latencies land in a local obs log₂ [`Histogram`]; the resulting
+//! p50/p95/p99 plus throughput and per-kind response counts become a
+//! `serve-bench` journal record, gated by `repro compare` via
+//! [`vardelay_obs::journal::compare_latest_serve`].
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use vardelay_obs::json::Value;
+use vardelay_obs::Histogram;
+use vardelay_runner::task_seed;
+use vardelay_serve::{Client, Envelope, ErrorKind, Request, Response};
+use vardelay_siggen::SplitMix64;
+
+use crate::EXPERIMENT_SEED;
+
+/// Load shape. [`Default`] is the smoke load CI runs: 4 clients × 100
+/// requests at a 10 ms mean gap (~400 offered req/s), sized so even a
+/// single-core single-worker server absorbs it without shedding — the
+/// smoke gate asserts zero `overloaded`.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// Mean of the exponential inter-arrival gap per client.
+    pub mean_gap: Duration,
+    /// Root seed for arrival schedules and request mixes.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 100,
+            mean_gap: Duration::from_millis(10),
+            seed: EXPERIMENT_SEED,
+        }
+    }
+}
+
+/// What the load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent (and responses received — strict request/response).
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// `parse_error` responses (must be 0 — the generator sends only
+    /// well-formed lines).
+    pub parse_errors: u64,
+    /// `bad_request` responses (must be 0 likewise).
+    pub bad_requests: u64,
+    /// `overloaded` responses.
+    pub overloaded: u64,
+    /// `deadline_exceeded` responses.
+    pub deadline_exceeded: u64,
+    /// `internal` responses.
+    pub internal_errors: u64,
+    /// Responses answered as part of a multi-request batch.
+    pub batched: u64,
+    /// Transport-level failures (connection refused/reset mid-run).
+    pub transport_errors: u64,
+    /// Wall clock of the whole run.
+    pub wall: Duration,
+    /// Completed responses per second.
+    pub throughput_rps: f64,
+    /// Median send→response latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// The server's worker count (from its `stats` reply) — the
+    /// comparability key for the regression gate.
+    pub workers: u64,
+}
+
+impl LoadReport {
+    /// One greppable summary line (the CI smoke job asserts on the
+    /// `parse_error=` / `overloaded=` fields).
+    pub fn summary(&self) -> String {
+        format!(
+            "serve-bench: requests={} ok={} parse_error={} bad_request={} overloaded={} \
+             deadline_exceeded={} internal={} batched={} transport={} \
+             throughput={:.0} req/s p50={} us p95={} us p99={} us workers={}",
+            self.requests,
+            self.ok,
+            self.parse_errors,
+            self.bad_requests,
+            self.overloaded,
+            self.deadline_exceeded,
+            self.internal_errors,
+            self.batched,
+            self.transport_errors,
+            self.throughput_rps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.workers
+        )
+    }
+
+    /// The journal record `repro compare` gates on. `git` and `unix_ms`
+    /// are the caller's (the repro binary stamps them like its runtime
+    /// records).
+    pub fn record(&self, git: &str, unix_ms: u64) -> Value {
+        Value::obj()
+            .with("schema", vardelay_obs::journal::SCHEMA_VERSION)
+            .with("experiments", "serve-bench")
+            .with("threads", self.workers)
+            .with("git", git)
+            .with("unix_ms", unix_ms)
+            .with("wall_s", self.wall.as_secs_f64())
+            .with("requests", self.requests)
+            .with("ok", self.ok)
+            .with("parse_errors", self.parse_errors)
+            .with("bad_requests", self.bad_requests)
+            .with("overloaded", self.overloaded)
+            .with("deadline_exceeded", self.deadline_exceeded)
+            .with("internal_errors", self.internal_errors)
+            .with("batched", self.batched)
+            .with("transport_errors", self.transport_errors)
+            .with("throughput_rps", self.throughput_rps)
+            .with("p50_us", self.p50_us)
+            .with("p95_us", self.p95_us)
+            .with("p99_us", self.p99_us)
+    }
+}
+
+/// The deterministic request mix, by client and position. Mostly
+/// `set_delay` on a quantized ps grid (so same-channel requests can
+/// coalesce), salted with `inject_jitter` and `stats`.
+fn request_for(rng: &mut SplitMix64, client: usize, k: usize) -> Request {
+    match k % 25 {
+        7 => Request::Stats,
+        15 => Request::InjectJitter {
+            vpp_mv: 40.0 + 10.0 * (client % 4) as f64,
+            rate_gbps: 3.2,
+            bits: 64,
+            seed: rng.next_u64() % 1024 + 1,
+        },
+        _ => {
+            // 8 channels × 16 grid points: plenty of collisions for the
+            // batching path. The grid tops out at 112.5 ps, inside the
+            // >120 ps combined range the circuit tests pin, so no mix
+            // request can draw an out-of-range rejection.
+            let channel = (rng.next_u64() % 8) as usize;
+            let step = rng.next_u64() % 16;
+            Request::SetDelay {
+                channel,
+                ps: 7.5 * step as f64,
+            }
+        }
+    }
+}
+
+/// Runs the load against a server at `addr` and gathers the report.
+///
+/// Latency histograms require obs to be recording, so this forces
+/// [`vardelay_obs::set_enabled`]`(true)` for the duration — the load
+/// run *is* the measurement, there is nothing to opt out of.
+///
+/// # Errors
+///
+/// Returns an I/O error only when the initial connections fail;
+/// failures mid-run are counted as `transport_errors` instead.
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadReport> {
+    vardelay_obs::set_enabled(true);
+    let latency = Histogram::new();
+    let counts = ResponseCounts::default();
+
+    // Connect everything up front so a dead server is a clean error,
+    // not a pile of per-thread failures.
+    let mut clients: Vec<Client> = Vec::with_capacity(config.clients);
+    for _ in 0..config.clients {
+        clients.push(Client::connect(addr)?);
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (client_index, mut client) in clients.drain(..).enumerate() {
+            let latency = &latency;
+            let counts = &counts;
+            let config = &config;
+            scope.spawn(move || {
+                let mut rng = SplitMix64::new(task_seed(config.seed, client_index as u64));
+                let mean_us = config.mean_gap.as_micros() as f64;
+                let mut scheduled_us = 0.0f64;
+                for k in 0..config.requests_per_client {
+                    // Exponential inter-arrival gap, fixed by seed: the
+                    // schedule does not react to server speed.
+                    scheduled_us += -mean_us * (1.0 - rng.next_f64()).ln();
+                    let scheduled = started + Duration::from_micros(scheduled_us as u64);
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let envelope = Envelope {
+                        id: Some((client_index * 1_000_000 + k) as u64),
+                        deadline_ms: None,
+                        request: request_for(&mut rng, client_index, k),
+                    };
+                    let sent = Instant::now();
+                    match client.call(&envelope) {
+                        Ok((_, response)) => {
+                            latency.record(sent.elapsed().as_micros() as u64);
+                            counts.count(&response);
+                        }
+                        Err(_) => {
+                            counts.transport.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    // One authoritative stats call for the server's worker count (the
+    // gate's comparability key).
+    let workers = Client::connect(addr)
+        .and_then(|mut c| c.call(&Envelope::new(Request::Stats)))
+        .ok()
+        .and_then(|(_, response)| match response {
+            Response::Stats(stats) => Some(stats.workers),
+            _ => None,
+        })
+        .unwrap_or(0);
+
+    let requests = (config.clients * config.requests_per_client) as u64;
+    let completed = requests - counts.transport.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        requests,
+        ok: counts.ok.load(Ordering::Relaxed),
+        parse_errors: counts.parse_errors.load(Ordering::Relaxed),
+        bad_requests: counts.bad_requests.load(Ordering::Relaxed),
+        overloaded: counts.overloaded.load(Ordering::Relaxed),
+        deadline_exceeded: counts.deadline_exceeded.load(Ordering::Relaxed),
+        internal_errors: counts.internal_errors.load(Ordering::Relaxed),
+        batched: counts.batched.load(Ordering::Relaxed),
+        transport_errors: counts.transport.load(Ordering::Relaxed),
+        wall,
+        throughput_rps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: latency.quantile(0.50),
+        p95_us: latency.quantile(0.95),
+        p99_us: latency.quantile(0.99),
+        workers,
+    })
+}
+
+#[derive(Debug, Default)]
+struct ResponseCounts {
+    ok: AtomicU64,
+    parse_errors: AtomicU64,
+    bad_requests: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    internal_errors: AtomicU64,
+    batched: AtomicU64,
+    transport: AtomicU64,
+}
+
+impl ResponseCounts {
+    fn count(&self, response: &Response) {
+        match response.error_kind() {
+            None => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                if let Response::Delay(reply) = response {
+                    if reply.batched > 1 {
+                        self.batched.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Some(ErrorKind::ParseError) => {
+                self.parse_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ErrorKind::BadRequest) => {
+                self.bad_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ErrorKind::Overloaded) => {
+                self.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ErrorKind::DeadlineExceeded) => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ErrorKind::Internal) => {
+                self.internal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_mix_is_deterministic_and_mostly_set_delay() {
+        let gen = |client: usize| -> Vec<Request> {
+            let mut rng = SplitMix64::new(task_seed(EXPERIMENT_SEED, client as u64));
+            (0..100).map(|k| request_for(&mut rng, client, k)).collect()
+        };
+        assert_eq!(gen(0), gen(0));
+        assert_ne!(gen(0), gen(1));
+        let mix = gen(0);
+        let set_delays = mix
+            .iter()
+            .filter(|r| matches!(r, Request::SetDelay { .. }))
+            .count();
+        assert!(set_delays >= 90, "{set_delays}");
+        for request in &mix {
+            if let Request::SetDelay { channel, ps } = request {
+                assert!(*channel < 8);
+                assert!((0.0..=120.0).contains(ps));
+            }
+        }
+    }
+
+    #[test]
+    fn the_record_round_trips_through_the_serve_gate() {
+        let report = LoadReport {
+            requests: 600,
+            ok: 600,
+            parse_errors: 0,
+            bad_requests: 0,
+            overloaded: 0,
+            deadline_exceeded: 0,
+            internal_errors: 0,
+            batched: 12,
+            transport_errors: 0,
+            wall: Duration::from_millis(400),
+            throughput_rps: 1500.0,
+            p50_us: 511,
+            p95_us: 1023,
+            p99_us: 2047,
+            workers: 4,
+        };
+        let record = report.record("deadbeef", 1_700_000_000_000);
+        let reparsed = Value::parse(&record.render()).expect("record renders valid JSON");
+        assert_eq!(
+            reparsed.get("experiments").and_then(Value::as_str),
+            Some("serve-bench")
+        );
+        let records = vec![record.clone(), record];
+        let cmp = vardelay_obs::journal::compare_latest_serve(
+            &records,
+            vardelay_obs::journal::SERVE_THRESHOLD,
+        )
+        .expect("two identical records compare");
+        assert!(!cmp.regressed, "{cmp}");
+    }
+}

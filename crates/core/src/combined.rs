@@ -98,6 +98,45 @@ impl CombinedDelayCircuit {
         self.calibration = Some(table);
     }
 
+    /// [`CombinedDelayCircuit::calibrate`] through the characterization
+    /// cache: the fine line's delay table is measured **once per model
+    /// fingerprint** (`measure_delay_table_cached` in `vardelay-analog`,
+    /// single-flight across racing callers) and every later calibration
+    /// — another channel of a multi-tenant unit, another server start in
+    /// the same process — rebuilds its [`CalibrationTable`] from the
+    /// cached curve without re-running the waveform sweep. This is the
+    /// solve path `vardelay-serve` programs channels through.
+    ///
+    /// The curve is measured by the characterization engine rather than
+    /// [`calibrate`](Self::calibrate)'s direct per-point sweep, so the
+    /// two tables can differ by the engines' (sub-picosecond) tail
+    ///-pairing differences; both are valid calibrations of the same
+    /// line.
+    pub fn calibrate_cached(&mut self) -> &CalibrationTable {
+        self.calibrate_cached_with(Runner::global())
+    }
+
+    /// [`CombinedDelayCircuit::calibrate_cached`] on an explicit
+    /// [`Runner`].
+    pub fn calibrate_cached_with(&mut self, runner: Runner) -> &CalibrationTable {
+        let interval = Time::from_ps(320.0);
+        let points = 17;
+        let grid: Vec<Voltage> = (0..points)
+            .map(|i| {
+                self.fine
+                    .vctrl_min()
+                    .lerp(self.fine.vctrl_max(), i as f64 / (points - 1) as f64)
+            })
+            .collect();
+        let table = self.fine.characterize_with(runner, &grid, &[interval]);
+        let mut curve = table.curve_at(interval).into_iter();
+        let cal = CalibrationTable::from_measurement(&grid, |_| {
+            curve.next().expect("one curve point per grid voltage").1
+        });
+        self.calibration = Some(cal);
+        self.calibration.as_ref().expect("just stored")
+    }
+
     /// Calibrates at a caller-chosen toggle interval and grid size.
     ///
     /// # Panics
@@ -331,6 +370,40 @@ mod tests {
                 "target {target}, realized {d}"
             );
         }
+    }
+
+    #[test]
+    fn cached_calibration_matches_the_direct_sweep() {
+        let cfg = ModelConfig::paper_prototype().quiet();
+        let mut direct = CombinedDelayCircuit::new(&cfg, 1);
+        direct.calibrate();
+        let mut cached = CombinedDelayCircuit::new(&cfg, 1);
+        cached.calibrate_cached();
+        // Different measurement engines, same physical curve: ranges
+        // agree to a couple of picoseconds and programming works across
+        // the full span.
+        let dr = direct.calibration().unwrap().range();
+        let cr = cached.calibration().unwrap().range();
+        assert!(
+            (dr - cr).abs() < Time::from_ps(3.0),
+            "direct {dr} vs cached {cr}"
+        );
+        let max = cached.total_range().unwrap();
+        for i in 0..=10 {
+            let target = max * (i as f64 / 10.0);
+            let s = cached.set_delay(target).unwrap();
+            assert!(
+                s.predicted_error.abs() < Time::from_ps(1.0),
+                "target {target}: error {}",
+                s.predicted_error
+            );
+        }
+        // A second cached calibration reproduces the identical table
+        // (served from the characterization cache, not re-measured).
+        let first = cached.calibration().unwrap().clone();
+        let mut again = CombinedDelayCircuit::new(&cfg, 99);
+        again.calibrate_cached();
+        assert_eq!(again.calibration(), Some(&first));
     }
 
     #[test]

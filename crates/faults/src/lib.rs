@@ -92,6 +92,58 @@ pub fn kill_point(name: &str) {
     }
 }
 
+/// Seeded worker-kill chaos for the `vardelay-serve` request path
+/// (DESIGN.md §12).
+///
+/// Each request carries a monotone index assigned at admission; the
+/// worker that picks it up asks [`RequestChaos::kills`] whether this is
+/// a doomed request. A kill is a plain `panic!` *inside* the worker's
+/// `catch_unwind` — the client gets a structured `internal` error
+/// response and the worker thread survives to take the next job, which
+/// is exactly the fault-isolation property the serve chaos gate scores.
+///
+/// Determinism follows the workspace contract: the verdict is
+/// `task_seed(seed, index) % one_in == 0`, so the same seed dooms the
+/// same request indices regardless of worker count or timing. The
+/// global [`enabled`] kill switch (`VARDELAY_FAULTS=0`) masks it like
+/// every other fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestChaos {
+    seed: u64,
+    one_in: u64,
+}
+
+impl RequestChaos {
+    /// A chaos plan that dooms roughly one request in `one_in`,
+    /// deterministically by request index. `one_in == 0` never kills.
+    pub fn new(seed: u64, one_in: u64) -> Self {
+        RequestChaos { seed, one_in }
+    }
+
+    /// Reads `VARDELAY_SERVE_CHAOS`. Accepted forms: `<one_in>` or
+    /// `<one_in>:<seed>` (seed defaults to 0). Unset, empty, or
+    /// unparsable values disable chaos entirely.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("VARDELAY_SERVE_CHAOS").ok()?;
+        let raw = raw.trim();
+        let (one_in, seed) = match raw.split_once(':') {
+            Some((n, s)) => (n.trim().parse().ok()?, s.trim().parse().ok()?),
+            None => (raw.parse().ok()?, 0u64),
+        };
+        if one_in == 0 {
+            return None;
+        }
+        Some(RequestChaos::new(seed, one_in))
+    }
+
+    /// Whether the request with this admission index is doomed.
+    pub fn kills(&self, request_index: u64) -> bool {
+        enabled()
+            && self.one_in != 0
+            && task_seed(self.seed, request_index).is_multiple_of(self.one_in)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Fault taxonomy
 // ---------------------------------------------------------------------------
@@ -520,6 +572,24 @@ mod tests {
         set_enabled(false);
         assert!(plan.active().is_empty());
         assert_eq!(plan.planned().len(), 1);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn request_chaos_is_deterministic_and_sparse() {
+        set_enabled(true);
+        let chaos = RequestChaos::new(7, 25);
+        let doomed: Vec<u64> = (0..500).filter(|&i| chaos.kills(i)).collect();
+        // Same seed → same doomed set; rate lands near 1-in-25.
+        assert_eq!(
+            doomed,
+            (0..500).filter(|&i| chaos.kills(i)).collect::<Vec<_>>()
+        );
+        assert!(doomed.len() >= 5 && doomed.len() <= 60, "{doomed:?}");
+        // one_in == 0 is inert, and the global kill switch masks it.
+        assert!(!(0..500).any(|i| RequestChaos::new(7, 0).kills(i)));
+        set_enabled(false);
+        assert!(!doomed.iter().any(|&i| chaos.kills(i)));
         set_enabled(true);
     }
 

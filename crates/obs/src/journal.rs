@@ -468,6 +468,125 @@ pub fn compare_latest(
     })
 }
 
+/// Default threshold for the serving-SLO gate, as a fractional growth
+/// bound on tail latency. Deliberately far looser than
+/// [`DEFAULT_THRESHOLD`]: the p99 comes from a log₂-bucketed histogram
+/// whose adjacent representable values differ by 2×, so a tight gate
+/// would flap on bucket-boundary noise. `3.0` (ratio > 4×) only trips
+/// on a real serving-path regression.
+pub const SERVE_THRESHOLD: f64 = 3.0;
+
+/// The latest-two-records serving comparison `repro compare` gates on:
+/// p99 latency growth and throughput collapse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeComparison {
+    /// Worker count both records share.
+    pub threads: u64,
+    /// p99 latency of the older record, microseconds.
+    pub older_p99_us: f64,
+    /// p99 latency of the newer record, microseconds.
+    pub newer_p99_us: f64,
+    /// Throughput of the older record, requests per second.
+    pub older_rps: f64,
+    /// Throughput of the newer record, requests per second.
+    pub newer_rps: f64,
+    /// `newer_p99 / older_p99` (∞ when the older p99 is 0 and the
+    /// newer is not).
+    pub p99_ratio: f64,
+    /// The gate threshold the comparison was made against.
+    pub threshold: f64,
+    /// Whether the newer run's p99 grew past the threshold or its
+    /// throughput fell below `older / (1 + threshold)`.
+    pub regressed: bool,
+}
+
+impl fmt::Display for ServeComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serve-bench: p99 {:.0} \u{00b5}s -> {:.0} \u{00b5}s, {:.0} -> {:.0} req/s \
+             ({} worker(s); gate {:.0}\u{00d7}): {}",
+            self.older_p99_us,
+            self.newer_p99_us,
+            self.older_rps,
+            self.newer_rps,
+            self.threads,
+            1.0 + self.threshold,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Compares the latest two `serve-bench` records (the journal kind
+/// written by `repro serve-bench`), flagging a regression when the
+/// newer p99 latency exceeds the older by more than `threshold`
+/// (fractional — see [`SERVE_THRESHOLD`] for why it is loose) **or**
+/// the newer throughput falls below `older / (1 + threshold)`.
+///
+/// # Errors
+///
+/// Same shapes as [`compare_latest`]: [`CompareError::TooFewRecords`]
+/// under two `serve-bench` records, [`CompareError::ThreadMismatch`]
+/// when their worker counts differ, [`CompareError::MissingField`] on
+/// records without `p99_us`/`throughput_rps`/`threads`.
+pub fn compare_latest_serve(
+    records: &[Value],
+    threshold: f64,
+) -> Result<ServeComparison, CompareError> {
+    let matching: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("experiments").and_then(Value::as_str) == Some("serve-bench"))
+        .collect();
+    let [.., older, newer] = matching.as_slice() else {
+        return Err(CompareError::TooFewRecords {
+            found: matching.len(),
+            experiments: "serve-bench".to_owned(),
+        });
+    };
+    let threads = |r: &Value| {
+        r.get("threads")
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField("threads"))
+    };
+    let p99 = |r: &Value| {
+        r.get("p99_us")
+            .and_then(Value::as_f64)
+            .ok_or(CompareError::MissingField("p99_us"))
+    };
+    let rps = |r: &Value| {
+        r.get("throughput_rps")
+            .and_then(Value::as_f64)
+            .ok_or(CompareError::MissingField("throughput_rps"))
+    };
+    let (older_threads, newer_threads) = (threads(older)?, threads(newer)?);
+    if older_threads != newer_threads {
+        return Err(CompareError::ThreadMismatch {
+            older: older_threads,
+            newer: newer_threads,
+        });
+    }
+    let (older_p99_us, newer_p99_us) = (p99(older)?, p99(newer)?);
+    let (older_rps, newer_rps) = (rps(older)?, rps(newer)?);
+    let p99_ratio = if older_p99_us > 0.0 {
+        newer_p99_us / older_p99_us
+    } else if newer_p99_us > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    let throughput_collapsed = older_rps > 0.0 && newer_rps < older_rps / (1.0 + threshold);
+    Ok(ServeComparison {
+        threads: newer_threads,
+        older_p99_us,
+        newer_p99_us,
+        older_rps,
+        newer_rps,
+        p99_ratio,
+        threshold,
+        regressed: p99_ratio > 1.0 + threshold || throughput_collapsed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +845,78 @@ mod tests {
         assert_eq!(
             compare_latest(&[record("all", 1, 6.0), record("all", 4, 2.0)], "all", 0.1),
             Err(CompareError::ThreadMismatch { older: 1, newer: 4 })
+        );
+    }
+
+    fn serve_record(threads: u64, p99_us: f64, rps: f64) -> Value {
+        Value::obj()
+            .with("schema", SCHEMA_VERSION)
+            .with("experiments", "serve-bench")
+            .with("threads", threads)
+            .with("p99_us", p99_us)
+            .with("throughput_rps", rps)
+    }
+
+    #[test]
+    fn serve_compare_gates_p99_and_throughput() {
+        // Within the loose gate: a 2× p99 bucket step passes.
+        let records = vec![
+            serve_record(4, 400.0, 5000.0),
+            serve_record(4, 800.0, 4800.0),
+        ];
+        let c = compare_latest_serve(&records, SERVE_THRESHOLD).unwrap();
+        assert!(!c.regressed, "{c}");
+        assert_eq!(c.p99_ratio, 2.0);
+        // A >4× p99 blowup trips it.
+        let records = vec![
+            serve_record(4, 400.0, 5000.0),
+            serve_record(4, 1700.0, 4800.0),
+        ];
+        assert!(
+            compare_latest_serve(&records, SERVE_THRESHOLD)
+                .unwrap()
+                .regressed
+        );
+        // So does a throughput collapse, even with a flat p99.
+        let records = vec![
+            serve_record(4, 400.0, 5000.0),
+            serve_record(4, 400.0, 1000.0),
+        ];
+        assert!(
+            compare_latest_serve(&records, SERVE_THRESHOLD)
+                .unwrap()
+                .regressed
+        );
+    }
+
+    #[test]
+    fn serve_compare_needs_two_records_and_equal_workers() {
+        // Wall-clock records in the same journal are not serve records.
+        let records = vec![record("all", 1, 6.0), serve_record(4, 400.0, 5000.0)];
+        assert_eq!(
+            compare_latest_serve(&records, SERVE_THRESHOLD),
+            Err(CompareError::TooFewRecords {
+                found: 1,
+                experiments: "serve-bench".to_owned()
+            })
+        );
+        let records = vec![
+            serve_record(2, 400.0, 5000.0),
+            serve_record(4, 400.0, 5000.0),
+        ];
+        assert_eq!(
+            compare_latest_serve(&records, SERVE_THRESHOLD),
+            Err(CompareError::ThreadMismatch { older: 2, newer: 4 })
+        );
+        let bad = vec![
+            serve_record(4, 400.0, 5000.0),
+            Value::obj()
+                .with("experiments", "serve-bench")
+                .with("threads", 4u64),
+        ];
+        assert_eq!(
+            compare_latest_serve(&bad, SERVE_THRESHOLD),
+            Err(CompareError::MissingField("p99_us"))
         );
     }
 }

@@ -142,9 +142,11 @@ pub struct Deadline {
 }
 
 /// Sentinel panic payload for a cooperative deadline bail — recognized
-/// by [`Runner::run_with_deadline`] and converted to
-/// [`TaskError::DeadlineExceeded`] instead of a panic error.
-struct DeadlineBail;
+/// by [`Runner::run_with_deadline`] (and any other supervisor that
+/// catches task unwinds, e.g. the `vardelay-serve` worker pool) and
+/// converted to [`TaskError::DeadlineExceeded`] instead of a panic
+/// error. Probe a caught payload with `payload.is::<DeadlineBail>()`.
+pub struct DeadlineBail;
 
 impl Deadline {
     /// A deadline starting now with the given per-task budget.
@@ -252,7 +254,7 @@ impl Default for RetryPolicy {
 }
 
 /// Renders a caught panic payload as a stable message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -260,6 +262,31 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_owned()
     }
+}
+
+/// Parses a `VARDELAY_THREADS`-style override string into a worker
+/// count. The rules — shared by every consumer of the variable
+/// ([`Runner::from_env`], the `vardelay-serve` worker pool, `repro`) so
+/// they cannot drift: surrounding whitespace is ignored, the value must
+/// parse as a positive integer, and anything else (`0`, garbage, empty)
+/// means "no override".
+pub fn parse_thread_override(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Resolves the process's worker-thread count: the `VARDELAY_THREADS`
+/// override when set and valid (see [`parse_thread_override`]), else
+/// `std::thread::available_parallelism`, else 1. Always ≥ 1.
+pub fn worker_threads_from_env() -> usize {
+    std::env::var("VARDELAY_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(parse_thread_override)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// Derives the seed of task `task_index`'s private RNG stream from the
@@ -312,18 +339,10 @@ impl Runner {
     }
 
     /// A runner sized from the `VARDELAY_THREADS` environment variable,
-    /// falling back to `std::thread::available_parallelism`.
+    /// falling back to `std::thread::available_parallelism` (see
+    /// [`worker_threads_from_env`]).
     pub fn from_env() -> Self {
-        let threads = std::env::var("VARDELAY_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        Runner::new(threads)
+        Runner::new(worker_threads_from_env())
     }
 
     /// The process-wide default runner (first use fixes the size from the
@@ -683,6 +702,31 @@ mod tests {
     #[test]
     fn zero_thread_request_clamps_to_one() {
         assert_eq!(Runner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn thread_override_parsing_rejects_zero_and_garbage() {
+        // Pure probes on the shared parse rules (env mutation in tests
+        // races other threads, so the env wrapper is exercised by the
+        // CI matrix instead).
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override("  8\n"), Some(8));
+        assert_eq!(parse_thread_override("0"), None, "0 is not a worker count");
+        assert_eq!(parse_thread_override("-3"), None);
+        assert_eq!(parse_thread_override("four"), None);
+        assert_eq!(parse_thread_override("4.5"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("  "), None);
+        assert_eq!(parse_thread_override("18446744073709551616"), None);
+    }
+
+    #[test]
+    fn worker_threads_from_env_is_at_least_one() {
+        // Whatever the ambient environment says, the resolution never
+        // returns 0 — both serve's worker pool and the runner divide by
+        // it.
+        assert!(worker_threads_from_env() >= 1);
+        assert_eq!(Runner::from_env().threads(), worker_threads_from_env());
     }
 
     #[test]

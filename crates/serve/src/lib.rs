@@ -1,0 +1,42 @@
+//! `vardelay-serve`: the calibrated delay line as a networked,
+//! multi-tenant service.
+//!
+//! The paper's circuit exists to be *driven* — an ATE deskew loop
+//! programs `Vctrl`/tap selects per channel, a jitter rig streams
+//! profile updates — so this crate puts a TCP front end on the
+//! reproduction: line-delimited JSON requests (`set_delay`, `deskew`,
+//! `inject_jitter`, `selftest`, `stats`, `shutdown`) answered from a
+//! worker pool over the shared, characterization-cache-calibrated
+//! channel bank. DESIGN.md §12 specifies the protocol grammar and the
+//! three load-shedding behaviors this crate exists to demonstrate:
+//!
+//! * **batching** — same-channel `set_delay` requests inside one batch
+//!   window are answered from a single solve (last write wins);
+//! * **backpressure** — a bounded admission queue answers `overloaded`
+//!   with a retry hint instead of stalling the socket;
+//! * **graceful drain** — shutdown stops accepting, finishes every
+//!   admitted request, and reports final counters.
+//!
+//! Per-request budgets ride on [`vardelay_runner::Deadline`]; an
+//! exhausted budget is a `deadline_exceeded` *response*, never a
+//! dropped connection. Worker panics (including seeded
+//! [`vardelay_faults::RequestChaos`] kills) are contained by
+//! `catch_unwind` and surface as `internal` responses while the worker
+//! keeps serving — the fault-isolation property the chaos gate scores.
+//!
+//! Everything here is std-only, like the rest of the workspace.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{
+    DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
+    SelftestReply, StatsReply, MAX_LINE_BYTES,
+};
+pub use queue::BoundedQueue;
+pub use server::{serve, DrainReport, ServeConfig, ServerHandle};

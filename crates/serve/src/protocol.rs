@@ -1,0 +1,634 @@
+//! Wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, both rendered with
+//! `vardelay-obs`'s hand-rolled JSON (DESIGN.md §12 has the grammar).
+//! Requests are objects with an `"op"` discriminant; responses carry
+//! `"ok": true` plus op-specific fields, or `"ok": false` plus a
+//! structured error kind. Every type converts **both** directions
+//! (`to_value` / `from_value`) so the round-trip property tests can
+//! cover the full surface.
+//!
+//! Classification contract (leaned on by the property tests):
+//!
+//! * input that is not valid JSON, or not a JSON object →
+//!   [`ErrorKind::ParseError`];
+//! * a well-formed object with a missing/unknown `"op"` or bad fields →
+//!   [`ErrorKind::BadRequest`];
+//! * neither ever panics the connection thread.
+
+use vardelay_obs::json::Value;
+
+/// Hard cap on a single request line, in bytes. Longer lines are
+/// answered with a `parse_error` and discarded up to the next newline —
+/// the connection survives.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A parsed request plus its per-request metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<u64>,
+    /// Per-request deadline budget in milliseconds (server default when
+    /// absent). Exceeding it yields a `deadline_exceeded` *response*,
+    /// never a dropped connection.
+    pub deadline_ms: Option<u64>,
+    /// The operation.
+    pub request: Request,
+}
+
+/// Every operation the service accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Program one channel's delay: coarse tap + fine `Vctrl` solve
+    /// against the cached characterization.
+    SetDelay {
+        /// Channel index (0-based).
+        channel: usize,
+        /// Requested relative delay in picoseconds.
+        ps: f64,
+    },
+    /// Run the degraded-mode deskew loop over a fresh `bus`-wide
+    /// parallel bus with seeded random skew.
+    Deskew {
+        /// Bus width in channels (2..=32).
+        bus: usize,
+        /// Seed for the bus skews and the engine's retry RNG.
+        seed: u64,
+    },
+    /// Stream a PRBS-7 pattern through the jitter injector.
+    InjectJitter {
+        /// Injected noise peak-to-peak amplitude, millivolts.
+        vpp_mv: f64,
+        /// Line rate in Gb/s.
+        rate_gbps: f64,
+        /// Pattern length in bits (1..=4096).
+        bits: usize,
+        /// PRBS seed.
+        seed: u64,
+    },
+    /// Run the channel-0 circuit self-test (DESIGN.md §10).
+    Selftest,
+    /// Report server counters and queue state.
+    Stats,
+    /// Begin a graceful drain: stop accepting, finish in-flight work.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire discriminant.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::SetDelay { .. } => "set_delay",
+            Request::Deskew { .. } => "deskew",
+            Request::InjectJitter { .. } => "inject_jitter",
+            Request::Selftest => "selftest",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Machine-readable error classes, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON (or not an object).
+    ParseError,
+    /// Valid JSON, but the operation or its fields are wrong.
+    BadRequest,
+    /// The bounded queue was full; retry after the hinted delay.
+    Overloaded,
+    /// The per-request deadline elapsed before the work finished.
+    DeadlineExceeded,
+    /// A worker panicked while handling the request (the worker and the
+    /// connection both survive).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::ParseError => "parse_error",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn from_wire(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "parse_error" => ErrorKind::ParseError,
+            "bad_request" => ErrorKind::BadRequest,
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReply {
+    /// The error class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+    /// `Retry-After`-style hint, milliseconds (backpressure only).
+    pub retry_after_ms: Option<u64>,
+}
+
+/// `set_delay` success payload: the chosen operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayReply {
+    /// The programmed channel.
+    pub channel: usize,
+    /// The delay this waiter asked for, picoseconds.
+    pub requested_ps: f64,
+    /// Selected coarse tap.
+    pub tap: usize,
+    /// Programmed DAC code.
+    pub dac_code: u32,
+    /// Control voltage, millivolts.
+    pub vctrl_mv: f64,
+    /// Calibration-predicted delay, picoseconds.
+    pub predicted_ps: f64,
+    /// Predicted error vs the *batch* target, picoseconds.
+    pub error_ps: f64,
+    /// How many same-channel requests this one solve answered.
+    pub batched: usize,
+}
+
+/// `deskew` success payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeskewReply {
+    /// Bus width.
+    pub bus: usize,
+    /// Peak-to-peak skew before correction, picoseconds.
+    pub before_ps: f64,
+    /// Peak-to-peak skew after correction, picoseconds.
+    pub after_ps: f64,
+    /// Channels measured and corrected.
+    pub healthy: usize,
+    /// Quarantined channel indices.
+    pub quarantined: Vec<usize>,
+    /// Reference channel index.
+    pub reference: usize,
+    /// Whether the healthy channels met the paper's <5 ps target.
+    pub meets_target: bool,
+}
+
+/// `inject_jitter` success payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterReply {
+    /// Edges in the jittered stream.
+    pub edges: usize,
+    /// Injection transfer slope, seconds per volt.
+    pub slope_s_per_v: f64,
+}
+
+/// `selftest` success payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelftestReply {
+    /// `healthy` / `degraded` / `faulty`.
+    pub verdict: String,
+    /// The full one-line health report.
+    pub summary: String,
+}
+
+/// `stats` success payload — server counters since start.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReply {
+    /// Request lines received (including malformed ones).
+    pub requests: u64,
+    /// Successful responses sent.
+    pub ok: u64,
+    /// `parse_error` responses sent.
+    pub parse_errors: u64,
+    /// `bad_request` responses sent.
+    pub bad_requests: u64,
+    /// `overloaded` responses sent.
+    pub overloaded: u64,
+    /// `deadline_exceeded` responses sent.
+    pub deadline_exceeded: u64,
+    /// `internal` responses sent.
+    pub internal_errors: u64,
+    /// Requests answered as part of a same-channel batch (followers).
+    pub batched: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+}
+
+/// Every response the service emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `set_delay` succeeded.
+    Delay(DelayReply),
+    /// `deskew` succeeded.
+    Deskew(DeskewReply),
+    /// `inject_jitter` succeeded.
+    Jitter(JitterReply),
+    /// `selftest` succeeded.
+    Selftest(SelftestReply),
+    /// `stats` succeeded.
+    Stats(StatsReply),
+    /// `shutdown` accepted; the server is draining.
+    Draining,
+    /// The request failed; see [`ErrorReply::kind`].
+    Error(ErrorReply),
+}
+
+impl Response {
+    /// Shorthand error constructor.
+    pub fn error(kind: ErrorKind, detail: impl Into<String>) -> Response {
+        Response::Error(ErrorReply {
+            kind,
+            detail: detail.into(),
+            retry_after_ms: None,
+        })
+    }
+
+    /// The error kind, if this is an error.
+    pub fn error_kind(&self) -> Option<ErrorKind> {
+        match self {
+            Response::Error(e) => Some(e.kind),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests: JSON in both directions
+// ---------------------------------------------------------------------------
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn field_u64_or(v: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .as_u64()
+            .ok_or_else(|| format!("non-integer field {key:?}")),
+    }
+}
+
+impl Envelope {
+    /// A bare request with no id and the server's default deadline.
+    pub fn new(request: Request) -> Envelope {
+        Envelope {
+            id: None,
+            deadline_ms: None,
+            request,
+        }
+    }
+
+    /// Renders the request line (without the trailing newline).
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::obj().with("op", self.request.op());
+        if let Some(id) = self.id {
+            v = v.with("id", id);
+        }
+        if let Some(ms) = self.deadline_ms {
+            v = v.with("deadline_ms", ms);
+        }
+        match &self.request {
+            Request::SetDelay { channel, ps } => v.with("channel", *channel).with("ps", *ps),
+            Request::Deskew { bus, seed } => v.with("bus", *bus).with("seed", *seed),
+            Request::InjectJitter {
+                vpp_mv,
+                rate_gbps,
+                bits,
+                seed,
+            } => v
+                .with("vpp_mv", *vpp_mv)
+                .with("rate_gbps", *rate_gbps)
+                .with("bits", *bits)
+                .with("seed", *seed),
+            Request::Selftest | Request::Stats | Request::Shutdown => v,
+        }
+    }
+
+    /// Parses one request line. The error is already the structured
+    /// response the server should write back.
+    pub fn parse(line: &str) -> Result<Envelope, ErrorReply> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(ErrorReply {
+                kind: ErrorKind::ParseError,
+                detail: format!(
+                    "line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+                    line.len()
+                ),
+                retry_after_ms: None,
+            });
+        }
+        let value = Value::parse(line.trim()).map_err(|e| ErrorReply {
+            kind: ErrorKind::ParseError,
+            detail: e.to_string(),
+            retry_after_ms: None,
+        })?;
+        Envelope::from_value(&value).map_err(|detail| ErrorReply {
+            kind: if matches!(value, Value::Obj(_)) {
+                ErrorKind::BadRequest
+            } else {
+                ErrorKind::ParseError
+            },
+            detail,
+            retry_after_ms: None,
+        })
+    }
+
+    /// Inverse of [`to_value`](Self::to_value).
+    pub fn from_value(value: &Value) -> Result<Envelope, String> {
+        if !matches!(value, Value::Obj(_)) {
+            return Err("request must be a JSON object".to_owned());
+        }
+        let id = match value.get("id") {
+            None => None,
+            Some(raw) => Some(raw.as_u64().ok_or("non-integer field \"id\"")?),
+        };
+        let deadline_ms = match value.get("deadline_ms") {
+            None => None,
+            Some(raw) => Some(raw.as_u64().ok_or("non-integer field \"deadline_ms\"")?),
+        };
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing or non-string field \"op\"")?;
+        let request = match op {
+            "set_delay" => Request::SetDelay {
+                channel: field_u64(value, "channel")? as usize,
+                ps: field_f64(value, "ps")?,
+            },
+            "deskew" => Request::Deskew {
+                bus: field_u64(value, "bus")? as usize,
+                seed: field_u64_or(value, "seed", 0)?,
+            },
+            "inject_jitter" => Request::InjectJitter {
+                vpp_mv: field_f64(value, "vpp_mv")?,
+                rate_gbps: field_f64(value, "rate_gbps")?,
+                bits: field_u64(value, "bits")? as usize,
+                seed: field_u64_or(value, "seed", 1)?,
+            },
+            "selftest" => Request::Selftest,
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        Ok(Envelope {
+            id,
+            deadline_ms,
+            request,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses: JSON in both directions
+// ---------------------------------------------------------------------------
+
+impl Response {
+    /// Renders the response line (without the trailing newline),
+    /// echoing the request's correlation id when present.
+    pub fn to_value(&self, id: Option<u64>) -> Value {
+        let mut v = Value::obj();
+        if let Some(id) = id {
+            v = v.with("id", id);
+        }
+        match self {
+            Response::Delay(r) => v
+                .with("ok", true)
+                .with("op", "set_delay")
+                .with("channel", r.channel)
+                .with("requested_ps", r.requested_ps)
+                .with("tap", r.tap)
+                .with("dac_code", r.dac_code as u64)
+                .with("vctrl_mv", r.vctrl_mv)
+                .with("predicted_ps", r.predicted_ps)
+                .with("error_ps", r.error_ps)
+                .with("batched", r.batched),
+            Response::Deskew(r) => v
+                .with("ok", true)
+                .with("op", "deskew")
+                .with("bus", r.bus)
+                .with("before_ps", r.before_ps)
+                .with("after_ps", r.after_ps)
+                .with("healthy", r.healthy)
+                .with(
+                    "quarantined",
+                    Value::Arr(r.quarantined.iter().map(|&c| Value::from(c)).collect()),
+                )
+                .with("reference", r.reference)
+                .with("meets_target", r.meets_target),
+            Response::Jitter(r) => v
+                .with("ok", true)
+                .with("op", "inject_jitter")
+                .with("edges", r.edges)
+                .with("slope_s_per_v", r.slope_s_per_v),
+            Response::Selftest(r) => v
+                .with("ok", true)
+                .with("op", "selftest")
+                .with("verdict", r.verdict.as_str())
+                .with("summary", r.summary.as_str()),
+            Response::Stats(r) => v
+                .with("ok", true)
+                .with("op", "stats")
+                .with("requests", r.requests)
+                .with("ok_count", r.ok)
+                .with("parse_errors", r.parse_errors)
+                .with("bad_requests", r.bad_requests)
+                .with("overloaded", r.overloaded)
+                .with("deadline_exceeded", r.deadline_exceeded)
+                .with("internal_errors", r.internal_errors)
+                .with("batched", r.batched)
+                .with("queue_depth", r.queue_depth)
+                .with("workers", r.workers),
+            Response::Draining => v
+                .with("ok", true)
+                .with("op", "shutdown")
+                .with("draining", true),
+            Response::Error(e) => {
+                v = v
+                    .with("ok", false)
+                    .with("error", e.kind.as_str())
+                    .with("detail", e.detail.as_str());
+                if let Some(ms) = e.retry_after_ms {
+                    v = v.with("retry_after_ms", ms);
+                }
+                v
+            }
+        }
+    }
+
+    /// Parses a response line into `(id, response)`.
+    pub fn parse(line: &str) -> Result<(Option<u64>, Response), String> {
+        let value = Value::parse(line.trim()).map_err(|e| e.to_string())?;
+        Response::from_value(&value)
+    }
+
+    /// Inverse of [`to_value`](Self::to_value).
+    pub fn from_value(value: &Value) -> Result<(Option<u64>, Response), String> {
+        let id = value.get("id").and_then(Value::as_u64);
+        let ok = value
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or("missing field \"ok\"")?;
+        if !ok {
+            let kind = value
+                .get("error")
+                .and_then(Value::as_str)
+                .and_then(ErrorKind::from_wire)
+                .ok_or("missing or unknown field \"error\"")?;
+            let detail = value
+                .get("detail")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            let retry_after_ms = value.get("retry_after_ms").and_then(Value::as_u64);
+            return Ok((
+                id,
+                Response::Error(ErrorReply {
+                    kind,
+                    detail,
+                    retry_after_ms,
+                }),
+            ));
+        }
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing field \"op\"")?;
+        let response = match op {
+            "set_delay" => Response::Delay(DelayReply {
+                channel: field_u64(value, "channel")? as usize,
+                requested_ps: field_f64(value, "requested_ps")?,
+                tap: field_u64(value, "tap")? as usize,
+                dac_code: field_u64(value, "dac_code")? as u32,
+                vctrl_mv: field_f64(value, "vctrl_mv")?,
+                predicted_ps: field_f64(value, "predicted_ps")?,
+                error_ps: field_f64(value, "error_ps")?,
+                batched: field_u64(value, "batched")? as usize,
+            }),
+            "deskew" => Response::Deskew(DeskewReply {
+                bus: field_u64(value, "bus")? as usize,
+                before_ps: field_f64(value, "before_ps")?,
+                after_ps: field_f64(value, "after_ps")?,
+                healthy: field_u64(value, "healthy")? as usize,
+                quarantined: value
+                    .get("quarantined")
+                    .and_then(Value::as_arr)
+                    .ok_or("missing field \"quarantined\"")?
+                    .iter()
+                    .map(|v| v.as_u64().map(|c| c as usize).ok_or("non-integer channel"))
+                    .collect::<Result<_, _>>()?,
+                reference: field_u64(value, "reference")? as usize,
+                meets_target: value
+                    .get("meets_target")
+                    .and_then(Value::as_bool)
+                    .ok_or("missing field \"meets_target\"")?,
+            }),
+            "inject_jitter" => Response::Jitter(JitterReply {
+                edges: field_u64(value, "edges")? as usize,
+                slope_s_per_v: field_f64(value, "slope_s_per_v")?,
+            }),
+            "selftest" => Response::Selftest(SelftestReply {
+                verdict: value
+                    .get("verdict")
+                    .and_then(Value::as_str)
+                    .ok_or("missing field \"verdict\"")?
+                    .to_owned(),
+                summary: value
+                    .get("summary")
+                    .and_then(Value::as_str)
+                    .ok_or("missing field \"summary\"")?
+                    .to_owned(),
+            }),
+            "stats" => Response::Stats(StatsReply {
+                requests: field_u64(value, "requests")?,
+                ok: field_u64(value, "ok_count")?,
+                parse_errors: field_u64(value, "parse_errors")?,
+                bad_requests: field_u64(value, "bad_requests")?,
+                overloaded: field_u64(value, "overloaded")?,
+                deadline_exceeded: field_u64(value, "deadline_exceeded")?,
+                internal_errors: field_u64(value, "internal_errors")?,
+                batched: field_u64(value, "batched")?,
+                queue_depth: field_u64(value, "queue_depth")?,
+                workers: field_u64(value, "workers")?,
+            }),
+            "shutdown" => Response::Draining,
+            other => return Err(format!("unknown response op {other:?}")),
+        };
+        Ok((id, response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let all = [
+            Envelope {
+                id: Some(7),
+                deadline_ms: Some(250),
+                request: Request::SetDelay {
+                    channel: 3,
+                    ps: 161.25,
+                },
+            },
+            Envelope::new(Request::Deskew { bus: 8, seed: 42 }),
+            Envelope::new(Request::InjectJitter {
+                vpp_mv: 80.0,
+                rate_gbps: 3.2,
+                bits: 127,
+                seed: 5,
+            }),
+            Envelope::new(Request::Selftest),
+            Envelope::new(Request::Stats),
+            Envelope::new(Request::Shutdown),
+        ];
+        for env in all {
+            let line = env.to_value().render();
+            let back = Envelope::parse(&line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+            assert_eq!(back, env, "{line}");
+        }
+    }
+
+    #[test]
+    fn junk_is_a_parse_error_and_bad_fields_are_bad_requests() {
+        for junk in ["", "not json", "[1,2]", "42", "\"op\"", "{\"op\":", "null"] {
+            let err = Envelope::parse(junk).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::ParseError, "{junk:?}");
+        }
+        for bad in [
+            "{}",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"set_delay\"}",
+            "{\"op\":\"set_delay\",\"channel\":-1,\"ps\":10}",
+            "{\"op\":\"set_delay\",\"channel\":0,\"ps\":\"x\"}",
+            "{\"op\":\"stats\",\"id\":1.5}",
+        ] {
+            let err = Envelope::parse(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad:?}");
+        }
+        let over = "x".repeat(MAX_LINE_BYTES + 1);
+        assert_eq!(
+            Envelope::parse(&over).unwrap_err().kind,
+            ErrorKind::ParseError
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! A bounded MPSC-ish queue with coalescing support.
+//!
+//! `std::sync::mpsc` has no bounded non-blocking push and no way to
+//! pull *matching* entries out of the middle, so the server uses this
+//! small `Mutex<VecDeque>` + `Condvar` queue instead:
+//!
+//! * [`try_push`](BoundedQueue::try_push) never blocks — a full queue
+//!   hands the item back so the caller can answer `overloaded`
+//!   (backpressure is a *response*, not a stalled connection);
+//! * [`drain_matching`](BoundedQueue::drain_matching) lets a worker
+//!   coalesce same-channel `set_delay` requests into one solve;
+//! * [`close`](BoundedQueue::close) + `pop → None` gives the graceful
+//!   drain: workers finish everything queued, then exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The queue. All methods are `&self`; share it behind an `Arc`.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push. Returns the item back when the queue is full
+    /// or closed, so the producer can answer `overloaded` (or drop).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` only once the queue is closed *and*
+    /// empty — everything accepted before the close is still served.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Removes and returns every queued item matching `pred`, preserving
+    /// arrival order. Used to coalesce a batch; non-matching items keep
+    /// their positions.
+    pub fn drain_matching(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut kept = VecDeque::with_capacity(inner.items.len());
+        let mut taken = Vec::new();
+        for item in inner.items.drain(..) {
+            if pred(&item) {
+                taken.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        inner.items = kept;
+        taken
+    }
+
+    /// Closes the queue: further pushes fail, pops drain the remainder
+    /// then return `None`. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_matching_preserves_order_of_both_halves() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        let evens = q.drain_matching(|&i| i % 2 == 0);
+        assert_eq!(evens, vec![0, 2, 4]);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+    }
+
+    #[test]
+    fn close_drains_the_remainder_then_ends() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(10).unwrap();
+        q.close();
+        assert_eq!(q.try_push(11), Err(11));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+
+        // A popper blocked on an empty queue wakes on close.
+        let q2 = Arc::new(BoundedQueue::<u32>::new(4));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,745 @@
+//! The server: accept thread → bounded queue → worker pool.
+//!
+//! Life of a request (DESIGN.md §12):
+//!
+//! 1. the accept thread hands each connection to a reader thread;
+//! 2. the reader extracts newline-delimited lines (oversized lines are
+//!    answered `parse_error` and discarded to the next newline),
+//!    parses them, stamps an admission index and a
+//!    [`Deadline`](vardelay_runner::Deadline), and `try_push`es a job —
+//!    a full queue answers `overloaded` with a retry hint instead of
+//!    blocking the socket;
+//! 3. a worker pops the job. A `set_delay` lead waits one batch window,
+//!    drains every queued same-channel `set_delay`, and answers the
+//!    whole batch from one solve on the shared, cache-calibrated
+//!    circuit (last write wins — the same single-flight discipline as
+//!    the characterization cache). Handlers run under `catch_unwind`:
+//!    a cooperative [`DeadlineBail`] becomes a `deadline_exceeded`
+//!    response, any other panic (including injected
+//!    [`RequestChaos`] kills) becomes an `internal` response, and the
+//!    worker survives either way;
+//! 4. shutdown (wire request or [`ServerHandle::shutdown`]) stops the
+//!    accept loop, readers finish their buffers and exit, the queue is
+//!    closed, workers drain what was admitted, and
+//!    [`ServerHandle::join`] returns the final counters.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vardelay_ate::{DegradedPolicy, DeskewEngine, ParallelBus};
+use vardelay_core::config::ModelConfig;
+use vardelay_core::{CombinedDelayCircuit, HealthVerdict, JitterInjector};
+use vardelay_faults::RequestChaos;
+use vardelay_runner::{panic_message, worker_threads_from_env, Deadline, DeadlineBail, Runner};
+use vardelay_siggen::{BitPattern, EdgeStream};
+use vardelay_units::{BitRate, Time, Voltage};
+
+use crate::protocol::{
+    DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
+    SelftestReply, StatsReply, MAX_LINE_BYTES,
+};
+use crate::queue::BoundedQueue;
+
+/// Seed for the service's model instances (shared by every channel so
+/// the characterization cache single-flights the calibration).
+const SERVE_SEED: u64 = 0x5e7e;
+
+/// How it all runs. Build with [`from_env`](Self::from_env) for the
+/// standalone server or [`in_process`](Self::in_process) for tests and
+/// the load generator.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`VARDELAY_SERVE_ADDR`).
+    pub addr: String,
+    /// Bounded queue depth (`VARDELAY_SERVE_QUEUE`); a full queue
+    /// answers `overloaded`.
+    pub queue_depth: usize,
+    /// Batch coalescing window (`VARDELAY_SERVE_BATCH_US`): how long a
+    /// `set_delay` lead waits for same-channel followers.
+    pub batch_window: Duration,
+    /// Worker threads (`VARDELAY_THREADS` via
+    /// [`worker_threads_from_env`]).
+    pub workers: usize,
+    /// Delay channels the service exposes.
+    pub channels: usize,
+    /// Default per-request budget when the envelope has no
+    /// `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Seeded worker-kill chaos (`VARDELAY_SERVE_CHAOS`).
+    pub chaos: Option<RequestChaos>,
+}
+
+impl ServeConfig {
+    /// The standalone configuration: every knob from the environment,
+    /// defaults matching the README table.
+    pub fn from_env() -> ServeConfig {
+        let addr = std::env::var("VARDELAY_SERVE_ADDR")
+            .ok()
+            .filter(|a| !a.trim().is_empty())
+            .unwrap_or_else(|| "127.0.0.1:4848".to_owned());
+        let queue_depth = std::env::var("VARDELAY_SERVE_QUEUE")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        let batch_us = std::env::var("VARDELAY_SERVE_BATCH_US")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .unwrap_or(100);
+        ServeConfig {
+            addr,
+            queue_depth,
+            batch_window: Duration::from_micros(batch_us),
+            workers: worker_threads_from_env(),
+            channels: 8,
+            default_deadline: Duration::from_secs(2),
+            chaos: RequestChaos::from_env(),
+        }
+    }
+
+    /// An ephemeral-port configuration for in-process use (tests, the
+    /// `serve-bench` load generator). Environment-independent apart
+    /// from the worker count.
+    pub fn in_process() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_depth: 64,
+            batch_window: Duration::from_micros(100),
+            workers: worker_threads_from_env(),
+            channels: 8,
+            default_deadline: Duration::from_secs(2),
+            chaos: None,
+        }
+    }
+}
+
+/// Response counters, mirrored into the `stats` reply and the final
+/// [`DrainReport`].
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    parse_errors: AtomicU64,
+    bad_requests: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    internal_errors: AtomicU64,
+    batched: AtomicU64,
+}
+
+impl Stats {
+    fn count_response(&self, response: &Response) {
+        let counter = match response.error_kind() {
+            None => &self.ok,
+            Some(ErrorKind::ParseError) => &self.parse_errors,
+            Some(ErrorKind::BadRequest) => &self.bad_requests,
+            Some(ErrorKind::Overloaded) => &self.overloaded,
+            Some(ErrorKind::DeadlineExceeded) => &self.deadline_exceeded,
+            Some(ErrorKind::Internal) => &self.internal_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, queue_depth: u64, workers: u64) -> StatsReply {
+        StatsReply {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
+            queue_depth,
+            workers,
+        }
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    envelope: Envelope,
+    deadline: Deadline,
+    reply: Arc<Mutex<TcpStream>>,
+    index: u64,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    channels: Vec<Mutex<CombinedDelayCircuit>>,
+    model: ModelConfig,
+    stats: Stats,
+    shutdown: AtomicBool,
+    next_index: AtomicU64,
+    batch_window: Duration,
+    default_deadline: Duration,
+    workers: usize,
+    chaos: Option<RequestChaos>,
+}
+
+/// The final counters a drained server reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainReport {
+    /// Every counter at the moment the last worker exited.
+    pub stats: StatsReply,
+}
+
+impl std::fmt::Display for DrainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = &self.stats;
+        write!(
+            f,
+            "drained: requests={} ok={} parse_error={} bad_request={} overloaded={} \
+             deadline_exceeded={} internal={} batched={}",
+            s.requests,
+            s.ok,
+            s.parse_errors,
+            s.bad_requests,
+            s.overloaded,
+            s.deadline_exceeded,
+            s.internal_errors,
+            s.batched
+        )
+    }
+}
+
+/// A running server. Dropping the handle without
+/// [`join`](Self::join)ing detaches the threads; prefer joining.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain programmatically (same effect as a wire
+    /// `shutdown` request).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until the server has fully drained: accept loop stopped,
+    /// readers gone, every admitted job answered, workers exited.
+    pub fn join(mut self) -> DrainReport {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // No producers remain; close the queue so workers drain the
+        // backlog and exit.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        DrainReport {
+            stats: self.shared.stats.snapshot(0, self.shared.workers as u64),
+        }
+    }
+}
+
+/// Binds, calibrates the channel bank (one characterization-cache
+/// solve, shared by all channels), and spawns the accept thread and
+/// worker pool.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let model = ModelConfig::paper_prototype();
+    let runner = Runner::from_env();
+    let mut channels = Vec::with_capacity(config.channels.max(1));
+    for _ in 0..config.channels.max(1) {
+        let mut circuit = CombinedDelayCircuit::new(&model, SERVE_SEED);
+        // Every channel shares the model fingerprint, so the first
+        // calibration misses the characterization cache and the rest
+        // hit the same single-flight slot.
+        circuit.calibrate_cached_with(runner);
+        channels.push(Mutex::new(circuit));
+    }
+
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_depth),
+        channels,
+        model,
+        stats: Stats::default(),
+        shutdown: AtomicBool::new(false),
+        next_index: AtomicU64::new(0),
+        batch_window: config.batch_window,
+        default_deadline: config.default_deadline,
+        workers: config.workers.max(1),
+        chaos: config.chaos,
+    });
+
+    let workers = (0..shared.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-accept".to_owned())
+            .spawn(move || accept_loop(&shared, listener))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Accept + connection readers
+// ---------------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".to_owned())
+                    .spawn(move || connection_loop(&shared, stream))
+                    .expect("spawn connection thread");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    drop(listener);
+    for conn in connections {
+        let _ = conn.join();
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let _ = stream.set_nodelay(true);
+    let reply = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // After an oversized line is rejected, bytes are discarded up to
+    // the next newline so the framing recovers.
+    let mut discarding = false;
+    'conn: loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    if discarding {
+                        match buf.iter().position(|&b| b == b'\n') {
+                            Some(pos) => {
+                                buf.drain(..=pos);
+                                discarding = false;
+                            }
+                            None => {
+                                buf.clear();
+                                break;
+                            }
+                        }
+                    } else if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = buf.drain(..=pos).collect();
+                        let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                        if handle_line(shared, &reply, text.trim()) {
+                            break 'conn;
+                        }
+                    } else if buf.len() > MAX_LINE_BYTES {
+                        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        let response = Response::error(
+                            ErrorKind::ParseError,
+                            format!(
+                                "request line exceeds the {MAX_LINE_BYTES}-byte limit; \
+                                 discarding to the next newline"
+                            ),
+                        );
+                        finish(shared, &reply, None, response, None);
+                        buf.clear();
+                        discarding = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parses and admits one request line. Returns `true` when the line was
+/// a shutdown request (the reader should close the connection).
+fn handle_line(shared: &Arc<Shared>, reply: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    vardelay_obs::counter("serve.lines").add(1);
+    let envelope = match Envelope::parse(line) {
+        Ok(envelope) => envelope,
+        Err(error) => {
+            finish(shared, reply, None, Response::Error(error), None);
+            return false;
+        }
+    };
+    if matches!(envelope.request, Request::Shutdown) {
+        shared.shutdown.store(true, Ordering::Relaxed);
+        finish(shared, reply, envelope.id, Response::Draining, None);
+        return true;
+    }
+    let budget = envelope
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(shared.default_deadline);
+    let job = Job {
+        deadline: Deadline::after(budget),
+        reply: Arc::clone(reply),
+        index: shared.next_index.fetch_add(1, Ordering::Relaxed),
+        envelope,
+    };
+    if let Err(job) = shared.queue.try_push(job) {
+        let retry_after_ms = 1
+            + shared.batch_window.as_millis() as u64
+            + shared.default_deadline.as_millis() as u64 / 100;
+        let response = Response::Error(ErrorReply {
+            kind: ErrorKind::Overloaded,
+            detail: format!(
+                "queue of {} is full; retry after the hinted backoff",
+                shared.queue.capacity()
+            ),
+            retry_after_ms: Some(retry_after_ms),
+        });
+        finish(shared, &job.reply, job.envelope.id, response, None);
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        process_job(shared, job);
+    }
+}
+
+fn process_job(shared: &Arc<Shared>, job: Job) {
+    if job.deadline.expired() {
+        let response = Response::error(
+            ErrorKind::DeadlineExceeded,
+            format!(
+                "budget of {} ms elapsed before a worker picked the request up",
+                job.deadline.budget().as_millis()
+            ),
+        );
+        finish(
+            shared,
+            &job.reply,
+            job.envelope.id,
+            response,
+            Some(&job.deadline),
+        );
+        return;
+    }
+    if let Request::SetDelay { channel, .. } = job.envelope.request {
+        if channel < shared.channels.len() {
+            process_set_delay_batch(shared, job, channel);
+            return;
+        }
+    }
+    let response = supervise(shared, &job, |job| handle_one(shared, job));
+    finish(
+        shared,
+        &job.reply,
+        job.envelope.id,
+        response,
+        Some(&job.deadline),
+    );
+}
+
+/// Runs a handler under `catch_unwind`, classifying the three ways it
+/// can come back: a value, a cooperative [`DeadlineBail`], or a real
+/// panic (possibly an injected chaos kill). The worker thread survives
+/// all three.
+fn supervise(shared: &Arc<Shared>, job: &Job, f: impl FnOnce(&Job) -> Response) -> Response {
+    let doomed = shared.chaos.is_some_and(|chaos| chaos.kills(job.index));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if doomed {
+            panic!(
+                "chaos: request {} doomed by VARDELAY_SERVE_CHAOS",
+                job.index
+            );
+        }
+        job.deadline.check();
+        f(job)
+    }));
+    match result {
+        Ok(response) => response,
+        Err(payload) if payload.is::<DeadlineBail>() => Response::error(
+            ErrorKind::DeadlineExceeded,
+            format!(
+                "budget of {} ms exhausted mid-request",
+                job.deadline.budget().as_millis()
+            ),
+        ),
+        Err(payload) => {
+            vardelay_obs::counter("serve.worker_panics").add(1);
+            Response::error(
+                ErrorKind::Internal,
+                format!("worker panicked: {}", panic_message(payload.as_ref())),
+            )
+        }
+    }
+}
+
+/// Lead worker for a `set_delay`: waits one batch window, coalesces
+/// every queued same-channel `set_delay`, performs one solve (last
+/// write wins), and answers every waiter.
+fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
+    if !shared.batch_window.is_zero() {
+        // Yield-spin rather than sleep: the window is ~100 µs and
+        // `thread::sleep` rounds up to timer granularity (whole
+        // milliseconds on some kernels), which would throttle a lone
+        // worker far below the offered load. Yielding lets the reader
+        // threads run and enqueue the followers this wait exists for.
+        let window_ends = std::time::Instant::now() + shared.batch_window;
+        while std::time::Instant::now() < window_ends {
+            std::thread::yield_now();
+        }
+    }
+    let mut batch = vec![lead];
+    batch.extend(shared.queue.drain_matching(|queued| {
+        matches!(queued.envelope.request, Request::SetDelay { channel: c, .. } if c == channel)
+    }));
+    let target_ps = batch
+        .iter()
+        .rev()
+        .find_map(|job| match job.envelope.request {
+            Request::SetDelay { ps, .. } => Some(ps),
+            _ => None,
+        })
+        .expect("batch holds only set_delay requests");
+    let size = batch.len();
+    if size > 1 {
+        shared
+            .stats
+            .batched
+            .fetch_add(size as u64 - 1, Ordering::Relaxed);
+        vardelay_obs::histogram("serve.batch_size").record(size as u64);
+    }
+    let outcome = supervise(shared, &batch[0], |_| {
+        solve_delay(shared, channel, target_ps)
+    });
+    for job in &batch {
+        let response = match (&outcome, job.deadline.expired()) {
+            // The solve finished but this waiter's own budget elapsed.
+            (Response::Delay(_), true) => Response::error(
+                ErrorKind::DeadlineExceeded,
+                format!(
+                    "budget of {} ms elapsed while the batch was being solved",
+                    job.deadline.budget().as_millis()
+                ),
+            ),
+            (Response::Delay(reply), false) => {
+                let ps = match job.envelope.request {
+                    Request::SetDelay { ps, .. } => ps,
+                    _ => unreachable!("batch holds only set_delay requests"),
+                };
+                Response::Delay(DelayReply {
+                    requested_ps: ps,
+                    error_ps: reply.predicted_ps - ps,
+                    batched: size,
+                    ..reply.clone()
+                })
+            }
+            // Errors (bad range, chaos kill, deadline) share the
+            // batch's fate: every waiter learns what happened.
+            (other, _) => other.clone(),
+        };
+        finish(
+            shared,
+            &job.reply,
+            job.envelope.id,
+            response,
+            Some(&job.deadline),
+        );
+    }
+}
+
+fn solve_delay(shared: &Arc<Shared>, channel: usize, target_ps: f64) -> Response {
+    if !target_ps.is_finite() {
+        return Response::error(ErrorKind::BadRequest, "ps must be finite");
+    }
+    let mut circuit = shared.channels[channel]
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    match circuit.set_delay(Time::from_ps(target_ps)) {
+        Ok(setting) => Response::Delay(DelayReply {
+            channel,
+            requested_ps: target_ps,
+            tap: setting.tap,
+            dac_code: setting.dac_code,
+            vctrl_mv: setting.vctrl.as_mv(),
+            predicted_ps: setting.predicted_delay.as_ps(),
+            error_ps: setting.predicted_error.as_ps(),
+            batched: 1,
+        }),
+        Err(e) => Response::error(ErrorKind::BadRequest, format!("set_delay: {e}")),
+    }
+}
+
+fn handle_one(shared: &Arc<Shared>, job: &Job) -> Response {
+    match &job.envelope.request {
+        Request::SetDelay { channel, .. } => Response::error(
+            ErrorKind::BadRequest,
+            format!(
+                "channel {channel} out of range (service exposes {})",
+                shared.channels.len()
+            ),
+        ),
+        Request::Deskew { bus, seed } => handle_deskew(shared, *bus, *seed, &job.deadline),
+        Request::InjectJitter {
+            vpp_mv,
+            rate_gbps,
+            bits,
+            seed,
+        } => handle_inject(shared, *vpp_mv, *rate_gbps, *bits, *seed),
+        Request::Selftest => handle_selftest(shared),
+        Request::Stats => Response::Stats(
+            shared
+                .stats
+                .snapshot(shared.queue.len() as u64, shared.workers as u64),
+        ),
+        Request::Shutdown => unreachable!("shutdown is handled at admission"),
+    }
+}
+
+fn handle_deskew(shared: &Arc<Shared>, bus: usize, seed: u64, deadline: &Deadline) -> Response {
+    if !(2..=32).contains(&bus) {
+        return Response::error(ErrorKind::BadRequest, "bus width must be in 2..=32");
+    }
+    // Serial runner: the worker thread *is* the parallelism here, and a
+    // nested pool per request would oversubscribe under load.
+    let engine = DeskewEngine::new(&shared.model, seed).with_runner(Runner::serial());
+    let mut lanes =
+        ParallelBus::with_random_skew(bus, BitRate::from_gbps(3.2), Time::from_ps(120.0), seed);
+    deadline.check();
+    match engine.run_degraded(&mut lanes, DegradedPolicy::default()) {
+        Ok(outcome) => Response::Deskew(DeskewReply {
+            bus,
+            before_ps: outcome.before_peak_to_peak.as_ps(),
+            after_ps: outcome.after_peak_to_peak.as_ps(),
+            healthy: outcome.healthy_count(),
+            quarantined: outcome.quarantined_channels(),
+            reference: outcome.reference_channel,
+            meets_target: outcome.meets_5ps_target(),
+        }),
+        Err(e) => Response::error(ErrorKind::Internal, format!("deskew: {e}")),
+    }
+}
+
+fn handle_inject(
+    shared: &Arc<Shared>,
+    vpp_mv: f64,
+    rate_gbps: f64,
+    bits: usize,
+    seed: u64,
+) -> Response {
+    if !(1..=4096).contains(&bits) {
+        return Response::error(ErrorKind::BadRequest, "bits must be in 1..=4096");
+    }
+    if !rate_gbps.is_finite() || rate_gbps <= 0.0 || rate_gbps > 100.0 {
+        return Response::error(ErrorKind::BadRequest, "rate_gbps must be in (0, 100]");
+    }
+    if !vpp_mv.is_finite() || !(0.0..=2000.0).contains(&vpp_mv) {
+        return Response::error(ErrorKind::BadRequest, "vpp_mv must be in [0, 2000]");
+    }
+    let mut injector = JitterInjector::new(&shared.model, seed);
+    injector.set_noise_peak_to_peak(Voltage::from_mv(vpp_mv));
+    let pattern = BitPattern::prbs7(seed, bits);
+    let clean = EdgeStream::nrz(&pattern, BitRate::from_gbps(rate_gbps));
+    let jittered = injector.inject(&clean);
+    Response::Jitter(JitterReply {
+        edges: jittered.len(),
+        slope_s_per_v: injector.injection_slope_s_per_v(),
+    })
+}
+
+fn handle_selftest(shared: &Arc<Shared>) -> Response {
+    let mut circuit = shared.channels[0]
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let health = circuit.self_test();
+    Response::Selftest(SelftestReply {
+        verdict: match health.verdict() {
+            HealthVerdict::Healthy => "healthy",
+            HealthVerdict::Degraded => "degraded",
+            HealthVerdict::Faulty => "faulty",
+        }
+        .to_owned(),
+        summary: health.to_string(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------------
+
+/// Counts, records, and writes one response line. Write failures are
+/// swallowed — a vanished client must not take the worker down.
+fn finish(
+    shared: &Arc<Shared>,
+    reply: &Arc<Mutex<TcpStream>>,
+    id: Option<u64>,
+    response: Response,
+    deadline: Option<&Deadline>,
+) {
+    shared.stats.count_response(&response);
+    if let Some(deadline) = deadline {
+        vardelay_obs::histogram("serve.latency_us").record(deadline.elapsed().as_micros() as u64);
+    }
+    let line = response.to_value(id).render();
+    let mut stream = reply
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}

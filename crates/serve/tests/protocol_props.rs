@@ -1,0 +1,203 @@
+//! Wire-protocol robustness: arbitrary byte junk, truncated JSON, and
+//! oversized lines must never panic a server thread and must always
+//! draw a structured error response; every request/response type must
+//! survive a render→parse round trip.
+//!
+//! The junk tests go over a real socket against a live in-process
+//! server (shared across cases — one calibration, many connections),
+//! so they exercise the reader thread's framing and error paths, not
+//! just the parser.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use vardelay_serve::{
+    Client, DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request,
+    Response, SelftestReply, ServeConfig, ServerHandle, StatsReply, MAX_LINE_BYTES,
+};
+
+fn shared_server() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let mut config = ServeConfig::in_process();
+        config.workers = 2;
+        vardelay_serve::serve(config).expect("bind in-process server")
+    })
+}
+
+fn connect() -> Client {
+    Client::connect(shared_server().addr()).expect("connect to in-process server")
+}
+
+proptest! {
+    /// Random bytes (newlines stripped — they are the framing) always
+    /// come back as one structured error, and the connection survives
+    /// to serve a well-formed request afterwards.
+    #[test]
+    fn byte_junk_draws_a_structured_error_and_never_kills_the_server(
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let line: String = junk
+            .iter()
+            .map(|&b| if b == b'\n' || b == b'\r' { b'x' } else { b } as char)
+            .collect();
+        let mut client = connect();
+        let (_, response) = client.send_raw(&line).expect("a response line");
+        match response.error_kind() {
+            Some(ErrorKind::ParseError) | Some(ErrorKind::BadRequest) => {}
+            other => prop_assert!(false, "junk {line:?} drew {other:?}"),
+        }
+        // Same connection still serves.
+        let (_, ok) = client.call(&Envelope::new(Request::Stats)).expect("stats");
+        prop_assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
+    }
+
+    /// Every strict prefix of a valid request line is invalid JSON, so
+    /// it must parse-error — never panic, never be accepted.
+    #[test]
+    fn truncated_json_is_always_a_parse_error(
+        cut in 0usize..30,
+        channel in 0u64..16,
+        ps in 0.0f64..400.0,
+    ) {
+        let full = Envelope::new(Request::SetDelay {
+            channel: channel as usize,
+            ps,
+        })
+        .to_value()
+        .render();
+        let cut = cut.min(full.len().saturating_sub(1));
+        let truncated = &full[..cut];
+        let err = Envelope::parse(truncated).expect_err("prefix accepted");
+        prop_assert_eq!(err.kind, ErrorKind::ParseError, "{}", truncated);
+    }
+
+    /// The same truncations over a live socket: structured response,
+    /// surviving connection.
+    #[test]
+    fn truncated_json_over_the_wire_draws_parse_error(cut in 1usize..14) {
+        let full = Envelope::new(Request::Stats).to_value().render();
+        let truncated = &full[..cut.min(full.len() - 1)];
+        let mut client = connect();
+        let (_, response) = client.send_raw(truncated).expect("a response line");
+        prop_assert_eq!(response.error_kind(), Some(ErrorKind::ParseError), "{:?}", response);
+        let (_, ok) = client.call(&Envelope::new(Request::Stats)).expect("stats");
+        prop_assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
+    }
+}
+
+/// A line past [`MAX_LINE_BYTES`] draws exactly one `parse_error`, the
+/// oversized tail is discarded to the next newline, and the connection
+/// keeps serving.
+#[test]
+fn oversized_line_is_rejected_and_the_connection_recovers() {
+    let mut client = connect();
+    let huge = "z".repeat(MAX_LINE_BYTES + 4096);
+    let (_, response) = client.send_raw(&huge).expect("a response line");
+    assert_eq!(
+        response.error_kind(),
+        Some(ErrorKind::ParseError),
+        "{response:?}"
+    );
+    let (_, ok) = client.call(&Envelope::new(Request::Stats)).expect("stats");
+    assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
+}
+
+/// Every response variant survives `to_value` → `parse` with its id.
+#[test]
+fn every_response_type_round_trips() {
+    let all: Vec<Response> = vec![
+        Response::Delay(DelayReply {
+            channel: 3,
+            requested_ps: 61.5,
+            tap: 1,
+            dac_code: 2048,
+            vctrl_mv: 812.5,
+            predicted_ps: 61.437,
+            error_ps: -0.063,
+            batched: 4,
+        }),
+        Response::Deskew(DeskewReply {
+            bus: 8,
+            before_ps: 118.2,
+            after_ps: 2.9,
+            healthy: 7,
+            quarantined: vec![2],
+            reference: 0,
+            meets_target: true,
+        }),
+        Response::Jitter(JitterReply {
+            edges: 65,
+            slope_s_per_v: 4.1e-11,
+        }),
+        Response::Selftest(SelftestReply {
+            verdict: "healthy".to_owned(),
+            summary: "Healthy: dac stuck 0b0 flaky 0b0".to_owned(),
+        }),
+        Response::Stats(StatsReply {
+            requests: 10,
+            ok: 7,
+            parse_errors: 1,
+            bad_requests: 1,
+            overloaded: 1,
+            deadline_exceeded: 0,
+            internal_errors: 0,
+            batched: 2,
+            queue_depth: 3,
+            workers: 2,
+        }),
+        Response::Draining,
+        Response::Error(ErrorReply {
+            kind: ErrorKind::Overloaded,
+            detail: "queue of 64 is full".to_owned(),
+            retry_after_ms: Some(21),
+        }),
+        Response::Error(ErrorReply {
+            kind: ErrorKind::DeadlineExceeded,
+            detail: "budget of 5 ms exhausted".to_owned(),
+            retry_after_ms: None,
+        }),
+    ];
+    for (i, response) in all.into_iter().enumerate() {
+        let id = Some(i as u64 + 100);
+        let line = response.to_value(id).render();
+        let (back_id, back) = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(back_id, id, "{line}");
+        assert_eq!(back, response, "{line}");
+    }
+    // And the id-less form.
+    let line = Response::Draining.to_value(None).render();
+    assert_eq!(Response::parse(&line).unwrap(), (None, Response::Draining));
+}
+
+/// Every request variant survives the trip too (the unit tests in the
+/// protocol module cover the field-level errors; this pins the full
+/// envelope surface against a live parse).
+#[test]
+fn every_request_type_round_trips() {
+    let all = vec![
+        Envelope {
+            id: Some(1),
+            deadline_ms: Some(750),
+            request: Request::SetDelay {
+                channel: 0,
+                ps: 0.0,
+            },
+        },
+        Envelope::new(Request::Deskew { bus: 16, seed: 9 }),
+        Envelope::new(Request::InjectJitter {
+            vpp_mv: 120.0,
+            rate_gbps: 6.4,
+            bits: 500,
+            seed: 77,
+        }),
+        Envelope::new(Request::Selftest),
+        Envelope::new(Request::Stats),
+        Envelope::new(Request::Shutdown),
+    ];
+    for envelope in all {
+        let line = envelope.to_value().render();
+        let back = Envelope::parse(&line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        assert_eq!(back, envelope, "{line}");
+    }
+}

@@ -1,0 +1,267 @@
+//! End-to-end behavior of the serve loop over real sockets: batching,
+//! backpressure, per-request deadlines, chaos containment (the
+//! acceptance criterion: a killed worker request draws an `internal`
+//! error while the server keeps serving), and graceful drain.
+
+use std::time::Duration;
+
+use vardelay_faults::RequestChaos;
+use vardelay_serve::{serve, Client, Envelope, ErrorKind, Request, Response, ServeConfig};
+
+fn envelope(id: u64, request: Request) -> Envelope {
+    Envelope {
+        id: Some(id),
+        deadline_ms: None,
+        request,
+    }
+}
+
+/// Same-channel `set_delay` requests pipelined into one batch window
+/// are answered from a single solve: everyone reports the same batch
+/// size and the same (last-write-wins) hardware setting, but keeps
+/// their own `requested_ps`.
+#[test]
+fn same_channel_set_delays_coalesce_into_one_solve() {
+    let mut config = ServeConfig::in_process();
+    config.workers = 1;
+    config.batch_window = Duration::from_millis(100);
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let targets = [30.0, 45.0, 60.0];
+    for (i, ps) in targets.iter().enumerate() {
+        client
+            .send_only(&envelope(
+                i as u64 + 1,
+                Request::SetDelay {
+                    channel: 2,
+                    ps: *ps,
+                },
+            ))
+            .expect("send");
+    }
+
+    let mut replies = Vec::new();
+    for _ in 0..targets.len() {
+        let (id, response) = client.read_response().expect("a response");
+        match response {
+            Response::Delay(reply) => replies.push((id.expect("id echoed"), reply)),
+            other => panic!("expected a delay reply, got {other:?}"),
+        }
+    }
+    replies.sort_by_key(|(id, _)| *id);
+
+    let lead = &replies[0].1;
+    assert_eq!(lead.batched, targets.len(), "window missed the followers");
+    for ((id, reply), ps) in replies.iter().zip(targets) {
+        assert_eq!(reply.channel, 2);
+        assert_eq!(reply.requested_ps, ps, "id {id} lost its own target");
+        // One solve answered everyone: identical hardware setting.
+        assert_eq!(reply.tap, lead.tap);
+        assert_eq!(reply.dac_code, lead.dac_code);
+        assert_eq!(reply.predicted_ps, lead.predicted_ps);
+        assert_eq!(reply.batched, lead.batched);
+        assert!(
+            (reply.error_ps - (reply.predicted_ps - ps)).abs() < 1e-9,
+            "error_ps must be measured against the waiter's own request"
+        );
+    }
+    // The solve landed on the last write: its own error is the solver's.
+    assert!(
+        (lead.predicted_ps - 60.0).abs() < 10.0,
+        "batch solved for {} ps, wanted ~60 (last write wins)",
+        lead.predicted_ps
+    );
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.stats.batched, targets.len() as u64 - 1);
+}
+
+/// When the bounded queue is full the reader answers `overloaded` with
+/// a retry hint immediately — the socket never stalls and admitted
+/// work still completes.
+#[test]
+fn a_full_queue_answers_overloaded_with_a_retry_hint() {
+    let mut config = ServeConfig::in_process();
+    config.workers = 1;
+    config.queue_depth = 1;
+    config.batch_window = Duration::from_millis(150);
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // The lead set_delay parks the single worker in its batch window…
+    client
+        .send_only(&envelope(
+            1,
+            Request::SetDelay {
+                channel: 0,
+                ps: 40.0,
+            },
+        ))
+        .expect("send");
+    // …while these pile into a queue of depth 1.
+    let floods = 5u64;
+    for id in 2..2 + floods {
+        client
+            .send_only(&envelope(id, Request::Stats))
+            .expect("send");
+    }
+
+    let mut delays = 0u64;
+    let mut stats_ok = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..1 + floods {
+        let (_, response) = client.read_response().expect("a response");
+        match response {
+            Response::Delay(_) => delays += 1,
+            Response::Stats(_) => stats_ok += 1,
+            Response::Error(err) if err.kind == ErrorKind::Overloaded => {
+                let hint = err.retry_after_ms.expect("overloaded carries a retry hint");
+                assert!(hint > 0, "retry hint must be a real backoff");
+                overloaded += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(delays, 1, "the admitted set_delay must still complete");
+    assert!(
+        overloaded >= 3,
+        "queue depth 1 under {floods} pipelined requests shed only {overloaded}"
+    );
+    assert_eq!(stats_ok + overloaded, floods);
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.stats.overloaded, overloaded);
+}
+
+/// An exhausted budget is a `deadline_exceeded` *response* on a healthy
+/// connection, never a drop.
+#[test]
+fn an_expired_deadline_is_a_response_not_a_dropped_connection() {
+    let handle = serve(ServeConfig::in_process()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let (id, response) = client
+        .call(&Envelope {
+            id: Some(9),
+            deadline_ms: Some(0),
+            request: Request::Stats,
+        })
+        .expect("a response");
+    assert_eq!(id, Some(9));
+    assert_eq!(
+        response.error_kind(),
+        Some(ErrorKind::DeadlineExceeded),
+        "{response:?}"
+    );
+
+    // Same connection, fresh budget: served, and the miss was counted.
+    let (_, response) = client.call(&envelope(10, Request::Stats)).expect("stats");
+    match response {
+        Response::Stats(stats) => assert_eq!(stats.deadline_exceeded, 1),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// The acceptance criterion: a seeded chaos kill mid-request panics the
+/// worker, the doomed client gets an `internal` error response, and the
+/// server keeps answering later requests and drains cleanly.
+#[test]
+fn a_chaos_killed_request_gets_an_error_while_the_server_keeps_serving() {
+    vardelay_faults::set_enabled(true);
+    let mut config = ServeConfig::in_process();
+    config.workers = 1;
+    config.chaos = Some(RequestChaos::new(0xC4A05, 2));
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let total = 10u64;
+    let mut outcomes = Vec::new();
+    for id in 0..total {
+        let (_, response) = client
+            .call(&envelope(id, Request::Selftest))
+            .expect("a response");
+        match response {
+            Response::Selftest(_) => outcomes.push(true),
+            Response::Error(err) if err.kind == ErrorKind::Internal => {
+                assert!(
+                    err.detail.contains("chaos"),
+                    "internal error must carry the panic message: {}",
+                    err.detail
+                );
+                outcomes.push(false);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let killed = outcomes.iter().filter(|ok| !**ok).count();
+    assert!(
+        killed >= 1,
+        "chaos at one-in-2 never fired over {total} requests"
+    );
+    assert!(
+        killed < total as usize,
+        "chaos must not kill everything at one-in-2"
+    );
+    let first_kill = outcomes.iter().position(|ok| !*ok).unwrap();
+    assert!(
+        outcomes[first_kill..].iter().any(|ok| *ok),
+        "no request succeeded after the first kill — worker did not survive"
+    );
+
+    // The drain after a chaos run is still clean and accounts for every
+    // request.
+    let (_, response) = client
+        .call(&envelope(99, Request::Shutdown))
+        .expect("draining");
+    assert_eq!(response, Response::Draining);
+    let report = handle.join();
+    assert_eq!(report.stats.requests, total + 1);
+    assert_eq!(report.stats.internal_errors, killed as u64);
+    assert_eq!(report.stats.ok, total - killed as u64 + 1); // + the Draining reply
+}
+
+/// A wire `shutdown` answers `draining`, stops the accept loop, and the
+/// joined report accounts for every request served.
+#[test]
+fn graceful_drain_reports_final_counters() {
+    let mut config = ServeConfig::in_process();
+    config.workers = 1;
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let (_, stats) = client.call(&envelope(1, Request::Stats)).expect("stats");
+    assert!(matches!(stats, Response::Stats(_)));
+    let (_, delay) = client
+        .call(&envelope(
+            2,
+            Request::SetDelay {
+                channel: 1,
+                ps: 25.0,
+            },
+        ))
+        .expect("delay");
+    assert!(matches!(delay, Response::Delay(_)), "{delay:?}");
+
+    assert!(!handle.is_draining());
+    let (id, response) = client
+        .call(&envelope(3, Request::Shutdown))
+        .expect("draining");
+    assert_eq!((id, &response), (Some(3), &Response::Draining));
+    assert!(handle.is_draining());
+
+    let report = handle.join();
+    assert_eq!(report.stats.requests, 3);
+    assert_eq!(report.stats.ok, 3);
+    assert_eq!(report.stats.parse_errors, 0);
+    assert_eq!(report.stats.internal_errors, 0);
+    assert_eq!(report.stats.workers, 1);
+    assert_eq!(report.stats.queue_depth, 0);
+    let line = report.to_string();
+    assert!(line.starts_with("drained: requests=3 ok=3"), "{line}");
+}
