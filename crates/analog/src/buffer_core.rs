@@ -17,7 +17,33 @@
 use crate::block::AnalogBlock;
 use vardelay_siggen::SplitMix64;
 use vardelay_units::{Frequency, Time, Voltage};
-use vardelay_waveform::{OnePole, SlewLimiter, Waveform};
+use vardelay_waveform::{pool, OnePole, SlewLimiter, Waveform};
+
+/// Per-sample amplitude program for the shared signal path: either a
+/// constant half-swing (the plain [`AnalogBlock::process`] path, which
+/// needs no buffer at all) or a borrowed per-sample trace (the modulated
+/// jitter-injection path).
+enum Drive<'a> {
+    Const(f64),
+    PerSample(&'a [f64]),
+}
+
+impl Drive<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> f64 {
+        match self {
+            Drive::Const(half) => *half,
+            Drive::PerSample(halves) => halves[i],
+        }
+    }
+
+    fn first(&self) -> f64 {
+        match self {
+            Drive::Const(half) => *half,
+            Drive::PerSample(halves) => halves.first().copied().unwrap_or(0.0),
+        }
+    }
+}
 
 /// Electrical parameters of a buffer path.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,17 +179,20 @@ impl BufferCore {
     /// Amplitudes are clamped to at least 1 mV so the limiter stays
     /// well-defined.
     pub fn process_modulated(&mut self, input: &Waveform, amplitude: &Waveform) -> Waveform {
-        let halves: Vec<f64> = (0..input.len())
-            .map(|i| (amplitude.value_at(input.time_of(i)) / 2.0).max(0.0005))
-            .collect();
-        self.process_inner(input, &halves)
+        let mut halves = pool::take(input.len());
+        for i in 0..input.len() {
+            halves.push((amplitude.value_at(input.time_of(i)) / 2.0).max(0.0005));
+        }
+        let out = self.process_inner(input, Drive::PerSample(&halves));
+        pool::recycle(halves);
+        out
     }
 
-    fn process_inner(&mut self, input: &Waveform, halves: &[f64]) -> Waveform {
+    fn process_inner(&mut self, input: &Waveform, drive: Drive<'_>) -> Waveform {
         let v_lin = self.config.v_lin.as_v();
         let noise = self.config.noise_rms.as_v();
 
-        let mut out = input.clone();
+        let mut out = Waveform::new(input.t0(), input.dt(), pool::take_copy(input.samples()));
         // Input-referred noise: white Gaussian per sample would have
         // unbounded bandwidth, so draw it band-limited by reusing the
         // output pole's time constant via an exponential-smoothing walk.
@@ -187,9 +216,10 @@ impl BufferCore {
         if tau_env > input.dt() {
             let alpha = 1.0 - (-(input.dt() / tau_env)).exp();
             let floor_half = self.config.envelope_floor.as_v() / 2.0;
-            let mut env = halves.first().copied().unwrap_or(0.0);
+            let mut env = drive.first();
             let mut prev_positive = out.samples().first().is_some_and(|&v| v >= 0.0);
-            for (s, &half) in out.samples_mut().iter_mut().zip(halves) {
+            for (i, s) in out.samples_mut().iter_mut().enumerate() {
+                let half = drive.at(i);
                 let u = (2.0 * *s / v_lin).tanh();
                 let positive = u >= 0.0;
                 if positive != prev_positive {
@@ -201,8 +231,8 @@ impl BufferCore {
                 *s = u * env;
             }
         } else {
-            for (s, &half) in out.samples_mut().iter_mut().zip(halves) {
-                *s = half * (2.0 * *s / v_lin).tanh();
+            for (i, s) in out.samples_mut().iter_mut().enumerate() {
+                *s = drive.at(i) * (2.0 * *s / v_lin).tanh();
             }
         }
         // Finite slew of the output emitter followers.
@@ -210,15 +240,14 @@ impl BufferCore {
         // Output pole.
         OnePole::with_corner(self.config.bandwidth).apply(&mut out);
         // Fixed propagation delay.
-        out.delayed(self.config.prop_delay)
+        out.shift(self.config.prop_delay);
+        out
     }
 }
 
 impl AnalogBlock for BufferCore {
     fn process(&mut self, input: &Waveform) -> Waveform {
-        let half = self.amplitude.as_v() / 2.0;
-        let halves = vec![half; input.len()];
-        self.process_inner(input, &halves)
+        self.process_inner(input, Drive::Const(self.amplitude.as_v() / 2.0))
     }
 
     fn name(&self) -> &str {

@@ -69,9 +69,18 @@ impl core::fmt::Debug for Chain {
 
 impl AnalogBlock for Chain {
     fn process(&mut self, input: &Waveform) -> Waveform {
-        let mut wf = input.clone();
-        for block in &mut self.blocks {
-            wf = block.process(&wf);
+        // Feed `input` to the first block directly (no defensive copy),
+        // then recycle each intermediate trace's buffer as soon as the
+        // next block has consumed it — steady state is zero allocations
+        // per stage.
+        let mut iter = self.blocks.iter_mut();
+        let Some(first) = iter.next() else {
+            return input.clone();
+        };
+        let mut wf = first.process(input);
+        for block in iter {
+            let next = block.process(&wf);
+            vardelay_waveform::pool::recycle(core::mem::replace(&mut wf, next).into_samples());
         }
         wf
     }

@@ -16,11 +16,73 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::block::{AnalogBlock, EdgeTransform};
 use crate::fingerprint::Fingerprint;
+use vardelay_measure::MeasureDelayError;
 use vardelay_obs as obs;
 use vardelay_runner::Runner;
 use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
 use vardelay_units::{BitRate, Time, Voltage};
 use vardelay_waveform::{to_edge_stream, RenderConfig, Waveform};
+
+/// A grid point of a characterization sweep could not be measured — the
+/// chain output carried no usable signal (e.g. a dead driver under fault
+/// injection). The typed form lets a quarantined channel degrade instead
+/// of panicking the worker that was characterizing it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharacterizeError {
+    /// The chain output produced too few crossings to measure: the signal
+    /// was completely lost at this grid point.
+    SignalLost {
+        /// Control voltage of the failing grid point.
+        vctrl: Voltage,
+        /// Toggle interval of the failing grid point.
+        interval: Time,
+        /// Crossings actually observed (at or below the warm-up count).
+        edges: usize,
+    },
+    /// Crossings existed but could not be paired into a delay.
+    Unmeasurable {
+        /// Control voltage of the failing grid point.
+        vctrl: Voltage,
+        /// Toggle interval of the failing grid point.
+        interval: Time,
+        /// The underlying measurement failure.
+        source: MeasureDelayError,
+    },
+}
+
+impl core::fmt::Display for CharacterizeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CharacterizeError::SignalLost {
+                vctrl,
+                interval,
+                edges,
+            } => write!(
+                f,
+                "chain output lost the signal at vctrl={vctrl}, interval={interval} \
+                 ({edges} crossings)"
+            ),
+            CharacterizeError::Unmeasurable {
+                vctrl,
+                interval,
+                source,
+            } => write!(
+                f,
+                "chain output carries no measurable edges at vctrl={vctrl}, \
+                 interval={interval}: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CharacterizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CharacterizeError::SignalLost { .. } => None,
+            CharacterizeError::Unmeasurable { source, .. } => Some(source),
+        }
+    }
+}
 
 /// A measured `delay(vctrl, preceding-interval)` lookup table with
 /// bilinear interpolation and boundary clamping.
@@ -171,6 +233,44 @@ pub fn measure_delay_table_with(
     intervals: &[Time],
     render: &RenderConfig,
 ) -> DelayTable {
+    match try_measure_delay_table_with(runner, build, vctrls, intervals, render) {
+        Ok(table) => table,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`measure_delay_table`] returning a typed error instead of panicking
+/// when a grid point carries no measurable signal — the entry point for
+/// fault-tolerant callers (a dead-driver channel under fault injection
+/// yields `Err`, and the channel can be quarantined rather than taking
+/// the worker down).
+///
+/// # Errors
+///
+/// Returns [`CharacterizeError`] for the first grid point (in row-major
+/// `vctrls × intervals` order) whose output lost the signal or could not
+/// be paired into a delay.
+pub fn try_measure_delay_table(
+    build: &(dyn Fn(Voltage) -> Box<dyn AnalogBlock + Send> + Sync),
+    vctrls: &[Voltage],
+    intervals: &[Time],
+    render: &RenderConfig,
+) -> Result<DelayTable, CharacterizeError> {
+    try_measure_delay_table_with(Runner::global(), build, vctrls, intervals, render)
+}
+
+/// [`try_measure_delay_table`] on an explicit [`Runner`].
+///
+/// # Errors
+///
+/// Returns [`CharacterizeError`] for the first failing grid point.
+pub fn try_measure_delay_table_with(
+    runner: Runner,
+    build: &(dyn Fn(Voltage) -> Box<dyn AnalogBlock + Send> + Sync),
+    vctrls: &[Voltage],
+    intervals: &[Time],
+    render: &RenderConfig,
+) -> Result<DelayTable, CharacterizeError> {
     assert!(
         !vctrls.is_empty() && !intervals.is_empty(),
         "grids must be non-empty"
@@ -182,27 +282,38 @@ pub fn measure_delay_table_with(
         .iter()
         .flat_map(|&v| intervals.iter().map(move |&i| (v, i)))
         .collect();
-    let flat = runner.par_map(&cells, |_, &(vctrl, interval)| {
-        let rate = BitRate::from_bps(1.0 / interval.as_s());
-        let stimulus = EdgeStream::nrz(&BitPattern::clock(TOTAL_BITS), rate);
-        let wf = Waveform::render(&stimulus, render);
-        let mut chain = build(vctrl);
-        let out_wf = chain.process(&wf);
-        let out = to_edge_stream(&out_wf, 0.0, rate.bit_period());
-        assert!(
-            out.len() > WARMUP_EDGES,
-            "chain output lost the signal at vctrl={vctrl}, interval={interval}"
-        );
-        // Polarity-safe tail pairing: robust to start-up transients
-        // and to a final edge cut off by the capture window.
-        vardelay_measure::tail_mean_delay(&stimulus, &out, WARMUP_EDGES)
-            .expect("chain output carries measurable edges")
-    });
+    let flat = runner
+        .par_map(&cells, |_, &(vctrl, interval)| {
+            let rate = BitRate::from_bps(1.0 / interval.as_s());
+            let stimulus = EdgeStream::nrz(&BitPattern::clock(TOTAL_BITS), rate);
+            let wf = Waveform::render(&stimulus, render);
+            let mut chain = build(vctrl);
+            let out_wf = chain.process(&wf);
+            let out = to_edge_stream(&out_wf, 0.0, rate.bit_period());
+            if out.len() <= WARMUP_EDGES {
+                return Err(CharacterizeError::SignalLost {
+                    vctrl,
+                    interval,
+                    edges: out.len(),
+                });
+            }
+            // Polarity-safe tail pairing: robust to start-up transients
+            // and to a final edge cut off by the capture window.
+            vardelay_measure::tail_mean_delay(&stimulus, &out, WARMUP_EDGES).map_err(|source| {
+                CharacterizeError::Unmeasurable {
+                    vctrl,
+                    interval,
+                    source,
+                }
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<Time>, CharacterizeError>>()?;
     let delays = flat
         .chunks(intervals.len())
         .map(|row| row.to_vec())
         .collect();
-    DelayTable::new(vctrls.to_vec(), intervals.to_vec(), delays)
+    Ok(DelayTable::new(vctrls.to_vec(), intervals.to_vec(), delays))
 }
 
 // ---------------------------------------------------------------------------

@@ -49,7 +49,8 @@ pub use chain::{Chain, EdgeChain};
 pub use characterize::{
     characterization_cache_stats, characterization_single_flight_waits,
     clear_characterization_cache, measure_delay_table, measure_delay_table_cached,
-    measure_delay_table_cached_with, measure_delay_table_with, CharacterizedDelay, DelayTable,
+    measure_delay_table_cached_with, measure_delay_table_with, try_measure_delay_table,
+    try_measure_delay_table_with, CharacterizeError, CharacterizedDelay, DelayTable,
 };
 pub use coupling::AcCoupling;
 pub use crosstalk::CrosstalkCoupling;

@@ -77,10 +77,23 @@ pub struct ArchitectureComparison {
 /// Quantifies the §3 design argument ("we must be concerned with the
 /// undesirable noise and jitter added by each stage").
 pub fn architecture_comparison(bits: usize) -> ArchitectureComparison {
+    architecture_comparison_with(Runner::global(), bits)
+}
+
+/// [`architecture_comparison`] on an explicit [`Runner`]. The two arms
+/// are independent builds with their own seeds, so running them as two
+/// tasks is bit-identical to the serial order.
+pub fn architecture_comparison_with(runner: Runner, bits: usize) -> ArchitectureComparison {
     let rate = BitRate::from_gbps(6.4);
     let clean = EdgeStream::nrz(&BitPattern::prbs7(1, bits), rate);
 
-    let run = |stages: usize, active: usize, seed: u64| -> (Time, Time) {
+    // Paper architecture: 4 fine + output + fanout + mux = 7 active.
+    // Alternative: two fine circuits back-to-back = 8 VGA + output = 9.
+    let arms = [
+        (4usize, 7usize, EXPERIMENT_SEED + 40),
+        (8, 9, EXPERIMENT_SEED + 41),
+    ];
+    let measured = runner.par_map(&arms, |_, &(stages, active, seed)| {
         let mut cfg = ModelConfig::paper_prototype();
         cfg.stages = stages;
         let line = FineDelayLine::new(&cfg.quiet(), EXPERIMENT_SEED);
@@ -97,17 +110,12 @@ pub fn architecture_comparison(bits: usize) -> ArchitectureComparison {
             .expect("stream carries edges")
             .peak_to_peak;
         (tj, line.delay_range(Time::from_ps(1000.0)))
-    };
-
-    // Paper architecture: 4 fine + output + fanout + mux = 7 active.
-    let (coarse_plus_fine_tj, _) = run(4, 7, EXPERIMENT_SEED + 40);
-    // Alternative: two fine circuits back-to-back = 8 VGA + output = 9.
-    let (all_fine_tj, all_fine_range) = run(8, 9, EXPERIMENT_SEED + 41);
+    });
 
     ArchitectureComparison {
-        coarse_plus_fine_tj,
-        all_fine_tj,
-        all_fine_range,
+        coarse_plus_fine_tj: measured[0].0,
+        all_fine_tj: measured[1].0,
+        all_fine_range: measured[1].1,
     }
 }
 
@@ -133,23 +141,29 @@ pub struct ControlStrategyAblation {
 /// `v + (i − (n−1)/2) · span/(2n)`, clamped — each stage operates on a
 /// different (more linear) part of the sigmoid.
 pub fn control_strategy_ablation() -> ControlStrategyAblation {
+    control_strategy_ablation_with(Runner::global())
+}
+
+/// [`control_strategy_ablation`] on an explicit [`Runner`]. Each of the
+/// 13 settings measures both strategies on its own clone of the probe:
+/// `set_vctrl` / `set_stage_vctrls` fully override the stage controls,
+/// so a cloned-and-set probe is bit-identical to the serial loop's
+/// reused one — only the wall clock changes.
+pub fn control_strategy_ablation_with(runner: Runner) -> ControlStrategyAblation {
     use vardelay_measure::linearity::integral_nonlinearity;
 
     let cfg = ModelConfig::paper_prototype().quiet();
-    let mut line = FineDelayLine::new(&cfg, EXPERIMENT_SEED);
+    let line = FineDelayLine::new(&cfg, EXPERIMENT_SEED);
     let interval = Time::from_ps(1000.0);
     let points = 13;
     let span = 1.5;
     let stages = line.stage_count();
 
-    let mut xs = Vec::with_capacity(points);
-    let mut common = Vec::with_capacity(points);
-    let mut staggered = Vec::with_capacity(points);
-    for i in 0..points {
+    let rows = runner.run(points, |i| {
         let v = span * i as f64 / (points - 1) as f64;
-        xs.push(v);
-        line.set_vctrl(Voltage::from_v(v));
-        common.push(line.measure_delay(interval).as_ps());
+        let mut probe = line.clone();
+        probe.set_vctrl(Voltage::from_v(v));
+        let common = probe.measure_delay(interval).as_ps();
 
         let offsets: Vec<Voltage> = (0..stages)
             .map(|k| {
@@ -157,9 +171,13 @@ pub fn control_strategy_ablation() -> ControlStrategyAblation {
                 Voltage::from_v((v + off).clamp(0.0, span))
             })
             .collect();
-        line.set_stage_vctrls(&offsets);
-        staggered.push(line.measure_delay(interval).as_ps());
-    }
+        probe.set_stage_vctrls(&offsets);
+        let staggered = probe.measure_delay(interval).as_ps();
+        (v, common, staggered)
+    });
+    let xs: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let common: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let staggered: Vec<f64> = rows.iter().map(|r| r.2).collect();
     let range = |ys: &[f64]| {
         Time::from_ps(
             ys.iter().cloned().fold(f64::MIN, f64::max)

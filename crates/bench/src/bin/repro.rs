@@ -13,12 +13,15 @@
 //! repro [all|<name>[,<name>...]] [--resume]
 //!   names: fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17
 //!          table1 ablation extensions faults
-//! repro compare [all|serve-bench]
+//! repro compare [all|serve-bench|hotpath]
 //!                 # regression gate: diff the latest two valid `all`
 //!                 # journal records, exit non-zero on >10 % wall-clock
 //!                 # regression (exit 2 when <2 valid records remain);
 //!                 # with no target, also gates the latest two
-//!                 # serve-bench records when the journal has them
+//!                 # serve-bench records when the journal has them, and
+//!                 # the hot-path dimensions (per-request p99 solve
+//!                 # time, allocations per request) once two
+//!                 # instrumented `all` records exist
 //! repro serve     # the delay-control server (DESIGN.md §12): listens
 //!                 # on VARDELAY_SERVE_ADDR until a wire `shutdown`,
 //!                 # then drains and appends a serve-drain record
@@ -485,9 +488,11 @@ fn write_runtime_record(arg: &str, wall_s: f64, timings: &[(String, f64)], resum
     let files = CSV_FILES.load(Ordering::Relaxed);
     let (hits, misses) = characterization_cache_stats();
     let waits = characterization_single_flight_waits();
+    let (solve_hits, solve_misses) = vardelay_core::solve_cache_stats();
     println!(
         "\nruntime: {wall_s:.2} s on {} thread(s), {points} CSV points in {files} files, \
-         cache {hits} hits / {misses} misses / {waits} single-flight waits \
+         cache {hits} hits / {misses} misses / {waits} single-flight waits, \
+         solve cache {solve_hits} hits / {solve_misses} misses \
          [journal: {JOURNAL_PATH}]",
         Runner::global().threads()
     );
@@ -517,7 +522,30 @@ fn write_runtime_record(arg: &str, wall_s: f64, timings: &[(String, f64)], resum
             )
             .with("cache_hits", hits)
             .with("cache_misses", misses)
-            .with("single_flight_waits", waits);
+            .with("single_flight_waits", waits)
+            .with("solve_hits", solve_hits)
+            .with("solve_misses", solve_misses)
+            .with("solve_fallbacks", vardelay_core::solve_fallbacks());
+        // The hot-path dimensions (per-request p99 solve time and
+        // allocations per solve request) come from the obs registry, so
+        // a `VARDELAY_OBS=0` run simply omits them — the hotpath compare
+        // gate skips uninstrumented records.
+        let solve = obs::histogram("core.solve_us").summary();
+        if solve.count > 0 {
+            let allocs = obs::counter("waveform.pool_allocs").get();
+            record = record.with("solve_p99_us", solve.p99).with(
+                "allocs_per_request",
+                ((allocs as f64 / solve.count as f64) * 1000.0).round() / 1000.0,
+            );
+            println!(
+                "hotpath: {} solve(s), p99 {} \u{00b5}s, {:.1} allocs/request \
+                 ({} pool reuses)",
+                solve.count,
+                solve.p99,
+                allocs as f64 / solve.count as f64,
+                obs::counter("waveform.pool_reuses").get()
+            );
+        }
         if resume_skips > 0 {
             record = record
                 .with("resumed", true)
@@ -583,6 +611,25 @@ fn run_compare(target: Option<&str>) -> ! {
                     std::process::exit(2);
                 }
             }
+            // The hot-path gate (solve p99, allocations per request)
+            // arms itself once two instrumented `all` records exist;
+            // journals written before the fast path landed (or with
+            // VARDELAY_OBS=0) are simply not gated yet.
+            match journal::compare_latest_hotpath(
+                &records,
+                journal::SOLVE_THRESHOLD,
+                journal::DEFAULT_THRESHOLD,
+            ) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    regressed |= cmp.regressed;
+                }
+                Err(journal::CompareError::TooFewRecords { .. }) => {}
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
             std::process::exit(i32::from(regressed));
         }
         Some("all") => match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
@@ -607,9 +654,26 @@ fn run_compare(target: Option<&str>) -> ! {
                 }
             }
         }
+        Some("hotpath") => {
+            match journal::compare_latest_hotpath(
+                &records,
+                journal::SOLVE_THRESHOLD,
+                journal::DEFAULT_THRESHOLD,
+            ) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    std::process::exit(i32::from(cmp.regressed));
+                }
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         Some(other) => {
             eprintln!(
-                "repro compare: unknown target {other:?} (expected \"all\" or \"serve-bench\")"
+                "repro compare: unknown target {other:?} (expected \"all\", \"serve-bench\" \
+                 or \"hotpath\")"
             );
             std::process::exit(2);
         }
@@ -763,7 +827,7 @@ fn usage_exit(unknown: &str) -> ! {
         .join(" ");
     eprintln!(
         "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | \
-         compare [all|serve-bench] | serve | serve-bench\n  names: {names}"
+         compare [all|serve-bench|hotpath] | serve | serve-bench\n  names: {names}"
     );
     std::process::exit(2);
 }

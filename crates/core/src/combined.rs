@@ -6,7 +6,7 @@ use crate::config::ModelConfig;
 use crate::dac::VctrlDac;
 use crate::error::SetDelayError;
 use crate::fine::FineDelayLine;
-use vardelay_analog::AnalogBlock;
+use vardelay_analog::{AnalogBlock, Fingerprint};
 use vardelay_runner::Runner;
 use vardelay_units::{Time, Voltage};
 use vardelay_waveform::Waveform;
@@ -151,6 +151,15 @@ impl CombinedDelayCircuit {
     /// the fine line, so the table is bit-identical to the serial sweep at
     /// every thread count.
     ///
+    /// Each probe internally measures a fresh noise-free seed-0 line built
+    /// from the quiet configuration, so the whole sweep is a pure function
+    /// of `(quiet fingerprint, interval, grid)` — which is exactly the key
+    /// the solve cache (`crate::solve`) memoizes it under. A repeat
+    /// calibration of an identical channel skips the waveform simulation
+    /// entirely and returns the byte-identical table; set
+    /// `VARDELAY_FAST_SOLVE=0` to force every solve through the full
+    /// sweep.
+    ///
     /// # Panics
     ///
     /// Panics if `points < 2`.
@@ -161,6 +170,7 @@ impl CombinedDelayCircuit {
         points: usize,
     ) -> &CalibrationTable {
         assert!(points >= 2, "calibration needs at least two points");
+        let _solve = vardelay_obs::span("core.solve_us");
         let grid: Vec<Voltage> = (0..points)
             .map(|i| {
                 self.fine
@@ -168,18 +178,43 @@ impl CombinedDelayCircuit {
                     .lerp(self.fine.vctrl_max(), i as f64 / (points - 1) as f64)
             })
             .collect();
+        let table = if crate::solve::fast_solve_enabled() {
+            let mut fp = Fingerprint::new();
+            fp.push_u64(self.config.quiet().fingerprint());
+            fp.push_f64(interval.as_s());
+            fp.push_usize(points);
+            for v in &grid {
+                fp.push_f64(v.as_v());
+            }
+            crate::solve::solve_table_cached(fp.finish(), || {
+                self.sweep_calibration(runner, &grid, interval)
+            })
+        } else {
+            self.sweep_calibration(runner, &grid, interval)
+        };
+        self.calibration = Some(table);
+        self.calibration.as_ref().expect("just stored")
+    }
+
+    /// The slow-path calibration sweep: one full waveform simulation per
+    /// grid point, fanned out on `runner`. This is the authority the fast
+    /// path's cache is filled from.
+    fn sweep_calibration(
+        &self,
+        runner: Runner,
+        grid: &[Voltage],
+        interval: Time,
+    ) -> CalibrationTable {
         let fine = self.fine.clone();
-        let delays = runner.par_map(&grid, |_, &v| {
+        let delays = runner.par_map(grid, |_, &v| {
             let mut probe = fine.clone();
             probe.set_vctrl(v);
             probe.measure_delay(interval)
         });
         let mut next = delays.into_iter();
-        let table = CalibrationTable::from_measurement(&grid, |_| {
+        CalibrationTable::from_measurement(grid, |_| {
             next.next().expect("one measured delay per grid point")
-        });
-        self.calibration = Some(table);
-        self.calibration.as_ref().expect("just stored")
+        })
     }
 
     /// The total programmable relative range: last coarse tap plus the
@@ -281,7 +316,9 @@ impl CombinedDelayCircuit {
 impl AnalogBlock for CombinedDelayCircuit {
     fn process(&mut self, input: &Waveform) -> Waveform {
         let after_coarse = self.coarse.process(input);
-        self.fine.process(&after_coarse)
+        let out = self.fine.process(&after_coarse);
+        vardelay_waveform::pool::recycle(after_coarse.into_samples());
+        out
     }
 
     fn name(&self) -> &str {

@@ -122,7 +122,30 @@ impl FineDelayLine {
     /// Measures the mean propagation delay at the current `Vctrl` for a
     /// 1010… stimulus toggling every `interval`, using the waveform engine
     /// on a noise-free copy (clean mean, as on a bench with averaging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line loses the stimulus entirely (no measurable
+    /// crossings). Fault-tolerant callers should use
+    /// [`FineDelayLine::try_measure_delay`].
     pub fn measure_delay(&self, interval: Time) -> Time {
+        self.try_measure_delay(interval)
+            .expect("the fine line passes the stimulus")
+    }
+
+    /// [`FineDelayLine::measure_delay`] returning a typed error instead
+    /// of panicking when the line output carries no measurable edges
+    /// (e.g. a degenerate configuration or a dead driver under fault
+    /// injection) — the characterization path for quarantined channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`vardelay_measure::MeasureDelayError`] when no
+    /// steady-state delay can be paired from the output.
+    pub fn try_measure_delay(
+        &self,
+        interval: Time,
+    ) -> Result<Time, vardelay_measure::MeasureDelayError> {
         let quiet_cfg = self.config.quiet();
         let mut quiet = FineDelayLine::new(&quiet_cfg, 0);
         quiet.set_stage_vctrls(&self.stage_vctrls());
@@ -131,21 +154,31 @@ impl FineDelayLine {
         let wf = Waveform::render(&stimulus, &self.config.render);
         let out = quiet.process(&wf);
         let out_stream = to_edge_stream(&out, 0.0, rate.bit_period());
+        vardelay_waveform::pool::recycle(out.into_samples());
+        vardelay_waveform::pool::recycle(wf.into_samples());
         // Steady-state, polarity-safe tail pairing.
         vardelay_measure::tail_mean_delay(&stimulus, &out_stream, 8)
-            .expect("the fine line passes the stimulus")
     }
 
     /// The fine adjustment range at a toggle `interval`: delay at maximum
     /// `Vctrl` minus delay at minimum `Vctrl` — the quantity plotted
-    /// against frequency in Fig. 15.
+    /// against frequency in Fig. 15. The two endpoint measurements fan
+    /// out on the global [`Runner`].
     pub fn delay_range(&self, interval: Time) -> Time {
-        let mut probe = self.clone();
-        probe.set_vctrl(self.vctrl_min());
-        let lo = probe.measure_delay(interval);
-        probe.set_vctrl(self.vctrl_max());
-        let hi = probe.measure_delay(interval);
-        hi - lo
+        self.delay_range_with(Runner::global(), interval)
+    }
+
+    /// [`FineDelayLine::delay_range`] on an explicit [`Runner`]. Each
+    /// endpoint probes a fresh clone of the line, so the result is
+    /// bit-identical to the serial pair at every thread count.
+    pub fn delay_range_with(&self, runner: Runner, interval: Time) -> Time {
+        let endpoints = [self.vctrl_min(), self.vctrl_max()];
+        let measured = runner.par_map(&endpoints, |_, &v| {
+            let mut probe = self.clone();
+            probe.set_vctrl(v);
+            probe.measure_delay(interval)
+        });
+        measured[1] - measured[0]
     }
 
     /// Characterizes the full line into a `delay(Vctrl, interval)` table
@@ -214,21 +247,36 @@ impl FineDelayLine {
     /// waveform-domain jitter-injection path: every variable-gain stage
     /// follows the same `vctrl` trace while the data flows through.
     pub fn process_modulated(&mut self, input: &Waveform, vctrl: &Waveform) -> Waveform {
-        let mut wf = input.clone();
-        for stage in &mut self.stages {
-            wf = stage.process_modulated(&wf, vctrl);
+        let Some((first, rest)) = self.stages.split_first_mut() else {
+            return self.output_stage.process(input);
+        };
+        let mut wf = first.process_modulated(input, vctrl);
+        for stage in rest {
+            let next = stage.process_modulated(&wf, vctrl);
+            vardelay_waveform::pool::recycle(core::mem::replace(&mut wf, next).into_samples());
         }
-        self.output_stage.process(&wf)
+        let out = self.output_stage.process(&wf);
+        vardelay_waveform::pool::recycle(wf.into_samples());
+        out
     }
 }
 
 impl AnalogBlock for FineDelayLine {
     fn process(&mut self, input: &Waveform) -> Waveform {
-        let mut wf = input.clone();
-        for stage in &mut self.stages {
-            wf = stage.process(&wf);
+        // Feed `input` to the first stage directly, then recycle each
+        // intermediate trace as soon as the next stage has consumed it —
+        // the steady-state solve path allocates nothing per stage.
+        let Some((first, rest)) = self.stages.split_first_mut() else {
+            return self.output_stage.process(input);
+        };
+        let mut wf = first.process(input);
+        for stage in rest {
+            let next = stage.process(&wf);
+            vardelay_waveform::pool::recycle(core::mem::replace(&mut wf, next).into_samples());
         }
-        self.output_stage.process(&wf)
+        let out = self.output_stage.process(&wf);
+        vardelay_waveform::pool::recycle(wf.into_samples());
+        out
     }
 
     fn name(&self) -> &str {

@@ -49,6 +49,7 @@ pub mod fine;
 pub mod injector;
 pub mod multichannel;
 pub mod selftest;
+pub mod solve;
 
 pub use baseline::PhaseInterpolator;
 pub use calibration::{CalibrationError, CalibrationTable, ParseCalibrationError};
@@ -64,4 +65,8 @@ pub use multichannel::{CalibrationStrategy, InstanceSpread, MultiChannelDelay};
 pub use selftest::{
     check_calibration, test_dac, CalibrationHealth, CircuitHealth, DacHealth, DacUnderTest,
     HealthVerdict,
+};
+pub use solve::{
+    clear_solve_cache, fast_solve_enabled, set_fast_solve_enabled, solve_cache_stats,
+    solve_fallbacks, solve_single_flight_waits,
 };

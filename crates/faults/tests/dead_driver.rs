@@ -1,0 +1,68 @@
+//! A dead-driver channel must surface as a typed characterization error,
+//! never a worker panic (ISSUE 6 satellite: the characterization path
+//! used to `unwrap()` on degenerate waveforms).
+
+use vardelay_analog::{try_measure_delay_table, AnalogBlock, CharacterizeError};
+use vardelay_faults::{FaultKind, TransientFaults};
+use vardelay_units::{Time, Voltage};
+use vardelay_waveform::{RenderConfig, Waveform};
+
+/// A driver whose output is stuck flat — the waveform-domain face of
+/// [`FaultKind::DeadDriver`].
+struct DeadDriverBlock;
+
+impl AnalogBlock for DeadDriverBlock {
+    fn process(&mut self, input: &Waveform) -> Waveform {
+        Waveform::zeros(input.t0(), input.dt(), input.len())
+    }
+
+    fn name(&self) -> &str {
+        "dead-driver"
+    }
+}
+
+#[test]
+fn a_dead_driver_channel_yields_err_not_a_panic() {
+    // The fault plan marks channel 0 dead forever…
+    let faults = TransientFaults::from_plan(&[FaultKind::DeadDriver { channel: 0 }]);
+    assert!(faults.fails(0, 1), "a dead driver fails every attempt");
+    assert!(faults.fails(0, u32::MAX - 1));
+
+    // …and characterizing the dead chain reports the loss as a typed
+    // error instead of panicking the measuring worker.
+    let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> { Box::new(DeadDriverBlock) };
+    let result = try_measure_delay_table(
+        &build,
+        &[Voltage::ZERO],
+        &[Time::from_ps(500.0)],
+        &RenderConfig::default_source(),
+    );
+    match result {
+        Err(CharacterizeError::SignalLost {
+            vctrl,
+            interval,
+            edges,
+        }) => {
+            assert_eq!(vctrl, Voltage::ZERO);
+            assert_eq!(interval, Time::from_ps(500.0));
+            assert_eq!(edges, 0, "a flat trace has no crossings");
+        }
+        other => panic!("expected SignalLost, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_healthy_chain_still_measures_through_the_fallible_path() {
+    let build = |_v: Voltage| -> Box<dyn AnalogBlock + Send> {
+        Box::new(vardelay_analog::TransmissionLine::new(Time::from_ps(15.0)))
+    };
+    let table = try_measure_delay_table(
+        &build,
+        &[Voltage::ZERO],
+        &[Time::from_ps(500.0)],
+        &RenderConfig::default_source(),
+    )
+    .expect("a healthy line characterizes");
+    let d = table.delay_at(Voltage::ZERO, Time::from_ps(500.0));
+    assert!((d.as_ps() - 15.0).abs() < 0.5, "measured {d}");
+}

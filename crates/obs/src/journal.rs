@@ -587,6 +587,139 @@ pub fn compare_latest_serve(
     })
 }
 
+/// Default threshold for the hot-path solve-latency leg of the gate.
+/// Like [`SERVE_THRESHOLD`], deliberately loose: `solve_p99_us` comes
+/// from the log₂-bucketed `core.solve_us` histogram whose adjacent
+/// representable values differ by 2×, so only a >4× blowup trips it.
+pub const SOLVE_THRESHOLD: f64 = 3.0;
+
+/// The latest-two-records hot-path comparison `repro compare` gates on:
+/// per-request p99 solve time and allocations per request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathComparison {
+    /// Thread count both records share.
+    pub threads: u64,
+    /// p99 solve latency of the older record, microseconds.
+    pub older_solve_p99_us: f64,
+    /// p99 solve latency of the newer record, microseconds.
+    pub newer_solve_p99_us: f64,
+    /// Heap allocations per solve request in the older record.
+    pub older_allocs_per_request: f64,
+    /// Heap allocations per solve request in the newer record.
+    pub newer_allocs_per_request: f64,
+    /// `newer_p99 / older_p99` (∞ when the older p99 is 0 and the newer
+    /// is not).
+    pub p99_ratio: f64,
+    /// `newer_allocs / older_allocs` (∞ when the older is 0 and the
+    /// newer is not).
+    pub allocs_ratio: f64,
+    /// The solve-latency gate threshold.
+    pub p99_threshold: f64,
+    /// The allocations gate threshold.
+    pub allocs_threshold: f64,
+    /// Whether either dimension regressed past its threshold.
+    pub regressed: bool,
+}
+
+impl fmt::Display for HotpathComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hotpath: solve p99 {:.0} \u{00b5}s -> {:.0} \u{00b5}s (gate {:.0}\u{00d7}), \
+             {:.2} -> {:.2} allocs/request (gate \u{00b1}{:.0} %; {} thread(s)): {}",
+            self.older_solve_p99_us,
+            self.newer_solve_p99_us,
+            1.0 + self.p99_threshold,
+            self.older_allocs_per_request,
+            self.newer_allocs_per_request,
+            self.allocs_threshold * 100.0,
+            self.threads,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Compares the latest two `all` records that carry the hot-path
+/// dimensions (`solve_p99_us`, `allocs_per_request` — present since the
+/// solve fast path landed; older records and `VARDELAY_OBS=0` runs are
+/// skipped, so the gate arms itself once two instrumented runs exist).
+/// Flags a regression when the newer p99 solve time exceeds the older by
+/// more than `p99_threshold` (see [`SOLVE_THRESHOLD`] for why it is
+/// loose) **or** allocations per request grow past `allocs_threshold`.
+///
+/// # Errors
+///
+/// Same shapes as [`compare_latest`]: [`CompareError::TooFewRecords`]
+/// under two instrumented `all` records, [`CompareError::ThreadMismatch`]
+/// when their thread counts differ, [`CompareError::MissingField`] on
+/// records without `threads`.
+pub fn compare_latest_hotpath(
+    records: &[Value],
+    p99_threshold: f64,
+    allocs_threshold: f64,
+) -> Result<HotpathComparison, CompareError> {
+    let matching: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("experiments").and_then(Value::as_str) == Some("all"))
+        .filter(|r| !is_zero_point(r) && !is_resumed(r))
+        .filter(|r| {
+            r.get("solve_p99_us").and_then(Value::as_f64).is_some()
+                && r.get("allocs_per_request")
+                    .and_then(Value::as_f64)
+                    .is_some()
+        })
+        .collect();
+    let [.., older, newer] = matching.as_slice() else {
+        return Err(CompareError::TooFewRecords {
+            found: matching.len(),
+            experiments: "all".to_owned(),
+        });
+    };
+    let threads = |r: &Value| {
+        r.get("threads")
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField("threads"))
+    };
+    let (older_threads, newer_threads) = (threads(older)?, threads(newer)?);
+    if older_threads != newer_threads {
+        return Err(CompareError::ThreadMismatch {
+            older: older_threads,
+            newer: newer_threads,
+        });
+    }
+    // Presence was filtered above, so these cannot miss.
+    let field = |r: &Value, name: &str| r.get(name).and_then(Value::as_f64).unwrap_or(0.0);
+    let ratio = |older: f64, newer: f64| {
+        if older > 0.0 {
+            newer / older
+        } else if newer > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    };
+    let (older_solve_p99_us, newer_solve_p99_us) =
+        (field(older, "solve_p99_us"), field(newer, "solve_p99_us"));
+    let (older_allocs_per_request, newer_allocs_per_request) = (
+        field(older, "allocs_per_request"),
+        field(newer, "allocs_per_request"),
+    );
+    let p99_ratio = ratio(older_solve_p99_us, newer_solve_p99_us);
+    let allocs_ratio = ratio(older_allocs_per_request, newer_allocs_per_request);
+    Ok(HotpathComparison {
+        threads: newer_threads,
+        older_solve_p99_us,
+        newer_solve_p99_us,
+        older_allocs_per_request,
+        newer_allocs_per_request,
+        p99_ratio,
+        allocs_ratio,
+        p99_threshold,
+        allocs_threshold,
+        regressed: p99_ratio > 1.0 + p99_threshold || allocs_ratio > 1.0 + allocs_threshold,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,6 +978,93 @@ mod tests {
         assert_eq!(
             compare_latest(&[record("all", 1, 6.0), record("all", 4, 2.0)], "all", 0.1),
             Err(CompareError::ThreadMismatch { older: 1, newer: 4 })
+        );
+    }
+
+    fn hotpath_record(threads: u64, solve_p99_us: f64, allocs: f64) -> Value {
+        record("all", threads, 6.0)
+            .with("csv_points", 172u64)
+            .with("solve_p99_us", solve_p99_us)
+            .with("allocs_per_request", allocs)
+    }
+
+    #[test]
+    fn hotpath_compare_gates_solve_p99_and_allocations() {
+        // A 2× p99 bucket step with flat allocations passes the loose
+        // latency leg.
+        let records = vec![
+            hotpath_record(4, 4000.0, 9.5),
+            hotpath_record(4, 8000.0, 9.5),
+        ];
+        let c = compare_latest_hotpath(&records, SOLVE_THRESHOLD, DEFAULT_THRESHOLD).unwrap();
+        assert!(!c.regressed, "{c}");
+        assert_eq!(c.p99_ratio, 2.0);
+        // A >4× p99 blowup trips it.
+        let records = vec![
+            hotpath_record(4, 4000.0, 9.5),
+            hotpath_record(4, 17000.0, 9.5),
+        ];
+        assert!(
+            compare_latest_hotpath(&records, SOLVE_THRESHOLD, DEFAULT_THRESHOLD)
+                .unwrap()
+                .regressed
+        );
+        // Allocations per request are deterministic, so their gate is
+        // the tight default: +11 % fails even with a flat p99.
+        let records = vec![
+            hotpath_record(4, 4000.0, 9.5),
+            hotpath_record(4, 4000.0, 10.6),
+        ];
+        assert!(
+            compare_latest_hotpath(&records, SOLVE_THRESHOLD, DEFAULT_THRESHOLD)
+                .unwrap()
+                .regressed
+        );
+    }
+
+    #[test]
+    fn hotpath_compare_skips_uninstrumented_and_invalid_records() {
+        // Pre-fast-path records (no hot-path fields) and zero-point or
+        // resumed records never become baselines: the gate arms itself
+        // only once two instrumented full runs exist.
+        let legacy = record("all", 4, 6.0).with("csv_points", 172u64);
+        let zero = record("all", 4, 0.1)
+            .with("csv_points", 0u64)
+            .with("solve_p99_us", 4000.0)
+            .with("allocs_per_request", 9.5);
+        let resumed = hotpath_record(4, 900.0, 2.0).with("resumed", true);
+        let records = vec![
+            legacy.clone(),
+            zero,
+            resumed,
+            hotpath_record(4, 4000.0, 9.5),
+        ];
+        assert_eq!(
+            compare_latest_hotpath(&records, SOLVE_THRESHOLD, DEFAULT_THRESHOLD),
+            Err(CompareError::TooFewRecords {
+                found: 1,
+                experiments: "all".to_owned()
+            })
+        );
+        // Two instrumented records compare even across interleaved
+        // legacy ones.
+        let records = vec![
+            hotpath_record(4, 4000.0, 9.5),
+            legacy,
+            hotpath_record(4, 4100.0, 9.5),
+        ];
+        let c = compare_latest_hotpath(&records, SOLVE_THRESHOLD, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(c.older_solve_p99_us, 4000.0);
+        assert_eq!(c.newer_solve_p99_us, 4100.0);
+        assert!(!c.regressed, "{c}");
+        // Different widths are not comparable.
+        let records = vec![
+            hotpath_record(2, 4000.0, 9.5),
+            hotpath_record(4, 4000.0, 9.5),
+        ];
+        assert_eq!(
+            compare_latest_hotpath(&records, SOLVE_THRESHOLD, DEFAULT_THRESHOLD),
+            Err(CompareError::ThreadMismatch { older: 2, newer: 4 })
         );
     }
 

@@ -36,7 +36,7 @@ use vardelay_core::config::ModelConfig;
 use vardelay_core::{CombinedDelayCircuit, HealthVerdict, JitterInjector};
 use vardelay_faults::RequestChaos;
 use vardelay_runner::{panic_message, worker_threads_from_env, Deadline, DeadlineBail, Runner};
-use vardelay_siggen::{BitPattern, EdgeStream};
+use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
 use vardelay_units::{BitRate, Time, Voltage};
 
 use crate::protocol::{
@@ -176,6 +176,7 @@ struct Shared {
     stats: Stats,
     shutdown: AtomicBool,
     next_index: AtomicU64,
+    next_conn: AtomicU64,
     batch_window: Duration,
     default_deadline: Duration,
     workers: usize,
@@ -252,9 +253,9 @@ impl ServerHandle {
     }
 }
 
-/// Binds, calibrates the channel bank (one characterization-cache
-/// solve, shared by all channels), and spawns the accept thread and
-/// worker pool.
+/// Binds, calibrates the channel bank (one full sweep through the solve
+/// cache, shared by all channels via the fast path), and spawns the
+/// accept thread and worker pool.
 pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -265,10 +266,12 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let mut channels = Vec::with_capacity(config.channels.max(1));
     for _ in 0..config.channels.max(1) {
         let mut circuit = CombinedDelayCircuit::new(&model, SERVE_SEED);
-        // Every channel shares the model fingerprint, so the first
-        // calibration misses the characterization cache and the rest
-        // hit the same single-flight slot.
-        circuit.calibrate_cached_with(runner);
+        // Every channel shares the quiet-model fingerprint, so the first
+        // calibration misses the solve cache (one full sweep) and the
+        // rest are served the byte-identical table from the fast path —
+        // and so is every per-request solve later (deskew engines,
+        // `set_delay` reprograms after drift resets).
+        circuit.calibrate_with(runner);
         channels.push(Mutex::new(circuit));
     }
 
@@ -279,6 +282,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         stats: Stats::default(),
         shutdown: AtomicBool::new(false),
         next_index: AtomicU64::new(0),
+        next_conn: AtomicU64::new(0),
         batch_window: config.batch_window,
         default_deadline: config.default_deadline,
         workers: config.workers.max(1),
@@ -346,6 +350,12 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
         Ok(clone) => Arc::new(Mutex::new(clone)),
         Err(_) => return,
     };
+    // Deterministic per-connection backoff jitter: seeded from the
+    // connection's admission order, so two clients that overflow the
+    // queue together receive *different* retry hints (no lockstep
+    // re-stampede) while any given run of the server is reproducible.
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let mut retry_rng = SplitMix64::new(0x7e72 ^ conn_id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     // After an oversized line is rejected, bytes are discarded up to
@@ -371,7 +381,7 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                     } else if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
                         let line: Vec<u8> = buf.drain(..=pos).collect();
                         let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-                        if handle_line(shared, &reply, text.trim()) {
+                        if handle_line(shared, &reply, text.trim(), &mut retry_rng) {
                             break 'conn;
                         }
                     } else if buf.len() > MAX_LINE_BYTES {
@@ -408,7 +418,12 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
 
 /// Parses and admits one request line. Returns `true` when the line was
 /// a shutdown request (the reader should close the connection).
-fn handle_line(shared: &Arc<Shared>, reply: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
+fn handle_line(
+    shared: &Arc<Shared>,
+    reply: &Arc<Mutex<TcpStream>>,
+    line: &str,
+    retry_rng: &mut SplitMix64,
+) -> bool {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     vardelay_obs::counter("serve.lines").add(1);
     let envelope = match Envelope::parse(line) {
@@ -434,9 +449,15 @@ fn handle_line(shared: &Arc<Shared>, reply: &Arc<Mutex<TcpStream>>, line: &str) 
         envelope,
     };
     if let Err(job) = shared.queue.try_push(job) {
-        let retry_after_ms = 1
+        // Base backoff plus per-connection jitter: a constant hint makes
+        // seeded clients retry in lockstep and re-stampede the queue, so
+        // each connection's hint is spread over [base, base + base/2 + 1)
+        // by its own deterministic stream.
+        let base = 1
             + shared.batch_window.as_millis() as u64
             + shared.default_deadline.as_millis() as u64 / 100;
+        let spread = 1 + base / 2;
+        let retry_after_ms = base + retry_rng.next_u64() % spread;
         let response = Response::Error(ErrorReply {
             kind: ErrorKind::Overloaded,
             detail: format!(

@@ -78,11 +78,10 @@ fn same_channel_set_delays_coalesce_into_one_solve() {
     assert_eq!(report.stats.batched, targets.len() as u64 - 1);
 }
 
-/// When the bounded queue is full the reader answers `overloaded` with
-/// a retry hint immediately — the socket never stalls and admitted
-/// work still completes.
-#[test]
-fn a_full_queue_answers_overloaded_with_a_retry_hint() {
+/// Runs the backpressure scenario once (single worker parked in a long
+/// batch window, a flood piling into a queue of depth 1) and returns the
+/// overloaded retry hints in arrival order plus the stats/delay counts.
+fn overloaded_retry_hints() -> (Vec<u64>, u64, u64) {
     let mut config = ServeConfig::in_process();
     config.workers = 1;
     config.queue_depth = 1;
@@ -110,30 +109,70 @@ fn a_full_queue_answers_overloaded_with_a_retry_hint() {
 
     let mut delays = 0u64;
     let mut stats_ok = 0u64;
-    let mut overloaded = 0u64;
+    let mut hints = Vec::new();
     for _ in 0..1 + floods {
         let (_, response) = client.read_response().expect("a response");
         match response {
             Response::Delay(_) => delays += 1,
             Response::Stats(_) => stats_ok += 1,
             Response::Error(err) if err.kind == ErrorKind::Overloaded => {
-                let hint = err.retry_after_ms.expect("overloaded carries a retry hint");
-                assert!(hint > 0, "retry hint must be a real backoff");
-                overloaded += 1;
+                hints.push(err.retry_after_ms.expect("overloaded carries a retry hint"));
             }
             other => panic!("unexpected response {other:?}"),
         }
     }
     assert_eq!(delays, 1, "the admitted set_delay must still complete");
     assert!(
-        overloaded >= 3,
-        "queue depth 1 under {floods} pipelined requests shed only {overloaded}"
+        hints.len() >= 3,
+        "queue depth 1 under {floods} pipelined requests shed only {}",
+        hints.len()
     );
-    assert_eq!(stats_ok + overloaded, floods);
+    assert_eq!(stats_ok + hints.len() as u64, floods);
 
     handle.shutdown();
     let report = handle.join();
-    assert_eq!(report.stats.overloaded, overloaded);
+    assert_eq!(report.stats.overloaded, hints.len() as u64);
+    (hints, delays, stats_ok)
+}
+
+/// When the bounded queue is full the reader answers `overloaded` with
+/// a retry hint immediately — the socket never stalls and admitted work
+/// still completes. The hints carry deterministic per-connection jitter:
+/// bounded backoffs that are *not* all equal (no lockstep re-stampede),
+/// yet reproduce exactly across identical runs.
+#[test]
+fn a_full_queue_answers_overloaded_with_jittered_retry_hints() {
+    let (hints, _, _) = overloaded_retry_hints();
+
+    // The hint is base + jitter with base = 1 + batch_window_ms +
+    // default_deadline_ms/100 = 171 and jitter in [0, 1 + base/2).
+    let base = 1 + 150 + 2000 / 100;
+    let spread = 1 + base / 2;
+    for &hint in &hints {
+        assert!(
+            (base..base + spread).contains(&hint),
+            "hint {hint} outside [{base}, {})",
+            base + spread
+        );
+    }
+    // Jitter must actually spread the flood: a constant hint would make
+    // every shed client retry at the same instant.
+    assert!(
+        hints.windows(2).any(|w| w[0] != w[1]),
+        "all {} hints identical ({}) — retry stampede not broken",
+        hints.len(),
+        hints[0]
+    );
+
+    // Deterministic: the same scenario replays the same hint sequence
+    // (modulo how many requests were shed, which depends on timing).
+    let (again, _, _) = overloaded_retry_hints();
+    let common = hints.len().min(again.len());
+    assert_eq!(
+        hints[..common],
+        again[..common],
+        "per-connection jitter must be reproducible run to run"
+    );
 }
 
 /// An exhausted budget is a `deadline_exceeded` *response* on a healthy

@@ -78,7 +78,7 @@ impl Waveform {
         let t0 = stream.start() - cfg.padding;
         let t_end = stream.end() + cfg.padding;
         let n = ((t_end - t0) / cfg.dt).ceil() as usize + 1;
-        let mut samples = Vec::with_capacity(n);
+        let mut samples = crate::pool::take(n);
         let rise = cfg.rise_time;
         let edges = stream.edges();
 

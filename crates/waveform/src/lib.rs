@@ -14,6 +14,8 @@
 //! * [`crossing`] — interpolated threshold-crossing extraction, the bridge
 //!   back to the edge domain (this is "what the oscilloscope measures").
 //! * [`eye`] — eye-diagram accumulation (raster plus crossing histograms).
+//! * [`pool`] — thread-local recycling of flat `f64` sample buffers so
+//!   the steady-state request path performs zero per-stage allocations.
 //! * [`render`] — ASCII eye rendering and CSV export for examples.
 //!
 //! # Examples
@@ -37,6 +39,7 @@ pub mod crossing;
 pub mod eye;
 pub mod filter;
 pub mod ops;
+pub mod pool;
 pub mod render;
 mod waveform;
 

@@ -44,11 +44,37 @@ impl Waveform {
     /// Adds another waveform sample-wise, resampling `other` onto this
     /// trace's grid by linear interpolation. Regions where `other` has no
     /// data use its clamped boundary values.
+    ///
+    /// The resample walks a cursor over `other`'s samples rather than
+    /// performing an interpolated lookup per point, so the whole
+    /// operation is O(n + m) with no heap allocation.
     pub fn add(&mut self, other: &Waveform) {
-        // Borrow bookkeeping: collect times first, then mutate.
-        let times: Vec<Time> = (0..self.len()).map(|i| self.time_of(i)).collect();
-        for (s, t) in self.samples_mut().iter_mut().zip(times) {
-            *s += other.value_at(t);
+        if other.is_empty() {
+            return; // value_at of an empty trace is 0.0 everywhere
+        }
+        let (t0, dt) = (self.t0(), self.dt());
+        let (ot0, odt) = (other.t0(), other.dt());
+        let os = other.samples();
+        let last = os.len() - 1;
+        // Cursor into `other`: self's grid is monotone in time, so the
+        // bracketing segment index only ever advances.
+        let mut j = 0usize;
+        for (i, s) in self.samples_mut().iter_mut().enumerate() {
+            let t = t0 + dt * i as f64;
+            // Fractional index onto other's grid — same arithmetic as
+            // `value_at`, so the numerics are bit-identical.
+            let x = (t - ot0) / odt;
+            if x <= 0.0 {
+                *s += os[0];
+            } else if x >= last as f64 {
+                *s += os[last];
+            } else {
+                while (j + 1) as f64 <= x {
+                    j += 1;
+                }
+                let frac = x - j as f64;
+                *s += os[j] * (1.0 - frac) + os[j + 1] * frac;
+            }
         }
     }
 
@@ -131,6 +157,34 @@ mod tests {
         a.add(&b);
         assert!((a.samples()[1] - 0.1).abs() < 1e-12); // interpolated at 1 ps
         assert!((a.samples()[3] - 0.2).abs() < 1e-12); // clamped past b's end
+    }
+
+    #[test]
+    fn add_matches_value_at_resampling_bit_for_bit() {
+        // Offset, incommensurate grids exercise interpolation, both
+        // clamp branches and the cursor walk. The cursor-based resample
+        // must reproduce the old per-sample `value_at` loop exactly.
+        let a0 = Waveform::new(
+            Time::from_ps(3.7),
+            Time::from_ps(0.9),
+            (0..57).map(|i| (i as f64 * 0.31).sin()).collect(),
+        );
+        let b = Waveform::new(
+            Time::from_ps(-2.0),
+            Time::from_ps(2.3),
+            (0..23).map(|i| (i as f64 * 0.47).cos()).collect(),
+        );
+        let mut fast = a0.clone();
+        fast.add(&b);
+        let reference: Vec<f64> = (0..a0.len())
+            .map(|i| a0.samples()[i] + b.value_at(a0.time_of(i)))
+            .collect();
+        assert_eq!(fast.samples(), reference.as_slice());
+
+        // Empty `other` must be a no-op (value_at of empty is 0.0).
+        let mut untouched = a0.clone();
+        untouched.add(&Waveform::zeros(Time::ZERO, Time::from_ps(1.0), 0));
+        assert_eq!(untouched, a0);
     }
 
     #[test]

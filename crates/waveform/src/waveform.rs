@@ -94,6 +94,12 @@ impl Waveform {
         self.samples
     }
 
+    /// Shifts the time axis by `offset` in place — the zero-copy
+    /// counterpart of [`Waveform::delayed`].
+    pub fn shift(&mut self, offset: Time) {
+        self.t0 += offset;
+    }
+
     /// Linearly interpolated value at instant `t`, clamping to the first /
     /// last sample outside the trace.
     pub fn value_at(&self, t: Time) -> f64 {
