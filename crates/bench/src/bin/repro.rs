@@ -13,21 +13,29 @@
 //! repro [all|<name>[,<name>...]] [--resume]
 //!   names: fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17
 //!          table1 ablation extensions faults
-//! repro compare [all|serve-bench|hotpath]
+//! repro compare [all|serve-bench|fairness|hotpath]
 //!                 # regression gate: diff the latest two valid `all`
 //!                 # journal records, exit non-zero on >10 % wall-clock
 //!                 # regression (exit 2 when <2 valid records remain);
 //!                 # with no target, also gates the latest two
-//!                 # serve-bench records when the journal has them, and
-//!                 # the hot-path dimensions (per-request p99 solve
-//!                 # time, allocations per request) once two
-//!                 # instrumented `all` records exist
+//!                 # serve-bench records when the journal has them, the
+//!                 # multi-tenant fairness/p99.9 gate once two
+//!                 # serve-bench-mt records exist, and the hot-path
+//!                 # dimensions (per-request p99 solve time,
+//!                 # allocations per request) once two instrumented
+//!                 # `all` records exist
 //! repro serve     # the delay-control server (DESIGN.md §12): listens
 //!                 # on VARDELAY_SERVE_ADDR until a wire `shutdown`,
 //!                 # then drains and appends a serve-drain record
-//! repro serve-bench
+//! repro serve-bench [mt]
 //!                 # seeded open-loop load generator; appends a
-//!                 # serve-bench latency/throughput journal record
+//!                 # serve-bench latency/throughput journal record.
+//!                 # `mt` runs the multi-tenant campaign instead (16
+//!                 # tenants × 2 clients, per-tenant throughput and
+//!                 # max/min fairness ratio, p99.9) and appends a
+//!                 # serve-bench-mt record; VARDELAY_BENCH_HOT_TENANT=N
+//!                 # injects a 10× hot tenant for the starved-tenant
+//!                 # gate check
 //! ```
 //!
 //! After each experiment a checkpoint (input fingerprint + CSV digests)
@@ -611,6 +619,23 @@ fn run_compare(target: Option<&str>) -> ! {
                     std::process::exit(2);
                 }
             }
+            // The multi-tenant fairness gate arms itself once two
+            // serve-bench-mt records exist.
+            match journal::compare_latest_fairness(
+                &records,
+                journal::SERVE_THRESHOLD,
+                journal::FAIRNESS_THRESHOLD,
+            ) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    regressed |= cmp.regressed;
+                }
+                Err(journal::CompareError::TooFewRecords { .. }) => {}
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
             // The hot-path gate (solve p99, allocations per request)
             // arms itself once two instrumented `all` records exist;
             // journals written before the fast path landed (or with
@@ -654,6 +679,22 @@ fn run_compare(target: Option<&str>) -> ! {
                 }
             }
         }
+        Some("fairness") => {
+            match journal::compare_latest_fairness(
+                &records,
+                journal::SERVE_THRESHOLD,
+                journal::FAIRNESS_THRESHOLD,
+            ) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    std::process::exit(i32::from(cmp.regressed));
+                }
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         Some("hotpath") => {
             match journal::compare_latest_hotpath(
                 &records,
@@ -672,8 +713,8 @@ fn run_compare(target: Option<&str>) -> ! {
         }
         Some(other) => {
             eprintln!(
-                "repro compare: unknown target {other:?} (expected \"all\", \"serve-bench\" \
-                 or \"hotpath\")"
+                "repro compare: unknown target {other:?} (expected \"all\", \"serve-bench\", \
+                 \"fairness\" or \"hotpath\")"
             );
             std::process::exit(2);
         }
@@ -716,13 +757,39 @@ fn run_serve() -> ! {
     std::process::exit(0);
 }
 
-/// `repro serve-bench` — the serving-SLO benchmark. With
+/// `repro serve-bench [mt]` — the serving-SLO benchmarks. With
 /// `VARDELAY_SERVE_ADDR` set, drives the server already listening
-/// there; otherwise spins up an in-process server on an ephemeral port,
-/// drives it, and drains it. Either way the run appends a `serve-bench`
-/// journal record for `repro compare` to gate.
-fn run_serve_bench() -> ! {
-    let load = serve_bench::LoadConfig::default();
+/// there; otherwise spins up an in-process server on an ephemeral port
+/// (sharded per `VARDELAY_SERVE_SHARDS`, default 4, for the `mt`
+/// campaign), drives it, and drains it. The single-tenant run appends a
+/// `serve-bench` record; `mt` runs the seeded multi-tenant campaign and
+/// appends a `serve-bench-mt` record for the fairness gate.
+fn run_serve_bench(mode: Option<&str>) -> ! {
+    let mt = match mode {
+        None => false,
+        Some("mt") => true,
+        Some(other) => {
+            eprintln!("repro serve-bench: unknown mode {other:?} (expected \"mt\" or nothing)");
+            std::process::exit(2);
+        }
+    };
+    let drive = |addr: std::net::SocketAddr| -> std::io::Result<(String, Value)> {
+        if mt {
+            let config = serve_bench::MtLoadConfig::from_env();
+            if let Some(hot) = config.hot_tenant {
+                println!(
+                    "repro serve-bench: hot-tenant injection on tenant {hot} \
+                     (VARDELAY_BENCH_HOT_TENANT)"
+                );
+            }
+            serve_bench::run_mt_load(addr, &config)
+                .map(|report| (report.summary(), report.record(&git_describe(), unix_ms())))
+        } else {
+            let config = serve_bench::LoadConfig::default();
+            serve_bench::run_load(addr, &config)
+                .map(|report| (report.summary(), report.record(&git_describe(), unix_ms())))
+        }
+    };
     let external = std::env::var("VARDELAY_SERVE_ADDR")
         .ok()
         .filter(|a| !a.trim().is_empty());
@@ -736,10 +803,20 @@ fn run_serve_bench() -> ! {
                 }
             };
             println!("repro serve-bench: driving external server at {addr}");
-            serve_bench::run_load(addr, &load)
+            drive(addr)
         }
         None => {
-            let handle = match vardelay_serve::serve(vardelay_serve::ServeConfig::in_process()) {
+            let mut config = vardelay_serve::ServeConfig::in_process();
+            if mt {
+                // The mt campaign exists to exercise the sharded path:
+                // default to the standalone shard count unless pinned.
+                config.shards = std::env::var("VARDELAY_SERVE_SHARDS")
+                    .ok()
+                    .and_then(|raw| raw.trim().parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(4);
+            }
+            let handle = match vardelay_serve::serve(config) {
                 Ok(handle) => handle,
                 Err(e) => {
                     eprintln!("repro serve-bench: {e}");
@@ -751,22 +828,21 @@ fn run_serve_bench() -> ! {
                  drive an external one)",
                 handle.addr()
             );
-            let report = serve_bench::run_load(handle.addr(), &load);
+            let result = drive(handle.addr());
             handle.shutdown();
             let drained = handle.join();
             println!("repro serve-bench: {drained}");
-            report
+            result
         }
     };
-    let report = match result {
-        Ok(report) => report,
+    let (summary, record) = match result {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("repro serve-bench: load generator failed: {e}");
             std::process::exit(2);
         }
     };
-    println!("{}", report.summary());
-    let record = report.record(&git_describe(), unix_ms());
+    println!("{summary}");
     if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
         eprintln!("repro serve-bench: could not append to {JOURNAL_PATH}: {e}");
         std::process::exit(1);
@@ -827,7 +903,7 @@ fn usage_exit(unknown: &str) -> ! {
         .join(" ");
     eprintln!(
         "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | \
-         compare [all|serve-bench|hotpath] | serve | serve-bench\n  names: {names}"
+         compare [all|serve-bench|fairness|hotpath] | serve | serve-bench [mt]\n  names: {names}"
     );
     std::process::exit(2);
 }
@@ -868,7 +944,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("compare") => run_compare(args.get(1).map(String::as_str)),
         Some("serve") => run_serve(),
-        Some("serve-bench") => run_serve_bench(),
+        Some("serve-bench") => run_serve_bench(args.get(1).map(String::as_str)),
         _ => {}
     }
     let mut resume = false;

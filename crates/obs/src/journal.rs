@@ -587,6 +587,136 @@ pub fn compare_latest_serve(
     })
 }
 
+/// Max/min per-tenant throughput ratio the multi-tenant fairness gate
+/// tolerates. Under the seeded *balanced* load every tenant offers the
+/// same request volume, so an honest scheduler completes them within a
+/// small factor of each other; `2.0` leaves room for scheduling noise
+/// while still tripping on a starved tenant (a 10× hot-tenant injection
+/// lands near 10).
+pub const FAIRNESS_THRESHOLD: f64 = 2.0;
+
+/// The latest-two-records multi-tenant comparison: tail-latency growth
+/// between runs plus the newest run's max/min per-tenant fairness
+/// ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessComparison {
+    /// Worker count both records share.
+    pub threads: u64,
+    /// Tenants in the newer campaign.
+    pub tenants: u64,
+    /// p99.9 latency of the older record, microseconds.
+    pub older_p999_us: f64,
+    /// p99.9 latency of the newer record, microseconds.
+    pub newer_p999_us: f64,
+    /// The newer record's max/min per-tenant throughput ratio.
+    pub newer_fairness: f64,
+    /// `newer_p999 / older_p999` (∞ when the older is 0 and the newer
+    /// is not).
+    pub p999_ratio: f64,
+    /// Tail-latency growth bound (fractional, like [`SERVE_THRESHOLD`]).
+    pub latency_threshold: f64,
+    /// Absolute fairness-ratio bound (see [`FAIRNESS_THRESHOLD`]).
+    pub fairness_threshold: f64,
+    /// Whether the newer run's p99.9 grew past the latency threshold or
+    /// its fairness ratio exceeded the fairness threshold.
+    pub regressed: bool,
+}
+
+impl fmt::Display for FairnessComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serve-bench-mt: p99.9 {:.0} \u{00b5}s -> {:.0} \u{00b5}s, fairness {:.2} \
+             ({} tenant(s), {} worker(s); gates {:.0}\u{00d7} latency, \u{2264}{:.1} fairness): {}",
+            self.older_p999_us,
+            self.newer_p999_us,
+            self.newer_fairness,
+            self.tenants,
+            self.threads,
+            1.0 + self.latency_threshold,
+            self.fairness_threshold,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Compares the latest two `serve-bench-mt` records (the journal kind
+/// written by `repro serve-bench mt`), flagging a regression when the
+/// newer p99.9 latency exceeds the older by more than
+/// `latency_threshold` (fractional, loose for the same log₂-histogram
+/// reason as [`SERVE_THRESHOLD`]) **or** the newer record's max/min
+/// per-tenant throughput ratio exceeds `fairness_threshold` (absolute —
+/// fairness is a property of a single run, not a run-to-run delta, so a
+/// starved-tenant injection trips the gate immediately rather than
+/// poisoning the next baseline).
+///
+/// # Errors
+///
+/// Same shapes as [`compare_latest`]: [`CompareError::TooFewRecords`]
+/// under two `serve-bench-mt` records, [`CompareError::ThreadMismatch`]
+/// when their worker counts differ, [`CompareError::MissingField`] on
+/// records without `p999_us`/`fairness_ratio`/`tenants`/`threads`.
+pub fn compare_latest_fairness(
+    records: &[Value],
+    latency_threshold: f64,
+    fairness_threshold: f64,
+) -> Result<FairnessComparison, CompareError> {
+    let matching: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("experiments").and_then(Value::as_str) == Some("serve-bench-mt"))
+        .collect();
+    let [.., older, newer] = matching.as_slice() else {
+        return Err(CompareError::TooFewRecords {
+            found: matching.len(),
+            experiments: "serve-bench-mt".to_owned(),
+        });
+    };
+    let threads = |r: &Value| {
+        r.get("threads")
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField("threads"))
+    };
+    let p999 = |r: &Value| {
+        r.get("p999_us")
+            .and_then(Value::as_f64)
+            .ok_or(CompareError::MissingField("p999_us"))
+    };
+    let (older_threads, newer_threads) = (threads(older)?, threads(newer)?);
+    if older_threads != newer_threads {
+        return Err(CompareError::ThreadMismatch {
+            older: older_threads,
+            newer: newer_threads,
+        });
+    }
+    let (older_p999_us, newer_p999_us) = (p999(older)?, p999(newer)?);
+    let newer_fairness = newer
+        .get("fairness_ratio")
+        .and_then(Value::as_f64)
+        .ok_or(CompareError::MissingField("fairness_ratio"))?;
+    let tenants = newer
+        .get("tenants")
+        .and_then(Value::as_u64)
+        .ok_or(CompareError::MissingField("tenants"))?;
+    let p999_ratio = if older_p999_us > 0.0 {
+        newer_p999_us / older_p999_us
+    } else if newer_p999_us > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    Ok(FairnessComparison {
+        threads: newer_threads,
+        tenants,
+        older_p999_us,
+        newer_p999_us,
+        newer_fairness,
+        p999_ratio,
+        latency_threshold,
+        fairness_threshold,
+        regressed: p999_ratio > 1.0 + latency_threshold || newer_fairness > fairness_threshold,
+    })
+}
+
 /// Default threshold for the hot-path solve-latency leg of the gate.
 /// Like [`SERVE_THRESHOLD`], deliberately loose: `solve_p99_us` comes
 /// from the log₂-bucketed `core.solve_us` histogram whose adjacent
@@ -1137,6 +1267,68 @@ mod tests {
         assert_eq!(
             compare_latest_serve(&bad, SERVE_THRESHOLD),
             Err(CompareError::MissingField("p99_us"))
+        );
+    }
+
+    fn mt_record(threads: u64, p999_us: f64, fairness: f64) -> Value {
+        Value::obj()
+            .with("schema", SCHEMA_VERSION)
+            .with("experiments", "serve-bench-mt")
+            .with("threads", threads)
+            .with("tenants", 16u64)
+            .with("p999_us", p999_us)
+            .with("fairness_ratio", fairness)
+    }
+
+    #[test]
+    fn fairness_compare_gates_p999_growth_and_the_newest_ratio() {
+        // Balanced and flat: ok.
+        let records = vec![mt_record(4, 2000.0, 1.1), mt_record(4, 4000.0, 1.3)];
+        let c = compare_latest_fairness(&records, SERVE_THRESHOLD, FAIRNESS_THRESHOLD).unwrap();
+        assert!(!c.regressed, "{c}");
+        assert_eq!(c.p999_ratio, 2.0);
+        assert_eq!(c.tenants, 16);
+        // A >4× p99.9 blowup trips the latency side.
+        let records = vec![mt_record(4, 2000.0, 1.1), mt_record(4, 9000.0, 1.1)];
+        assert!(
+            compare_latest_fairness(&records, SERVE_THRESHOLD, FAIRNESS_THRESHOLD)
+                .unwrap()
+                .regressed
+        );
+        // A starved tenant trips the fairness side even with flat
+        // latency — the ratio is absolute, judged on the newest run
+        // alone, so an injection cannot hide behind a calm older run.
+        let records = vec![mt_record(4, 2000.0, 1.1), mt_record(4, 2000.0, 9.7)];
+        let c = compare_latest_fairness(&records, SERVE_THRESHOLD, FAIRNESS_THRESHOLD).unwrap();
+        assert!(c.regressed, "{c}");
+        assert!(c.to_string().contains("REGRESSED"), "{c}");
+    }
+
+    #[test]
+    fn fairness_compare_needs_two_mt_records_with_full_fields() {
+        // Single-tenant serve records do not feed the mt gate.
+        let records = vec![serve_record(4, 400.0, 5000.0), mt_record(4, 2000.0, 1.1)];
+        assert_eq!(
+            compare_latest_fairness(&records, SERVE_THRESHOLD, FAIRNESS_THRESHOLD),
+            Err(CompareError::TooFewRecords {
+                found: 1,
+                experiments: "serve-bench-mt".to_owned()
+            })
+        );
+        let records = vec![mt_record(2, 2000.0, 1.1), mt_record(4, 2000.0, 1.1)];
+        assert_eq!(
+            compare_latest_fairness(&records, SERVE_THRESHOLD, FAIRNESS_THRESHOLD),
+            Err(CompareError::ThreadMismatch { older: 2, newer: 4 })
+        );
+        let bad = vec![
+            mt_record(4, 2000.0, 1.1),
+            Value::obj()
+                .with("experiments", "serve-bench-mt")
+                .with("threads", 4u64),
+        ];
+        assert_eq!(
+            compare_latest_fairness(&bad, SERVE_THRESHOLD, FAIRNESS_THRESHOLD),
+            Err(CompareError::MissingField("p999_us"))
         );
     }
 }

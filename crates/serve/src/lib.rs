@@ -17,6 +17,13 @@
 //! * **graceful drain** — shutdown stops accepting, finishes every
 //!   admitted request, and reports final counters.
 //!
+//! Since PR 7 the service is *sharded* (DESIGN.md §14): requests are
+//! routed by consistent hashing over `(tenant, channel)` to independent
+//! [`shard`]s, each owning a worker pool and a deficit-round-robin
+//! [`queue::FairQueue`]; per-tenant token buckets shed a hot tenant at
+//! admission, and per-tenant calibration banks are instantiated lazily
+//! with LRU eviction of cold tenants.
+//!
 //! Per-request budgets ride on [`vardelay_runner::Deadline`]; an
 //! exhausted budget is a `deadline_exceeded` *response*, never a
 //! dropped connection. Worker panics (including seeded
@@ -32,11 +39,13 @@ pub mod client;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shard;
 
 pub use client::Client;
 pub use protocol::{
     DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
-    SelftestReply, StatsReply, MAX_LINE_BYTES,
+    SelftestReply, StatsReply, MAX_LINE_BYTES, MAX_TENANT_BYTES, MAX_WIRE_INDEX,
 };
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, FairQueue};
 pub use server::{serve, DrainReport, ServeConfig, ServerHandle};
+pub use shard::{BankRegistry, HashRing, QuotaTable, TenantBank};

@@ -23,6 +23,19 @@ use vardelay_obs::json::Value;
 /// the connection survives.
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
+/// Hard cap on any wire-side index or count field (`channel`, `tap`,
+/// `bus`, `bits`, …). Far above anything a real configuration exposes,
+/// but small enough that the `u64 → usize` conversion is lossless on
+/// every target — a `channel: 2^40` must draw a structured
+/// `bad_request`, not silently truncate on a 32-bit host and turn into
+/// a confusing downstream index error.
+pub const MAX_WIRE_INDEX: u64 = 1 << 20;
+
+/// Hard cap on a `tenant` label, in bytes. Tenants are routing keys;
+/// an unbounded label would let one request pin arbitrary memory in
+/// the per-tenant quota and bank tables.
+pub const MAX_TENANT_BYTES: usize = 128;
+
 /// A parsed request plus its per-request metadata.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
@@ -32,6 +45,10 @@ pub struct Envelope {
     /// absent). Exceeding it yields a `deadline_exceeded` *response*,
     /// never a dropped connection.
     pub deadline_ms: Option<u64>,
+    /// Tenant label (`"tenant"` on the wire). Absent or empty means the
+    /// default tenant; the server routes `(tenant, channel)` to a shard
+    /// and charges the tenant's quota.
+    pub tenant: Option<String>,
     /// The operation.
     pub request: Request,
 }
@@ -217,10 +234,17 @@ pub struct StatsReply {
     pub internal_errors: u64,
     /// Requests answered as part of a same-channel batch (followers).
     pub batched: u64,
-    /// Jobs waiting in the queue right now.
+    /// Requests shed by a tenant's token-bucket quota (a subset of
+    /// `overloaded`).
+    pub quota_rejections: u64,
+    /// Jobs waiting in the queue right now (all shards).
     pub queue_depth: u64,
-    /// Worker threads serving the queue.
+    /// Worker threads serving the queues (all shards).
     pub workers: u64,
+    /// Bank shards serving requests.
+    pub shards: u64,
+    /// Tenant banks currently resident (calibrated, not yet evicted).
+    pub banks: u64,
 }
 
 /// Every response the service emits.
@@ -286,13 +310,42 @@ fn field_u64_or(v: &Value, key: &str, default: u64) -> Result<u64, String> {
     }
 }
 
+/// Decodes an index/count field with the [`MAX_WIRE_INDEX`] bound so the
+/// `u64 → usize` conversion is lossless on every target. A `channel:
+/// 2^40` (or `u64::MAX`) draws a structured error instead of silently
+/// truncating on 32-bit hosts.
+fn field_index(v: &Value, key: &str) -> Result<usize, String> {
+    let raw = field_u64(v, key)?;
+    if raw > MAX_WIRE_INDEX {
+        return Err(format!(
+            "field {key:?} is {raw}, above the protocol limit {MAX_WIRE_INDEX}"
+        ));
+    }
+    Ok(raw as usize)
+}
+
+/// Decodes a field that must fit in `u32` (DAC codes).
+fn field_u32(v: &Value, key: &str) -> Result<u32, String> {
+    let raw = field_u64(v, key)?;
+    u32::try_from(raw).map_err(|_| format!("field {key:?} is {raw}, which does not fit in u32"))
+}
+
 impl Envelope {
     /// A bare request with no id and the server's default deadline.
     pub fn new(request: Request) -> Envelope {
         Envelope {
             id: None,
             deadline_ms: None,
+            tenant: None,
             request,
+        }
+    }
+
+    /// Same request, tagged with a tenant label.
+    pub fn for_tenant(self, tenant: impl Into<String>) -> Envelope {
+        Envelope {
+            tenant: Some(tenant.into()),
+            ..self
         }
     }
 
@@ -304,6 +357,9 @@ impl Envelope {
         }
         if let Some(ms) = self.deadline_ms {
             v = v.with("deadline_ms", ms);
+        }
+        if let Some(tenant) = &self.tenant {
+            v = v.with("tenant", tenant.as_str());
         }
         match &self.request {
             Request::SetDelay { channel, ps } => v.with("channel", *channel).with("ps", *ps),
@@ -364,23 +420,42 @@ impl Envelope {
             None => None,
             Some(raw) => Some(raw.as_u64().ok_or("non-integer field \"deadline_ms\"")?),
         };
+        let tenant = match value.get("tenant") {
+            None => None,
+            Some(raw) => {
+                let s = raw.as_str().ok_or("non-string field \"tenant\"")?;
+                if s.len() > MAX_TENANT_BYTES {
+                    return Err(format!(
+                        "field \"tenant\" is {} bytes, above the {MAX_TENANT_BYTES}-byte limit",
+                        s.len()
+                    ));
+                }
+                // The empty label IS the default tenant; normalising it
+                // here keeps routing and quota accounting canonical.
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(s.to_owned())
+                }
+            }
+        };
         let op = value
             .get("op")
             .and_then(Value::as_str)
             .ok_or("missing or non-string field \"op\"")?;
         let request = match op {
             "set_delay" => Request::SetDelay {
-                channel: field_u64(value, "channel")? as usize,
+                channel: field_index(value, "channel")?,
                 ps: field_f64(value, "ps")?,
             },
             "deskew" => Request::Deskew {
-                bus: field_u64(value, "bus")? as usize,
+                bus: field_index(value, "bus")?,
                 seed: field_u64_or(value, "seed", 0)?,
             },
             "inject_jitter" => Request::InjectJitter {
                 vpp_mv: field_f64(value, "vpp_mv")?,
                 rate_gbps: field_f64(value, "rate_gbps")?,
-                bits: field_u64(value, "bits")? as usize,
+                bits: field_index(value, "bits")?,
                 seed: field_u64_or(value, "seed", 1)?,
             },
             "selftest" => Request::Selftest,
@@ -391,6 +466,7 @@ impl Envelope {
         Ok(Envelope {
             id,
             deadline_ms,
+            tenant,
             request,
         })
     }
@@ -454,8 +530,11 @@ impl Response {
                 .with("deadline_exceeded", r.deadline_exceeded)
                 .with("internal_errors", r.internal_errors)
                 .with("batched", r.batched)
+                .with("quota_rejections", r.quota_rejections)
                 .with("queue_depth", r.queue_depth)
-                .with("workers", r.workers),
+                .with("workers", r.workers)
+                .with("shards", r.shards)
+                .with("banks", r.banks),
             Response::Draining => v
                 .with("ok", true)
                 .with("op", "shutdown")
@@ -513,35 +592,40 @@ impl Response {
             .ok_or("missing field \"op\"")?;
         let response = match op {
             "set_delay" => Response::Delay(DelayReply {
-                channel: field_u64(value, "channel")? as usize,
+                channel: field_index(value, "channel")?,
                 requested_ps: field_f64(value, "requested_ps")?,
-                tap: field_u64(value, "tap")? as usize,
-                dac_code: field_u64(value, "dac_code")? as u32,
+                tap: field_index(value, "tap")?,
+                dac_code: field_u32(value, "dac_code")?,
                 vctrl_mv: field_f64(value, "vctrl_mv")?,
                 predicted_ps: field_f64(value, "predicted_ps")?,
                 error_ps: field_f64(value, "error_ps")?,
-                batched: field_u64(value, "batched")? as usize,
+                batched: field_index(value, "batched")?,
             }),
             "deskew" => Response::Deskew(DeskewReply {
-                bus: field_u64(value, "bus")? as usize,
+                bus: field_index(value, "bus")?,
                 before_ps: field_f64(value, "before_ps")?,
                 after_ps: field_f64(value, "after_ps")?,
-                healthy: field_u64(value, "healthy")? as usize,
+                healthy: field_index(value, "healthy")?,
                 quarantined: value
                     .get("quarantined")
                     .and_then(Value::as_arr)
                     .ok_or("missing field \"quarantined\"")?
                     .iter()
-                    .map(|v| v.as_u64().map(|c| c as usize).ok_or("non-integer channel"))
+                    .map(|v| {
+                        v.as_u64()
+                            .filter(|&c| c <= MAX_WIRE_INDEX)
+                            .map(|c| c as usize)
+                            .ok_or("non-integer or out-of-range channel")
+                    })
                     .collect::<Result<_, _>>()?,
-                reference: field_u64(value, "reference")? as usize,
+                reference: field_index(value, "reference")?,
                 meets_target: value
                     .get("meets_target")
                     .and_then(Value::as_bool)
                     .ok_or("missing field \"meets_target\"")?,
             }),
             "inject_jitter" => Response::Jitter(JitterReply {
-                edges: field_u64(value, "edges")? as usize,
+                edges: field_index(value, "edges")?,
                 slope_s_per_v: field_f64(value, "slope_s_per_v")?,
             }),
             "selftest" => Response::Selftest(SelftestReply {
@@ -565,8 +649,11 @@ impl Response {
                 deadline_exceeded: field_u64(value, "deadline_exceeded")?,
                 internal_errors: field_u64(value, "internal_errors")?,
                 batched: field_u64(value, "batched")?,
+                quota_rejections: field_u64_or(value, "quota_rejections", 0)?,
                 queue_depth: field_u64(value, "queue_depth")?,
                 workers: field_u64(value, "workers")?,
+                shards: field_u64_or(value, "shards", 1)?,
+                banks: field_u64_or(value, "banks", 1)?,
             }),
             "shutdown" => Response::Draining,
             other => return Err(format!("unknown response op {other:?}")),
@@ -585,12 +672,18 @@ mod tests {
             Envelope {
                 id: Some(7),
                 deadline_ms: Some(250),
+                tenant: Some("lot-a".to_owned()),
                 request: Request::SetDelay {
                     channel: 3,
                     ps: 161.25,
                 },
             },
             Envelope::new(Request::Deskew { bus: 8, seed: 42 }),
+            Envelope::new(Request::SetDelay {
+                channel: 0,
+                ps: 30.0,
+            })
+            .for_tenant("t07"),
             Envelope::new(Request::InjectJitter {
                 vpp_mv: 80.0,
                 rate_gbps: 3.2,
@@ -621,6 +714,7 @@ mod tests {
             "{\"op\":\"set_delay\",\"channel\":-1,\"ps\":10}",
             "{\"op\":\"set_delay\",\"channel\":0,\"ps\":\"x\"}",
             "{\"op\":\"stats\",\"id\":1.5}",
+            "{\"op\":\"stats\",\"tenant\":7}",
         ] {
             let err = Envelope::parse(bad).unwrap_err();
             assert_eq!(err.kind, ErrorKind::BadRequest, "{bad:?}");
@@ -630,5 +724,59 @@ mod tests {
             Envelope::parse(&over).unwrap_err().kind,
             ErrorKind::ParseError
         );
+    }
+
+    #[test]
+    fn overflowing_index_fields_are_bad_requests_not_truncations() {
+        // Each of these would have silently truncated through `as usize`
+        // on a 32-bit target before the MAX_WIRE_INDEX bound.
+        for bad in [
+            format!(
+                "{{\"op\":\"set_delay\",\"channel\":{},\"ps\":10}}",
+                u64::MAX
+            ),
+            format!(
+                "{{\"op\":\"set_delay\",\"channel\":{},\"ps\":10}}",
+                1u64 << 40
+            ),
+            format!("{{\"op\":\"deskew\",\"bus\":{}}}", u64::MAX),
+            format!(
+                "{{\"op\":\"inject_jitter\",\"vpp_mv\":80,\"rate_gbps\":3.2,\"bits\":{}}}",
+                (1u64 << 20) + 1
+            ),
+        ] {
+            let err = Envelope::parse(&bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+            assert!(err.detail.contains("protocol limit"), "{}", err.detail);
+        }
+        // The bound itself is inclusive: exactly MAX_WIRE_INDEX parses
+        // (the server's own channel-count check rejects it later).
+        let at_limit = format!("{{\"op\":\"deskew\",\"bus\":{MAX_WIRE_INDEX}}}");
+        assert!(Envelope::parse(&at_limit).is_ok());
+    }
+
+    #[test]
+    fn empty_tenant_is_the_default_tenant_and_long_tenants_are_rejected() {
+        let env = Envelope::parse("{\"op\":\"stats\",\"tenant\":\"\"}").unwrap();
+        assert_eq!(env.tenant, None);
+        let long = format!(
+            "{{\"op\":\"stats\",\"tenant\":\"{}\"}}",
+            "t".repeat(MAX_TENANT_BYTES + 1)
+        );
+        let err = Envelope::parse(&long).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.detail.contains("byte limit"), "{}", err.detail);
+    }
+
+    #[test]
+    fn oversized_response_fields_are_decode_errors() {
+        let line = format!(
+            "{{\"ok\":true,\"op\":\"set_delay\",\"channel\":1,\"requested_ps\":10.0,\
+             \"tap\":2,\"dac_code\":{},\"vctrl_mv\":900.0,\"predicted_ps\":10.0,\
+             \"error_ps\":0.0,\"batched\":1}}",
+            u64::MAX
+        );
+        let err = Response::parse(&line).unwrap_err();
+        assert!(err.contains("does not fit in u32"), "{err}");
     }
 }

@@ -1,27 +1,36 @@
-//! The server: accept thread → bounded queue → worker pool.
+//! The server: accept thread → consistent-hash routing → per-shard
+//! fair queues → per-shard worker pools.
 //!
-//! Life of a request (DESIGN.md §12):
+//! Life of a request (DESIGN.md §12 and §14):
 //!
 //! 1. the accept thread hands each connection to a reader thread;
 //! 2. the reader extracts newline-delimited lines (oversized lines are
 //!    answered `parse_error` and discarded to the next newline),
-//!    parses them, stamps an admission index and a
-//!    [`Deadline`](vardelay_runner::Deadline), and `try_push`es a job —
-//!    a full queue answers `overloaded` with a retry hint instead of
-//!    blocking the socket;
-//! 3. a worker pops the job. A `set_delay` lead waits one batch window,
-//!    drains every queued same-channel `set_delay`, and answers the
-//!    whole batch from one solve on the shared, cache-calibrated
-//!    circuit (last write wins — the same single-flight discipline as
-//!    the characterization cache). Handlers run under `catch_unwind`:
-//!    a cooperative [`DeadlineBail`] becomes a `deadline_exceeded`
-//!    response, any other panic (including injected
+//!    parses them, charges the tenant's token bucket (an over-quota
+//!    tenant draws `overloaded` before touching any queue), stamps an
+//!    admission index and a [`Deadline`](vardelay_runner::Deadline),
+//!    routes `(tenant, channel)` through the consistent-hash ring, and
+//!    `try_push`es a job into the shard's [`FairQueue`] — a full tenant
+//!    lane answers `overloaded` with a retry hint instead of blocking
+//!    the socket or crowding out other tenants;
+//! 3. a shard worker pops the job (lanes drain deficit-round-robin). A
+//!    `set_delay` lead waits one batch window, drains every queued
+//!    same-tenant same-channel `set_delay` from its own lane, and
+//!    answers the whole batch from one solve on the tenant's
+//!    cache-calibrated bank (last write wins). Handlers run under
+//!    `catch_unwind`: a cooperative [`DeadlineBail`] becomes a
+//!    `deadline_exceeded` response, any other panic (including injected
 //!    [`RequestChaos`] kills) becomes an `internal` response, and the
 //!    worker survives either way;
 //! 4. shutdown (wire request or [`ServerHandle::shutdown`]) stops the
-//!    accept loop, readers finish their buffers and exit, the queue is
-//!    closed, workers drain what was admitted, and
+//!    accept loop, readers finish their buffers and exit, every shard
+//!    queue is closed, workers drain what was admitted, and
 //!    [`ServerHandle::join`] returns the final counters.
+//!
+//! Tenant banks are instantiated lazily with LRU eviction past
+//! `VARDELAY_SERVE_MAX_BANKS` — all banks share one model fingerprint,
+//! so lazy calibration and re-admission after eviction answer from the
+//! fast-solve cache instead of re-sweeping.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,7 +42,7 @@ use std::time::Duration;
 
 use vardelay_ate::{DegradedPolicy, DeskewEngine, ParallelBus};
 use vardelay_core::config::ModelConfig;
-use vardelay_core::{CombinedDelayCircuit, HealthVerdict, JitterInjector};
+use vardelay_core::{HealthVerdict, JitterInjector};
 use vardelay_faults::RequestChaos;
 use vardelay_runner::{panic_message, worker_threads_from_env, Deadline, DeadlineBail, Runner};
 use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
@@ -43,10 +52,11 @@ use crate::protocol::{
     DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
     SelftestReply, StatsReply, MAX_LINE_BYTES,
 };
-use crate::queue::BoundedQueue;
+use crate::queue::FairQueue;
+use crate::shard::{tenant_lane, BankRegistry, HashRing, QuotaTable};
 
-/// Seed for the service's model instances (shared by every channel so
-/// the characterization cache single-flights the calibration).
+/// Seed for the service's model instances (shared by every bank so the
+/// characterization and fast-solve caches single-flight calibration).
 const SERVE_SEED: u64 = 0x5e7e;
 
 /// How it all runs. Build with [`from_env`](Self::from_env) for the
@@ -56,22 +66,50 @@ const SERVE_SEED: u64 = 0x5e7e;
 pub struct ServeConfig {
     /// Listen address (`VARDELAY_SERVE_ADDR`).
     pub addr: String,
-    /// Bounded queue depth (`VARDELAY_SERVE_QUEUE`); a full queue
-    /// answers `overloaded`.
+    /// Per-tenant lane depth in each shard's fair queue
+    /// (`VARDELAY_SERVE_QUEUE`); a full lane answers `overloaded`.
     pub queue_depth: usize,
     /// Batch coalescing window (`VARDELAY_SERVE_BATCH_US`): how long a
     /// `set_delay` lead waits for same-channel followers.
     pub batch_window: Duration,
     /// Worker threads (`VARDELAY_THREADS` via
-    /// [`worker_threads_from_env`]).
+    /// [`worker_threads_from_env`]), distributed round-robin across the
+    /// shards with at least one each.
     pub workers: usize,
-    /// Delay channels the service exposes.
+    /// Independent bank shards (`VARDELAY_SERVE_SHARDS`); requests are
+    /// routed by consistent hashing over `(tenant, channel)`.
+    pub shards: usize,
+    /// Delay channels the service exposes per tenant bank.
     pub channels: usize,
+    /// Resident tenant banks before LRU eviction
+    /// (`VARDELAY_SERVE_MAX_BANKS`).
+    pub max_banks: usize,
+    /// Per-tenant token-bucket refill rate in requests/second
+    /// (`VARDELAY_SERVE_QUOTA_RPS`); `None` disables quotas.
+    pub quota_rps: Option<f64>,
+    /// Token-bucket burst cap (`VARDELAY_SERVE_QUOTA_BURST`); `None`
+    /// derives `max(2 × rate, 8)`.
+    pub quota_burst: Option<f64>,
     /// Default per-request budget when the envelope has no
     /// `deadline_ms`.
     pub default_deadline: Duration,
     /// Seeded worker-kill chaos (`VARDELAY_SERVE_CHAOS`).
     pub chaos: Option<RequestChaos>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<f64>().ok())
+        .filter(|&v| v.is_finite() && v > 0.0)
 }
 
 impl ServeConfig {
@@ -82,21 +120,20 @@ impl ServeConfig {
             .ok()
             .filter(|a| !a.trim().is_empty())
             .unwrap_or_else(|| "127.0.0.1:4848".to_owned());
-        let queue_depth = std::env::var("VARDELAY_SERVE_QUEUE")
-            .ok()
-            .and_then(|raw| raw.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(64);
         let batch_us = std::env::var("VARDELAY_SERVE_BATCH_US")
             .ok()
             .and_then(|raw| raw.trim().parse::<u64>().ok())
             .unwrap_or(100);
         ServeConfig {
             addr,
-            queue_depth,
+            queue_depth: env_usize("VARDELAY_SERVE_QUEUE", 64),
             batch_window: Duration::from_micros(batch_us),
             workers: worker_threads_from_env(),
+            shards: env_usize("VARDELAY_SERVE_SHARDS", 4),
             channels: 8,
+            max_banks: env_usize("VARDELAY_SERVE_MAX_BANKS", 8),
+            quota_rps: env_f64("VARDELAY_SERVE_QUOTA_RPS"),
+            quota_burst: env_f64("VARDELAY_SERVE_QUOTA_BURST"),
             default_deadline: Duration::from_secs(2),
             chaos: RequestChaos::from_env(),
         }
@@ -104,14 +141,19 @@ impl ServeConfig {
 
     /// An ephemeral-port configuration for in-process use (tests, the
     /// `serve-bench` load generator). Environment-independent apart
-    /// from the worker count.
+    /// from the worker count; single-shard, unlimited quota — the
+    /// serial baseline the sharded equivalence test compares against.
     pub fn in_process() -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             queue_depth: 64,
             batch_window: Duration::from_micros(100),
             workers: worker_threads_from_env(),
+            shards: 1,
             channels: 8,
+            max_banks: 8,
+            quota_rps: None,
+            quota_burst: None,
             default_deadline: Duration::from_secs(2),
             chaos: None,
         }
@@ -130,6 +172,7 @@ struct Stats {
     deadline_exceeded: AtomicU64,
     internal_errors: AtomicU64,
     batched: AtomicU64,
+    quota_rejections: AtomicU64,
 }
 
 impl Stats {
@@ -145,7 +188,7 @@ impl Stats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, queue_depth: u64, workers: u64) -> StatsReply {
+    fn snapshot(&self, queue_depth: u64, workers: u64, shards: u64, banks: u64) -> StatsReply {
         StatsReply {
             requests: self.requests.load(Ordering::Relaxed),
             ok: self.ok.load(Ordering::Relaxed),
@@ -155,32 +198,68 @@ impl Stats {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             internal_errors: self.internal_errors.load(Ordering::Relaxed),
             batched: self.batched.load(Ordering::Relaxed),
+            quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
             queue_depth,
             workers,
+            shards,
+            banks,
         }
     }
 }
 
-/// One admitted request waiting for a worker.
+/// One admitted request waiting for a shard worker.
 struct Job {
     envelope: Envelope,
+    /// Normalized tenant label (empty = default tenant).
+    tenant: String,
+    /// The tenant's fair-queue lane key.
+    lane: u64,
+    /// The shard the ring routed this job to.
+    shard: usize,
     deadline: Deadline,
     reply: Arc<Mutex<TcpStream>>,
     index: u64,
 }
 
+/// One shard: its fair queue. Workers are plain threads indexed into
+/// [`Shared::shards`], so the struct stays data-only.
+struct ShardState {
+    queue: FairQueue<Job>,
+}
+
 struct Shared {
-    queue: BoundedQueue<Job>,
-    channels: Vec<Mutex<CombinedDelayCircuit>>,
+    shards: Vec<ShardState>,
+    ring: HashRing,
+    registry: BankRegistry,
+    quota: QuotaTable,
     model: ModelConfig,
+    /// Channels each tenant bank exposes.
+    channels: usize,
     stats: Stats,
     shutdown: AtomicBool,
     next_index: AtomicU64,
     next_conn: AtomicU64,
+    /// Worker threads actually running (spawn failures shrink the pool
+    /// instead of aborting the server).
+    workers: AtomicU64,
     batch_window: Duration,
     default_deadline: Duration,
-    workers: usize,
     chaos: Option<RequestChaos>,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue.len() as u64).sum()
+    }
+
+    fn stats_reply(&self) -> StatsReply {
+        self.stats.snapshot(
+            self.queue_depth(),
+            self.workers.load(Ordering::Relaxed),
+            self.shards.len() as u64,
+            self.registry.resident() as u64,
+        )
+    }
 }
 
 /// The final counters a drained server reports.
@@ -196,7 +275,7 @@ impl std::fmt::Display for DrainReport {
         write!(
             f,
             "drained: requests={} ok={} parse_error={} bad_request={} overloaded={} \
-             deadline_exceeded={} internal={} batched={}",
+             deadline_exceeded={} internal={} batched={} quota_rejected={} shards={}",
             s.requests,
             s.ok,
             s.parse_errors,
@@ -204,7 +283,9 @@ impl std::fmt::Display for DrainReport {
             s.overloaded,
             s.deadline_exceeded,
             s.internal_errors,
-            s.batched
+            s.batched,
+            s.quota_rejections,
+            s.shards
         )
     }
 }
@@ -241,70 +322,124 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        // No producers remain; close the queue so workers drain the
-        // backlog and exit.
-        self.shared.queue.close();
+        // No producers remain; close every shard queue so workers drain
+        // their backlog and exit.
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         DrainReport {
-            stats: self.shared.stats.snapshot(0, self.shared.workers as u64),
+            stats: self.shared.stats.snapshot(
+                0,
+                self.shared.workers.load(Ordering::Relaxed),
+                self.shared.shards.len() as u64,
+                self.shared.registry.resident() as u64,
+            ),
         }
     }
 }
 
-/// Binds, calibrates the channel bank (one full sweep through the solve
-/// cache, shared by all channels via the fast path), and spawns the
-/// accept thread and worker pool.
+/// Binds, eagerly calibrates the default tenant's bank (one full sweep
+/// through the solve cache; every later bank rides the fast path), and
+/// spawns the accept thread and the per-shard worker pools.
 pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
     let model = ModelConfig::paper_prototype();
-    let runner = Runner::from_env();
-    let mut channels = Vec::with_capacity(config.channels.max(1));
-    for _ in 0..config.channels.max(1) {
-        let mut circuit = CombinedDelayCircuit::new(&model, SERVE_SEED);
-        // Every channel shares the quiet-model fingerprint, so the first
-        // calibration misses the solve cache (one full sweep) and the
-        // rest are served the byte-identical table from the fast path —
-        // and so is every per-request solve later (deskew engines,
-        // `set_delay` reprograms after drift resets).
-        circuit.calibrate_with(runner);
-        channels.push(Mutex::new(circuit));
-    }
+    let channels = config.channels.max(1);
+    let shard_count = config.shards.max(1);
+    let registry = BankRegistry::new(model.clone(), channels, SERVE_SEED, config.max_banks.max(1));
+    // The default tenant is warmed eagerly with the parallel runner so
+    // the very first sweep (the only one that misses the fast-solve
+    // cache) uses every core; lazy tenant banks built on worker threads
+    // calibrate serially through the cache instead.
+    registry.get("", Runner::from_env());
+
+    let quota_rate = config.quota_rps.filter(|r| r.is_finite() && *r > 0.0);
+    let quota_burst = config
+        .quota_burst
+        .or(quota_rate.map(|r| (2.0 * r).max(8.0)))
+        .unwrap_or(8.0);
 
     let shared = Arc::new(Shared {
-        queue: BoundedQueue::new(config.queue_depth),
-        channels,
+        shards: (0..shard_count)
+            .map(|_| ShardState {
+                queue: FairQueue::new(config.queue_depth),
+            })
+            .collect(),
+        ring: HashRing::new(shard_count),
+        registry,
+        quota: QuotaTable::new(quota_rate, quota_burst),
         model,
+        channels,
         stats: Stats::default(),
         shutdown: AtomicBool::new(false),
         next_index: AtomicU64::new(0),
         next_conn: AtomicU64::new(0),
+        workers: AtomicU64::new(0),
         batch_window: config.batch_window,
         default_deadline: config.default_deadline,
-        workers: config.workers.max(1),
         chaos: config.chaos,
     });
 
-    let workers = (0..shared.workers)
-        .map(|i| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker thread")
-        })
-        .collect();
+    // Round-robin the worker budget across shards, at least one each.
+    // A failed spawn shrinks the pool (counted) instead of panicking
+    // mid-startup; only a shard left with *zero* workers is fatal,
+    // because its queue would never drain.
+    let total_workers = config.workers.max(shard_count);
+    let mut workers = Vec::with_capacity(total_workers);
+    let mut per_shard = vec![0usize; shard_count];
+    for i in 0..total_workers {
+        let shard = i % shard_count;
+        let worker_shared = Arc::clone(&shared);
+        match std::thread::Builder::new()
+            .name(format!("serve-worker-{shard}-{i}"))
+            .spawn(move || worker_loop(&worker_shared, shard))
+        {
+            Ok(handle) => {
+                workers.push(handle);
+                per_shard[shard] += 1;
+                shared.workers.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                vardelay_obs::counter("serve.spawn_failures").add(1);
+            }
+        }
+    }
+    if per_shard.contains(&0) {
+        for shard in &shared.shards {
+            shard.queue.close();
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        return Err(std::io::Error::other(
+            "could not spawn at least one worker per shard",
+        ));
+    }
 
     let accept = {
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
+        let accept_shared = Arc::clone(&shared);
+        match std::thread::Builder::new()
             .name("serve-accept".to_owned())
-            .spawn(move || accept_loop(&shared, listener))
-            .expect("spawn accept thread")
+            .spawn(move || accept_loop(&accept_shared, listener))
+        {
+            Ok(handle) => handle,
+            Err(e) => {
+                vardelay_obs::counter("serve.spawn_failures").add(1);
+                for shard in &shared.shards {
+                    shard.queue.close();
+                }
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(e);
+            }
+        }
     };
 
     Ok(ServerHandle {
@@ -324,12 +459,19 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     while !shared.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
+                let conn_shared = Arc::clone(shared);
+                match std::thread::Builder::new()
                     .name("serve-conn".to_owned())
-                    .spawn(move || connection_loop(&shared, stream))
-                    .expect("spawn connection thread");
-                connections.push(handle);
+                    .spawn(move || connection_loop(&conn_shared, stream))
+                {
+                    Ok(handle) => connections.push(handle),
+                    Err(_) => {
+                        // Thread exhaustion: reject this connection with
+                        // a best-effort `overloaded` line instead of
+                        // taking the whole server down mid-drain.
+                        vardelay_obs::counter("serve.conn_spawn_failures").add(1);
+                    }
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -416,6 +558,26 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
+/// The retry-hint window: a deterministic base plus the jitter spread
+/// the per-connection RNG draws from.
+fn retry_window(shared: &Shared) -> (u64, u64) {
+    let base = 1
+        + shared.batch_window.as_millis() as u64
+        + shared.default_deadline.as_millis() as u64 / 100;
+    (base, base / 2)
+}
+
+/// Jitters a retry hint over `[base, base + spread)`. A zero-width
+/// window (tiny deadline, no batch window) pins the hint at `base`
+/// instead of taking `rng % 0`.
+fn retry_hint_ms(rng: &mut SplitMix64, base: u64, spread: u64) -> u64 {
+    if spread == 0 {
+        base
+    } else {
+        base + rng.next_u64() % spread
+    }
+}
+
 /// Parses and admits one request line. Returns `true` when the line was
 /// a shutdown request (the reader should close the connection).
 fn handle_line(
@@ -438,33 +600,69 @@ fn handle_line(
         finish(shared, reply, envelope.id, Response::Draining, None);
         return true;
     }
+    let tenant = envelope.tenant.clone().unwrap_or_default();
+    if !shared.quota.admit(&tenant) {
+        shared
+            .stats
+            .quota_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        vardelay_obs::counter("serve.quota_rejections").add(1);
+        let (base, spread) = retry_window(shared);
+        let response = Response::Error(ErrorReply {
+            kind: ErrorKind::Overloaded,
+            detail: format!("tenant {tenant:?} is over its request quota"),
+            retry_after_ms: Some(retry_hint_ms(retry_rng, base, spread)),
+        });
+        finish(shared, reply, envelope.id, response, None);
+        return false;
+    }
+    // Channel bounds are checked at admission so an out-of-range
+    // `set_delay` never occupies queue space or joins a batch.
+    if let Request::SetDelay { channel, .. } = envelope.request {
+        if channel >= shared.channels {
+            let response = Response::error(
+                ErrorKind::BadRequest,
+                format!(
+                    "channel {channel} out of range (service exposes {})",
+                    shared.channels
+                ),
+            );
+            finish(shared, reply, envelope.id, response, None);
+            return false;
+        }
+    }
+    let route_channel = match envelope.request {
+        Request::SetDelay { channel, .. } => channel,
+        _ => 0,
+    };
     let budget = envelope
         .deadline_ms
         .map(Duration::from_millis)
         .unwrap_or(shared.default_deadline);
+    let shard = shared.ring.route(&tenant, route_channel);
+    let lane = tenant_lane(&tenant);
     let job = Job {
         deadline: Deadline::after(budget),
         reply: Arc::clone(reply),
         index: shared.next_index.fetch_add(1, Ordering::Relaxed),
+        tenant,
+        lane,
+        shard,
         envelope,
     };
-    if let Err(job) = shared.queue.try_push(job) {
+    if let Err(job) = shared.shards[shard].queue.try_push(lane, job) {
         // Base backoff plus per-connection jitter: a constant hint makes
         // seeded clients retry in lockstep and re-stampede the queue, so
-        // each connection's hint is spread over [base, base + base/2 + 1)
+        // each connection's hint is spread over [base, base + base/2)
         // by its own deterministic stream.
-        let base = 1
-            + shared.batch_window.as_millis() as u64
-            + shared.default_deadline.as_millis() as u64 / 100;
-        let spread = 1 + base / 2;
-        let retry_after_ms = base + retry_rng.next_u64() % spread;
+        let (base, spread) = retry_window(shared);
         let response = Response::Error(ErrorReply {
             kind: ErrorKind::Overloaded,
             detail: format!(
                 "queue of {} is full; retry after the hinted backoff",
-                shared.queue.capacity()
+                shared.shards[shard].queue.lane_capacity()
             ),
-            retry_after_ms: Some(retry_after_ms),
+            retry_after_ms: Some(retry_hint_ms(retry_rng, base, spread)),
         });
         finish(shared, &job.reply, job.envelope.id, response, None);
     }
@@ -475,8 +673,8 @@ fn handle_line(
 // Workers
 // ---------------------------------------------------------------------------
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
+fn worker_loop(shared: &Arc<Shared>, shard: usize) {
+    while let Some(job) = shared.shards[shard].queue.pop() {
         process_job(shared, job);
     }
 }
@@ -500,7 +698,7 @@ fn process_job(shared: &Arc<Shared>, job: Job) {
         return;
     }
     if let Request::SetDelay { channel, .. } = job.envelope.request {
-        if channel < shared.channels.len() {
+        if channel < shared.channels {
             process_set_delay_batch(shared, job, channel);
             return;
         }
@@ -551,8 +749,9 @@ fn supervise(shared: &Arc<Shared>, job: &Job, f: impl FnOnce(&Job) -> Response) 
 }
 
 /// Lead worker for a `set_delay`: waits one batch window, coalesces
-/// every queued same-channel `set_delay`, performs one solve (last
-/// write wins), and answers every waiter.
+/// every queued same-tenant same-channel `set_delay` from the lead's
+/// own lane, performs one solve (last write wins), and answers every
+/// waiter.
 fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
     if !shared.batch_window.is_zero() {
         // Yield-spin rather than sleep: the window is ~100 µs and
@@ -565,9 +764,17 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
             std::thread::yield_now();
         }
     }
+    let (shard, lane) = (lead.shard, lead.lane);
+    let tenant = lead.tenant.clone();
     let mut batch = vec![lead];
-    batch.extend(shared.queue.drain_matching(|queued| {
-        matches!(queued.envelope.request, Request::SetDelay { channel: c, .. } if c == channel)
+    // Lane-local drain: batching never steals another tenant's queued
+    // work even if two tenant labels collide on the lane hash.
+    batch.extend(shared.shards[shard].queue.drain_matching(lane, |queued| {
+        queued.tenant == tenant
+            && matches!(
+                queued.envelope.request,
+                Request::SetDelay { channel: c, .. } if c == channel
+            )
     }));
     let target_ps = batch
         .iter()
@@ -586,7 +793,7 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
         vardelay_obs::histogram("serve.batch_size").record(size as u64);
     }
     let outcome = supervise(shared, &batch[0], |_| {
-        solve_delay(shared, channel, target_ps)
+        solve_delay(shared, &tenant, channel, target_ps)
     });
     for job in &batch {
         let response = match (&outcome, job.deadline.expired()) {
@@ -624,13 +831,24 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
     }
 }
 
-fn solve_delay(shared: &Arc<Shared>, channel: usize, target_ps: f64) -> Response {
+fn solve_delay(shared: &Arc<Shared>, tenant: &str, channel: usize, target_ps: f64) -> Response {
     if !target_ps.is_finite() {
         return Response::error(ErrorKind::BadRequest, "ps must be finite");
     }
-    let mut circuit = shared.channels[channel]
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    // Lazy tenants calibrate here, on the worker thread, serially — the
+    // fast-solve cache answers the sweep, so this is a table copy, not
+    // a re-simulation.
+    let bank = shared.registry.get(tenant, Runner::serial());
+    let Some(slot) = bank.channels.get(channel) else {
+        return Response::error(
+            ErrorKind::BadRequest,
+            format!(
+                "channel {channel} out of range (service exposes {})",
+                shared.channels
+            ),
+        );
+    };
+    let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
     match circuit.set_delay(Time::from_ps(target_ps)) {
         Ok(setting) => Response::Delay(DelayReply {
             channel,
@@ -652,7 +870,7 @@ fn handle_one(shared: &Arc<Shared>, job: &Job) -> Response {
             ErrorKind::BadRequest,
             format!(
                 "channel {channel} out of range (service exposes {})",
-                shared.channels.len()
+                shared.channels
             ),
         ),
         Request::Deskew { bus, seed } => handle_deskew(shared, *bus, *seed, &job.deadline),
@@ -662,12 +880,8 @@ fn handle_one(shared: &Arc<Shared>, job: &Job) -> Response {
             bits,
             seed,
         } => handle_inject(shared, *vpp_mv, *rate_gbps, *bits, *seed),
-        Request::Selftest => handle_selftest(shared),
-        Request::Stats => Response::Stats(
-            shared
-                .stats
-                .snapshot(shared.queue.len() as u64, shared.workers as u64),
-        ),
+        Request::Selftest => handle_selftest(shared, &job.tenant),
+        Request::Stats => Response::Stats(shared.stats_reply()),
         Request::Shutdown => unreachable!("shutdown is handled at admission"),
     }
 }
@@ -723,8 +937,9 @@ fn handle_inject(
     })
 }
 
-fn handle_selftest(shared: &Arc<Shared>) -> Response {
-    let mut circuit = shared.channels[0]
+fn handle_selftest(shared: &Arc<Shared>, tenant: &str) -> Response {
+    let bank = shared.registry.get(tenant, Runner::serial());
+    let mut circuit = bank.channels[0]
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
     let health = circuit.self_test();

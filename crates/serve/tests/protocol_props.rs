@@ -84,6 +84,61 @@ proptest! {
         let (_, ok) = client.call(&Envelope::new(Request::Stats)).expect("stats");
         prop_assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
     }
+
+    /// Out-of-range and overflowing index fields — huge `channel`s
+    /// above the protocol cap (up to `u64::MAX`), negative-looking
+    /// values, float-valued channels — always draw a structured
+    /// `bad_request` over a live socket, never a truncated index, a
+    /// panic, or a dropped connection.
+    #[test]
+    fn overflowing_numeric_fields_draw_bad_request_over_the_wire(
+        huge in (1u64 << 20) + 1..=u64::MAX,
+        frac in 1u32..100,
+        negative in 1u64..1_000_000,
+    ) {
+        let lines = [
+            format!("{{\"op\":\"set_delay\",\"channel\":{huge},\"ps\":10}}"),
+            format!("{{\"op\":\"set_delay\",\"channel\":-{negative},\"ps\":10}}"),
+            format!("{{\"op\":\"set_delay\",\"channel\":0.{frac:02},\"ps\":10}}"),
+            format!("{{\"op\":\"deskew\",\"bus\":{huge}}}"),
+            format!("{{\"op\":\"inject_jitter\",\"vpp_mv\":80,\"rate_gbps\":3.2,\"bits\":{huge}}}"),
+        ];
+        let mut client = connect();
+        for line in &lines {
+            let (_, response) = client.send_raw(line).expect("a response line");
+            prop_assert_eq!(
+                response.error_kind(),
+                Some(ErrorKind::BadRequest),
+                "{} drew {:?}", line, response
+            );
+        }
+        // Same connection still serves after the whole barrage.
+        let (_, ok) = client.call(&Envelope::new(Request::Stats)).expect("stats");
+        prop_assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
+    }
+
+    /// In-range but out-of-bank channels (the service exposes 8) are
+    /// rejected at admission with the channel-count detail, and the
+    /// response still carries the request's correlation id.
+    #[test]
+    fn out_of_bank_channels_are_rejected_at_admission(channel in 8usize..1000) {
+        let mut client = connect();
+        let envelope = Envelope {
+            id: Some(channel as u64),
+            deadline_ms: None,
+            tenant: None,
+            request: Request::SetDelay { channel, ps: 10.0 },
+        };
+        let (id, response) = client.call(&envelope).expect("a response line");
+        prop_assert_eq!(id, Some(channel as u64));
+        match &response {
+            Response::Error(e) => {
+                prop_assert_eq!(e.kind, ErrorKind::BadRequest);
+                prop_assert!(e.detail.contains("out of range"), "{}", e.detail);
+            }
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
 }
 
 /// A line past [`MAX_LINE_BYTES`] draws exactly one `parse_error`, the
@@ -143,8 +198,11 @@ fn every_response_type_round_trips() {
             deadline_exceeded: 0,
             internal_errors: 0,
             batched: 2,
+            quota_rejections: 1,
             queue_depth: 3,
             workers: 2,
+            shards: 4,
+            banks: 2,
         }),
         Response::Draining,
         Response::Error(ErrorReply {
@@ -179,6 +237,7 @@ fn every_request_type_round_trips() {
         Envelope {
             id: Some(1),
             deadline_ms: Some(750),
+            tenant: Some("lot-7".to_owned()),
             request: Request::SetDelay {
                 channel: 0,
                 ps: 0.0,

@@ -12,6 +12,7 @@ fn envelope(id: u64, request: Request) -> Envelope {
     Envelope {
         id: Some(id),
         deadline_ms: None,
+        tenant: None,
         request,
     }
 }
@@ -145,9 +146,9 @@ fn a_full_queue_answers_overloaded_with_jittered_retry_hints() {
     let (hints, _, _) = overloaded_retry_hints();
 
     // The hint is base + jitter with base = 1 + batch_window_ms +
-    // default_deadline_ms/100 = 171 and jitter in [0, 1 + base/2).
+    // default_deadline_ms/100 = 171 and jitter in [0, base/2).
     let base = 1 + 150 + 2000 / 100;
-    let spread = 1 + base / 2;
+    let spread = base / 2;
     for &hint in &hints {
         assert!(
             (base..base + spread).contains(&hint),
@@ -175,6 +176,59 @@ fn a_full_queue_answers_overloaded_with_jittered_retry_hints() {
     );
 }
 
+/// A zero-width jitter window (no batch window, sub-100 ms default
+/// deadline → base = 1, spread = 0) must pin every retry hint at the
+/// base instead of dividing by zero in `rng % spread`.
+#[test]
+fn a_zero_width_jitter_window_pins_the_hint_and_does_not_panic() {
+    let mut config = ServeConfig::in_process();
+    config.workers = 1;
+    config.queue_depth = 1;
+    config.batch_window = Duration::ZERO;
+    config.default_deadline = Duration::from_millis(50);
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // A deskew lead parks the single worker long enough for the flood
+    // to overflow the depth-1 queue.
+    client
+        .send_only(&envelope(1, Request::Deskew { bus: 32, seed: 7 }))
+        .expect("send");
+    let floods = 6u64;
+    for id in 2..2 + floods {
+        client
+            .send_only(&envelope(id, Request::Stats))
+            .expect("send");
+    }
+
+    let mut hints = Vec::new();
+    let mut answered = 0u64;
+    for _ in 0..1 + floods {
+        let (_, response) = client.read_response().expect("a response");
+        match response {
+            Response::Error(err) if err.kind == ErrorKind::Overloaded => {
+                hints.push(err.retry_after_ms.expect("overloaded carries a retry hint"));
+            }
+            _ => answered += 1,
+        }
+    }
+    // base = 1 + 0 + 50/100 = 1, spread = 1/2 = 0 → every hint is
+    // exactly the base. Before the guard this scenario panicked the
+    // reader thread on `rng % 0`.
+    for &hint in &hints {
+        assert_eq!(hint, 1, "zero-spread hint must pin at base");
+    }
+    assert!(
+        !hints.is_empty(),
+        "queue depth 1 under {floods} pipelined requests shed nothing"
+    );
+    assert_eq!(answered + hints.len() as u64, 1 + floods);
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.stats.overloaded, hints.len() as u64);
+}
+
 /// An exhausted budget is a `deadline_exceeded` *response* on a healthy
 /// connection, never a drop.
 #[test]
@@ -186,6 +240,7 @@ fn an_expired_deadline_is_a_response_not_a_dropped_connection() {
         .call(&Envelope {
             id: Some(9),
             deadline_ms: Some(0),
+            tenant: None,
             request: Request::Stats,
         })
         .expect("a response");

@@ -1,0 +1,278 @@
+//! Sharded multi-tenant behavior over real sockets: serial-vs-sharded
+//! wire equivalence (the PR 7 acceptance criterion), tenant-local
+//! batching, per-tenant quotas, LRU bank eviction, and chaos
+//! containment across shards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use vardelay_faults::RequestChaos;
+use vardelay_serve::{serve, Client, Envelope, ErrorKind, Request, Response, ServeConfig};
+
+fn envelope(id: u64, request: Request) -> Envelope {
+    Envelope {
+        id: Some(id),
+        deadline_ms: None,
+        tenant: None,
+        request,
+    }
+}
+
+/// Runs a fixed, sequential request script against `addr` and returns
+/// the raw response lines exactly as they arrived on the wire.
+fn wire_session(addr: std::net::SocketAddr, script: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::with_capacity(script.len());
+    for request in script {
+        writer.write_all(request.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        lines.push(line.trim_end().to_owned());
+    }
+    lines
+}
+
+/// The acceptance criterion: a deterministic single-client script must
+/// produce **byte-identical** wire responses whether the service runs
+/// one shard or many — sharding is a routing refactor, not a semantic
+/// change. (`stats` is excluded: it reports the shard count itself.)
+#[test]
+fn serial_and_sharded_servers_answer_byte_identically() {
+    let mut script = Vec::new();
+    let mut id = 0u64;
+    for round in 0..3u64 {
+        for channel in 0..8u64 {
+            id += 1;
+            let ps = 7.5 * ((channel + round * 3) % 16 + 1) as f64;
+            script.push(format!(
+                "{{\"op\":\"set_delay\",\"id\":{id},\"tenant\":\"t{:02}\",\
+                 \"channel\":{channel},\"ps\":{ps}}}",
+                channel % 3
+            ));
+        }
+    }
+    id += 1;
+    script.push(format!(
+        "{{\"op\":\"deskew\",\"id\":{id},\"bus\":6,\"seed\":42}}"
+    ));
+    id += 1;
+    script.push(format!(
+        "{{\"op\":\"inject_jitter\",\"id\":{id},\"vpp_mv\":80,\"rate_gbps\":3.2,\
+         \"bits\":127,\"seed\":5}}"
+    ));
+    id += 1;
+    script.push(format!(
+        "{{\"op\":\"selftest\",\"id\":{id},\"tenant\":\"t01\"}}"
+    ));
+
+    let run = |shards: usize| {
+        let mut config = ServeConfig::in_process();
+        config.shards = shards;
+        config.workers = 4;
+        let handle = serve(config).expect("bind");
+        let lines = wire_session(handle.addr(), &script);
+        handle.shutdown();
+        handle.join();
+        lines
+    };
+    let serial = run(1);
+    let sharded = run(4);
+    assert_eq!(serial.len(), sharded.len());
+    for (a, b) in serial.iter().zip(&sharded) {
+        assert_eq!(a, b, "serial and sharded wire responses diverged");
+    }
+}
+
+/// Batching is tenant-local: two tenants hammering the same channel in
+/// one batch window coalesce within their own lane only, and each
+/// waiter keeps its own tenant's solve.
+#[test]
+fn batches_never_cross_tenant_lanes() {
+    let mut config = ServeConfig::in_process();
+    config.workers = 1;
+    config.batch_window = Duration::from_millis(100);
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Tenant a leads, tenant b wedges between a's two writes.
+    let sends = [("a", 1, 30.0), ("b", 2, 45.0), ("a", 3, 60.0)];
+    for (tenant, id, ps) in sends {
+        client
+            .send_only(&envelope(id, Request::SetDelay { channel: 2, ps }).for_tenant(tenant))
+            .expect("send");
+    }
+    let mut replies = Vec::new();
+    for _ in 0..sends.len() {
+        let (id, response) = client.read_response().expect("a response");
+        match response {
+            Response::Delay(reply) => replies.push((id.expect("id"), reply)),
+            other => panic!("expected a delay reply, got {other:?}"),
+        }
+    }
+    replies.sort_by_key(|(id, _)| *id);
+    let (_, a_lead) = &replies[0];
+    let (_, b_solo) = &replies[1];
+    let (_, a_follow) = &replies[2];
+    assert_eq!(a_lead.batched, 2, "tenant a's two writes must coalesce");
+    assert_eq!(a_follow.batched, 2);
+    assert_eq!(
+        b_solo.batched, 1,
+        "tenant b must not be swept into a's batch"
+    );
+    // a's batch solved last-write-wins for 60; b solved its own 45.
+    assert!(
+        (a_lead.predicted_ps - 60.0).abs() < 10.0,
+        "{}",
+        a_lead.predicted_ps
+    );
+    assert!(
+        (b_solo.predicted_ps - 45.0).abs() < 10.0,
+        "{}",
+        b_solo.predicted_ps
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Token-bucket quotas shed a hot tenant at admission (counted in
+/// `quota_rejections`) while a quiet tenant on the same connection is
+/// untouched.
+#[test]
+fn a_hot_tenant_is_quota_limited_without_collateral_damage() {
+    let mut config = ServeConfig::in_process();
+    config.shards = 2;
+    config.quota_rps = Some(5.0);
+    config.quota_burst = Some(3.0);
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut hog_ok = 0u64;
+    let mut hog_shed = 0u64;
+    for id in 0..12 {
+        let (_, response) = client
+            .call(&envelope(id, Request::Stats).for_tenant("hog"))
+            .expect("a response");
+        match response {
+            Response::Stats(_) => hog_ok += 1,
+            Response::Error(err) if err.kind == ErrorKind::Overloaded => {
+                assert!(err.detail.contains("quota"), "{}", err.detail);
+                assert!(err.retry_after_ms.is_some(), "quota shed carries a hint");
+                hog_shed += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(hog_shed > 0, "12 rapid calls at burst 3 must shed some");
+    assert!(hog_ok >= 3, "the burst allowance must be honored");
+
+    // The quiet tenant's fresh bucket is untouched by the hog's spree.
+    for id in 100..103 {
+        let (_, response) = client
+            .call(&envelope(id, Request::Stats).for_tenant("calm"))
+            .expect("a response");
+        match response {
+            Response::Stats(stats) => {
+                assert_eq!(stats.quota_rejections, hog_shed);
+                assert_eq!(stats.shards, 2);
+            }
+            other => panic!("calm tenant shed: {other:?}"),
+        }
+    }
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.stats.quota_rejections, hog_shed);
+    assert_eq!(report.stats.overloaded, hog_shed);
+}
+
+/// The bank registry caps resident tenant banks, evicting least
+/// recently used; evicted tenants are still served (re-calibration
+/// rides the fast-solve cache) and `stats.banks` never exceeds the cap.
+#[test]
+fn cold_tenant_banks_are_evicted_at_the_cap_and_readmitted() {
+    let mut config = ServeConfig::in_process();
+    config.shards = 2;
+    config.max_banks = 2;
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Four tenants (plus the eagerly-built default) churn through a
+    // registry that holds two banks.
+    for (i, tenant) in ["t-a", "t-b", "t-c", "t-a", "t-d"].iter().enumerate() {
+        let (_, response) = client
+            .call(
+                &envelope(
+                    i as u64,
+                    Request::SetDelay {
+                        channel: i % 8,
+                        ps: 30.0 + i as f64,
+                    },
+                )
+                .for_tenant(*tenant),
+            )
+            .expect("a response");
+        assert!(matches!(response, Response::Delay(_)), "{response:?}");
+    }
+    let (_, response) = client.call(&envelope(99, Request::Stats)).expect("stats");
+    match response {
+        Response::Stats(stats) => {
+            assert!(stats.banks <= 2, "cap 2 exceeded: {} banks", stats.banks);
+            assert_eq!(stats.ok, 5);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// Chaos containment survives sharding: a seeded kill on one shard's
+/// worker draws an `internal` error for the doomed request while every
+/// shard keeps serving its tenants.
+#[test]
+fn chaos_kills_stay_contained_within_a_sharded_server() {
+    vardelay_faults::set_enabled(true);
+    let mut config = ServeConfig::in_process();
+    config.shards = 3;
+    config.workers = 3;
+    config.chaos = Some(RequestChaos::new(0x5AD_C4A05, 3));
+    let handle = serve(config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let tenants = ["t00", "t01", "t02"];
+    let total = 12u64;
+    let mut killed = 0u64;
+    let mut served = 0u64;
+    for id in 0..total {
+        let tenant = tenants[(id % 3) as usize];
+        let (_, response) = client
+            .call(&envelope(id, Request::Selftest).for_tenant(tenant))
+            .expect("a response");
+        match response {
+            Response::Selftest(_) => served += 1,
+            Response::Error(err) if err.kind == ErrorKind::Internal => {
+                assert!(err.detail.contains("chaos"), "{}", err.detail);
+                killed += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(killed >= 1, "chaos at one-in-3 never fired over {total}");
+    assert!(served >= 1, "no request survived — a shard died");
+
+    handle.shutdown();
+    let report = handle.join();
+    assert_eq!(report.stats.requests, total);
+    assert_eq!(report.stats.internal_errors, killed);
+    assert_eq!(report.stats.ok, served);
+    assert_eq!(report.stats.shards, 3);
+}
