@@ -13,7 +13,7 @@
 //! repro [all|<name>[,<name>...]] [--resume]
 //!   names: fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17
 //!          table1 ablation extensions faults
-//! repro compare [all|serve-bench|fairness|hotpath]
+//! repro compare [all|serve-bench|fairness|hotpath|soak]
 //!                 # regression gate: diff the latest two valid `all`
 //!                 # journal records, exit non-zero on >10 % wall-clock
 //!                 # regression (exit 2 when <2 valid records remain);
@@ -36,6 +36,14 @@
 //!                 # serve-bench-mt record; VARDELAY_BENCH_HOT_TENANT=N
 //!                 # injects a 10× hot tenant for the starved-tenant
 //!                 # gate check
+//! repro soak      # the self-healing chaos campaign (DESIGN.md §15):
+//!                 # drift incidents + network chaos against a live
+//!                 # server under load; measures detection latency,
+//!                 # MTTR, and healthy-channel availability and appends
+//!                 # a `soak` record for `repro compare soak`.
+//!                 # VARDELAY_FAULTS=0 masks the injection (quiet run,
+//!                 # no record); VARDELAY_SERVE_RECAL=0 sabotages
+//!                 # healing so the gate's red leg is provable
 //! ```
 //!
 //! After each experiment a checkpoint (input fingerprint + CSV digests)
@@ -655,6 +663,23 @@ fn run_compare(target: Option<&str>) -> ! {
                     std::process::exit(2);
                 }
             }
+            // The self-healing gate arms itself once two soak records
+            // exist.
+            match journal::compare_latest_soak(
+                &records,
+                journal::SOAK_MTTR_THRESHOLD,
+                journal::SOAK_AVAILABILITY_FLOOR,
+            ) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    regressed |= cmp.regressed;
+                }
+                Err(journal::CompareError::TooFewRecords { .. }) => {}
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
             std::process::exit(i32::from(regressed));
         }
         Some("all") => match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
@@ -711,10 +736,26 @@ fn run_compare(target: Option<&str>) -> ! {
                 }
             }
         }
+        Some("soak") => {
+            match journal::compare_latest_soak(
+                &records,
+                journal::SOAK_MTTR_THRESHOLD,
+                journal::SOAK_AVAILABILITY_FLOOR,
+            ) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    std::process::exit(i32::from(cmp.regressed));
+                }
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         Some(other) => {
             eprintln!(
                 "repro compare: unknown target {other:?} (expected \"all\", \"serve-bench\", \
-                 \"fairness\" or \"hotpath\")"
+                 \"fairness\", \"hotpath\" or \"soak\")"
             );
             std::process::exit(2);
         }
@@ -851,6 +892,40 @@ fn run_serve_bench(mode: Option<&str>) -> ! {
     std::process::exit(0);
 }
 
+/// `repro soak` — the self-healing chaos campaign (DESIGN.md §15).
+/// Runs drift incidents and network chaos against a live in-process
+/// server under seeded load, then appends a `soak` journal record with
+/// the measured detection latency, MTTR, and healthy-channel
+/// availability for `repro compare soak`. A faults-masked run
+/// (`VARDELAY_FAULTS=0`) soaks load only and appends **no** record — a
+/// campaign that injected nothing has no healing measurement, and a
+/// zero-point record would only pollute the MTTR trajectory.
+fn run_soak() -> ! {
+    let config = vardelay_bench::soak::SoakConfig::from_env();
+    let report = match vardelay_bench::soak::run_soak(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro soak: campaign failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", report.summary());
+    if !report.faults_enabled {
+        println!(
+            "repro soak: fault injection masked (VARDELAY_FAULTS=0); \
+             quiet run, journal append skipped"
+        );
+        std::process::exit(0);
+    }
+    let record = report.record(&git_describe(), unix_ms());
+    if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
+        eprintln!("repro soak: could not append to {JOURNAL_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!("repro soak: record appended [journal: {JOURNAL_PATH}]");
+    std::process::exit(0);
+}
+
 /// Every experiment, in the paper's presentation order — the order
 /// `repro all` runs them and the order checkpoints are laid down in.
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -903,7 +978,8 @@ fn usage_exit(unknown: &str) -> ! {
         .join(" ");
     eprintln!(
         "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | \
-         compare [all|serve-bench|fairness|hotpath] | serve | serve-bench [mt]\n  names: {names}"
+         compare [all|serve-bench|fairness|hotpath|soak] | serve | serve-bench [mt] | \
+         soak\n  names: {names}"
     );
     std::process::exit(2);
 }
@@ -945,6 +1021,7 @@ fn main() {
         Some("compare") => run_compare(args.get(1).map(String::as_str)),
         Some("serve") => run_serve(),
         Some("serve-bench") => run_serve_bench(args.get(1).map(String::as_str)),
+        Some("soak") => run_soak(),
         _ => {}
     }
     let mut resume = false;

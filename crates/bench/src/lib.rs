@@ -24,6 +24,7 @@ pub mod fine_delay;
 pub mod injection;
 pub mod serve_bench;
 pub mod skew;
+pub mod soak;
 
 /// Default seed used by every experiment so the published numbers are
 /// reproducible run-to-run.

@@ -72,6 +72,9 @@ pub struct LoadReport {
     pub deadline_exceeded: u64,
     /// `internal` responses.
     pub internal_errors: u64,
+    /// `unavailable` responses (a quarantined channel refusing
+    /// `set_delay` while the health loop rebuilds its table).
+    pub unavailable: u64,
     /// Responses answered as part of a multi-request batch.
     pub batched: u64,
     /// Transport-level failures (connection refused/reset mid-run).
@@ -97,7 +100,7 @@ impl LoadReport {
     pub fn summary(&self) -> String {
         format!(
             "serve-bench: requests={} ok={} parse_error={} bad_request={} overloaded={} \
-             deadline_exceeded={} internal={} batched={} transport={} \
+             deadline_exceeded={} internal={} unavailable={} batched={} transport={} \
              throughput={:.0} req/s p50={} us p95={} us p99={} us workers={}",
             self.requests,
             self.ok,
@@ -106,6 +109,7 @@ impl LoadReport {
             self.overloaded,
             self.deadline_exceeded,
             self.internal_errors,
+            self.unavailable,
             self.batched,
             self.transport_errors,
             self.throughput_rps,
@@ -134,6 +138,7 @@ impl LoadReport {
             .with("overloaded", self.overloaded)
             .with("deadline_exceeded", self.deadline_exceeded)
             .with("internal_errors", self.internal_errors)
+            .with("unavailable", self.unavailable)
             .with("batched", self.batched)
             .with("transport_errors", self.transport_errors)
             .with("throughput_rps", self.throughput_rps)
@@ -251,6 +256,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadRe
         parse_errors: counts.parse_errors.load(Ordering::Relaxed),
         bad_requests: counts.bad_requests.load(Ordering::Relaxed),
         overloaded: counts.overloaded.load(Ordering::Relaxed),
+        unavailable: counts.unavailable.load(Ordering::Relaxed),
         deadline_exceeded: counts.deadline_exceeded.load(Ordering::Relaxed),
         internal_errors: counts.internal_errors.load(Ordering::Relaxed),
         batched: counts.batched.load(Ordering::Relaxed),
@@ -591,6 +597,7 @@ struct ResponseCounts {
     overloaded: AtomicU64,
     deadline_exceeded: AtomicU64,
     internal_errors: AtomicU64,
+    unavailable: AtomicU64,
     batched: AtomicU64,
     transport: AtomicU64,
 }
@@ -620,6 +627,9 @@ impl ResponseCounts {
             }
             Some(ErrorKind::Internal) => {
                 self.internal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(ErrorKind::Unavailable) => {
+                self.unavailable.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -661,6 +671,7 @@ mod tests {
             overloaded: 0,
             deadline_exceeded: 0,
             internal_errors: 0,
+            unavailable: 0,
             batched: 12,
             transport_errors: 0,
             wall: Duration::from_millis(400),

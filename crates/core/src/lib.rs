@@ -49,6 +49,7 @@ pub mod fine;
 pub mod injector;
 pub mod multichannel;
 pub mod selftest;
+pub mod sentinel;
 pub mod solve;
 
 pub use baseline::PhaseInterpolator;
@@ -66,6 +67,7 @@ pub use selftest::{
     check_calibration, test_dac, CalibrationHealth, CircuitHealth, DacHealth, DacUnderTest,
     HealthVerdict,
 };
+pub use sentinel::{Sentinel, SentinelConfig, SentinelProbe, SentinelReport, SentinelVerdict};
 pub use solve::{
     clear_solve_cache, fast_solve_enabled, set_fast_solve_enabled, solve_cache_stats,
     solve_fallbacks, solve_single_flight_waits,

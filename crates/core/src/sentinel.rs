@@ -1,0 +1,313 @@
+//! Drift sentinels: cheap seeded probe re-measurements against the
+//! installed calibration table.
+//!
+//! A full calibration sweep re-measures every grid point (17 waveform
+//! simulations for the paper's procedure). A *sentinel* instead
+//! re-measures a handful of seeded probe points and reports the worst
+//! residual against the delays the installed table recorded for those
+//! same control voltages. Because [`FineDelayLine::measure_delay`] is a
+//! pure function of the quiet configuration, the stage voltages and the
+//! toggle interval — exactly the function the calibration sweep sampled
+//! — an undrifted channel's residual is **exactly zero**, bit for bit.
+//! Any nonzero residual is physics (temperature drift, a failed stage),
+//! not measurement noise, so the classification thresholds can sit far
+//! below a picosecond.
+//!
+//! The serving layer (`vardelay-serve`) runs sentinels from its health
+//! supervisor to decide when a resident channel needs a background
+//! recalibration (Drifting) or a quarantine (Broken); see DESIGN.md §15.
+
+use crate::calibration::CalibrationTable;
+use crate::combined::CombinedDelayCircuit;
+use crate::error::SetDelayError;
+use crate::fine::FineDelayLine;
+use vardelay_runner::task_seed;
+use vardelay_siggen::SplitMix64;
+use vardelay_units::{Time, Voltage};
+
+/// How a sentinel probes and how it classifies what it finds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// Probe points re-measured per run (clamped to the table size).
+    /// Three points cost ~3/17 of a full sweep and already see every
+    /// drift mode the tempco model produces (common-mode shift and
+    /// slope change).
+    pub probes: usize,
+    /// Toggle interval of the probe stimulus. Must match the interval
+    /// the installed table was measured at (320 ps for the standard
+    /// calibration) or the residual is an interval artifact, not drift.
+    pub interval: Time,
+    /// Residuals above this are classified [`SentinelVerdict::Drifting`]:
+    /// the table is stale enough to erode the ≤1 ps setting-resolution
+    /// budget and should be rebuilt in the background.
+    pub drifting: Time,
+    /// Residuals above this are classified [`SentinelVerdict::Broken`]:
+    /// answers from the installed table are grossly wrong and the
+    /// channel should be quarantined until recalibrated.
+    pub broken: Time,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            probes: 3,
+            interval: Time::from_ps(320.0),
+            // ~1 K of drift moves the 4-stage line by ~0.2 ps (50 fs/K
+            // per stage); anything above trips the recalibration.
+            drifting: Time::from_ps(0.2),
+            // A 20+ K step or a dead stage lands here.
+            broken: Time::from_ps(4.0),
+        }
+    }
+}
+
+/// What a sentinel run concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SentinelVerdict {
+    /// Every probe reproduced the table exactly (within the drifting
+    /// threshold).
+    Healthy,
+    /// The table is measurably stale; rebuild it in the background and
+    /// keep serving from it meanwhile.
+    Drifting,
+    /// The table is grossly wrong; stop trusting answers from it.
+    Broken,
+}
+
+/// One probe point: where it measured and what it found.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelProbe {
+    /// The control voltage probed (a grid point of the installed table).
+    pub vctrl: Voltage,
+    /// The delay the installed table recorded for that voltage.
+    pub expected: Time,
+    /// The delay the channel produces now.
+    pub measured: Time,
+}
+
+impl SentinelProbe {
+    /// `measured − expected`.
+    pub fn residual(&self) -> Time {
+        self.measured - self.expected
+    }
+}
+
+/// The outcome of one sentinel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelReport {
+    /// Every probe, in ascending grid order.
+    pub probes: Vec<SentinelProbe>,
+    /// The worst absolute residual across the probes.
+    pub residual: Time,
+    /// The thresholds the verdict was judged against.
+    pub config: SentinelConfig,
+}
+
+impl SentinelReport {
+    /// Classifies the worst residual against the configured thresholds.
+    pub fn verdict(&self) -> SentinelVerdict {
+        if self.residual > self.config.broken {
+            SentinelVerdict::Broken
+        } else if self.residual > self.config.drifting {
+            SentinelVerdict::Drifting
+        } else {
+            SentinelVerdict::Healthy
+        }
+    }
+}
+
+impl std::fmt::Display for SentinelReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sentinel: {:?}, worst residual {} over {} probes",
+            self.verdict(),
+            self.residual,
+            self.probes.len()
+        )
+    }
+}
+
+/// A drift sentinel for one channel: a snapshot of the channel's fine
+/// line plus the calibration table installed at snapshot time.
+///
+/// The snapshot is taken by [`from_circuit`](Self::from_circuit) so the
+/// caller can drop any lock protecting the live circuit before running
+/// the (waveform-simulating) probes — the health supervisor in
+/// `vardelay-serve` holds each channel lock only long enough to clone.
+#[derive(Debug, Clone)]
+pub struct Sentinel {
+    fine: FineDelayLine,
+    table: CalibrationTable,
+    config: SentinelConfig,
+}
+
+impl Sentinel {
+    /// Snapshots `circuit`'s fine line and installed table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetDelayError::NotCalibrated`] when the circuit has no
+    /// installed table to compare against.
+    pub fn from_circuit(
+        circuit: &CombinedDelayCircuit,
+        config: SentinelConfig,
+    ) -> Result<Sentinel, SetDelayError> {
+        let table = circuit
+            .calibration()
+            .ok_or(SetDelayError::NotCalibrated)?
+            .clone();
+        Ok(Sentinel {
+            fine: circuit.fine().clone(),
+            table,
+            config,
+        })
+    }
+
+    /// The seeded probe grid indices for this `(table, seed)` pair:
+    /// distinct, ascending, derived through [`task_seed`] so sentinel
+    /// randomness never correlates with experiment randomness sharing
+    /// the same root seed.
+    pub fn probe_indices(&self, seed: u64) -> Vec<usize> {
+        let len = self.table.vctrls().len();
+        let want = self.config.probes.clamp(1, len);
+        let mut rng = SplitMix64::new(task_seed(seed, 0x5e17));
+        let mut picked: Vec<usize> = Vec::with_capacity(want);
+        while picked.len() < want {
+            let idx = (rng.next_u64() % len as u64) as usize;
+            if !picked.contains(&idx) {
+                picked.push(idx);
+            }
+        }
+        picked.sort_unstable();
+        picked
+    }
+
+    /// Runs the probes: re-measures each seeded grid point through the
+    /// same quiet-model path the calibration sweep used and reports the
+    /// worst residual against the installed table.
+    pub fn run(&self, seed: u64) -> SentinelReport {
+        let vctrls = self.table.vctrls();
+        let delays = self.table.delays();
+        let mut probes = Vec::with_capacity(self.config.probes);
+        let mut residual = Time::ZERO;
+        for idx in self.probe_indices(seed) {
+            let mut probe = self.fine.clone();
+            probe.set_vctrl(vctrls[idx]);
+            let measured = probe.measure_delay(self.config.interval);
+            let p = SentinelProbe {
+                vctrl: vctrls[idx],
+                expected: delays[idx],
+                measured,
+            };
+            if p.residual().abs() > residual {
+                residual = p.residual().abs();
+            }
+            probes.push(p);
+        }
+        SentinelReport {
+            probes,
+            residual,
+            config: self.config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::drift::TempCo;
+
+    fn calibrated(config: &ModelConfig, seed: u64) -> CombinedDelayCircuit {
+        let mut c = CombinedDelayCircuit::new(config, seed);
+        c.calibrate();
+        c
+    }
+
+    /// The property the serve health loop leans on: a channel that has
+    /// not drifted reproduces its own table **exactly** — zero residual,
+    /// bit for bit, at every seed (the measurement is a pure function of
+    /// the quiet configuration, so noise seeds are irrelevant).
+    #[test]
+    fn undrifted_residual_is_exactly_zero_at_every_seed() {
+        let cfg = ModelConfig::paper_prototype();
+        for seed in [0u64, 1, 2, 17, 0x5e7e, u64::MAX] {
+            let circuit = calibrated(&cfg, seed);
+            let sentinel = Sentinel::from_circuit(&circuit, SentinelConfig::default()).unwrap();
+            for probe_seed in [0u64, 7, 42, 9999] {
+                let report = sentinel.run(probe_seed);
+                assert_eq!(
+                    report.residual,
+                    Time::ZERO,
+                    "seed {seed}, probe seed {probe_seed}: {report}"
+                );
+                assert_eq!(report.verdict(), SentinelVerdict::Healthy);
+                for p in &report.probes {
+                    assert_eq!(p.measured, p.expected, "vctrl {}", p.vctrl);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_indices_are_seeded_distinct_and_in_range() {
+        let circuit = calibrated(&ModelConfig::paper_prototype(), 1);
+        let sentinel = Sentinel::from_circuit(&circuit, SentinelConfig::default()).unwrap();
+        let a = sentinel.probe_indices(5);
+        let b = sentinel.probe_indices(5);
+        assert_eq!(a, b, "same seed, same probes");
+        assert_eq!(a.len(), 3);
+        let len = 17;
+        for w in a.windows(2) {
+            assert!(w[0] < w[1], "ascending and distinct: {a:?}");
+        }
+        assert!(a.iter().all(|&i| i < len));
+        // Different seeds eventually pick different grids.
+        assert!(
+            (0..32).any(|s| sentinel.probe_indices(s) != a),
+            "probe selection ignores the seed"
+        );
+    }
+
+    #[test]
+    fn an_uncalibrated_circuit_is_an_error() {
+        let circuit = CombinedDelayCircuit::new(&ModelConfig::paper_prototype(), 1);
+        assert!(matches!(
+            Sentinel::from_circuit(&circuit, SentinelConfig::default()),
+            Err(SetDelayError::NotCalibrated)
+        ));
+    }
+
+    /// A stale table on a drifted channel shows up as a residual of the
+    /// right order: small steps classify Drifting, large steps Broken.
+    #[test]
+    fn temperature_drift_classifies_by_magnitude() {
+        let cold = ModelConfig::paper_prototype();
+        let table = calibrated(&cold, 1).calibration().unwrap().clone();
+        let tempco = TempCo::default();
+        let mut residuals = Vec::new();
+        for (delta_k, expect) in [
+            (0.0, SentinelVerdict::Healthy),
+            (8.0, SentinelVerdict::Drifting),
+            (40.0, SentinelVerdict::Broken),
+        ] {
+            let hot_cfg = cold.at_temperature_offset(delta_k, &tempco);
+            let mut hot = CombinedDelayCircuit::new(&hot_cfg, 1);
+            hot.install_calibration(table.clone());
+            let sentinel = Sentinel::from_circuit(&hot, SentinelConfig::default()).unwrap();
+            let report = sentinel.run(0);
+            assert_eq!(
+                report.verdict(),
+                expect,
+                "delta {delta_k} K: residual {}",
+                report.residual
+            );
+            residuals.push(report.residual);
+        }
+        assert!(
+            residuals[0] < residuals[1] && residuals[1] < residuals[2],
+            "residual must grow with the step: {residuals:?}"
+        );
+    }
+}

@@ -26,7 +26,10 @@
 //! run can carry the campaign wiring with zero injected behavior.
 //! [`set_enabled`] overrides the environment either way (used by tests).
 
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Duration;
 
 use vardelay_core::config::ModelConfig;
 use vardelay_core::drift::TempCo;
@@ -550,6 +553,185 @@ impl TransientFaults {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Network chaos
+// ---------------------------------------------------------------------------
+
+/// One misbehaving-client pattern for the serve layer's socket front
+/// (DESIGN.md §15).
+///
+/// Each variant is a classic way a real network peer pins a naive
+/// line-oriented server; the serve layer's per-connection IO deadlines
+/// and partial-line reaper exist to survive all four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Drips a request one byte at a time with long gaps and never sends
+    /// the newline — the connection always looks "active", so only a
+    /// partial-line deadline (not an idle check) catches it.
+    SlowLoris,
+    /// Sends half a request line, then disconnects mid-line.
+    MidLineDisconnect,
+    /// Sends a complete request in several short, delayed writes — a
+    /// *legal* slow client the server must still answer.
+    ShortWrite,
+    /// Pipelines many requests and never reads a byte of the responses,
+    /// backing the server's writes up against a full socket buffer.
+    StalledReader,
+}
+
+impl NetFaultKind {
+    /// Stable label used in logs and soak reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetFaultKind::SlowLoris => "slow_loris",
+            NetFaultKind::MidLineDisconnect => "mid_line_disconnect",
+            NetFaultKind::ShortWrite => "short_write",
+            NetFaultKind::StalledReader => "stalled_reader",
+        }
+    }
+}
+
+impl core::fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A seeded plan of misbehaving network clients aimed at a serve
+/// endpoint.
+///
+/// Like every other plan in this crate, the choice of which fault
+/// strikes when is `task_seed(seed, strike_index)` — replaying a soak
+/// with the same seed replays the same strike sequence — and the global
+/// [`enabled`] kill switch (`VARDELAY_FAULTS=0`) masks the whole plan.
+/// The strikes themselves are wall-clock-paced (they exist to tie up
+/// real sockets), so *when* a strike lands is not reproducible; *which*
+/// strike lands is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaos {
+    seed: u64,
+    /// Pause between dripped bytes / short-write chunks.
+    pub gap: Duration,
+    /// The request line strikes send (complete or truncated per kind).
+    /// Junk is fine — a parse error is still a served response — but a
+    /// valid request exercises the full path.
+    pub line: String,
+}
+
+impl NetChaos {
+    /// A plan cycling through every [`NetFaultKind`] in seeded order.
+    pub fn new(seed: u64) -> Self {
+        NetChaos {
+            seed,
+            gap: Duration::from_millis(20),
+            line: "{\"op\":\"set_delay\",\"channel\":0,\"ps\":25.0,\"id\":9}".to_string(),
+        }
+    }
+
+    /// Which fault strike number `strike` injects, or `None` when the
+    /// kill switch has the plan masked.
+    pub fn kind_for(&self, strike: u64) -> Option<NetFaultKind> {
+        if !enabled() {
+            return None;
+        }
+        const KINDS: [NetFaultKind; 4] = [
+            NetFaultKind::SlowLoris,
+            NetFaultKind::MidLineDisconnect,
+            NetFaultKind::ShortWrite,
+            NetFaultKind::StalledReader,
+        ];
+        Some(KINDS[(task_seed(self.seed, strike) % KINDS.len() as u64) as usize])
+    }
+
+    /// Executes strike number `strike` against `addr` (blocking for the
+    /// strike's duration) and reports which fault it was. `Ok(None)`
+    /// means the plan is masked. Connection errors *during* a strike are
+    /// success, not failure — the server reaping the misbehaving socket
+    /// is the defended behavior — so only the initial connect can fail.
+    pub fn strike(&self, addr: SocketAddr, strike: u64) -> std::io::Result<Option<NetFaultKind>> {
+        let Some(kind) = self.kind_for(strike) else {
+            return Ok(None);
+        };
+        match kind {
+            NetFaultKind::SlowLoris => slow_loris(addr, &self.line, self.gap)?,
+            NetFaultKind::MidLineDisconnect => mid_line_disconnect(addr, &self.line)?,
+            NetFaultKind::ShortWrite => short_write(addr, &self.line, self.gap)?,
+            NetFaultKind::StalledReader => stalled_reader(addr, &self.line, 64, self.gap)?,
+        }
+        Ok(Some(kind))
+    }
+}
+
+/// Drips `line` (without its terminating newline) one byte at a time,
+/// sleeping `gap` between bytes, then drops the connection. Returns as
+/// soon as the server cuts the socket — that early exit is the behavior
+/// under test, so a mid-drip write error is success.
+pub fn slow_loris(addr: SocketAddr, line: &str, gap: Duration) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    for &byte in line.trim_end_matches('\n').as_bytes() {
+        if stream.write_all(&[byte]).is_err() || stream.flush().is_err() {
+            return Ok(()); // reaped — exactly what the server should do
+        }
+        std::thread::sleep(gap);
+    }
+    Ok(())
+}
+
+/// Sends the first half of `line` (never the newline) and disconnects
+/// mid-line without warning.
+pub fn mid_line_disconnect(addr: SocketAddr, line: &str) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let bytes = line.trim_end_matches('\n').as_bytes();
+    let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Sends `line` as three short, delayed writes — newline last — then
+/// waits for the response the server still owes this legal-but-slow
+/// client. Returns `Ok` whether or not a response arrived in time; the
+/// caller's test asserts on server stats, not on this socket.
+pub fn short_write(addr: SocketAddr, line: &str, gap: Duration) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut framed = line.trim_end_matches('\n').as_bytes().to_vec();
+    framed.push(b'\n');
+    let third = framed.len().div_ceil(3);
+    for chunk in framed.chunks(third) {
+        if stream.write_all(chunk).is_err() || stream.flush().is_err() {
+            return Ok(());
+        }
+        std::thread::sleep(gap);
+    }
+    let _ = stream.set_read_timeout(Some(gap * 10));
+    let mut sink = [0u8; 512];
+    let _ = stream.read(&mut sink);
+    Ok(())
+}
+
+/// Pipelines `lines` complete copies of `line`, never reads a byte of
+/// the responses, holds the stalled socket open for `hold`, then drops
+/// it. With enough lines the server's reply writes back up against the
+/// socket buffer and its write deadline must fire.
+pub fn stalled_reader(
+    addr: SocketAddr,
+    line: &str,
+    lines: usize,
+    hold: Duration,
+) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut framed = line.trim_end_matches('\n').as_bytes().to_vec();
+    framed.push(b'\n');
+    let mut writer = &stream;
+    for _ in 0..lines {
+        if writer.write_all(&framed).is_err() {
+            break;
+        }
+    }
+    let _ = writer.flush();
+    std::thread::sleep(hold);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,5 +912,38 @@ mod tests {
             fail_attempts: 2,
         };
         assert_eq!(w.param(), "channel=5;fails=2");
+    }
+
+    #[test]
+    fn net_chaos_strikes_are_seeded_and_masked_by_the_kill_switch() {
+        set_enabled(true);
+        let plan = NetChaos::new(11);
+        let first: Vec<_> = (0..16).map(|i| plan.kind_for(i)).collect();
+        assert_eq!(
+            first,
+            (0..16).map(|i| plan.kind_for(i)).collect::<Vec<_>>(),
+            "same seed must replay the same strike sequence"
+        );
+        // Every fault kind eventually appears.
+        for kind in [
+            NetFaultKind::SlowLoris,
+            NetFaultKind::MidLineDisconnect,
+            NetFaultKind::ShortWrite,
+            NetFaultKind::StalledReader,
+        ] {
+            assert!(
+                (0..64).any(|i| plan.kind_for(i) == Some(kind)),
+                "{kind} never struck"
+            );
+        }
+        // A different seed reorders the strikes.
+        let other = NetChaos::new(12);
+        assert!(
+            (0..64).any(|i| other.kind_for(i) != plan.kind_for(i)),
+            "seed is ignored"
+        );
+        set_enabled(false);
+        assert_eq!(plan.kind_for(0), None, "kill switch must mask the plan");
+        set_enabled(true);
     }
 }

@@ -717,6 +717,153 @@ pub fn compare_latest_fairness(
     })
 }
 
+/// Availability floor for the chaos-soak gate: the fraction of healthy-
+/// channel requests answered `ok` during a soak must stay at or above
+/// this. Absolute, judged on the newest run alone — an outage cannot
+/// hide behind a calm older baseline.
+pub const SOAK_AVAILABILITY_FLOOR: f64 = 0.99;
+
+/// Run-over-run MTTR growth bound for the chaos-soak gate (fractional,
+/// like [`SERVE_THRESHOLD`]): only a >4× blowup of the p99 time-to-
+/// recover trips it. Loose on purpose — recovery time is quantized by
+/// the sentinel period and the re-admission round count, so small-
+/// multiple noise between runs is expected.
+pub const SOAK_MTTR_THRESHOLD: f64 = 3.0;
+
+/// The latest-two-records chaos-soak comparison: the newest run's
+/// absolute health (availability, unhealed incidents) plus run-over-run
+/// MTTR growth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakComparison {
+    /// Worker count both records share.
+    pub threads: u64,
+    /// Drift incidents injected in the newer campaign.
+    pub incidents: u64,
+    /// Incidents of the newer campaign never healed by soak end.
+    pub unhealed: u64,
+    /// p99 mean-time-to-recover of the older record, microseconds.
+    pub older_mttr_p99_us: f64,
+    /// p99 mean-time-to-recover of the newer record, microseconds.
+    pub newer_mttr_p99_us: f64,
+    /// Healthy-channel availability of the newer record (0..=1).
+    pub newer_availability: f64,
+    /// `newer_mttr_p99 / older_mttr_p99` (∞ when the older is 0 and
+    /// the newer is not).
+    pub mttr_ratio: f64,
+    /// MTTR growth bound (fractional — see [`SOAK_MTTR_THRESHOLD`]).
+    pub mttr_threshold: f64,
+    /// Absolute availability floor (see [`SOAK_AVAILABILITY_FLOOR`]).
+    pub availability_floor: f64,
+    /// Whether the newest soak dropped below the availability floor,
+    /// left an incident unhealed, or grew MTTR past the threshold.
+    pub regressed: bool,
+}
+
+impl fmt::Display for SoakComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "soak: mttr p99 {:.0} \u{00b5}s -> {:.0} \u{00b5}s, availability {:.4}, \
+             {}/{} incident(s) unhealed ({} worker(s); gates {:.0}\u{00d7} mttr, \
+             \u{2265}{:.2} availability, 0 unhealed): {}",
+            self.older_mttr_p99_us,
+            self.newer_mttr_p99_us,
+            self.newer_availability,
+            self.unhealed,
+            self.incidents,
+            self.threads,
+            1.0 + self.mttr_threshold,
+            self.availability_floor,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Compares the latest two `soak` records (the journal kind written by
+/// `repro soak`), flagging a regression when the newest run's healthy-
+/// channel availability falls below `availability_floor`, when any
+/// injected incident was never healed (the deterministic red leg: with
+/// recalibration sabotaged, every incident stays unhealed), or when the
+/// newer p99 MTTR exceeds the older by more than `mttr_threshold`
+/// (fractional). Availability and unhealed-count are absolute gates on
+/// the newest run alone, for the same reason the fairness ratio is — a
+/// broken healing loop must trip the gate immediately, not poison the
+/// next baseline.
+///
+/// # Errors
+///
+/// Same shapes as [`compare_latest`]: [`CompareError::TooFewRecords`]
+/// under two `soak` records, [`CompareError::ThreadMismatch`] when
+/// their worker counts differ, [`CompareError::MissingField`] on
+/// records without `mttr_p99_us`/`availability`/`incidents`/`unhealed`.
+pub fn compare_latest_soak(
+    records: &[Value],
+    mttr_threshold: f64,
+    availability_floor: f64,
+) -> Result<SoakComparison, CompareError> {
+    let matching: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("experiments").and_then(Value::as_str) == Some("soak"))
+        .collect();
+    let [.., older, newer] = matching.as_slice() else {
+        return Err(CompareError::TooFewRecords {
+            found: matching.len(),
+            experiments: "soak".to_owned(),
+        });
+    };
+    let threads = |r: &Value| {
+        r.get("threads")
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField("threads"))
+    };
+    let mttr = |r: &Value| {
+        r.get("mttr_p99_us")
+            .and_then(Value::as_f64)
+            .ok_or(CompareError::MissingField("mttr_p99_us"))
+    };
+    let (older_threads, newer_threads) = (threads(older)?, threads(newer)?);
+    if older_threads != newer_threads {
+        return Err(CompareError::ThreadMismatch {
+            older: older_threads,
+            newer: newer_threads,
+        });
+    }
+    let (older_mttr_p99_us, newer_mttr_p99_us) = (mttr(older)?, mttr(newer)?);
+    let newer_availability = newer
+        .get("availability")
+        .and_then(Value::as_f64)
+        .ok_or(CompareError::MissingField("availability"))?;
+    let incidents = newer
+        .get("incidents")
+        .and_then(Value::as_u64)
+        .ok_or(CompareError::MissingField("incidents"))?;
+    let unhealed = newer
+        .get("unhealed")
+        .and_then(Value::as_u64)
+        .ok_or(CompareError::MissingField("unhealed"))?;
+    let mttr_ratio = if older_mttr_p99_us > 0.0 {
+        newer_mttr_p99_us / older_mttr_p99_us
+    } else if newer_mttr_p99_us > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    Ok(SoakComparison {
+        threads: newer_threads,
+        incidents,
+        unhealed,
+        older_mttr_p99_us,
+        newer_mttr_p99_us,
+        newer_availability,
+        mttr_ratio,
+        mttr_threshold,
+        availability_floor,
+        regressed: newer_availability < availability_floor
+            || unhealed > 0
+            || mttr_ratio > 1.0 + mttr_threshold,
+    })
+}
+
 /// Default threshold for the hot-path solve-latency leg of the gate.
 /// Like [`SERVE_THRESHOLD`], deliberately loose: `solve_p99_us` comes
 /// from the log₂-bucketed `core.solve_us` histogram whose adjacent
@@ -1329,6 +1476,103 @@ mod tests {
         assert_eq!(
             compare_latest_fairness(&bad, SERVE_THRESHOLD, FAIRNESS_THRESHOLD),
             Err(CompareError::MissingField("p999_us"))
+        );
+    }
+
+    fn soak_record(
+        threads: u64,
+        mttr_p99_us: f64,
+        availability: f64,
+        incidents: u64,
+        unhealed: u64,
+    ) -> Value {
+        Value::obj()
+            .with("schema", SCHEMA_VERSION)
+            .with("experiments", "soak")
+            .with("threads", threads)
+            .with("incidents", incidents)
+            .with("unhealed", unhealed)
+            .with("mttr_p99_us", mttr_p99_us)
+            .with("availability", availability)
+    }
+
+    #[test]
+    fn soak_compare_gates_mttr_growth_and_the_newest_health() {
+        // MTTR doubled but everything healed and availability held: ok.
+        let records = vec![
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+            soak_record(2, 200_000.0, 0.995, 4, 0),
+        ];
+        let c =
+            compare_latest_soak(&records, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR).unwrap();
+        assert!(!c.regressed, "{c}");
+        assert_eq!(c.mttr_ratio, 2.0);
+        assert_eq!(c.incidents, 4);
+        // A >4× recovery blowup trips the MTTR side.
+        let records = vec![
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+            soak_record(2, 500_000.0, 1.0, 4, 0),
+        ];
+        assert!(
+            compare_latest_soak(&records, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR)
+                .unwrap()
+                .regressed
+        );
+        // An availability dip trips the floor even with flat MTTR —
+        // absolute on the newest run, so an outage cannot hide behind a
+        // calm older baseline.
+        let records = vec![
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+            soak_record(2, 100_000.0, 0.97, 4, 0),
+        ];
+        let c =
+            compare_latest_soak(&records, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR).unwrap();
+        assert!(c.regressed, "{c}");
+        assert!(c.to_string().contains("REGRESSED"), "{c}");
+        // A single unhealed incident trips it outright — this is the
+        // deterministic red leg: recalibration sabotaged, nothing heals.
+        let records = vec![
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+            soak_record(2, 100_000.0, 1.0, 4, 1),
+        ];
+        assert!(
+            compare_latest_soak(&records, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR)
+                .unwrap()
+                .regressed
+        );
+    }
+
+    #[test]
+    fn soak_compare_needs_two_soak_records_with_full_fields() {
+        // Other serve-side records in the journal do not feed the gate.
+        let records = vec![
+            serve_record(4, 400.0, 5000.0),
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+        ];
+        assert_eq!(
+            compare_latest_soak(&records, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR),
+            Err(CompareError::TooFewRecords {
+                found: 1,
+                experiments: "soak".to_owned()
+            })
+        );
+        let records = vec![
+            soak_record(1, 100_000.0, 1.0, 4, 0),
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+        ];
+        assert_eq!(
+            compare_latest_soak(&records, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR),
+            Err(CompareError::ThreadMismatch { older: 1, newer: 2 })
+        );
+        let bad = vec![
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+            Value::obj()
+                .with("experiments", "soak")
+                .with("threads", 2u64),
+        ];
+        assert_eq!(
+            compare_latest_soak(&bad, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR),
+            Err(CompareError::MissingField("mttr_p99_us"))
         );
     }
 }

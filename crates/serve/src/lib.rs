@@ -31,21 +31,32 @@
 //! `catch_unwind` and surface as `internal` responses while the worker
 //! keeps serving — the fault-isolation property the chaos gate scores.
 //!
+//! Since PR 8 the service also *heals itself* (DESIGN.md §15): a
+//! per-shard [`health`] supervisor runs drift sentinels over resident
+//! banks, rebuilds stale calibration tables in the background (requests
+//! keep answering from the old table until the atomic swap), and
+//! quarantines grossly-drifted channels behind a structured
+//! `unavailable` response until they re-earn admission. Per-connection
+//! IO deadlines and a partial-line reaper keep misbehaving sockets
+//! (slow-loris drips, stalled readers) from ever pinning a worker.
+//!
 //! Everything here is std-only, like the rest of the workspace.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod health;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod shard;
 
 pub use client::Client;
+pub use health::{ChannelState, HealthAction, HealthTable};
 pub use protocol::{
     DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
     SelftestReply, StatsReply, MAX_LINE_BYTES, MAX_TENANT_BYTES, MAX_WIRE_INDEX,
 };
 pub use queue::{BoundedQueue, FairQueue};
-pub use server::{serve, DrainReport, ServeConfig, ServerHandle};
+pub use server::{serve, DrainReport, ServeConfig, ServerHandle, SERVE_SEED};
 pub use shard::{BankRegistry, HashRing, QuotaTable, TenantBank};

@@ -119,6 +119,9 @@ pub enum ErrorKind {
     /// A worker panicked while handling the request (the worker and the
     /// connection both survive).
     Internal,
+    /// The addressed channel is quarantined pending recalibration;
+    /// retry after the hinted delay (DESIGN.md §15).
+    Unavailable,
 }
 
 impl ErrorKind {
@@ -130,6 +133,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Internal => "internal",
+            ErrorKind::Unavailable => "unavailable",
         }
     }
 
@@ -141,6 +145,7 @@ impl ErrorKind {
             "overloaded" => ErrorKind::Overloaded,
             "deadline_exceeded" => ErrorKind::DeadlineExceeded,
             "internal" => ErrorKind::Internal,
+            "unavailable" => ErrorKind::Unavailable,
             _ => return None,
         })
     }
@@ -213,6 +218,9 @@ pub struct SelftestReply {
     pub verdict: String,
     /// The full one-line health report.
     pub summary: String,
+    /// `true` when the deadline budget ran out before the expensive DAC
+    /// sweep: the verdict covers the calibration check only.
+    pub partial: bool,
 }
 
 /// `stats` success payload — server counters since start.
@@ -237,6 +245,20 @@ pub struct StatsReply {
     /// Requests shed by a tenant's token-bucket quota (a subset of
     /// `overloaded`).
     pub quota_rejections: u64,
+    /// `unavailable` responses sent (quarantined channels).
+    pub unavailable: u64,
+    /// Connections cut by a read/write deadline expiring.
+    pub io_timeouts: u64,
+    /// Connections cut by the partial-line reaper.
+    pub reaped: u64,
+    /// Channels currently quarantined or still in recovery probation.
+    pub quarantined: u64,
+    /// Channels currently in any non-healthy state (probation included).
+    pub unhealthy: u64,
+    /// Background recalibrations completed since start.
+    pub recalibrations: u64,
+    /// Quarantine entries since start.
+    pub quarantines: u64,
     /// Jobs waiting in the queue right now (all shards).
     pub queue_depth: u64,
     /// Worker threads serving the queues (all shards).
@@ -514,11 +536,18 @@ impl Response {
                 .with("op", "inject_jitter")
                 .with("edges", r.edges)
                 .with("slope_s_per_v", r.slope_s_per_v),
-            Response::Selftest(r) => v
-                .with("ok", true)
-                .with("op", "selftest")
-                .with("verdict", r.verdict.as_str())
-                .with("summary", r.summary.as_str()),
+            Response::Selftest(r) => {
+                v = v
+                    .with("ok", true)
+                    .with("op", "selftest")
+                    .with("verdict", r.verdict.as_str())
+                    .with("summary", r.summary.as_str());
+                // Rendered only when set: full results stay wire-stable.
+                if r.partial {
+                    v = v.with("partial", true);
+                }
+                v
+            }
             Response::Stats(r) => v
                 .with("ok", true)
                 .with("op", "stats")
@@ -531,6 +560,13 @@ impl Response {
                 .with("internal_errors", r.internal_errors)
                 .with("batched", r.batched)
                 .with("quota_rejections", r.quota_rejections)
+                .with("unavailable", r.unavailable)
+                .with("io_timeouts", r.io_timeouts)
+                .with("reaped", r.reaped)
+                .with("quarantined", r.quarantined)
+                .with("unhealthy", r.unhealthy)
+                .with("recalibrations", r.recalibrations)
+                .with("quarantines", r.quarantines)
                 .with("queue_depth", r.queue_depth)
                 .with("workers", r.workers)
                 .with("shards", r.shards)
@@ -639,6 +675,10 @@ impl Response {
                     .and_then(Value::as_str)
                     .ok_or("missing field \"summary\"")?
                     .to_owned(),
+                partial: value
+                    .get("partial")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
             }),
             "stats" => Response::Stats(StatsReply {
                 requests: field_u64(value, "requests")?,
@@ -650,6 +690,13 @@ impl Response {
                 internal_errors: field_u64(value, "internal_errors")?,
                 batched: field_u64(value, "batched")?,
                 quota_rejections: field_u64_or(value, "quota_rejections", 0)?,
+                unavailable: field_u64_or(value, "unavailable", 0)?,
+                io_timeouts: field_u64_or(value, "io_timeouts", 0)?,
+                reaped: field_u64_or(value, "reaped", 0)?,
+                quarantined: field_u64_or(value, "quarantined", 0)?,
+                unhealthy: field_u64_or(value, "unhealthy", 0)?,
+                recalibrations: field_u64_or(value, "recalibrations", 0)?,
+                quarantines: field_u64_or(value, "quarantines", 0)?,
                 queue_depth: field_u64(value, "queue_depth")?,
                 workers: field_u64(value, "workers")?,
                 shards: field_u64_or(value, "shards", 1)?,
@@ -766,6 +813,74 @@ mod tests {
         let err = Envelope::parse(&long).unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);
         assert!(err.detail.contains("byte limit"), "{}", err.detail);
+    }
+
+    #[test]
+    fn unavailable_and_partial_selftest_round_trip() {
+        // The quarantine error: kind + retry hint survive the wire.
+        let quarantined = Response::Error(ErrorReply {
+            kind: ErrorKind::Unavailable,
+            detail: "channel 7 is quarantined pending recalibration".to_owned(),
+            retry_after_ms: Some(120),
+        });
+        let line = quarantined.to_value(Some(3)).render();
+        let (id, back) = Response::parse(&line).unwrap();
+        assert_eq!(id, Some(3));
+        assert_eq!(back, quarantined, "{line}");
+        assert_eq!(
+            ErrorKind::from_wire("unavailable"),
+            Some(ErrorKind::Unavailable)
+        );
+
+        // A partial selftest renders the flag; a full one omits it and
+        // still decodes (old clients never see an unknown field flip).
+        for partial in [true, false] {
+            let reply = Response::Selftest(SelftestReply {
+                verdict: "healthy".to_owned(),
+                summary: "calibration ok; dac sweep skipped".to_owned(),
+                partial,
+            });
+            let line = reply.to_value(None).render();
+            assert_eq!(line.contains("partial"), partial, "{line}");
+            let (_, back) = Response::parse(&line).unwrap();
+            assert_eq!(back, reply, "{line}");
+        }
+    }
+
+    #[test]
+    fn stats_without_health_fields_still_decode() {
+        // A pre-health server's stats line (no unavailable/io_timeouts/
+        // reaped/quarantined/... fields) must decode with zero defaults.
+        let line = "{\"ok\":true,\"op\":\"stats\",\"requests\":5,\"ok_count\":5,\
+                    \"parse_errors\":0,\"bad_requests\":0,\"overloaded\":0,\
+                    \"deadline_exceeded\":0,\"internal_errors\":0,\"batched\":0,\
+                    \"queue_depth\":0,\"workers\":2}";
+        let (_, response) = Response::parse(line).unwrap();
+        let Response::Stats(stats) = response else {
+            panic!("expected stats, got {response:?}");
+        };
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.unavailable, 0);
+        assert_eq!(stats.io_timeouts, 0);
+        assert_eq!(stats.reaped, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.unhealthy, 0);
+        assert_eq!(stats.recalibrations, 0);
+        assert_eq!(stats.quarantines, 0);
+        // And a full modern line round-trips every new field.
+        let full = StatsReply {
+            unavailable: 3,
+            io_timeouts: 2,
+            reaped: 1,
+            quarantined: 1,
+            unhealthy: 2,
+            recalibrations: 4,
+            quarantines: 2,
+            ..stats
+        };
+        let line = Response::Stats(full.clone()).to_value(None).render();
+        let (_, back) = Response::parse(&line).unwrap();
+        assert_eq!(back, Response::Stats(full), "{line}");
     }
 
     #[test]

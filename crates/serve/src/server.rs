@@ -31,23 +31,40 @@
 //! `VARDELAY_SERVE_MAX_BANKS` — all banks share one model fingerprint,
 //! so lazy calibration and re-admission after eviction answer from the
 //! fast-solve cache instead of re-sweeping.
+//!
+//! Two background loops keep the server honest over months, not
+//! milliseconds (DESIGN.md §15): a per-shard **health supervisor**
+//! (period `VARDELAY_SERVE_HEALTH_MS`) runs drift sentinels over the
+//! resident banks, rebuilds stale tables on a private copy and swaps
+//! them in atomically, and quarantines grossly-drifted channels; and a
+//! **partial-line reaper** (deadline `VARDELAY_SERVE_IO_TIMEOUT_MS`)
+//! cuts connections whose half-sent request has been pending past the
+//! IO deadline — the slow-loris case an idle check cannot see, because
+//! a byte-dripping client never looks idle.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vardelay_ate::{DegradedPolicy, DeskewEngine, ParallelBus};
 use vardelay_core::config::ModelConfig;
-use vardelay_core::{HealthVerdict, JitterInjector};
+use vardelay_core::{
+    check_calibration, test_dac, CircuitHealth, CombinedDelayCircuit, HealthVerdict,
+    JitterInjector, Sentinel, SentinelConfig, TempCo,
+};
 use vardelay_faults::RequestChaos;
-use vardelay_runner::{panic_message, worker_threads_from_env, Deadline, DeadlineBail, Runner};
+use vardelay_runner::{
+    panic_message, task_seed, worker_threads_from_env, Deadline, DeadlineBail, Runner,
+};
 use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
 use vardelay_units::{BitRate, Time, Voltage};
 
+use crate::health::{HealthAction, HealthTable};
 use crate::protocol::{
     DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
     SelftestReply, StatsReply, MAX_LINE_BYTES,
@@ -57,7 +74,13 @@ use crate::shard::{tenant_lane, BankRegistry, HashRing, QuotaTable};
 
 /// Seed for the service's model instances (shared by every bank so the
 /// characterization and fast-solve caches single-flight calibration).
-const SERVE_SEED: u64 = 0x5e7e;
+/// Public so out-of-process checks (the soak e2e) can rebuild the exact
+/// circuit a bank channel holds and compare answers byte for byte.
+pub const SERVE_SEED: u64 = 0x5e7e;
+
+/// Consecutive healthy sentinel rounds a quarantined channel must post
+/// before re-admission (the K of DESIGN.md §15).
+const RECOVERY_ROUNDS: u32 = 3;
 
 /// How it all runs. Build with [`from_env`](Self::from_env) for the
 /// standalone server or [`in_process`](Self::in_process) for tests and
@@ -95,6 +118,18 @@ pub struct ServeConfig {
     pub default_deadline: Duration,
     /// Seeded worker-kill chaos (`VARDELAY_SERVE_CHAOS`).
     pub chaos: Option<RequestChaos>,
+    /// Health-supervisor period (`VARDELAY_SERVE_HEALTH_MS`; 0 or
+    /// `None` disables the supervisor — the in-process default, so
+    /// existing tests see no background probing).
+    pub health_period: Option<Duration>,
+    /// Per-connection IO deadline (`VARDELAY_SERVE_IO_TIMEOUT_MS`):
+    /// bounds response writes and how long a partial request line may
+    /// sit before the reaper cuts the connection.
+    pub io_timeout: Duration,
+    /// Whether the supervisor rebuilds stale tables
+    /// (`VARDELAY_SERVE_RECAL`; disable to sabotage self-healing — the
+    /// soak gate's red lever).
+    pub recalibrate: bool,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -136,6 +171,20 @@ impl ServeConfig {
             quota_burst: env_f64("VARDELAY_SERVE_QUOTA_BURST"),
             default_deadline: Duration::from_secs(2),
             chaos: RequestChaos::from_env(),
+            health_period: {
+                let ms = std::env::var("VARDELAY_SERVE_HEALTH_MS")
+                    .ok()
+                    .and_then(|raw| raw.trim().parse::<u64>().ok())
+                    .unwrap_or(1000);
+                (ms > 0).then(|| Duration::from_millis(ms))
+            },
+            io_timeout: Duration::from_millis(
+                env_usize("VARDELAY_SERVE_IO_TIMEOUT_MS", 10_000) as u64
+            ),
+            recalibrate: !matches!(
+                std::env::var("VARDELAY_SERVE_RECAL").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            ),
         }
     }
 
@@ -156,6 +205,9 @@ impl ServeConfig {
             quota_burst: None,
             default_deadline: Duration::from_secs(2),
             chaos: None,
+            health_period: None,
+            io_timeout: Duration::from_secs(10),
+            recalibrate: true,
         }
     }
 }
@@ -173,6 +225,9 @@ struct Stats {
     internal_errors: AtomicU64,
     batched: AtomicU64,
     quota_rejections: AtomicU64,
+    unavailable: AtomicU64,
+    io_timeouts: AtomicU64,
+    reaped: AtomicU64,
 }
 
 impl Stats {
@@ -184,11 +239,19 @@ impl Stats {
             Some(ErrorKind::Overloaded) => &self.overloaded,
             Some(ErrorKind::DeadlineExceeded) => &self.deadline_exceeded,
             Some(ErrorKind::Internal) => &self.internal_errors,
+            Some(ErrorKind::Unavailable) => &self.unavailable,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, queue_depth: u64, workers: u64, shards: u64, banks: u64) -> StatsReply {
+    fn snapshot(
+        &self,
+        queue_depth: u64,
+        workers: u64,
+        shards: u64,
+        banks: u64,
+        health: &HealthTable,
+    ) -> StatsReply {
         StatsReply {
             requests: self.requests.load(Ordering::Relaxed),
             ok: self.ok.load(Ordering::Relaxed),
@@ -199,6 +262,13 @@ impl Stats {
             internal_errors: self.internal_errors.load(Ordering::Relaxed),
             batched: self.batched.load(Ordering::Relaxed),
             quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            io_timeouts: self.io_timeouts.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            quarantined: health.quarantined_now(),
+            unhealthy: health.unhealthy_now(),
+            recalibrations: health.recalibrations(),
+            quarantines: health.quarantines(),
             queue_depth,
             workers,
             shards,
@@ -227,6 +297,14 @@ struct ShardState {
     queue: FairQueue<Job>,
 }
 
+/// What the reaper knows about one live connection: a handle it can cut
+/// and the wall-clock moment (milliseconds since server start, 0 =
+/// none) at which the connection's current partial line began.
+struct ConnEntry {
+    stream: TcpStream,
+    pending_since_ms: Arc<AtomicU64>,
+}
+
 struct Shared {
     shards: Vec<ShardState>,
     ring: HashRing,
@@ -245,6 +323,16 @@ struct Shared {
     batch_window: Duration,
     default_deadline: Duration,
     chaos: Option<RequestChaos>,
+    /// Channel health ledger fed by the supervisors (shared across
+    /// shards; each supervisor only probes the channels its shard owns).
+    health: HealthTable,
+    health_period: Option<Duration>,
+    io_timeout: Duration,
+    recalibrate: bool,
+    /// Reaper's view of live connections, keyed by connection id.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    /// Server start, the epoch for `pending_since_ms`.
+    started: Instant,
 }
 
 impl Shared {
@@ -258,7 +346,13 @@ impl Shared {
             self.workers.load(Ordering::Relaxed),
             self.shards.len() as u64,
             self.registry.resident() as u64,
+            &self.health,
         )
+    }
+
+    /// Milliseconds since the server started (the reaper clock).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
     }
 }
 
@@ -275,7 +369,8 @@ impl std::fmt::Display for DrainReport {
         write!(
             f,
             "drained: requests={} ok={} parse_error={} bad_request={} overloaded={} \
-             deadline_exceeded={} internal={} batched={} quota_rejected={} shards={}",
+             deadline_exceeded={} internal={} batched={} quota_rejected={} shards={} \
+             unavailable={} io_timeouts={} reaped={} recalibrations={} quarantines={}",
             s.requests,
             s.ok,
             s.parse_errors,
@@ -285,7 +380,12 @@ impl std::fmt::Display for DrainReport {
             s.internal_errors,
             s.batched,
             s.quota_rejections,
-            s.shards
+            s.shards,
+            s.unavailable,
+            s.io_timeouts,
+            s.reaped,
+            s.recalibrations,
+            s.quarantines
         )
     }
 }
@@ -297,6 +397,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Health supervisors + the connection reaper.
+    background: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -330,14 +432,58 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Supervisors and the reaper poll the shutdown flag; they exit
+        // within one slice.
+        for thread in self.background.drain(..) {
+            let _ = thread.join();
+        }
         DrainReport {
             stats: self.shared.stats.snapshot(
                 0,
                 self.shared.workers.load(Ordering::Relaxed),
                 self.shared.shards.len() as u64,
                 self.shared.registry.resident() as u64,
+                &self.shared.health,
             ),
         }
+    }
+
+    /// Fault hook for soak/e2e drivers: steps `tenant`'s `channel` to a
+    /// physically drifted instance (`delta_k` kelvin through the
+    /// default [`TempCo`]) while keeping its now-stale calibration
+    /// table installed — exactly what a temperature excursion does to a
+    /// long-running installation. The replacement circuit is built from
+    /// the same [`SERVE_SEED`], so once the health loop recalibrates,
+    /// answers must be byte-identical to a freshly calibrated drifted
+    /// bank. Masked (returns `false`) by `VARDELAY_FAULTS=0` and when
+    /// the tenant's bank is not resident.
+    pub fn inject_drift(&self, tenant: &str, channel: usize, delta_k: f64) -> bool {
+        if !vardelay_faults::enabled() {
+            return false;
+        }
+        let Some(bank) = self.shared.registry.peek(tenant) else {
+            return false;
+        };
+        let Some(slot) = bank.channels.get(channel) else {
+            return false;
+        };
+        let drifted = self
+            .shared
+            .model
+            .at_temperature_offset(delta_k, &TempCo::default());
+        let mut fresh = CombinedDelayCircuit::new(&drifted, SERVE_SEED);
+        let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(table) = circuit.calibration() {
+            fresh.install_calibration(table.clone());
+        }
+        *circuit = fresh;
+        true
+    }
+
+    /// The current health state of `tenant`'s `channel` (for drivers
+    /// that want to watch probation/quarantine without wire stats).
+    pub fn channel_state(&self, tenant: &str, channel: usize) -> crate::health::ChannelState {
+        self.shared.health.state(tenant, channel)
     }
 }
 
@@ -384,6 +530,12 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         batch_window: config.batch_window,
         default_deadline: config.default_deadline,
         chaos: config.chaos,
+        health: HealthTable::new(RECOVERY_ROUNDS),
+        health_period: config.health_period,
+        io_timeout: config.io_timeout.max(Duration::from_millis(1)),
+        recalibrate: config.recalibrate,
+        conns: Mutex::new(HashMap::new()),
+        started: Instant::now(),
     });
 
     // Round-robin the worker budget across shards, at least one each.
@@ -442,11 +594,38 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         }
     };
 
+    // Background loops are best-effort: a failed spawn costs the
+    // feature (counted), never the server.
+    let mut background = Vec::new();
+    if let Some(period) = shared.health_period {
+        for shard in 0..shard_count {
+            let health_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("serve-health-{shard}"))
+                .spawn(move || health_loop(&health_shared, shard, period))
+            {
+                Ok(handle) => background.push(handle),
+                Err(_) => vardelay_obs::counter("serve.spawn_failures").add(1),
+            }
+        }
+    }
+    {
+        let reaper_shared = Arc::clone(&shared);
+        match std::thread::Builder::new()
+            .name("serve-reaper".to_owned())
+            .spawn(move || reaper_loop(&reaper_shared))
+        {
+            Ok(handle) => background.push(handle),
+            Err(_) => vardelay_obs::counter("serve.spawn_failures").add(1),
+        }
+    }
+
     Ok(ServerHandle {
         addr,
         shared,
         accept: Some(accept),
         workers,
+        background,
     })
 }
 
@@ -489,7 +668,12 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
     let _ = stream.set_nodelay(true);
     let reply = match stream.try_clone() {
-        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Ok(clone) => {
+            // Response writes are bounded by the IO deadline so a
+            // stalled reader cannot pin a worker in `write_all`.
+            let _ = clone.set_write_timeout(Some(shared.io_timeout));
+            Arc::new(Mutex::new(clone))
+        }
         Err(_) => return,
     };
     // Deterministic per-connection backoff jitter: seeded from the
@@ -497,6 +681,20 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
     // queue together receive *different* retry hints (no lockstep
     // re-stampede) while any given run of the server is reproducible.
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    // Register with the reaper: a clone it can cut, plus the moment the
+    // current partial request line began (0 = framing is clean). Failing
+    // to clone just leaves this connection unreaped.
+    let pending = Arc::new(AtomicU64::new(0));
+    if let Ok(clone) = stream.try_clone() {
+        let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns.insert(
+            conn_id,
+            ConnEntry {
+                stream: clone,
+                pending_since_ms: Arc::clone(&pending),
+            },
+        );
+    }
     let mut retry_rng = SplitMix64::new(0x7e72 ^ conn_id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
@@ -542,6 +740,15 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                         break;
                     }
                 }
+                // Clean framing clears the reaper stamp; the stamp
+                // itself is only ever *set* below, when the read loop
+                // goes idle with bytes owed. A busy connection (lines
+                // still being parsed and answered, however slowly the
+                // stalled peer lets us write) is the write deadline's
+                // problem, not the reaper's.
+                if buf.is_empty() {
+                    pending.store(0, Ordering::Relaxed);
+                }
             }
             Err(e)
                 if matches!(
@@ -552,10 +759,23 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     break;
                 }
+                // Waiting for input with half a line in hand: start the
+                // reaper clock, once per partial line, so the deadline
+                // measures from (within one read timeout of) the line's
+                // first byte. A slow-loris drip trips this between
+                // bytes and never clears it — only a completed line
+                // does.
+                if !buf.is_empty() && pending.load(Ordering::Relaxed) == 0 {
+                    // +1 so a stamp taken in the first millisecond is
+                    // distinguishable from "no partial line".
+                    pending.store(shared.now_ms() + 1, Ordering::Relaxed);
+                }
             }
             Err(_) => break,
         }
     }
+    let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+    conns.remove(&conn_id);
 }
 
 /// The retry-hint window: a deterministic base plus the jitter spread
@@ -835,6 +1055,21 @@ fn solve_delay(shared: &Arc<Shared>, tenant: &str, channel: usize, target_ps: f6
     if !target_ps.is_finite() {
         return Response::error(ErrorKind::BadRequest, "ps must be finite");
     }
+    // Quarantined channels refuse to answer from a table known to be
+    // grossly wrong; the hint covers recalibration plus the re-admission
+    // rounds. (A whole same-channel batch rightly shares this fate.)
+    if !shared.health.admits(tenant, channel) {
+        let period_ms = shared
+            .health_period
+            .map(|p| p.as_millis() as u64)
+            .unwrap_or(25)
+            .max(1);
+        return Response::Error(ErrorReply {
+            kind: ErrorKind::Unavailable,
+            detail: format!("channel {channel} is quarantined pending recalibration"),
+            retry_after_ms: Some(period_ms * (RECOVERY_ROUNDS as u64 + 1)),
+        });
+    }
     // Lazy tenants calibrate here, on the worker thread, serially — the
     // fast-solve cache answers the sweep, so this is a table copy, not
     // a re-simulation.
@@ -880,7 +1115,7 @@ fn handle_one(shared: &Arc<Shared>, job: &Job) -> Response {
             bits,
             seed,
         } => handle_inject(shared, *vpp_mv, *rate_gbps, *bits, *seed),
-        Request::Selftest => handle_selftest(shared, &job.tenant),
+        Request::Selftest => handle_selftest(shared, &job.tenant, &job.deadline),
         Request::Stats => Response::Stats(shared.stats_reply()),
         Request::Shutdown => unreachable!("shutdown is handled at admission"),
     }
@@ -937,12 +1172,52 @@ fn handle_inject(
     })
 }
 
-fn handle_selftest(shared: &Arc<Shared>, tenant: &str) -> Response {
+/// Runs the channel-0 self-test without pinning the lane: the channel
+/// lock is held only long enough to copy the DAC and the table, the
+/// expensive walking-bit sweep runs on the copies, and the whole thing
+/// is metered in a `serve.selftest_us` span under the request's own
+/// deadline budget — if the budget runs out after the (cheap)
+/// calibration check, the reply is flagged `partial` instead of
+/// blocking the worker through the sweep.
+fn handle_selftest(shared: &Arc<Shared>, tenant: &str, deadline: &Deadline) -> Response {
+    let _span = vardelay_obs::span("serve.selftest_us");
     let bank = shared.registry.get(tenant, Runner::serial());
-    let mut circuit = bank.channels[0]
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    let health = circuit.self_test();
+    let (mut dac, table) = {
+        let circuit = bank.channels[0]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        (*circuit.dac(), circuit.calibration().cloned())
+    };
+    let Some(table) = table else {
+        // Banks calibrate at build, so this is an invariant breach, not
+        // a client error.
+        return Response::error(
+            ErrorKind::Internal,
+            "channel 0 has no calibration installed",
+        );
+    };
+    let calibration = check_calibration(&table, Time::from_ps(15.0));
+    if deadline.expired() {
+        // Enough budget for the table inspection but not the DAC sweep:
+        // report what was measured instead of blowing the deadline.
+        return Response::Selftest(SelftestReply {
+            verdict: if calibration.is_healthy() {
+                "healthy"
+            } else {
+                "faulty"
+            }
+            .to_owned(),
+            summary: format!(
+                "calibration range {} ({} / {} points flat); dac sweep skipped (deadline)",
+                calibration.range, calibration.flat_points, calibration.points
+            ),
+            partial: true,
+        });
+    }
+    let health = CircuitHealth {
+        dac: test_dac(&mut dac),
+        calibration,
+    };
     Response::Selftest(SelftestReply {
         verdict: match health.verdict() {
             HealthVerdict::Healthy => "healthy",
@@ -951,6 +1226,7 @@ fn handle_selftest(shared: &Arc<Shared>, tenant: &str) -> Response {
         }
         .to_owned(),
         summary: health.to_string(),
+        partial: false,
     })
 }
 
@@ -958,8 +1234,15 @@ fn handle_selftest(shared: &Arc<Shared>, tenant: &str) -> Response {
 // Replies
 // ---------------------------------------------------------------------------
 
-/// Counts, records, and writes one response line. Write failures are
-/// swallowed — a vanished client must not take the worker down.
+/// Counts, records, and writes one response line.
+///
+/// A vanished client must not take the worker down, so write errors
+/// never propagate — but they are no longer *ignored* either: an
+/// expired write deadline (a stalled reader backing the socket buffer
+/// up — surfaced as `WouldBlock` or `TimedOut` depending on platform,
+/// and `write_all` may also leave a short write behind) counts an
+/// `io_timeout` and cuts the connection so no later response blocks on
+/// the same dead socket.
 fn finish(
     shared: &Arc<Shared>,
     reply: &Arc<Mutex<TcpStream>>,
@@ -971,11 +1254,120 @@ fn finish(
     if let Some(deadline) = deadline {
         vardelay_obs::histogram("serve.latency_us").record(deadline.elapsed().as_micros() as u64);
     }
-    let line = response.to_value(id).render();
+    let mut line = response.to_value(id).render();
+    line.push('\n');
     let mut stream = reply
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner());
-    let _ = stream.write_all(line.as_bytes());
-    let _ = stream.write_all(b"\n");
-    let _ = stream.flush();
+    let outcome = stream
+        .write_all(line.as_bytes())
+        .and_then(|_| stream.flush());
+    if let Err(e) = outcome {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            shared.stats.io_timeouts.fetch_add(1, Ordering::Relaxed);
+            vardelay_obs::counter("serve.io_timeouts").add(1);
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Anything else (connection reset, broken pipe) means the
+        // client is gone; the reader loop will see it and clean up.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Background loops: health supervisor + connection reaper
+// ---------------------------------------------------------------------------
+
+/// Sleeps up to `period` in short slices, returning early (false) when
+/// a drain begins.
+fn sleep_unless_draining(shared: &Shared, period: Duration) -> bool {
+    let until = Instant::now() + period;
+    while Instant::now() < until {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5).min(period));
+    }
+    !shared.shutdown.load(Ordering::Relaxed)
+}
+
+/// One shard's health supervisor: every `period`, sentinel-probe the
+/// resident channels this shard owns and heal what the verdicts demand
+/// (DESIGN.md §15).
+fn health_loop(shared: &Arc<Shared>, shard: usize, period: Duration) {
+    let mut round: u64 = 0;
+    while sleep_unless_draining(shared, period) {
+        health_round(shared, shard, round);
+        round = round.wrapping_add(1);
+    }
+}
+
+/// One pass over the resident banks. Per channel: clone the fine line
+/// and table under a brief lock, probe outside the lock, feed the
+/// verdict to the state machine, and — when asked and allowed —
+/// rebuild the table on a private copy and swap it in. In-flight
+/// requests keep answering from the old table for the whole rebuild;
+/// the swap itself is one `install_calibration` under the channel lock.
+fn health_round(shared: &Arc<Shared>, shard: usize, round: u64) {
+    for (tenant, bank) in shared.registry.snapshot() {
+        for (channel, slot) in bank.channels.iter().enumerate() {
+            // Shards probe disjoint channel sets — the same ownership
+            // split the request router uses.
+            if shared.ring.route(&tenant, channel) != shard {
+                continue;
+            }
+            let sentinel = {
+                let circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                Sentinel::from_circuit(&circuit, SentinelConfig::default())
+            };
+            let Ok(sentinel) = sentinel else {
+                continue;
+            };
+            let report = sentinel.run(task_seed(SERVE_SEED, round));
+            let action = shared.health.observe(&tenant, channel, report.verdict());
+            if action == HealthAction::Recalibrate && shared.recalibrate {
+                // The expensive part happens on this thread's private
+                // copy; workers never wait on it.
+                let mut copy = {
+                    let circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    circuit.clone()
+                };
+                copy.calibrate_with(Runner::serial());
+                if let Some(table) = copy.calibration().cloned() {
+                    let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    circuit.install_calibration(table);
+                }
+                shared.health.note_recalibration();
+            }
+        }
+    }
+}
+
+/// Cuts connections whose partial request line has been pending past
+/// twice the IO deadline. Purely idle connections (clean framing, no
+/// bytes owed) are left alone — only a half-sent line pins parser
+/// state. The grace is double the write deadline on purpose: a
+/// connection that is both half-framed *and* write-blocked should
+/// surface as an `io_timeout` (the more specific diagnosis) before the
+/// reaper gets to it.
+fn reaper_loop(shared: &Arc<Shared>) {
+    let timeout_ms = 2 * shared.io_timeout.as_millis() as u64;
+    let tick = (shared.io_timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(50));
+    while sleep_unless_draining(shared, tick) {
+        let now = shared.now_ms();
+        let conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in conns.values() {
+            let since = entry.pending_since_ms.load(Ordering::Relaxed);
+            if since != 0 && now.saturating_sub(since - 1) > timeout_ms {
+                let _ = entry.stream.shutdown(Shutdown::Both);
+                // Clear the stamp so one bad socket is counted once;
+                // the reader loop will error out and deregister.
+                entry.pending_since_ms.store(0, Ordering::Relaxed);
+                shared.stats.reaped.fetch_add(1, Ordering::Relaxed);
+                vardelay_obs::counter("serve.conns_reaped").add(1);
+            }
+        }
+    }
 }

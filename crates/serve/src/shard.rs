@@ -273,6 +273,29 @@ impl BankRegistry {
             ))
         }))
     }
+
+    /// The tenant's bank if it is already resident *and* built — no
+    /// calibration, no LRU refresh. The health supervisor and drift
+    /// injection use this so observation never changes eviction order.
+    pub fn peek(&self, tenant: &str) -> Option<Arc<TenantBank>> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.slots.get(tenant)?.get().cloned()
+    }
+
+    /// Every resident, fully-built bank with its tenant label, in LRU
+    /// order (coldest first). Slots still mid-build are skipped — the
+    /// supervisor has nothing to probe there yet.
+    pub fn snapshot(&self) -> Vec<(String, Arc<TenantBank>)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .lru
+            .iter()
+            .filter_map(|tenant| {
+                let bank = inner.slots.get(tenant)?.get()?;
+                Some((tenant.clone(), Arc::clone(bank)))
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Debug for BankRegistry {
@@ -362,5 +385,25 @@ mod tests {
         // registry still holds only `cap` banks.
         let _b2 = registry.get("b", runner);
         assert_eq!(registry.resident(), 2);
+    }
+
+    #[test]
+    fn peek_and_snapshot_observe_without_perturbing_lru() {
+        let registry = BankRegistry::new(ModelConfig::paper_prototype(), 1, 0x5e7e, 2);
+        let runner = Runner::serial();
+        assert!(registry.peek("a").is_none(), "peek must never build");
+        let a = registry.get("a", runner);
+        let _b = registry.get("b", runner);
+        // Peeking a does NOT refresh it: a is still the LRU victim.
+        assert!(Arc::ptr_eq(&registry.peek("a").unwrap(), &a));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.iter().map(|(t, _)| t.as_str()).collect::<Vec<_>>(),
+            ["a", "b"],
+            "snapshot is coldest-first"
+        );
+        let _c = registry.get("c", runner);
+        assert!(registry.peek("a").is_none(), "a should have been evicted");
+        assert!(registry.peek("b").is_some());
     }
 }

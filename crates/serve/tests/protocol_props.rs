@@ -188,6 +188,12 @@ fn every_response_type_round_trips() {
         Response::Selftest(SelftestReply {
             verdict: "healthy".to_owned(),
             summary: "Healthy: dac stuck 0b0 flaky 0b0".to_owned(),
+            partial: false,
+        }),
+        Response::Selftest(SelftestReply {
+            verdict: "healthy".to_owned(),
+            summary: "calibration ok; dac sweep skipped (deadline)".to_owned(),
+            partial: true,
         }),
         Response::Stats(StatsReply {
             requests: 10,
@@ -199,10 +205,22 @@ fn every_response_type_round_trips() {
             internal_errors: 0,
             batched: 2,
             quota_rejections: 1,
+            unavailable: 2,
+            io_timeouts: 1,
+            reaped: 1,
+            quarantined: 1,
+            unhealthy: 2,
+            recalibrations: 3,
+            quarantines: 1,
             queue_depth: 3,
             workers: 2,
             shards: 4,
             banks: 2,
+        }),
+        Response::Error(ErrorReply {
+            kind: ErrorKind::Unavailable,
+            detail: "channel 7 is quarantined pending recalibration".to_owned(),
+            retry_after_ms: Some(100),
         }),
         Response::Draining,
         Response::Error(ErrorReply {
