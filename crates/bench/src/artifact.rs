@@ -1,135 +1,45 @@
-//! Crash-safe artifact writes (DESIGN.md §11).
+//! Crash-safe artifact writes (DESIGN.md §11) — re-exported from
+//! [`vardelay_obs::artifact`].
 //!
-//! A campaign killed mid-`fs::write` leaves a half-written CSV that is
-//! indistinguishable from a complete one — the worst possible failure
-//! for a benchmark harness whose outputs are byte-compared across runs.
-//! Every repro artifact therefore goes through [`write_atomic`]: the
-//! bytes land in a sibling `<file>.tmp` first and are published with a
-//! single `rename`, which POSIX guarantees is atomic within a
-//! filesystem. A crash leaves either the old complete file, the new
-//! complete file, or a stale `.tmp` that the next run sweeps away
-//! ([`sweep_stale_tmp`]) — never a torn artifact under the real name.
-//!
-//! [`digest`] is the FNV-1a content hash checkpoints use to prove an
-//! on-disk CSV is exactly the one a finished experiment wrote (same hash
-//! family as the PR 1 characterization-cache keys, via
-//! [`vardelay_analog::Fingerprint`]).
+//! The stage-then-rename protocol and the FNV-1a content digest started
+//! life here in PR 4, scoped to repro CSVs and checkpoints. PR 9's
+//! serving-durability work (calibration snapshots, the state WAL) needs
+//! the same primitives below the bench crate, so the implementation
+//! moved to the bottom of the crate graph; these re-exports keep every
+//! existing `artifact::write_atomic`/`artifact::digest` call site
+//! compiling unchanged.
 
-use std::io;
-use std::path::{Path, PathBuf};
-
-use vardelay_analog::Fingerprint;
-use vardelay_obs as obs;
-
-/// The sibling temporary path [`write_atomic`] stages into
-/// (`fig07.csv` → `fig07.csv.tmp`).
-pub fn tmp_path(path: &Path) -> PathBuf {
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "artifact".to_owned());
-    name.push_str(".tmp");
-    path.with_file_name(name)
-}
-
-/// Writes `contents` to `path` atomically: stage into [`tmp_path`], then
-/// `rename` over the destination. Readers never observe a torn file.
-///
-/// # Errors
-///
-/// The underlying I/O error from the staging write or the rename (the
-/// staged `.tmp` is cleaned up on a failed rename).
-pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
-    let tmp = tmp_path(path);
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path).inspect_err(|_| {
-        let _ = std::fs::remove_file(&tmp);
-    })
-}
-
-/// FNV-1a digest of an artifact's contents — the checkpoint format's
-/// proof that a CSV on disk is byte-identical to the one recorded.
-pub fn digest(contents: &str) -> u64 {
-    let mut f = Fingerprint::new();
-    f.push_str(contents);
-    f.finish()
-}
-
-/// Removes every `*.tmp` file under `dir` (recursively), returning how
-/// many were swept. A `.tmp` can only exist if a previous run died
-/// between staging and renaming — it is garbage by construction, and the
-/// acceptance bar is that an interrupted campaign never leaves one
-/// behind after the next run. Counted in `repro.stale_tmp_swept`.
-///
-/// # Errors
-///
-/// The underlying I/O error from walking `dir` (a missing `dir` is not
-/// an error — there is nothing to sweep).
-pub fn sweep_stale_tmp(dir: &Path) -> io::Result<usize> {
-    let entries = match std::fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
-        Err(e) => return Err(e),
-    };
-    let mut swept = 0;
-    for entry in entries {
-        let entry = entry?;
-        let path = entry.path();
-        if entry.file_type()?.is_dir() {
-            swept += sweep_stale_tmp(&path)?;
-        } else if path.extension().is_some_and(|e| e == "tmp") {
-            std::fs::remove_file(&path)?;
-            obs::counter("repro.stale_tmp_swept").incr();
-            swept += 1;
-        }
-    }
-    Ok(swept)
-}
+pub use vardelay_obs::artifact::{digest, sweep_stale_tmp, tmp_path, write_atomic};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn scratch(name: &str) -> PathBuf {
-        let mut dir = std::env::temp_dir();
-        dir.push(format!("vardelay_artifact_{name}_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
+    #[test]
+    fn digest_still_matches_the_analog_fingerprint_fold() {
+        // PR 4 checkpoints recorded digests computed through
+        // `vardelay_analog::Fingerprint::push_str`; the moved
+        // implementation must stay byte-compatible or every existing
+        // checkpoint silently stops matching on `--resume`.
+        for contents in ["", "x,y\n1,2\n", "fig07_delay_vs_vctrl", "\u{00b5}s"] {
+            let mut f = vardelay_analog::Fingerprint::new();
+            f.push_str(contents);
+            assert_eq!(digest(contents), f.finish(), "contents {contents:?}");
+        }
     }
 
     #[test]
-    fn write_atomic_publishes_and_leaves_no_tmp() {
-        let dir = scratch("atomic");
+    fn write_atomic_round_trips_through_the_re_export() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("vardelay_bench_artifact_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.csv");
         write_atomic(&path, "a,b\n1,2\n").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
-        assert!(!tmp_path(&path).exists(), "staging file renamed away");
-        // Overwrite goes through the same protocol.
-        write_atomic(&path, "a,b\n3,4\n").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n3,4\n");
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn sweep_removes_only_tmp_files_recursively() {
-        let dir = scratch("sweep");
-        std::fs::create_dir_all(dir.join("checkpoints")).unwrap();
-        std::fs::write(dir.join("keep.csv"), "data").unwrap();
+        assert!(!tmp_path(&path).exists());
         std::fs::write(dir.join("dead.csv.tmp"), "torn").unwrap();
-        std::fs::write(dir.join("checkpoints/ck.json.tmp"), "torn").unwrap();
-        assert_eq!(sweep_stale_tmp(&dir).unwrap(), 2);
-        assert!(dir.join("keep.csv").exists());
-        assert!(!dir.join("dead.csv.tmp").exists());
-        assert!(!dir.join("checkpoints/ck.json.tmp").exists());
-        // Missing directory sweeps nothing.
-        assert_eq!(sweep_stale_tmp(&dir.join("absent")).unwrap(), 0);
+        assert_eq!(sweep_stale_tmp(&dir).unwrap(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn digest_is_content_stable_and_sensitive() {
-        assert_eq!(digest("x,y\n1,2\n"), digest("x,y\n1,2\n"));
-        assert_ne!(digest("x,y\n1,2\n"), digest("x,y\n1,3\n"));
     }
 }

@@ -13,7 +13,7 @@
 //! repro [all|<name>[,<name>...]] [--resume]
 //!   names: fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17
 //!          table1 ablation extensions faults
-//! repro compare [all|serve-bench|fairness|hotpath|soak]
+//! repro compare [all|serve-bench|fairness|hotpath|soak|restart]
 //!                 # regression gate: diff the latest two valid `all`
 //!                 # journal records, exit non-zero on >10 % wall-clock
 //!                 # regression (exit 2 when <2 valid records remain);
@@ -44,6 +44,15 @@
 //!                 # VARDELAY_FAULTS=0 masks the injection (quiet run,
 //!                 # no record); VARDELAY_SERVE_RECAL=0 sabotages
 //!                 # healing so the gate's red leg is provable
+//! repro restart   # the durable-serving campaign (DESIGN.md §16):
+//!                 # cold boot → program delays with retry ids →
+//!                 # crash-shaped stop → warm boot on the same state
+//!                 # directory; measures cold/warm start, banks
+//!                 # restored, WAL records replayed, and byte-level
+//!                 # replay divergence, and appends a `restart` record
+//!                 # for `repro compare restart`. With faults armed it
+//!                 # also corrupts a snapshot and requires the refused
+//!                 # bank to recalibrate
 //! ```
 //!
 //! After each experiment a checkpoint (input fingerprint + CSV digests)
@@ -680,6 +689,19 @@ fn run_compare(target: Option<&str>) -> ! {
                     std::process::exit(2);
                 }
             }
+            // The durable-restart gate arms itself once two restart
+            // records exist.
+            match journal::compare_latest_restart(&records, journal::RESTART_THRESHOLD) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    regressed |= cmp.regressed;
+                }
+                Err(journal::CompareError::TooFewRecords { .. }) => {}
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
             std::process::exit(i32::from(regressed));
         }
         Some("all") => match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
@@ -752,10 +774,22 @@ fn run_compare(target: Option<&str>) -> ! {
                 }
             }
         }
+        Some("restart") => {
+            match journal::compare_latest_restart(&records, journal::RESTART_THRESHOLD) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    std::process::exit(i32::from(cmp.regressed));
+                }
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         Some(other) => {
             eprintln!(
                 "repro compare: unknown target {other:?} (expected \"all\", \"serve-bench\", \
-                 \"fairness\", \"hotpath\" or \"soak\")"
+                 \"fairness\", \"hotpath\", \"soak\" or \"restart\")"
             );
             std::process::exit(2);
         }
@@ -926,6 +960,32 @@ fn run_soak() -> ! {
     std::process::exit(0);
 }
 
+/// `repro restart` — the durable-serving campaign (DESIGN.md §16).
+/// Cold boot, crash-shaped stop, warm boot on the same state directory;
+/// appends a `restart` journal record with the measured cold/warm start
+/// times, restore counters, and byte-level replay divergence for
+/// `repro compare restart`. Unlike `repro soak`, a faults-masked run
+/// still appends — the cold/warm measurement needs no injection; only
+/// the snapshot-sabotage leg is skipped.
+fn run_restart() -> ! {
+    let config = vardelay_bench::restart::RestartConfig::from_env();
+    let report = match vardelay_bench::restart::run_restart(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repro restart: campaign failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", report.summary());
+    let record = report.record(&git_describe(), unix_ms());
+    if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
+        eprintln!("repro restart: could not append to {JOURNAL_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!("repro restart: record appended [journal: {JOURNAL_PATH}]");
+    std::process::exit(0);
+}
+
 /// Every experiment, in the paper's presentation order — the order
 /// `repro all` runs them and the order checkpoints are laid down in.
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -978,8 +1038,8 @@ fn usage_exit(unknown: &str) -> ! {
         .join(" ");
     eprintln!(
         "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | \
-         compare [all|serve-bench|fairness|hotpath|soak] | serve | serve-bench [mt] | \
-         soak\n  names: {names}"
+         compare [all|serve-bench|fairness|hotpath|soak|restart] | serve | serve-bench [mt] | \
+         soak | restart\n  names: {names}"
     );
     std::process::exit(2);
 }
@@ -1022,6 +1082,7 @@ fn main() {
         Some("serve") => run_serve(),
         Some("serve-bench") => run_serve_bench(args.get(1).map(String::as_str)),
         Some("soak") => run_soak(),
+        Some("restart") => run_restart(),
         _ => {}
     }
     let mut resume = false;

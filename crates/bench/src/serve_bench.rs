@@ -219,6 +219,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadRe
                         id: Some((client_index * 1_000_000 + k) as u64),
                         deadline_ms: None,
                         tenant: None,
+                        req_id: None,
                         request: request_for(&mut rng, client_index, k),
                     };
                     let sent = Instant::now();
@@ -507,6 +508,7 @@ pub fn run_mt_load(addr: SocketAddr, config: &MtLoadConfig) -> std::io::Result<M
                         id: Some((client_index * 1_000_000 + k) as u64),
                         deadline_ms: None,
                         tenant: Some(label.clone()),
+                        req_id: None,
                         request: request_for(&mut rng, client_index, k),
                     };
                     let sent = Instant::now();

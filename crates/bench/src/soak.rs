@@ -234,6 +234,7 @@ fn probe_stats(client: &mut Client, id: u64) -> std::io::Result<StatsReply> {
             id: Some(id),
             deadline_ms: None,
             tenant: None,
+            req_id: None,
             request: Request::Stats,
         })?;
         match response {
@@ -303,6 +304,7 @@ pub fn run_soak(config: &SoakConfig) -> std::io::Result<SoakReport> {
                         id: Some(id),
                         deadline_ms: None,
                         tenant: None,
+                        req_id: None,
                         request: Request::SetDelay { channel, ps },
                     }) {
                         Ok((_, Response::Delay(_))) => {
@@ -351,6 +353,7 @@ pub fn run_soak(config: &SoakConfig) -> std::io::Result<SoakReport> {
             id: Some(1),
             deadline_ms: None,
             tenant: None,
+            req_id: None,
             request: Request::SetDelay {
                 channel: DRIFT_CHANNEL,
                 ps: 60.0,

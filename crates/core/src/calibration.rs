@@ -261,6 +261,108 @@ impl CalibrationTable {
         }
         Ok(CalibrationTable { vctrls, delays })
     }
+
+    /// Serializes the table **bit-exactly** for the serve layer's
+    /// calibration snapshots (DESIGN.md §16): a `vardelay-cal-v1`
+    /// header, then one `"<vctrl_bits>,<delay_bits>"` row per point with
+    /// each value's raw IEEE-754 bits in lowercase hex. Unlike
+    /// [`CalibrationTable::to_csv`] (a human-readable export rounded to
+    /// fixed decimals), decoding this form reconstructs *exactly* the
+    /// vectors that were installed — the restart acceptance bar is that
+    /// a warm-restored table answers `set_delay` byte-identically to the
+    /// table that was snapshotted.
+    pub fn to_snapshot(&self) -> String {
+        let mut out = String::from("vardelay-cal-v1\n");
+        for (v, d) in self.vctrls.iter().zip(&self.delays) {
+            out.push_str(&format!(
+                "{:016x},{:016x}\n",
+                v.as_v().to_bits(),
+                d.as_s().to_bits()
+            ));
+        }
+        out
+    }
+
+    /// Parses a table previously written by
+    /// [`CalibrationTable::to_snapshot`], reconstructing the exact bits.
+    ///
+    /// The decoder **validates instead of repairing**: a snapshot whose
+    /// grid is not strictly ascending or whose delays decrease was
+    /// corrupted after it was written (the encoder only ever sees
+    /// monotonized tables), so it is rejected rather than re-monotonized
+    /// into a plausible-looking but wrong table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCalibrationError`] for a missing/unknown header,
+    /// malformed rows, non-finite values, an unsorted grid, decreasing
+    /// delays, or fewer than two points.
+    pub fn from_snapshot(text: &str) -> Result<Self, ParseCalibrationError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "vardelay-cal-v1")) => {}
+            other => {
+                return Err(ParseCalibrationError {
+                    line: 1,
+                    reason: format!(
+                        "expected \"vardelay-cal-v1\" header, got {:?}",
+                        other.map(|(_, l)| l).unwrap_or("")
+                    ),
+                })
+            }
+        }
+        let mut vctrls = Vec::new();
+        let mut delays = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let parse = |field: Option<&str>, what: &str| -> Result<f64, ParseCalibrationError> {
+                let raw = field.ok_or_else(|| ParseCalibrationError {
+                    line: i + 1,
+                    reason: format!("missing {what}"),
+                })?;
+                let bits =
+                    u64::from_str_radix(raw.trim(), 16).map_err(|e| ParseCalibrationError {
+                        line: i + 1,
+                        reason: format!("bad {what} bits: {e}"),
+                    })?;
+                let value = f64::from_bits(bits);
+                if !value.is_finite() {
+                    return Err(ParseCalibrationError {
+                        line: i + 1,
+                        reason: format!("non-finite {what}"),
+                    });
+                }
+                Ok(value)
+            };
+            let v = parse(parts.next(), "vctrl")?;
+            let d = parse(parts.next(), "delay")?;
+            vctrls.push(Voltage::from_v(v));
+            delays.push(Time::from_s(d));
+        }
+        if vctrls.len() < 2 {
+            return Err(ParseCalibrationError {
+                line: 0,
+                reason: "calibration needs at least two points".to_owned(),
+            });
+        }
+        if !vctrls.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ParseCalibrationError {
+                line: 0,
+                reason: "vctrl grid must be strictly ascending".to_owned(),
+            });
+        }
+        if !delays.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(ParseCalibrationError {
+                line: 0,
+                reason: "snapshot delays decrease (corrupt snapshot)".to_owned(),
+            });
+        }
+        Ok(CalibrationTable { vctrls, delays })
+    }
 }
 
 #[cfg(test)]
@@ -352,5 +454,66 @@ mod tests {
     #[should_panic(expected = "at least two points")]
     fn tiny_grid_rejected() {
         let _ = CalibrationTable::from_measurement(&[Voltage::ZERO], |_| Time::ZERO);
+    }
+
+    proptest::proptest! {
+        // The restart acceptance bar: a warm-restored table must answer
+        // `set_delay` byte-identically to the snapshotted one, so the
+        // snapshot codec must round-trip the exact bits at every seed —
+        // including curves with flat (monotonized) segments and delays
+        // that are not representable in any fixed decimal precision.
+        #[test]
+        fn snapshot_round_trips_bit_exactly(seed in proptest::any::<u64>(), n in 2usize..33) {
+            let mut rng = proptest::TestRng::new(seed);
+            let mut points = Vec::with_capacity(n);
+            for i in 0..n {
+                let v = 1.5 * i as f64 / (n - 1) as f64;
+                // Awkward bits on purpose: irrational-ish multipliers and
+                // occasional exact repeats (flat segments).
+                let d = 17.0 + 43.0 * v * (1.0 + 0.01 * rng.next_f64());
+                points.push((Voltage::from_v(v), Time::from_ps(d)));
+            }
+            let grid: Vec<Voltage> = points.iter().map(|&(v, _)| v).collect();
+            let mut i = 0;
+            let table = CalibrationTable::from_measurement(&grid, |_| {
+                let d = points[i].1;
+                i += 1;
+                d
+            });
+            let snap = table.to_snapshot();
+            let back = CalibrationTable::from_snapshot(&snap).expect("own output parses");
+            for (a, b) in table.vctrls().iter().zip(back.vctrls()) {
+                proptest::prop_assert_eq!(a.as_v().to_bits(), b.as_v().to_bits());
+            }
+            for (a, b) in table.delays().iter().zip(back.delays()) {
+                proptest::prop_assert_eq!(a.as_s().to_bits(), b.as_s().to_bits());
+            }
+            // Re-encoding the decoded table reproduces the bytes exactly.
+            proptest::prop_assert_eq!(back.to_snapshot(), snap);
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage_instead_of_repairing() {
+        let table =
+            CalibrationTable::from_measurement(&grid(4), |v| Time::from_ps(30.0 * v.as_v()));
+        let snap = table.to_snapshot();
+        // Wrong header: a CSV or a random file is not a snapshot.
+        assert!(CalibrationTable::from_snapshot(&table.to_csv()).is_err());
+        assert!(CalibrationTable::from_snapshot("").is_err());
+        // Fewer than two surviving rows.
+        let one_row: String = snap.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(CalibrationTable::from_snapshot(&one_row).is_err());
+        // Decreasing delays mean post-write corruption — reject, never
+        // re-monotonize into a plausible-looking wrong table.
+        let mut rows: Vec<&str> = snap.lines().collect();
+        rows.swap(1, 3);
+        let swapped: String = rows.iter().map(|l| format!("{l}\n")).collect();
+        let err = CalibrationTable::from_snapshot(&swapped).unwrap_err();
+        assert!(err.reason.contains("ascending") || err.reason.contains("decrease"));
+        // Non-hex bits are located by line.
+        let bad = snap.replacen("vardelay-cal-v1\n", "vardelay-cal-v1\nzz,zz\n", 1);
+        let err = CalibrationTable::from_snapshot(&bad).unwrap_err();
+        assert_eq!(err.line, 2);
     }
 }

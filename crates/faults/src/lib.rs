@@ -88,6 +88,15 @@ pub fn set_enabled(on: bool) {
 /// The point is deterministic by construction: it is named, not timed,
 /// so the same environment kills the same campaign at the same place on
 /// every machine. Unset (the default), this is a no-op on every call.
+///
+/// The durable serving layer (DESIGN.md §16) adds three points of its
+/// own, each sitting inside a torn-state window the recovery path must
+/// survive: `snapshot-rename` (snapshot staged but not yet published),
+/// `wal-append` (record written, response not yet acked) and
+/// `wal-compact` (fresh snapshots written, log not yet truncated).
+/// Note that in-process test servers must never set
+/// `VARDELAY_KILL_AFTER` — the abort takes the whole test process with
+/// it; the CI restart job kills real server processes instead.
 pub fn kill_point(name: &str) {
     if std::env::var("VARDELAY_KILL_AFTER").as_deref() == Ok(name) {
         eprintln!("faults: VARDELAY_KILL_AFTER={name} reached — simulating a crash");

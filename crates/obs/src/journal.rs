@@ -997,6 +997,155 @@ pub fn compare_latest_hotpath(
     })
 }
 
+/// Run-over-run warm-start growth bound for the durable-restart gate
+/// (fractional, like [`SERVE_THRESHOLD`]): only a >4× blowup of the
+/// warm boot time trips it. Loose because a warm boot is dominated by
+/// the per-channel sentinel verification sweep, whose wall clock is
+/// quantized by scheduler noise at the few-millisecond scale.
+pub const RESTART_THRESHOLD: f64 = 3.0;
+
+/// The latest-two-records durable-restart comparison: the newest run's
+/// absolute recovery correctness (banks restored from snapshots, zero
+/// replay divergence, zero forced recalibrations, warm faster than
+/// cold) plus run-over-run warm-start growth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartComparison {
+    /// Worker count both records share.
+    pub threads: u64,
+    /// Cold (first-boot) start time of the newer record, microseconds.
+    pub cold_start_us: f64,
+    /// Warm (restarted) start time of the older record, microseconds.
+    pub older_warm_start_us: f64,
+    /// Warm start time of the newer record, microseconds.
+    pub newer_warm_start_us: f64,
+    /// Banks the newer run's warm boot restored from snapshots.
+    pub banks_restored: u64,
+    /// Banks the newer run's warm boot had to recalibrate despite an
+    /// uncorrupted store (must be zero — the whole point of snapshots).
+    pub banks_recalibrated: u64,
+    /// WAL records the newer run's warm boot replayed.
+    pub wal_records_replayed: u64,
+    /// Post-restart answers that diverged byte-for-byte from the
+    /// pre-restart answers (must be zero — never serve a wrong table).
+    pub replay_mismatches: u64,
+    /// `newer_warm_start / older_warm_start` (∞ when the older is 0
+    /// and the newer is not).
+    pub warm_ratio: f64,
+    /// Warm-start growth bound (fractional — see [`RESTART_THRESHOLD`]).
+    pub warm_threshold: f64,
+    /// Whether the newest run restored nothing, diverged on replay,
+    /// recalibrated an intact bank, warm-started slower than cold, or
+    /// grew its warm start past the threshold.
+    pub regressed: bool,
+}
+
+impl fmt::Display for RestartComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restart: warm start {:.0} \u{00b5}s -> {:.0} \u{00b5}s (cold {:.0} \u{00b5}s), \
+             {} bank(s) restored, {} recalibrated, {} wal record(s) replayed, \
+             {} replay mismatch(es) ({} worker(s); gates {:.0}\u{00d7} warm growth, \
+             warm<cold, \u{2265}1 restored, 0 recalibrated, 0 mismatches): {}",
+            self.older_warm_start_us,
+            self.newer_warm_start_us,
+            self.cold_start_us,
+            self.banks_restored,
+            self.banks_recalibrated,
+            self.wal_records_replayed,
+            self.replay_mismatches,
+            self.threads,
+            1.0 + self.warm_threshold,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Compares the latest two `restart` records (the journal kind written
+/// by `repro restart`), flagging a regression when the newest run's
+/// warm boot restored no bank, recalibrated a bank whose snapshots were
+/// intact, served any post-restart answer that diverged byte-for-byte
+/// from its pre-restart twin, warm-started slower than the cold boot,
+/// or grew its warm start past `warm_threshold` (fractional) over the
+/// previous run. The correctness legs are absolute gates on the newest
+/// run alone — a recovery path that silently recalibrates or diverges
+/// must trip immediately, not poison the next baseline.
+///
+/// # Errors
+///
+/// Same shapes as [`compare_latest`]: [`CompareError::TooFewRecords`]
+/// under two `restart` records, [`CompareError::ThreadMismatch`] when
+/// their worker counts differ, [`CompareError::MissingField`] on
+/// records without the restart fields.
+pub fn compare_latest_restart(
+    records: &[Value],
+    warm_threshold: f64,
+) -> Result<RestartComparison, CompareError> {
+    let matching: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("experiments").and_then(Value::as_str) == Some("restart"))
+        .collect();
+    let [.., older, newer] = matching.as_slice() else {
+        return Err(CompareError::TooFewRecords {
+            found: matching.len(),
+            experiments: "restart".to_owned(),
+        });
+    };
+    let threads = |r: &Value| {
+        r.get("threads")
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField("threads"))
+    };
+    let (older_threads, newer_threads) = (threads(older)?, threads(newer)?);
+    if older_threads != newer_threads {
+        return Err(CompareError::ThreadMismatch {
+            older: older_threads,
+            newer: newer_threads,
+        });
+    }
+    let f64_field = |r: &Value, name: &'static str| {
+        r.get(name)
+            .and_then(Value::as_f64)
+            .ok_or(CompareError::MissingField(name))
+    };
+    let u64_field = |r: &Value, name: &'static str| {
+        r.get(name)
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField(name))
+    };
+    let older_warm_start_us = f64_field(older, "warm_start_us")?;
+    let newer_warm_start_us = f64_field(newer, "warm_start_us")?;
+    let cold_start_us = f64_field(newer, "cold_start_us")?;
+    let banks_restored = u64_field(newer, "banks_restored")?;
+    let banks_recalibrated = u64_field(newer, "banks_recalibrated")?;
+    let wal_records_replayed = u64_field(newer, "wal_records_replayed")?;
+    let replay_mismatches = u64_field(newer, "replay_mismatches")?;
+    let warm_ratio = if older_warm_start_us > 0.0 {
+        newer_warm_start_us / older_warm_start_us
+    } else if newer_warm_start_us > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    };
+    Ok(RestartComparison {
+        threads: newer_threads,
+        cold_start_us,
+        older_warm_start_us,
+        newer_warm_start_us,
+        banks_restored,
+        banks_recalibrated,
+        wal_records_replayed,
+        replay_mismatches,
+        warm_ratio,
+        warm_threshold,
+        regressed: banks_restored == 0
+            || banks_recalibrated > 0
+            || replay_mismatches > 0
+            || newer_warm_start_us >= cold_start_us
+            || warm_ratio > 1.0 + warm_threshold,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1573,6 +1722,97 @@ mod tests {
         assert_eq!(
             compare_latest_soak(&bad, SOAK_MTTR_THRESHOLD, SOAK_AVAILABILITY_FLOOR),
             Err(CompareError::MissingField("mttr_p99_us"))
+        );
+    }
+
+    fn restart_record(
+        threads: u64,
+        cold_start_us: f64,
+        warm_start_us: f64,
+        banks_restored: u64,
+        banks_recalibrated: u64,
+        replay_mismatches: u64,
+    ) -> Value {
+        Value::obj()
+            .with("schema", SCHEMA_VERSION)
+            .with("experiments", "restart")
+            .with("threads", threads)
+            .with("cold_start_us", cold_start_us)
+            .with("warm_start_us", warm_start_us)
+            .with("banks_restored", banks_restored)
+            .with("banks_recalibrated", banks_recalibrated)
+            .with("wal_records_replayed", 12u64)
+            .with("replay_mismatches", replay_mismatches)
+    }
+
+    #[test]
+    fn restart_compare_gates_warm_growth_and_the_newest_recovery() {
+        // Warm start half the cold start, a bank restored, no
+        // divergence: ok even when the warm time doubled run-over-run.
+        let records = vec![
+            restart_record(2, 900_000.0, 100_000.0, 1, 0, 0),
+            restart_record(2, 900_000.0, 200_000.0, 1, 0, 0),
+        ];
+        let c = compare_latest_restart(&records, RESTART_THRESHOLD).unwrap();
+        assert!(!c.regressed, "{c}");
+        assert_eq!(c.warm_ratio, 2.0);
+        assert_eq!(c.banks_restored, 1);
+        // A >4× warm-start blowup trips the growth side.
+        let records = vec![
+            restart_record(2, 9_000_000.0, 100_000.0, 1, 0, 0),
+            restart_record(2, 9_000_000.0, 500_000.0, 1, 0, 0),
+        ];
+        assert!(
+            compare_latest_restart(&records, RESTART_THRESHOLD)
+                .unwrap()
+                .regressed
+        );
+        // The correctness legs are absolute on the newest run: zero
+        // banks restored, any replay divergence, any forced
+        // recalibration, or warm slower than cold each trip alone.
+        for newest in [
+            restart_record(2, 900_000.0, 100_000.0, 0, 0, 0),
+            restart_record(2, 900_000.0, 100_000.0, 1, 0, 3),
+            restart_record(2, 900_000.0, 100_000.0, 1, 1, 0),
+            restart_record(2, 900_000.0, 950_000.0, 1, 0, 0),
+        ] {
+            let records = vec![restart_record(2, 900_000.0, 100_000.0, 1, 0, 0), newest];
+            let c = compare_latest_restart(&records, RESTART_THRESHOLD).unwrap();
+            assert!(c.regressed, "{c}");
+            assert!(c.to_string().contains("REGRESSED"), "{c}");
+        }
+    }
+
+    #[test]
+    fn restart_compare_needs_two_restart_records_with_full_fields() {
+        let records = vec![
+            soak_record(2, 100_000.0, 1.0, 4, 0),
+            restart_record(2, 900_000.0, 100_000.0, 1, 0, 0),
+        ];
+        assert_eq!(
+            compare_latest_restart(&records, RESTART_THRESHOLD),
+            Err(CompareError::TooFewRecords {
+                found: 1,
+                experiments: "restart".to_owned()
+            })
+        );
+        let records = vec![
+            restart_record(1, 900_000.0, 100_000.0, 1, 0, 0),
+            restart_record(2, 900_000.0, 100_000.0, 1, 0, 0),
+        ];
+        assert_eq!(
+            compare_latest_restart(&records, RESTART_THRESHOLD),
+            Err(CompareError::ThreadMismatch { older: 1, newer: 2 })
+        );
+        let bad = vec![
+            restart_record(2, 900_000.0, 100_000.0, 1, 0, 0),
+            Value::obj()
+                .with("experiments", "restart")
+                .with("threads", 2u64),
+        ];
+        assert_eq!(
+            compare_latest_restart(&bad, RESTART_THRESHOLD),
+            Err(CompareError::MissingField("warm_start_us"))
         );
     }
 }

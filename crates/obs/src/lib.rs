@@ -18,6 +18,9 @@
 //!    that also accepts the legacy single-object format, and a
 //!    [`journal::compare_latest`] regression gate used by
 //!    `repro compare` in CI.
+//! 4. **Artifacts** ([`artifact`]): crash-safe stage-fsync-rename file
+//!    publication and the FNV-1a content digest shared by repro
+//!    checkpoints and the serve layer's calibration snapshots.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 //! assert!(obs::counter("doc.events").get() >= 1);
 //! ```
 
+pub mod artifact;
 pub mod journal;
 pub mod json;
 pub mod metrics;

@@ -54,6 +54,34 @@ pub enum ChannelState {
     },
 }
 
+impl ChannelState {
+    /// The state's durable wire form, as written into calibration
+    /// snapshots and WAL `health` records (DESIGN.md §16):
+    /// `healthy` / `probation` / `quarantined` / `recovering:<rounds>`.
+    pub fn to_wire(self) -> String {
+        match self {
+            ChannelState::Healthy => "healthy".to_owned(),
+            ChannelState::Probation => "probation".to_owned(),
+            ChannelState::Quarantined => "quarantined".to_owned(),
+            ChannelState::Recovering { rounds } => format!("recovering:{rounds}"),
+        }
+    }
+
+    /// Parses [`ChannelState::to_wire`] output; `None` on anything else
+    /// (a corrupt state string rejects the whole snapshot — recovery
+    /// never guesses).
+    pub fn from_wire(wire: &str) -> Option<ChannelState> {
+        Some(match wire {
+            "healthy" => ChannelState::Healthy,
+            "probation" => ChannelState::Probation,
+            "quarantined" => ChannelState::Quarantined,
+            other => ChannelState::Recovering {
+                rounds: other.strip_prefix("recovering:")?.parse().ok()?,
+            },
+        })
+    }
+}
+
 /// What the supervisor should do after reporting a verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HealthAction {
@@ -197,6 +225,29 @@ impl HealthTable {
         action
     }
 
+    /// Reinstates a persisted state during warm restart (snapshot
+    /// restore, then WAL replay in record order so the latest logged
+    /// transition wins). Restoring `Healthy` *removes* the entry: a
+    /// never-probed channel and a healthy one are indistinguishable, and
+    /// keeping the map sparse keeps `unhealthy_now` cheap. This is an
+    /// overwrite, not a verdict — counters and the MTTR clock restart
+    /// from the moment of recovery, which is when the incident became
+    /// this process's problem.
+    pub fn restore(&self, tenant: &str, channel: usize, state: ChannelState) {
+        let mut channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        if state == ChannelState::Healthy {
+            channels.remove(&(tenant.to_owned(), channel));
+            return;
+        }
+        channels.insert(
+            (tenant.to_owned(), channel),
+            ChannelHealth {
+                state,
+                unhealthy_since: Instant::now(),
+            },
+        );
+    }
+
     /// Marks one background recalibration complete.
     pub fn note_recalibration(&self) {
         self.recalibrations.fetch_add(1, Ordering::Relaxed);
@@ -287,6 +338,36 @@ mod tests {
         // Re-entry counts a second quarantine.
         table.observe("t", 7, SentinelVerdict::Broken);
         assert_eq!(table.quarantines(), 2);
+    }
+
+    #[test]
+    fn wire_states_round_trip_and_garbage_is_rejected() {
+        for state in [
+            ChannelState::Healthy,
+            ChannelState::Probation,
+            ChannelState::Quarantined,
+            ChannelState::Recovering { rounds: 2 },
+        ] {
+            assert_eq!(ChannelState::from_wire(&state.to_wire()), Some(state));
+        }
+        for garbage in ["", "Healthy", "recovering", "recovering:", "recovering:x"] {
+            assert_eq!(ChannelState::from_wire(garbage), None, "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn restore_overwrites_without_counting_an_incident() {
+        let table = HealthTable::new(3);
+        table.restore("t", 4, ChannelState::Quarantined);
+        assert!(!table.admits("t", 4), "restored quarantine still rejects");
+        assert_eq!(table.quarantines(), 0, "restore is not a new incident");
+        // Later WAL records overwrite earlier ones, and a healthy
+        // restore clears the entry entirely.
+        table.restore("t", 4, ChannelState::Recovering { rounds: 1 });
+        assert_eq!(table.state("t", 4), ChannelState::Recovering { rounds: 1 });
+        table.restore("t", 4, ChannelState::Healthy);
+        assert!(table.admits("t", 4));
+        assert_eq!(table.unhealthy_now(), 0);
     }
 
     #[test]

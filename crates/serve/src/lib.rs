@@ -40,23 +40,41 @@
 //! IO deadlines and a partial-line reaper keep misbehaving sockets
 //! (slow-loris drips, stalled readers) from ever pinning a worker.
 //!
+//! Since PR 9 the service is *durable* (DESIGN.md §16): with
+//! `VARDELAY_SERVE_STATE_DIR` set, installed calibration tables and
+//! channel health states are persisted to a per-tenant snapshot store
+//! ([`persist`]), state-mutating requests flow through a digest-checked
+//! write-ahead log ([`wal`]) with snapshot-then-truncate compaction,
+//! and a restarted server warm-starts: it restores every snapshot whose
+//! fingerprint matches the live circuit, verifies each with a sentinel
+//! probe sweep, replays the WAL, and bumps a monotonic `server_epoch`
+//! stamped into every response. Client retries carrying a `req_id` are
+//! deduplicated through a bounded per-tenant window ([`dedup`]) that
+//! survives the restart via the WAL.
+//!
 //! Everything here is std-only, like the rest of the workspace.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod dedup;
 pub mod health;
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod shard;
+pub mod wal;
 
 pub use client::Client;
+pub use dedup::DedupTable;
 pub use health::{ChannelState, HealthAction, HealthTable};
+pub use persist::{ChannelSnapshot, SnapshotError, SnapshotStore};
 pub use protocol::{
     DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
-    SelftestReply, StatsReply, MAX_LINE_BYTES, MAX_TENANT_BYTES, MAX_WIRE_INDEX,
+    SelftestReply, StatsReply, MAX_LINE_BYTES, MAX_REQ_ID_BYTES, MAX_TENANT_BYTES, MAX_WIRE_INDEX,
 };
 pub use queue::{BoundedQueue, FairQueue};
 pub use server::{serve, DrainReport, ServeConfig, ServerHandle, SERVE_SEED};
-pub use shard::{BankRegistry, HashRing, QuotaTable, TenantBank};
+pub use shard::{BankHooks, BankRegistry, HashRing, QuotaTable, TenantBank};
+pub use wal::{Wal, WalRecord};

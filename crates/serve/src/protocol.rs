@@ -36,6 +36,11 @@ pub const MAX_WIRE_INDEX: u64 = 1 << 20;
 /// the per-tenant quota and bank tables.
 pub const MAX_TENANT_BYTES: usize = 128;
 
+/// Hard cap on a `req_id` idempotency key, in bytes. Like tenants,
+/// req_ids are cached server-side (the dedup window plus the WAL), so
+/// they must be bounded.
+pub const MAX_REQ_ID_BYTES: usize = 64;
+
 /// A parsed request plus its per-request metadata.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
@@ -49,6 +54,12 @@ pub struct Envelope {
     /// default tenant; the server routes `(tenant, channel)` to a shard
     /// and charges the tenant's quota.
     pub tenant: Option<String>,
+    /// Client-chosen idempotency key (≤ [`MAX_REQ_ID_BYTES`] bytes).
+    /// A request carrying one is executed at most once per dedup
+    /// window: a retry with the same `(tenant, req_id)` — even on a
+    /// different connection, even across a server restart — replays the
+    /// original cached response instead of re-running the solve.
+    pub req_id: Option<String>,
     /// The operation.
     pub request: Request,
 }
@@ -259,6 +270,23 @@ pub struct StatsReply {
     pub recalibrations: u64,
     /// Quarantine entries since start.
     pub quarantines: u64,
+    /// The state directory's monotonic restart counter (1 with no
+    /// state dir — a purely in-memory server is its own first epoch).
+    pub server_epoch: u64,
+    /// Tenant banks whose warm restart restored at least one channel
+    /// table from a snapshot instead of recalibrating it.
+    pub banks_restored: u64,
+    /// Tenant banks that had persisted state but fell back to a fresh
+    /// calibration for at least one channel (corrupt snapshot,
+    /// fingerprint mismatch, or a sentinel-rejected table).
+    pub banks_recalibrated: u64,
+    /// WAL records replayed during the last warm restart.
+    pub wal_records_replayed: u64,
+    /// Wall time of the last warm restart's recovery pass, microseconds.
+    pub restore_us: u64,
+    /// Requests answered from the idempotency window instead of
+    /// re-executing.
+    pub dedup_hits: u64,
     /// Jobs waiting in the queue right now (all shards).
     pub queue_depth: u64,
     /// Worker threads serving the queues (all shards).
@@ -359,6 +387,7 @@ impl Envelope {
             id: None,
             deadline_ms: None,
             tenant: None,
+            req_id: None,
             request,
         }
     }
@@ -367,6 +396,14 @@ impl Envelope {
     pub fn for_tenant(self, tenant: impl Into<String>) -> Envelope {
         Envelope {
             tenant: Some(tenant.into()),
+            ..self
+        }
+    }
+
+    /// Same request, tagged with an idempotency key.
+    pub fn with_req_id(self, req_id: impl Into<String>) -> Envelope {
+        Envelope {
+            req_id: Some(req_id.into()),
             ..self
         }
     }
@@ -382,6 +419,9 @@ impl Envelope {
         }
         if let Some(tenant) = &self.tenant {
             v = v.with("tenant", tenant.as_str());
+        }
+        if let Some(req_id) = &self.req_id {
+            v = v.with("req_id", req_id.as_str());
         }
         match &self.request {
             Request::SetDelay { channel, ps } => v.with("channel", *channel).with("ps", *ps),
@@ -461,6 +501,26 @@ impl Envelope {
                 }
             }
         };
+        let req_id = match value.get("req_id") {
+            None => None,
+            Some(raw) => {
+                let s = raw.as_str().ok_or("non-string field \"req_id\"")?;
+                if s.len() > MAX_REQ_ID_BYTES {
+                    return Err(format!(
+                        "field \"req_id\" is {} bytes, above the {MAX_REQ_ID_BYTES}-byte limit",
+                        s.len()
+                    ));
+                }
+                // Like the tenant label: empty means "no idempotency
+                // key", normalized here so the dedup window never keys
+                // on "".
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(s.to_owned())
+                }
+            }
+        };
         let op = value
             .get("op")
             .and_then(Value::as_str)
@@ -489,6 +549,7 @@ impl Envelope {
             id,
             deadline_ms,
             tenant,
+            req_id,
             request,
         })
     }
@@ -567,6 +628,12 @@ impl Response {
                 .with("unhealthy", r.unhealthy)
                 .with("recalibrations", r.recalibrations)
                 .with("quarantines", r.quarantines)
+                .with("server_epoch", r.server_epoch)
+                .with("banks_restored", r.banks_restored)
+                .with("banks_recalibrated", r.banks_recalibrated)
+                .with("wal_records_replayed", r.wal_records_replayed)
+                .with("restore_us", r.restore_us)
+                .with("dedup_hits", r.dedup_hits)
                 .with("queue_depth", r.queue_depth)
                 .with("workers", r.workers)
                 .with("shards", r.shards)
@@ -697,6 +764,12 @@ impl Response {
                 unhealthy: field_u64_or(value, "unhealthy", 0)?,
                 recalibrations: field_u64_or(value, "recalibrations", 0)?,
                 quarantines: field_u64_or(value, "quarantines", 0)?,
+                server_epoch: field_u64_or(value, "server_epoch", 0)?,
+                banks_restored: field_u64_or(value, "banks_restored", 0)?,
+                banks_recalibrated: field_u64_or(value, "banks_recalibrated", 0)?,
+                wal_records_replayed: field_u64_or(value, "wal_records_replayed", 0)?,
+                restore_us: field_u64_or(value, "restore_us", 0)?,
+                dedup_hits: field_u64_or(value, "dedup_hits", 0)?,
                 queue_depth: field_u64(value, "queue_depth")?,
                 workers: field_u64(value, "workers")?,
                 shards: field_u64_or(value, "shards", 1)?,
@@ -720,6 +793,7 @@ mod tests {
                 id: Some(7),
                 deadline_ms: Some(250),
                 tenant: Some("lot-a".to_owned()),
+                req_id: Some("retry-0007".to_owned()),
                 request: Request::SetDelay {
                     channel: 3,
                     ps: 161.25,
@@ -813,6 +887,59 @@ mod tests {
         let err = Envelope::parse(&long).unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);
         assert!(err.detail.contains("byte limit"), "{}", err.detail);
+    }
+
+    #[test]
+    fn req_ids_are_bounded_and_empty_means_absent() {
+        let env = Envelope::parse("{\"op\":\"stats\",\"req_id\":\"\"}").unwrap();
+        assert_eq!(env.req_id, None, "empty key is no key");
+        let env = Envelope::parse("{\"op\":\"stats\",\"req_id\":\"r-1\"}").unwrap();
+        assert_eq!(env.req_id.as_deref(), Some("r-1"));
+        let long = format!(
+            "{{\"op\":\"stats\",\"req_id\":\"{}\"}}",
+            "r".repeat(MAX_REQ_ID_BYTES + 1)
+        );
+        let err = Envelope::parse(&long).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.detail.contains("byte limit"), "{}", err.detail);
+        assert_eq!(
+            Envelope::parse("{\"op\":\"stats\",\"req_id\":9}")
+                .unwrap_err()
+                .kind,
+            ErrorKind::BadRequest
+        );
+    }
+
+    #[test]
+    fn recovery_stats_round_trip_and_old_lines_default_to_zero() {
+        let full = StatsReply {
+            requests: 9,
+            ok: 9,
+            workers: 2,
+            server_epoch: 3,
+            banks_restored: 2,
+            banks_recalibrated: 1,
+            wal_records_replayed: 40,
+            restore_us: 12_345,
+            dedup_hits: 6,
+            ..StatsReply::default()
+        };
+        let line = Response::Stats(full.clone()).to_value(None).render();
+        let (_, back) = Response::parse(&line).unwrap();
+        assert_eq!(back, Response::Stats(full), "{line}");
+        // A pre-durability stats line decodes with epoch 0 and zeroed
+        // recovery fields.
+        let old = "{\"ok\":true,\"op\":\"stats\",\"requests\":1,\"ok_count\":1,\
+                   \"parse_errors\":0,\"bad_requests\":0,\"overloaded\":0,\
+                   \"deadline_exceeded\":0,\"internal_errors\":0,\"batched\":0,\
+                   \"queue_depth\":0,\"workers\":1}";
+        let (_, response) = Response::parse(old).unwrap();
+        let Response::Stats(stats) = response else {
+            panic!("expected stats, got {response:?}");
+        };
+        assert_eq!(stats.server_epoch, 0);
+        assert_eq!(stats.banks_restored, 0);
+        assert_eq!(stats.dedup_hits, 0);
     }
 
     #[test]

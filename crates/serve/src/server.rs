@@ -41,11 +41,21 @@
 //! cuts connections whose half-sent request has been pending past the
 //! IO deadline — the slow-loris case an idle check cannot see, because
 //! a byte-dripping client never looks idle.
+//!
+//! With `VARDELAY_SERVE_STATE_DIR` set the server is also *durable*
+//! (DESIGN.md §16): calibration tables and health states persist to a
+//! [`SnapshotStore`], state-mutating commits append to a digest-checked
+//! [`Wal`] before the response leaves the socket, and a restart
+//! warm-starts by restoring snapshots (sentinel-verified per channel),
+//! replaying the WAL, and bumping a monotonic `server_epoch` stamped
+//! into every response. `req_id`-tagged requests deduplicate through a
+//! [`DedupTable`] window that survives the restart via the WAL.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -54,8 +64,8 @@ use std::time::{Duration, Instant};
 use vardelay_ate::{DegradedPolicy, DeskewEngine, ParallelBus};
 use vardelay_core::config::ModelConfig;
 use vardelay_core::{
-    check_calibration, test_dac, CircuitHealth, CombinedDelayCircuit, HealthVerdict,
-    JitterInjector, Sentinel, SentinelConfig, TempCo,
+    check_calibration, test_dac, CalibrationTable, CircuitHealth, CombinedDelayCircuit,
+    HealthVerdict, JitterInjector, Sentinel, SentinelConfig, TempCo,
 };
 use vardelay_faults::RequestChaos;
 use vardelay_runner::{
@@ -64,13 +74,16 @@ use vardelay_runner::{
 use vardelay_siggen::{BitPattern, EdgeStream, SplitMix64};
 use vardelay_units::{BitRate, Time, Voltage};
 
+use crate::dedup::DedupTable;
 use crate::health::{HealthAction, HealthTable};
+use crate::persist::{SnapshotError, SnapshotStore};
 use crate::protocol::{
     DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
     SelftestReply, StatsReply, MAX_LINE_BYTES,
 };
 use crate::queue::FairQueue;
-use crate::shard::{tenant_lane, BankRegistry, HashRing, QuotaTable};
+use crate::shard::{tenant_lane, BankHooks, BankRegistry, HashRing, QuotaTable, TenantBank};
+use crate::wal::{Wal, WalRecord};
 
 /// Seed for the service's model instances (shared by every bank so the
 /// characterization and fast-solve caches single-flight calibration).
@@ -81,6 +94,10 @@ pub const SERVE_SEED: u64 = 0x5e7e;
 /// Consecutive healthy sentinel rounds a quarantined channel must post
 /// before re-admission (the K of DESIGN.md §15).
 const RECOVERY_ROUNDS: u32 = 3;
+
+/// Responses cached per tenant for `req_id` retry deduplication
+/// (DESIGN.md §16).
+const DEDUP_WINDOW: usize = 64;
 
 /// How it all runs. Build with [`from_env`](Self::from_env) for the
 /// standalone server or [`in_process`](Self::in_process) for tests and
@@ -130,6 +147,14 @@ pub struct ServeConfig {
     /// (`VARDELAY_SERVE_RECAL`; disable to sabotage self-healing — the
     /// soak gate's red lever).
     pub recalibrate: bool,
+    /// Durable state directory (`VARDELAY_SERVE_STATE_DIR`). `None`
+    /// disables the snapshot store, the WAL, and warm restart — the
+    /// server is purely in-memory, exactly as before PR 9.
+    pub state_dir: Option<PathBuf>,
+    /// Pending WAL records before a snapshot-then-truncate compaction
+    /// (`VARDELAY_SERVE_WAL_COMPACT`; default 512). Ignored without a
+    /// state directory.
+    pub wal_compact: u64,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -185,6 +210,16 @@ impl ServeConfig {
                 std::env::var("VARDELAY_SERVE_RECAL").as_deref(),
                 Ok("0") | Ok("off") | Ok("false")
             ),
+            state_dir: std::env::var("VARDELAY_SERVE_STATE_DIR")
+                .ok()
+                .map(|raw| raw.trim().to_owned())
+                .filter(|raw| !raw.is_empty())
+                .map(PathBuf::from),
+            wal_compact: std::env::var("VARDELAY_SERVE_WAL_COMPACT")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(512),
         }
     }
 
@@ -208,6 +243,8 @@ impl ServeConfig {
             health_period: None,
             io_timeout: Duration::from_secs(10),
             recalibrate: true,
+            state_dir: None,
+            wal_compact: 512,
         }
     }
 }
@@ -244,6 +281,7 @@ impl Stats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn snapshot(
         &self,
         queue_depth: u64,
@@ -251,6 +289,9 @@ impl Stats {
         shards: u64,
         banks: u64,
         health: &HealthTable,
+        epoch: u64,
+        recovery: &RecoveryLedger,
+        dedup_hits: u64,
     ) -> StatsReply {
         StatsReply {
             requests: self.requests.load(Ordering::Relaxed),
@@ -269,12 +310,210 @@ impl Stats {
             unhealthy: health.unhealthy_now(),
             recalibrations: health.recalibrations(),
             quarantines: health.quarantines(),
+            server_epoch: epoch,
+            banks_restored: recovery.banks_restored.load(Ordering::Relaxed),
+            banks_recalibrated: recovery.banks_recalibrated.load(Ordering::Relaxed),
+            wal_records_replayed: recovery.wal_records_replayed.load(Ordering::Relaxed),
+            restore_us: recovery.restore_us.load(Ordering::Relaxed),
+            dedup_hits,
             queue_depth,
             workers,
             shards,
             banks,
         }
     }
+}
+
+/// What the last warm restart accomplished, mirrored into `stats`.
+#[derive(Debug, Default)]
+struct RecoveryLedger {
+    /// Banks whose build restored ≥ 1 channel table from a snapshot.
+    banks_restored: AtomicU64,
+    /// Banks with persisted state that nonetheless recalibrated ≥ 1
+    /// channel (corrupt snapshot, fingerprint mismatch, or a
+    /// sentinel-rejected table).
+    banks_recalibrated: AtomicU64,
+    /// WAL records applied during recovery.
+    wal_records_replayed: AtomicU64,
+    /// Wall time of the recovery pass, microseconds.
+    restore_us: AtomicU64,
+}
+
+/// The durable half of a state-dir-configured server.
+struct Durability {
+    store: Arc<SnapshotStore>,
+    wal: Mutex<Wal>,
+    /// Pending records that trigger a snapshot-then-truncate pass.
+    compact_every: u64,
+}
+
+/// The [`BankHooks`] implementation that makes the registry durable:
+/// builds restore from (and re-verify) snapshots, finished builds and
+/// evictions persist the bank — so quarantine state survives LRU
+/// eviction, not just restarts.
+struct DurabilityHooks {
+    store: Arc<SnapshotStore>,
+    health: Arc<HealthTable>,
+    recovery: Arc<RecoveryLedger>,
+}
+
+impl BankHooks for DurabilityHooks {
+    fn restore(&self, tenant: &str, channel: usize) -> Option<CalibrationTable> {
+        match self.store.load_channel(tenant, channel) {
+            Ok(snap) => {
+                // The health state rides the snapshot: a quarantined
+                // channel stays quarantined across restart and eviction
+                // instead of silently re-entering service.
+                self.health.restore(tenant, channel, snap.state);
+                Some(snap.table)
+            }
+            Err(SnapshotError::Missing) => None,
+            Err(why) => {
+                vardelay_obs::counter("recovery.snapshots_refused").add(1);
+                let _ = why; // counted; the store logged specifics
+                None
+            }
+        }
+    }
+
+    fn built(&self, tenant: &str, bank: &TenantBank, restored: &[bool]) {
+        let persisted = self.store.channels_of(tenant);
+        if restored.iter().any(|&r| r) {
+            self.recovery.banks_restored.fetch_add(1, Ordering::Relaxed);
+        }
+        if persisted
+            .iter()
+            .any(|&ch| restored.get(ch).is_some_and(|&r| !r))
+        {
+            self.recovery
+                .banks_recalibrated
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        // Persist on install: the freshly-built (or freshly-verified)
+        // tables are the durable truth from this moment.
+        persist_bank(&self.store, &self.health, tenant, bank);
+    }
+
+    fn evicted(&self, tenant: &str, bank: &TenantBank) {
+        persist_bank(&self.store, &self.health, tenant, bank);
+    }
+}
+
+/// Persists every calibrated channel of `bank` (table + health state).
+/// Returns `false` when any save failed to publish — the caller must
+/// then keep the WAL, because the snapshots no longer cover it.
+fn persist_bank(
+    store: &SnapshotStore,
+    health: &HealthTable,
+    tenant: &str,
+    bank: &TenantBank,
+) -> bool {
+    let mut all_saved = true;
+    for (channel, slot) in bank.channels.iter().enumerate() {
+        let table = {
+            let circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            circuit.calibration().cloned()
+        };
+        let Some(table) = table else {
+            continue;
+        };
+        let state = health.state(tenant, channel);
+        if store.save_channel(tenant, channel, state, &table).is_err() {
+            vardelay_obs::counter("persist.save_failures").add(1);
+            all_saved = false;
+        }
+    }
+    all_saved
+}
+
+/// Snapshot-then-truncate compaction (DESIGN.md §16): persist every
+/// resident bank, then empty the log its records described. A crash
+/// between the two steps (the `wal-compact` kill point) is harmless —
+/// the next boot replays the idempotent records over the fresh
+/// snapshots and converges to the same state. If any snapshot failed to
+/// publish, the WAL is kept: replaying it over a stale snapshot is
+/// correct, dropping it would not be.
+fn compact_wal(
+    registry: &BankRegistry,
+    store: &SnapshotStore,
+    health: &HealthTable,
+    wal: &mut Wal,
+) {
+    let mut all_saved = true;
+    for (tenant, bank) in registry.snapshot() {
+        all_saved &= persist_bank(store, health, &tenant, &bank);
+    }
+    vardelay_faults::kill_point("wal-compact");
+    if all_saved && wal.truncate().is_ok() {
+        vardelay_obs::counter("wal.compactions").add(1);
+    }
+}
+
+/// The circuit identity stamped into snapshots: quiet-model fingerprint
+/// folded with the shared bank seed and the channel count. Any config
+/// or topology change mints a new fingerprint, and old snapshots refuse
+/// to load rather than ever serving a wrong table.
+fn bank_fingerprint(model: &ModelConfig, channels: usize) -> u64 {
+    vardelay_obs::artifact::digest(&format!(
+        "{:016x}/{SERVE_SEED:016x}/{channels}",
+        model.quiet().fingerprint()
+    ))
+}
+
+/// Applies recovered WAL records in append order. `apply` records
+/// re-execute the solve (idempotent: the same picosecond target lands
+/// on the same tap and DAC codes), `dedup` records re-seed the
+/// idempotency window without re-executing, `health` records overwrite
+/// the health table so the last logged transition wins. Returns how
+/// many records took effect.
+fn replay_wal(
+    records: &[WalRecord],
+    registry: &BankRegistry,
+    health: &HealthTable,
+    dedup: &DedupTable,
+    channels: usize,
+) -> u64 {
+    let mut replayed = 0u64;
+    for record in records {
+        match record {
+            WalRecord::Apply {
+                tenant,
+                channel,
+                ps,
+            } => {
+                if *channel >= channels || !ps.is_finite() {
+                    continue;
+                }
+                let bank = registry.get(tenant, Runner::serial());
+                let Some(slot) = bank.channels.get(*channel) else {
+                    continue;
+                };
+                let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                if circuit.set_delay(Time::from_ps(*ps)).is_ok() {
+                    replayed += 1;
+                }
+            }
+            WalRecord::Dedup {
+                tenant,
+                req_id,
+                response,
+            } => {
+                if let Ok((_, response)) = Response::parse(response) {
+                    dedup.record(tenant, req_id, &response);
+                    replayed += 1;
+                }
+            }
+            WalRecord::Health {
+                tenant,
+                channel,
+                state,
+            } => {
+                health.restore(tenant, *channel, *state);
+                replayed += 1;
+            }
+        }
+    }
+    replayed
 }
 
 /// One admitted request waiting for a shard worker.
@@ -325,7 +564,7 @@ struct Shared {
     chaos: Option<RequestChaos>,
     /// Channel health ledger fed by the supervisors (shared across
     /// shards; each supervisor only probes the channels its shard owns).
-    health: HealthTable,
+    health: Arc<HealthTable>,
     health_period: Option<Duration>,
     io_timeout: Duration,
     recalibrate: bool,
@@ -333,6 +572,16 @@ struct Shared {
     conns: Mutex<HashMap<u64, ConnEntry>>,
     /// Server start, the epoch for `pending_since_ms`.
     started: Instant,
+    /// Snapshot store + WAL, present only with a state directory.
+    durability: Option<Durability>,
+    /// The `req_id` idempotency window (active with or without a state
+    /// dir; only its *persistence* needs the WAL).
+    dedup: DedupTable,
+    /// Monotonic restart counter stamped into every response (1 when no
+    /// state dir is configured).
+    epoch: u64,
+    /// What the warm restart restored, for `stats`.
+    recovery: Arc<RecoveryLedger>,
 }
 
 impl Shared {
@@ -347,12 +596,33 @@ impl Shared {
             self.shards.len() as u64,
             self.registry.resident() as u64,
             &self.health,
+            self.epoch,
+            &self.recovery,
+            self.dedup.hits(),
         )
     }
 
     /// Milliseconds since the server started (the reaper clock).
     fn now_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
+    }
+
+    /// Appends one record to the WAL (no-op without a state dir),
+    /// compacting once the pending count crosses the threshold. Append
+    /// failures are counted, never fatal: durability degrades, serving
+    /// does not.
+    fn wal_append(&self, record: &WalRecord) {
+        let Some(durability) = &self.durability else {
+            return;
+        };
+        let mut wal = durability.wal.lock().unwrap_or_else(|e| e.into_inner());
+        if wal.append(record).is_err() {
+            vardelay_obs::counter("wal.append_failures").add(1);
+            return;
+        }
+        if wal.pending() >= durability.compact_every {
+            compact_wal(&self.registry, &durability.store, &self.health, &mut wal);
+        }
     }
 }
 
@@ -437,15 +707,27 @@ impl ServerHandle {
         for thread in self.background.drain(..) {
             let _ = thread.join();
         }
-        DrainReport {
-            stats: self.shared.stats.snapshot(
-                0,
-                self.shared.workers.load(Ordering::Relaxed),
-                self.shared.shards.len() as u64,
-                self.shared.registry.resident() as u64,
+        // Parting persistence: a cleanly-drained durable server leaves
+        // fresh snapshots and an empty WAL, so the next boot restores
+        // without replaying anything.
+        if let Some(durability) = &self.shared.durability {
+            let mut wal = durability.wal.lock().unwrap_or_else(|e| e.into_inner());
+            compact_wal(
+                &self.shared.registry,
+                &durability.store,
                 &self.shared.health,
-            ),
+                &mut wal,
+            );
         }
+        DrainReport {
+            stats: self.shared.stats_reply(),
+        }
+    }
+
+    /// The state directory's monotonic restart counter (1 when no state
+    /// dir is configured — an in-memory server is its own first epoch).
+    pub fn server_epoch(&self) -> u64 {
+        self.shared.epoch
     }
 
     /// Fault hook for soak/e2e drivers: steps `tenant`'s `channel` to a
@@ -487,9 +769,11 @@ impl ServerHandle {
     }
 }
 
-/// Binds, eagerly calibrates the default tenant's bank (one full sweep
-/// through the solve cache; every later bank rides the fast path), and
-/// spawns the accept thread and the per-shard worker pools.
+/// Binds, recovers durable state when a state directory is configured
+/// (snapshot restore → WAL replay → compaction), eagerly calibrates the
+/// default tenant's bank (one full sweep through the solve cache; every
+/// later bank rides the fast path), and spawns the accept thread and
+/// the per-shard worker pools.
 pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -499,10 +783,56 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let channels = config.channels.max(1);
     let shard_count = config.shards.max(1);
     let registry = BankRegistry::new(model.clone(), channels, SERVE_SEED, config.max_banks.max(1));
+    let health = Arc::new(HealthTable::new(RECOVERY_ROUNDS));
+    let recovery = Arc::new(RecoveryLedger::default());
+    let dedup = DedupTable::new(DEDUP_WINDOW);
+    let mut epoch = 1u64;
+    // Warm restart happens before the listener answers anything: hooks
+    // first (so every bank build consults the store), then persisted
+    // tenants rebuild through the sentinel-verified restore path, then
+    // the WAL replays over them, then a compaction folds the replayed
+    // state into fresh snapshots and empties the log.
+    let durability = match &config.state_dir {
+        None => None,
+        Some(dir) => {
+            let fingerprint = bank_fingerprint(&model, channels);
+            let store = Arc::new(SnapshotStore::open(dir.clone(), fingerprint)?);
+            epoch = store.bump_epoch()?;
+            registry.set_hooks(Arc::new(DurabilityHooks {
+                store: Arc::clone(&store),
+                health: Arc::clone(&health),
+                recovery: Arc::clone(&recovery),
+            }));
+            let restore_started = Instant::now();
+            let (mut wal, records, _torn) = Wal::open(&store.wal_path())?;
+            // Persisted banks rebuild through the parallel runner: the
+            // per-channel restore fans out, so a warm boot's sentinel
+            // sweeps cost one channel's probes of wall clock, not
+            // eight.
+            for tenant in store.tenants() {
+                registry.get(&tenant, Runner::from_env());
+            }
+            let replayed = replay_wal(&records, &registry, &health, &dedup, channels);
+            recovery
+                .wal_records_replayed
+                .store(replayed, Ordering::Relaxed);
+            compact_wal(&registry, &store, &health, &mut wal);
+            recovery.restore_us.store(
+                restore_started.elapsed().as_micros() as u64,
+                Ordering::Relaxed,
+            );
+            Some(Durability {
+                store,
+                wal: Mutex::new(wal),
+                compact_every: config.wal_compact.max(1),
+            })
+        }
+    };
     // The default tenant is warmed eagerly with the parallel runner so
     // the very first sweep (the only one that misses the fast-solve
     // cache) uses every core; lazy tenant banks built on worker threads
-    // calibrate serially through the cache instead.
+    // calibrate serially through the cache instead. After a warm
+    // restart this is a no-op LRU refresh.
     registry.get("", Runner::from_env());
 
     let quota_rate = config.quota_rps.filter(|r| r.is_finite() && *r > 0.0);
@@ -530,12 +860,16 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         batch_window: config.batch_window,
         default_deadline: config.default_deadline,
         chaos: config.chaos,
-        health: HealthTable::new(RECOVERY_ROUNDS),
+        health,
         health_period: config.health_period,
         io_timeout: config.io_timeout.max(Duration::from_millis(1)),
         recalibrate: config.recalibrate,
         conns: Mutex::new(HashMap::new()),
         started: Instant::now(),
+        durability,
+        dedup,
+        epoch,
+        recovery,
     });
 
     // Round-robin the worker budget across shards, at least one each.
@@ -821,6 +1155,16 @@ fn handle_line(
         return true;
     }
     let tenant = envelope.tenant.clone().unwrap_or_default();
+    // Idempotent retries replay the cached response *before* quota or
+    // queue admission: work that already happened (possibly on another
+    // connection, possibly before a restart) must not be re-executed,
+    // and must not be shed by a momentarily full queue either.
+    if let Some(req_id) = &envelope.req_id {
+        if let Some(cached) = shared.dedup.lookup(&tenant, req_id) {
+            finish(shared, reply, envelope.id, cached, None);
+            return false;
+        }
+    }
     if !shared.quota.admit(&tenant) {
         shared
             .stats
@@ -924,6 +1268,28 @@ fn process_job(shared: &Arc<Shared>, job: Job) {
         }
     }
     let response = supervise(shared, &job, |job| handle_one(shared, job));
+    commit(shared, &job, response);
+}
+
+/// Commits one executed response: caches it for `req_id` retries
+/// (never `overloaded` or `deadline_exceeded` — those mean "not
+/// executed" or "gave up", and a retry *should* re-execute), logs the
+/// cache entry to the WAL before the line leaves the socket so the
+/// window survives restart, then writes the line.
+fn commit(shared: &Arc<Shared>, job: &Job, response: Response) {
+    if let Some(req_id) = &job.envelope.req_id {
+        if !matches!(
+            response.error_kind(),
+            Some(ErrorKind::Overloaded | ErrorKind::DeadlineExceeded)
+        ) {
+            shared.dedup.record(&job.tenant, req_id, &response);
+            shared.wal_append(&WalRecord::Dedup {
+                tenant: job.tenant.clone(),
+                req_id: req_id.clone(),
+                response: response.to_value(None).render(),
+            });
+        }
+    }
     finish(
         shared,
         &job.reply,
@@ -1015,6 +1381,17 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
     let outcome = supervise(shared, &batch[0], |_| {
         solve_delay(shared, &tenant, channel, target_ps)
     });
+    // WAL-before-ack: one `apply` record per successful batch solve,
+    // carrying the batch's last-write-wins target — never one per
+    // waiter, or replay would re-program intermediate targets in an
+    // order the batch itself collapsed.
+    if matches!(outcome, Response::Delay(_)) {
+        shared.wal_append(&WalRecord::Apply {
+            tenant: tenant.clone(),
+            channel,
+            ps: target_ps,
+        });
+    }
     for job in &batch {
         let response = match (&outcome, job.deadline.expired()) {
             // The solve finished but this waiter's own budget elapsed.
@@ -1041,13 +1418,7 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
             // batch's fate: every waiter learns what happened.
             (other, _) => other.clone(),
         };
-        finish(
-            shared,
-            &job.reply,
-            job.envelope.id,
-            response,
-            Some(&job.deadline),
-        );
+        commit(shared, job, response);
     }
 }
 
@@ -1254,7 +1625,15 @@ fn finish(
     if let Some(deadline) = deadline {
         vardelay_obs::histogram("serve.latency_us").record(deadline.elapsed().as_micros() as u64);
     }
-    let mut line = response.to_value(id).render();
+    // Every response carries the restart epoch so a reconnecting client
+    // can tell "same server" from "restarted server". Stats replies
+    // already render it from their own snapshot; injecting again would
+    // duplicate the key.
+    let mut value = response.to_value(id);
+    if value.get("server_epoch").is_none() {
+        value = value.with("server_epoch", shared.epoch);
+    }
+    let mut line = value.render();
     line.push('\n');
     let mut stream = reply
         .lock()
@@ -1326,7 +1705,19 @@ fn health_round(shared: &Arc<Shared>, shard: usize, round: u64) {
                 continue;
             };
             let report = sentinel.run(task_seed(SERVE_SEED, round));
+            let was = shared.health.state(&tenant, channel);
             let action = shared.health.observe(&tenant, channel, report.verdict());
+            let now_state = shared.health.state(&tenant, channel);
+            if now_state != was {
+                // State transitions are durable: a quarantine seen at
+                // round N must still reject at the next boot even if no
+                // snapshot pass ran in between.
+                shared.wal_append(&WalRecord::Health {
+                    tenant: tenant.clone(),
+                    channel,
+                    state: now_state,
+                });
+            }
             if action == HealthAction::Recalibrate && shared.recalibrate {
                 // The expensive part happens on this thread's private
                 // copy; workers never wait on it.
@@ -1336,8 +1727,23 @@ fn health_round(shared: &Arc<Shared>, shard: usize, round: u64) {
                 };
                 copy.calibrate_with(Runner::serial());
                 if let Some(table) = copy.calibration().cloned() {
-                    let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                    circuit.install_calibration(table);
+                    {
+                        let mut circuit =
+                            slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                        circuit.install_calibration(table.clone());
+                    }
+                    // The swapped-in table is the durable one now; the
+                    // stale snapshot must not outlive it.
+                    if let Some(durability) = &shared.durability {
+                        let state = shared.health.state(&tenant, channel);
+                        if durability
+                            .store
+                            .save_channel(&tenant, channel, state, &table)
+                            .is_err()
+                        {
+                            vardelay_obs::counter("persist.save_failures").add(1);
+                        }
+                    }
                 }
                 shared.health.note_recalibration();
             }

@@ -21,8 +21,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use vardelay_core::config::ModelConfig;
-use vardelay_core::CombinedDelayCircuit;
-use vardelay_runner::Runner;
+use vardelay_core::{
+    CalibrationTable, CombinedDelayCircuit, Sentinel, SentinelConfig, SentinelVerdict,
+};
+use vardelay_runner::{task_seed, Runner};
 
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -163,6 +165,33 @@ impl QuotaTable {
     }
 }
 
+/// Durability callbacks the server installs on the registry
+/// (DESIGN.md §16). The registry itself stays storage-agnostic: it asks
+/// `restore` for a trusted table before calibrating, reports every
+/// finished build through `built`, and reports evictions through
+/// `evicted` so a bank's tables *and* health state can be persisted
+/// before the registry's only reference drops. All methods default to
+/// no-ops — a server without a state dir installs nothing.
+pub trait BankHooks: Send + Sync {
+    /// A trusted persisted table for `(tenant, channel)`, or `None` to
+    /// calibrate fresh. Implementations own corruption/fingerprint
+    /// checks; a returned table still faces the sentinel verification
+    /// in [`TenantBank`]'s build before it is served.
+    fn restore(&self, _tenant: &str, _channel: usize) -> Option<CalibrationTable> {
+        None
+    }
+
+    /// Called once per completed bank build, outside the registry lock.
+    /// `restored[ch]` is `true` when channel `ch` was answered from a
+    /// snapshot rather than freshly calibrated.
+    fn built(&self, _tenant: &str, _bank: &TenantBank, _restored: &[bool]) {}
+
+    /// Called after the registry dropped its reference to an evicted
+    /// bank, outside the registry lock. In-flight requests may still be
+    /// finishing on it; per-channel locks make persisting safe.
+    fn evicted(&self, _tenant: &str, _bank: &TenantBank) {}
+}
+
 /// One tenant's calibrated channel bank.
 pub struct TenantBank {
     /// Per-channel circuits, each behind its own lock so different
@@ -171,18 +200,70 @@ pub struct TenantBank {
 }
 
 impl TenantBank {
-    fn build(model: &ModelConfig, channels: usize, seed: u64, runner: Runner) -> TenantBank {
-        let mut bank = Vec::with_capacity(channels);
-        for _ in 0..channels {
+    /// Builds the bank, answering each channel from `hooks.restore`
+    /// where possible. A restored table is trusted only after one
+    /// sentinel probe sweep against the live circuit agrees with it —
+    /// a stale or mismatched table falls back to a fresh calibration
+    /// rather than ever serving a wrong answer.
+    fn build(
+        model: &ModelConfig,
+        channels: usize,
+        seed: u64,
+        runner: Runner,
+        hooks: Option<&Arc<dyn BankHooks>>,
+        tenant: &str,
+    ) -> (TenantBank, Vec<bool>) {
+        // Phase 1, fanned out per channel through the runner: build the
+        // circuit and attempt the snapshot restore. The sentinel probes
+        // are real measurements — the expensive part of a warm boot —
+        // so the restore verification spends a single probe per
+        // channel: the snapshot digest already rules out bit-rot, the
+        // probe rules out a *stale* table (a drifted circuit moves
+        // every grid point, so one seeded point sees it), and the
+        // health supervisor re-sweeps every resident channel at full
+        // probe depth within one period of boot. Three probes here
+        // would cost more wall clock than the fresh calibration the
+        // snapshots exist to avoid (24 measurements against a
+        // 17-point sweep).
+        let boot_verify = SentinelConfig {
+            probes: 1,
+            ..SentinelConfig::default()
+        };
+        let verified: Vec<(CombinedDelayCircuit, bool)> = runner.run(channels, |ch| {
             let mut circuit = CombinedDelayCircuit::new(model, seed);
-            // Every bank shares the quiet-model fingerprint, so only the
-            // process's very first calibration pays a full sweep; every
-            // later bank (lazy tenants, LRU re-admissions) is served the
-            // byte-identical table from the fast-solve cache.
-            circuit.calibrate_with(runner);
+            let mut trusted = false;
+            if let Some(table) = hooks.and_then(|h| h.restore(tenant, ch)) {
+                circuit.install_calibration(table);
+                trusted = Sentinel::from_circuit(&circuit, boot_verify)
+                    .map(|sentinel| {
+                        sentinel.run(task_seed(seed, ch as u64)).verdict()
+                            == SentinelVerdict::Healthy
+                    })
+                    .unwrap_or(false);
+                if trusted {
+                    vardelay_obs::counter("recovery.channels_restored").add(1);
+                } else {
+                    vardelay_obs::counter("recovery.channels_rejected").add(1);
+                }
+            }
+            (circuit, trusted)
+        });
+        // Phase 2, sequential: calibrate whatever the snapshots did not
+        // cover. Every bank shares the quiet-model fingerprint, so only
+        // the process's very first calibration pays a full sweep (which
+        // itself parallelizes through the same runner); every later
+        // bank (lazy tenants, LRU re-admissions, rejected snapshots) is
+        // served the byte-identical table from the fast-solve cache.
+        let mut bank = Vec::with_capacity(channels);
+        let mut restored = vec![false; channels];
+        for (ch, (mut circuit, trusted)) in verified.into_iter().enumerate() {
+            if !trusted {
+                circuit.calibrate_with(runner);
+            }
+            restored[ch] = trusted;
             bank.push(Mutex::new(circuit));
         }
-        TenantBank { channels: bank }
+        (TenantBank { channels: bank }, restored)
     }
 }
 
@@ -205,6 +286,7 @@ pub struct BankRegistry {
     channels: usize,
     seed: u64,
     cap: usize,
+    hooks: OnceLock<Arc<dyn BankHooks>>,
     inner: Mutex<RegistryInner>,
 }
 
@@ -222,11 +304,19 @@ impl BankRegistry {
             channels,
             seed,
             cap: cap.max(1),
+            hooks: OnceLock::new(),
             inner: Mutex::new(RegistryInner {
                 slots: HashMap::new(),
                 lru: VecDeque::new(),
             }),
         }
+    }
+
+    /// Installs the durability hooks. First install wins; must happen
+    /// before any bank is built (the server wires this up before it
+    /// starts accepting).
+    pub fn set_hooks(&self, hooks: Arc<dyn BankHooks>) {
+        let _ = self.hooks.set(hooks);
     }
 
     /// Banks currently resident.
@@ -243,7 +333,7 @@ impl BankRegistry {
     /// reference — in-flight requests holding the `Arc` finish on the
     /// evicted bank safely.
     pub fn get(&self, tenant: &str, runner: Runner) -> Arc<TenantBank> {
-        let slot = {
+        let (slot, evicted) = {
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.lru.retain(|t| t != tenant);
             let slot = match inner.slots.get(tenant) {
@@ -255,22 +345,43 @@ impl BankRegistry {
                 }
             };
             inner.lru.push_back(tenant.to_owned());
+            let mut evicted = Vec::new();
             while inner.lru.len() > self.cap {
                 if let Some(cold) = inner.lru.pop_front() {
-                    inner.slots.remove(&cold);
+                    if let Some(dropped) = inner.slots.remove(&cold) {
+                        // A slot still mid-build has nothing to persist.
+                        if let Some(bank) = dropped.get() {
+                            evicted.push((cold, Arc::clone(bank)));
+                        }
+                    }
                     vardelay_obs::counter("serve.bank_evictions").add(1);
                 }
             }
-            slot
+            (slot, evicted)
         };
+        // Eviction hooks run outside the registry lock: persisting a
+        // bank takes its per-channel locks, and a request may be
+        // mid-solve on one of them.
+        if let Some(hooks) = self.hooks.get() {
+            for (cold, bank) in &evicted {
+                hooks.evicted(cold, bank);
+            }
+        }
         Arc::clone(slot.get_or_init(|| {
             vardelay_obs::counter("serve.bank_builds").add(1);
-            Arc::new(TenantBank::build(
+            let (bank, restored) = TenantBank::build(
                 &self.model,
                 self.channels,
                 self.seed,
                 runner,
-            ))
+                self.hooks.get(),
+                tenant,
+            );
+            let bank = Arc::new(bank);
+            if let Some(hooks) = self.hooks.get() {
+                hooks.built(tenant, &bank, &restored);
+            }
+            bank
         }))
     }
 
@@ -385,6 +496,79 @@ mod tests {
         // registry still holds only `cap` banks.
         let _b2 = registry.get("b", runner);
         assert_eq!(registry.resident(), 2);
+    }
+
+    #[test]
+    fn hooks_observe_restores_builds_and_evictions() {
+        #[derive(Default)]
+        struct Recorder {
+            table: Mutex<Option<CalibrationTable>>,
+            events: Mutex<Vec<String>>,
+        }
+        impl BankHooks for Recorder {
+            fn restore(&self, tenant: &str, channel: usize) -> Option<CalibrationTable> {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(format!("restore {tenant}/{channel}"));
+                if tenant == "warm" {
+                    self.table.lock().unwrap().clone()
+                } else {
+                    None
+                }
+            }
+            fn built(&self, tenant: &str, _bank: &TenantBank, restored: &[bool]) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(format!("built {tenant} restored={restored:?}"));
+            }
+            fn evicted(&self, tenant: &str, _bank: &TenantBank) {
+                self.events
+                    .lock()
+                    .unwrap()
+                    .push(format!("evicted {tenant}"));
+            }
+        }
+
+        let registry = BankRegistry::new(ModelConfig::paper_prototype(), 1, 0x5e7e, 1);
+        let hooks = Arc::new(Recorder::default());
+        registry.set_hooks(Arc::clone(&hooks) as Arc<dyn BankHooks>);
+        let runner = Runner::serial();
+        // Cold build: restore declines, the bank calibrates fresh.
+        let cold = registry.get("cold", runner);
+        let table = cold.channels[0]
+            .lock()
+            .unwrap()
+            .calibration()
+            .unwrap()
+            .clone();
+        *hooks.table.lock().unwrap() = Some(table);
+        // Admitting "warm" evicts "cold" (cap 1) and restores from the
+        // hook's table, which the sentinel verifies as healthy.
+        let warm = registry.get("warm", runner);
+        let restored_table = warm.channels[0]
+            .lock()
+            .unwrap()
+            .calibration()
+            .unwrap()
+            .clone();
+        assert_eq!(
+            restored_table.to_snapshot(),
+            hooks.table.lock().unwrap().as_ref().unwrap().to_snapshot(),
+            "restored table is the persisted one, bit-exact"
+        );
+        let events = hooks.events.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                "restore cold/0".to_owned(),
+                "built cold restored=[false]".to_owned(),
+                "evicted cold".to_owned(),
+                "restore warm/0".to_owned(),
+                "built warm restored=[true]".to_owned(),
+            ]
+        );
     }
 
     #[test]

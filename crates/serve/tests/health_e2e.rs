@@ -33,6 +33,7 @@ fn envelope(id: u64, request: Request) -> Envelope {
         id: Some(id),
         deadline_ms: None,
         tenant: None,
+        req_id: None,
         request,
     }
 }

@@ -127,6 +127,7 @@ proptest! {
             id: Some(channel as u64),
             deadline_ms: None,
             tenant: None,
+            req_id: None,
             request: Request::SetDelay { channel, ps: 10.0 },
         };
         let (id, response) = client.call(&envelope).expect("a response line");
@@ -212,6 +213,12 @@ fn every_response_type_round_trips() {
             unhealthy: 2,
             recalibrations: 3,
             quarantines: 1,
+            server_epoch: 2,
+            banks_restored: 1,
+            banks_recalibrated: 1,
+            wal_records_replayed: 12,
+            restore_us: 4_200,
+            dedup_hits: 3,
             queue_depth: 3,
             workers: 2,
             shards: 4,
@@ -256,6 +263,7 @@ fn every_request_type_round_trips() {
             id: Some(1),
             deadline_ms: Some(750),
             tenant: Some("lot-7".to_owned()),
+            req_id: None,
             request: Request::SetDelay {
                 channel: 0,
                 ps: 0.0,

@@ -13,6 +13,7 @@ fn envelope(id: u64, request: Request) -> Envelope {
         id: Some(id),
         deadline_ms: None,
         tenant: None,
+        req_id: None,
         request,
     }
 }
@@ -241,6 +242,7 @@ fn an_expired_deadline_is_a_response_not_a_dropped_connection() {
             id: Some(9),
             deadline_ms: Some(0),
             tenant: None,
+            req_id: None,
             request: Request::Stats,
         })
         .expect("a response");
