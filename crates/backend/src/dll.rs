@@ -1,0 +1,295 @@
+//! A DLL phase-interpolator delay generator as a [`DelayBackend`].
+//!
+//! A delay-locked loop spans exactly one clock period with a chain of
+//! voltage-controlled stages; a phase interpolator mixes adjacent stage
+//! outputs to place an edge anywhere in the period. Compared to the
+//! paper's circuit: the range is a full period and perfectly monotone,
+//! but the interpolator code is coarse (7 bits ≈ 2.5 ps steps at
+//! 3.125 GHz) and the loop can *lose lock* — after which every answer
+//! is grossly wrong until the loop is re-locked by a recalibration.
+//! Large retargets (more than half the period) also force a relock,
+//! charged as dead time on the setting.
+
+use vardelay_core::config::ModelConfig;
+use vardelay_core::{CalibrationTable, SetDelayError, VctrlDac};
+use vardelay_faults::{corrupt_table, FaultKind};
+use vardelay_runner::Runner;
+use vardelay_units::{Time, Voltage};
+
+use crate::{BackendCaps, BackendKind, BackendSetting, DelayBackend};
+
+/// Reference clock period (3.125 GHz), the interpolator's full span.
+const PERIOD_PS: f64 = 320.0;
+/// Fixed insertion delay through the DLL input buffer chain.
+const BASE_DELAY_PS: f64 = 900.0;
+/// Interpolator INL amplitude as a fraction of the ideal slope
+/// (derivative stays ≥ 1 − `INL`, so the curve is monotone).
+const INL: f64 = 0.05;
+/// Fractional phase shift per kelvin away from the calibration point.
+const PHASE_TEMPCO_PER_K: f64 = 1.2e-4;
+/// Gross phase error while unlocked, as a fraction of the period.
+const UNLOCKED_PHASE_ERROR: f64 = 0.12;
+/// Relock time after a lock loss or a >half-period retarget.
+const RELOCK_DEAD_TIME: Time = Time::from_ns(50.0);
+/// Retarget size (fraction of the span) that forces a relock.
+const RETARGET_RELOCK_FRACTION: f64 = 0.5;
+/// Control span: 0..1 V interpolator steering.
+const SPAN_V: f64 = 1.0;
+/// Calibration sweep points (the curve is smooth; the circuit's grid
+/// density suffices).
+const CAL_POINTS: usize = 17;
+
+/// Behavioral DLL + phase interpolator (see module docs).
+#[derive(Debug, Clone)]
+pub struct DllBackend {
+    dac: VctrlDac,
+    calibration: Option<CalibrationTable>,
+    /// Fractional phase drift vs the calibration point.
+    phase_drift: f64,
+    /// Whether the loop is locked. Unlocked answers are grossly wrong;
+    /// only a recalibration relocks.
+    locked: bool,
+    /// Last programmed interpolator position (for retarget-size dead
+    /// time); `NaN` before the first setting.
+    last_x: f64,
+}
+
+impl DllBackend {
+    /// Builds a locked, uncalibrated loop. The instance seed is unused
+    /// — a DLL's transfer curve is set by its stage count, not by
+    /// per-device mismatch — but kept for factory uniformity.
+    pub fn new(config: &ModelConfig, _seed: u64) -> DllBackend {
+        config.validate();
+        DllBackend {
+            dac: VctrlDac::new(7, Voltage::from_v(0.0), Voltage::from_v(SPAN_V)),
+            calibration: None,
+            phase_drift: 0.0,
+            locked: true,
+            last_x: f64::NAN,
+        }
+    }
+
+    /// Interpolator transfer curve at fractional position `x`.
+    fn delay_at_position(&self, x: f64) -> Time {
+        let x = x.clamp(0.0, 1.0);
+        let ideal = x + (INL / core::f64::consts::TAU) * (core::f64::consts::TAU * x).sin();
+        let mut phase = ideal + self.phase_drift;
+        if !self.locked {
+            phase += UNLOCKED_PHASE_ERROR;
+        }
+        Time::from_ps(BASE_DELAY_PS + PERIOD_PS * phase)
+    }
+}
+
+impl DelayBackend for DllBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Dll
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            kind: BackendKind::Dll,
+            // 7-bit code over a 320 ps period ≈ 2.5 ps steps.
+            resolution: Time::from_ps(3.0),
+            // One full period, monotone end to end.
+            min_range: Time::from_ps(300.0),
+            monotone: true,
+            dead_time: RELOCK_DEAD_TIME,
+        }
+    }
+
+    fn control_dac(&self) -> VctrlDac {
+        self.dac
+    }
+
+    fn calibration(&self) -> Option<&CalibrationTable> {
+        self.calibration.as_ref()
+    }
+
+    fn install_calibration(&mut self, table: CalibrationTable) {
+        self.calibration = Some(table);
+    }
+
+    fn calibrate_with(&mut self, _runner: Runner) -> &CalibrationTable {
+        // Recalibration re-locks the loop first — the sweep below then
+        // measures the locked transfer curve (the healing path the
+        // serve layer's quarantine flow depends on). The probe is a
+        // closed-form pure function, so the runner is unused.
+        self.locked = true;
+        let grid: Vec<Voltage> = (0..CAL_POINTS)
+            .map(|i| {
+                Voltage::from_v(0.0)
+                    .lerp(Voltage::from_v(SPAN_V), i as f64 / (CAL_POINTS - 1) as f64)
+            })
+            .collect();
+        let table = CalibrationTable::from_measurement(&grid, |v| self.measure_at(v, Time::ZERO));
+        self.calibration = Some(table);
+        self.calibration.as_ref().expect("just installed")
+    }
+
+    fn set_delay(&mut self, target: Time) -> Result<BackendSetting, SetDelayError> {
+        let cal = self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?;
+        let max = cal.range();
+        if target < Time::ZERO || target > max {
+            return Err(SetDelayError::OutOfRange {
+                requested: target,
+                min: Time::ZERO,
+                max,
+            });
+        }
+        let fine_target = cal.min_delay() + target;
+        let vctrl_exact =
+            cal.vctrl_for_delay(fine_target)
+                .map_err(|_| SetDelayError::OutOfRange {
+                    requested: target,
+                    min: Time::ZERO,
+                    max,
+                })?;
+        let dac_code = self.dac.code_for(vctrl_exact);
+        let vctrl = self.dac.voltage(dac_code);
+        let predicted_delay = cal.delay_at(vctrl) - cal.min_delay();
+        let x = vctrl.as_v() / SPAN_V;
+        let big_retarget = (x - self.last_x).abs() > RETARGET_RELOCK_FRACTION;
+        let dead_time = if !self.locked || big_retarget {
+            RELOCK_DEAD_TIME
+        } else {
+            Time::ZERO
+        };
+        self.last_x = x;
+        Ok(BackendSetting {
+            tap: 0,
+            dac_code,
+            vctrl,
+            predicted_delay,
+            predicted_error: predicted_delay - target,
+            dead_time,
+        })
+    }
+
+    fn total_range(&self) -> Result<Time, SetDelayError> {
+        Ok(self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?
+            .range())
+    }
+
+    fn setting_resolution(&self) -> Result<Time, SetDelayError> {
+        let cal = self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?;
+        Ok(self.dac.delay_resolution(cal.mean_slope_s_per_v()))
+    }
+
+    fn measure_at(&self, vctrl: Voltage, _interval: Time) -> Time {
+        self.delay_at_position(vctrl.as_v() / SPAN_V)
+    }
+
+    fn inject_drift(&mut self, delta_k: f64) {
+        // Absolute, from the calibration point — repeated injections do
+        // not compound (matches the circuit backend's semantics).
+        self.phase_drift = PHASE_TEMPCO_PER_K * delta_k;
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind) -> bool {
+        match *fault {
+            FaultKind::DllLockLoss => {
+                self.locked = false;
+                true
+            }
+            FaultKind::TempStep { delta_k } => {
+                self.inject_drift(delta_k);
+                true
+            }
+            FaultKind::CalibrationSpike { point, spike } => match &self.calibration {
+                Some(table) => {
+                    self.calibration = Some(corrupt_table(table, point, spike));
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn clone_backend(&self) -> Box<dyn DelayBackend> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibrated() -> DllBackend {
+        let mut b = DllBackend::new(&ModelConfig::paper_prototype(), 0);
+        b.calibrate_with(Runner::serial());
+        b
+    }
+
+    #[test]
+    fn full_range_is_monotone_and_spans_a_period() {
+        let b = calibrated();
+        let mut last = Time::from_ps(-1.0);
+        for i in 0..=4096 {
+            let v = Voltage::from_v(SPAN_V * i as f64 / 4096.0);
+            let d = b.measure_at(v, Time::ZERO);
+            assert!(d > last, "inversion at {v}");
+            last = d;
+        }
+        let range = b.total_range().unwrap();
+        assert!((range.as_ps() - PERIOD_PS).abs() < 1.0, "range {range}");
+    }
+
+    #[test]
+    fn lock_loss_breaks_answers_until_recalibration() {
+        let mut b = calibrated();
+        let table = b.calibration().unwrap().clone();
+        let vctrl = table.vctrls()[4];
+        assert_eq!(b.measure_at(vctrl, Time::ZERO), table.delays()[4]);
+        assert!(b.inject_fault(&FaultKind::DllLockLoss));
+        let broken = b.measure_at(vctrl, Time::ZERO) - table.delays()[4];
+        assert!(
+            broken.abs() > Time::from_ps(4.0),
+            "unlocked error {broken} should be grossly wrong"
+        );
+        // The next setting pays the relock transient.
+        assert_eq!(
+            b.set_delay(Time::from_ps(50.0)).unwrap().dead_time,
+            RELOCK_DEAD_TIME
+        );
+        // Recalibration relocks and heals.
+        b.calibrate_with(Runner::serial());
+        let healed = b.calibration().unwrap();
+        assert_eq!(
+            b.measure_at(healed.vctrls()[4], Time::ZERO),
+            healed.delays()[4]
+        );
+    }
+
+    #[test]
+    fn large_retargets_pay_a_relock_and_small_ones_do_not() {
+        let mut b = calibrated();
+        let range = b.total_range().unwrap();
+        let first = b.set_delay(Time::from_ps(10.0)).unwrap();
+        assert_eq!(first.dead_time, Time::ZERO, "first setting is free");
+        let near = b.set_delay(Time::from_ps(20.0)).unwrap();
+        assert_eq!(near.dead_time, Time::ZERO);
+        let far = b.set_delay(Time::from_ps(range.as_ps() - 10.0)).unwrap();
+        assert_eq!(far.dead_time, RELOCK_DEAD_TIME);
+    }
+
+    #[test]
+    fn drift_is_sentinel_visible_but_not_gross() {
+        let mut b = calibrated();
+        let table = b.calibration().unwrap().clone();
+        b.inject_drift(15.0);
+        let residual = (b.measure_at(table.vctrls()[8], Time::ZERO) - table.delays()[8]).abs();
+        assert!(residual > Time::from_ps(0.2), "residual {residual}");
+        assert!(residual < Time::from_ps(4.0), "residual {residual}");
+    }
+}

@@ -1,0 +1,319 @@
+//! A carry-chain Vernier delay generator as a [`DelayBackend`].
+//!
+//! Two slightly mismatched FPGA carry chains race; the delay between
+//! the launch and capture edges advances by one *bin* per tap, so the
+//! programmable step is the bin width — ~0.67 ps for a modern chain —
+//! over a long (hundreds of ps) range. The catch, relative to the
+//! paper's circuit: bin widths are nonuniform (per-device DNL frozen at
+//! placement), and the chain must be drained and re-armed between
+//! settings, a dead time of tens of nanoseconds during which the
+//! channel produces nothing useful.
+//!
+//! The behavioral model here is a pure function of the instance seed
+//! (bin widths), the drift state, and the control voltage — so an
+//! undrifted Vernier reproduces its own calibration table bit for bit,
+//! exactly the property the sentinel machinery leans on.
+
+use vardelay_core::config::ModelConfig;
+use vardelay_core::{CalibrationTable, SetDelayError, VctrlDac};
+use vardelay_faults::{corrupt_table, FaultKind};
+use vardelay_runner::{task_seed, Runner};
+use vardelay_siggen::SplitMix64;
+use vardelay_units::{Time, Voltage};
+
+use crate::{BackendCaps, BackendKind, BackendSetting, DelayBackend};
+
+/// Carry-chain taps in each chain.
+const BINS: usize = 512;
+/// Nominal per-bin step, from the refined carry-chain literature.
+const NOMINAL_STEP_PS: f64 = 0.67;
+/// Per-bin DNL spread as a fraction of the nominal step.
+const DNL_FRACTION: f64 = 0.05;
+/// Fixed insertion delay of the chain front-end.
+const BASE_DELAY_PS: f64 = 1250.0;
+/// Drain + re-arm dead time between consecutive settings.
+const REARM_DEAD_TIME: Time = Time::from_ns(25.0);
+/// Chain-propagation tempco per kelvin (fractional).
+const CHAIN_TEMPCO_PER_K: f64 = 1.0e-4;
+/// Control span: 0..1 V steering DAC.
+const SPAN_V: f64 = 1.0;
+/// Calibration sweep points (denser than the circuit's 17: the DNL
+/// structure is finer than the VGA's smooth curve).
+const CAL_POINTS: usize = 33;
+/// How far a chain bubble collapses its bin.
+const BUBBLE_SHRINK: f64 = 0.02;
+
+/// Behavioral FPGA carry-chain Vernier pair (see module docs).
+#[derive(Debug, Clone)]
+pub struct VernierBackend {
+    /// Per-bin widths: the nominal step plus this instance's frozen DNL,
+    /// with any injected chain bubbles applied.
+    widths: Vec<Time>,
+    dac: VctrlDac,
+    calibration: Option<CalibrationTable>,
+    /// Whether the chain currently holds a setting — the next
+    /// [`set_delay`](DelayBackend::set_delay) must drain and re-arm it.
+    armed: bool,
+    /// Multiplicative propagation-delay scale vs the calibration point.
+    drift_scale: f64,
+}
+
+impl VernierBackend {
+    /// Builds an instance whose DNL pattern derives from `seed` (the
+    /// shared model config is validated but carries no Vernier
+    /// parameters — the chain physics is the FPGA's, not the paper's).
+    pub fn new(config: &ModelConfig, seed: u64) -> VernierBackend {
+        config.validate();
+        let mut rng = SplitMix64::new(task_seed(seed, 0xbe11));
+        let widths = (0..BINS)
+            .map(|_| {
+                let dnl = DNL_FRACTION * (2.0 * rng.next_f64() - 1.0);
+                Time::from_ps(NOMINAL_STEP_PS * (1.0 + dnl))
+            })
+            .collect();
+        VernierBackend {
+            widths,
+            dac: VctrlDac::new(9, Voltage::from_v(0.0), Voltage::from_v(SPAN_V)),
+            calibration: None,
+            armed: false,
+            drift_scale: 1.0,
+        }
+    }
+
+    /// Delay at a fractional chain position, summing real bin widths.
+    fn delay_at_position(&self, x: f64) -> Time {
+        let pos = x.clamp(0.0, 1.0) * BINS as f64;
+        let bin = (pos.floor() as usize).min(BINS - 1);
+        let frac = pos - bin as f64;
+        let mut acc = 0.0;
+        for w in &self.widths[..bin] {
+            acc += w.as_ps();
+        }
+        acc += frac * self.widths[bin].as_ps();
+        Time::from_ps((BASE_DELAY_PS + acc) * self.drift_scale)
+    }
+}
+
+impl DelayBackend for VernierBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Vernier
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            kind: BackendKind::Vernier,
+            // Sub-picosecond steps, with DNL headroom under the bound.
+            resolution: Time::from_ps(1.0),
+            // 512 bins × ~0.67 ps ≈ 343 ps.
+            min_range: Time::from_ps(300.0),
+            monotone: true,
+            dead_time: REARM_DEAD_TIME,
+        }
+    }
+
+    fn control_dac(&self) -> VctrlDac {
+        self.dac
+    }
+
+    fn calibration(&self) -> Option<&CalibrationTable> {
+        self.calibration.as_ref()
+    }
+
+    fn install_calibration(&mut self, table: CalibrationTable) {
+        self.calibration = Some(table);
+        // A restore lands on a drained chain: the first setting is free.
+        self.armed = false;
+    }
+
+    fn calibrate_with(&mut self, _runner: Runner) -> &CalibrationTable {
+        // The probe is a closed-form pure function — no waveform
+        // simulation to parallelize, so the runner is unused.
+        let grid: Vec<Voltage> = (0..CAL_POINTS)
+            .map(|i| {
+                Voltage::from_v(0.0)
+                    .lerp(Voltage::from_v(SPAN_V), i as f64 / (CAL_POINTS - 1) as f64)
+            })
+            .collect();
+        let table = CalibrationTable::from_measurement(&grid, |v| self.measure_at(v, Time::ZERO));
+        self.calibration = Some(table);
+        self.armed = false;
+        self.calibration.as_ref().expect("just installed")
+    }
+
+    fn set_delay(&mut self, target: Time) -> Result<BackendSetting, SetDelayError> {
+        let cal = self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?;
+        let max = cal.range();
+        if target < Time::ZERO || target > max {
+            return Err(SetDelayError::OutOfRange {
+                requested: target,
+                min: Time::ZERO,
+                max,
+            });
+        }
+        let fine_target = cal.min_delay() + target;
+        let vctrl_exact =
+            cal.vctrl_for_delay(fine_target)
+                .map_err(|_| SetDelayError::OutOfRange {
+                    requested: target,
+                    min: Time::ZERO,
+                    max,
+                })?;
+        let dac_code = self.dac.code_for(vctrl_exact);
+        let vctrl = self.dac.voltage(dac_code);
+        let predicted_delay = cal.delay_at(vctrl) - cal.min_delay();
+        let dead_time = if self.armed {
+            REARM_DEAD_TIME
+        } else {
+            Time::ZERO
+        };
+        self.armed = true;
+        Ok(BackendSetting {
+            tap: 0,
+            dac_code,
+            vctrl,
+            predicted_delay,
+            predicted_error: predicted_delay - target,
+            dead_time,
+        })
+    }
+
+    fn total_range(&self) -> Result<Time, SetDelayError> {
+        Ok(self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?
+            .range())
+    }
+
+    fn setting_resolution(&self) -> Result<Time, SetDelayError> {
+        let cal = self
+            .calibration
+            .as_ref()
+            .ok_or(SetDelayError::NotCalibrated)?;
+        Ok(self.dac.delay_resolution(cal.mean_slope_s_per_v()))
+    }
+
+    fn measure_at(&self, vctrl: Voltage, _interval: Time) -> Time {
+        self.delay_at_position(vctrl.as_v() / SPAN_V)
+    }
+
+    fn inject_drift(&mut self, delta_k: f64) {
+        // Absolute, from the calibration point — mirroring the circuit
+        // backend, repeated injections do not compound.
+        self.drift_scale = 1.0 + CHAIN_TEMPCO_PER_K * delta_k;
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind) -> bool {
+        match *fault {
+            FaultKind::VernierChainBubble { bin } => {
+                let bin = bin % BINS;
+                self.widths[bin] = Time::from_ps(self.widths[bin].as_ps() * BUBBLE_SHRINK);
+                true
+            }
+            FaultKind::TempStep { delta_k } => {
+                self.inject_drift(delta_k);
+                true
+            }
+            FaultKind::CalibrationSpike { point, spike } => match &self.calibration {
+                Some(table) => {
+                    self.calibration = Some(corrupt_table(table, point, spike));
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn clone_backend(&self) -> Box<dyn DelayBackend> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibrated(seed: u64) -> VernierBackend {
+        let mut b = VernierBackend::new(&ModelConfig::paper_prototype(), seed);
+        b.calibrate_with(Runner::serial());
+        b
+    }
+
+    #[test]
+    fn physics_is_strictly_monotone_with_dnl() {
+        let b = calibrated(3);
+        let mut last = Time::from_ps(-1.0);
+        let mut step_spread = (f64::INFINITY, 0.0f64);
+        for i in 0..=4096 {
+            let v = Voltage::from_v(SPAN_V * i as f64 / 4096.0);
+            let d = b.measure_at(v, Time::ZERO);
+            assert!(d > last, "inversion at {v}");
+            if i > 0 {
+                let step = (d - last).as_ps();
+                step_spread = (step_spread.0.min(step), step_spread.1.max(step));
+            }
+            last = d;
+        }
+        assert!(
+            step_spread.0 < step_spread.1,
+            "DNL must make bins unequal: {step_spread:?}"
+        );
+    }
+
+    #[test]
+    fn dead_time_is_charged_from_the_second_arm_onward() {
+        let mut b = calibrated(1);
+        let first = b.set_delay(Time::from_ps(10.0)).unwrap();
+        assert_eq!(first.dead_time, Time::ZERO);
+        let second = b.set_delay(Time::from_ps(11.0)).unwrap();
+        assert_eq!(second.dead_time, REARM_DEAD_TIME);
+        // Recalibration drains the chain.
+        b.calibrate_with(Runner::serial());
+        assert_eq!(
+            b.set_delay(Time::from_ps(5.0)).unwrap().dead_time,
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn chain_bubble_moves_downstream_delays_only() {
+        let mut b = calibrated(7);
+        let table = b.calibration().unwrap().clone();
+        let probe =
+            |b: &VernierBackend, x: f64| b.measure_at(Voltage::from_v(SPAN_V * x), Time::ZERO);
+        let before_low = probe(&b, 0.1);
+        let before_high = probe(&b, 0.9);
+        assert!(b.inject_fault(&FaultKind::VernierChainBubble { bin: BINS / 2 }));
+        assert_eq!(probe(&b, 0.1), before_low, "upstream of the bubble");
+        assert!(probe(&b, 0.9) < before_high, "downstream loses a bin");
+        // The stale table now disagrees with the physics at the top of
+        // the range — sentinel-detectable.
+        let top = table.vctrls().len() - 1;
+        assert_ne!(
+            b.measure_at(table.vctrls()[top], Time::ZERO),
+            table.delays()[top]
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_typed() {
+        let mut b = calibrated(1);
+        let max = b.total_range().unwrap();
+        match b.set_delay(max + Time::from_ps(1.0)) {
+            Err(SetDelayError::OutOfRange {
+                requested,
+                min,
+                max: got,
+            }) => {
+                assert_eq!(requested, max + Time::from_ps(1.0));
+                assert_eq!(min, Time::ZERO);
+                assert_eq!(got, max);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+    }
+}

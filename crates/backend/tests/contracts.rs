@@ -1,0 +1,184 @@
+//! Per-backend property tests — the behavioral contracts the
+//! cross-backend campaign gates on, driven over randomized inputs:
+//!
+//! * the Vernier's programmable step never exceeds 1 ps and its
+//!   re-arm dead time is charged on every setting after the first;
+//! * the DLL transfer curve is monotone over the full control range;
+//! * every backend solves any in-range target within one advertised
+//!   LSB, and answers any out-of-range target with a *typed*
+//!   [`SetDelayError::OutOfRange`] — never a panic, never a clamp.
+
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+use vardelay_backend::{make_backend, BackendKind, DelayBackend, VernierBackend};
+use vardelay_core::{ModelConfig, SetDelayError};
+use vardelay_runner::Runner;
+use vardelay_units::{Time, Voltage};
+
+const SEED: u64 = 0xc0117ac7;
+
+/// One calibrated backend per kind, shared across proptest cases — the
+/// circuit's calibration sweep is the expensive part, and the contract
+/// properties only mutate solve state.
+fn bank() -> &'static Mutex<Vec<Box<dyn DelayBackend>>> {
+    static BANK: OnceLock<Mutex<Vec<Box<dyn DelayBackend>>>> = OnceLock::new();
+    BANK.get_or_init(|| {
+        let config = ModelConfig::paper_prototype();
+        let channels = BackendKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut backend = make_backend(kind, &config, SEED);
+                backend.calibrate_with(Runner::serial());
+                backend
+            })
+            .collect();
+        Mutex::new(channels)
+    })
+}
+
+fn calibrated_vernier(seed: u64) -> VernierBackend {
+    let mut b = VernierBackend::new(&ModelConfig::paper_prototype(), seed);
+    b.calibrate_with(Runner::serial());
+    b
+}
+
+proptest! {
+    /// Any adjacent pair of Vernier DAC codes advances the measured
+    /// delay by a positive step no larger than the 1 ps contract bound
+    /// — the DNL spread stays inside the advertised resolution.
+    #[test]
+    fn vernier_step_is_positive_and_at_most_one_ps(
+        seed in 1u64..64,
+        code in 0u32..510,
+    ) {
+        let b = calibrated_vernier(seed);
+        let dac = b.control_dac();
+        let lo = b.measure_at(dac.voltage(code), Time::ZERO);
+        let hi = b.measure_at(dac.voltage(code + 1), Time::ZERO);
+        let step = hi - lo;
+        prop_assert!(step > Time::ZERO, "inversion at code {code}: {step}");
+        prop_assert!(
+            step <= b.caps().resolution,
+            "code {code}: step {step} above the {} bound",
+            b.caps().resolution
+        );
+    }
+
+    /// The chain must drain and re-arm between consecutive settings:
+    /// the first solve after a calibration is free, every later one is
+    /// charged the full advertised dead time — regardless of target
+    /// order or spacing.
+    #[test]
+    fn vernier_dead_time_is_enforced_between_rearms(
+        seed in 1u64..64,
+        first_ps in 0.0f64..300.0,
+        second_ps in 0.0f64..300.0,
+        third_ps in 0.0f64..300.0,
+    ) {
+        let mut b = calibrated_vernier(seed);
+        let caps = b.caps();
+        prop_assert!(caps.dead_time > Time::ZERO);
+        let first = b.set_delay(Time::from_ps(first_ps)).unwrap();
+        prop_assert_eq!(first.dead_time, Time::ZERO, "first arm is free");
+        for ps in [second_ps, third_ps] {
+            let later = b.set_delay(Time::from_ps(ps)).unwrap();
+            prop_assert_eq!(later.dead_time, caps.dead_time, "re-arm at {} ps", ps);
+        }
+    }
+
+    /// The DLL transfer curve is strictly monotone over the whole
+    /// control span — any two ordered control values measure ordered
+    /// delays.
+    #[test]
+    fn dll_is_monotone_over_the_full_range(
+        lo in 0.0f64..0.9,
+        delta in 0.0001f64..0.1,
+    ) {
+        let backend = make_backend(BackendKind::Dll, &ModelConfig::paper_prototype(), SEED);
+        let hi = (lo + delta).min(1.0);
+        let d_lo = backend.measure_at(Voltage::from_v(lo), Time::ZERO);
+        let d_hi = backend.measure_at(Voltage::from_v(hi), Time::ZERO);
+        prop_assert!(
+            d_lo < d_hi,
+            "inversion: {} v -> {}, {} v -> {}",
+            lo, d_lo, hi, d_hi
+        );
+    }
+
+    /// Every backend solves any in-range target within one advertised
+    /// LSB of programmable delay.
+    #[test]
+    fn every_backend_solves_within_one_lsb(frac in 0.0f64..1.0) {
+        let mut bank = bank().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for backend in bank.iter_mut() {
+            let caps = backend.caps();
+            // Stay strictly inside the range: the top edge is the
+            // out-of-range property's job.
+            let target = Time::from_ps(backend.total_range().unwrap().as_ps() * frac * 0.999);
+            let setting = backend.set_delay(target).unwrap_or_else(|e| {
+                panic!("{}: in-range {target} drew {e:?}", caps.kind)
+            });
+            prop_assert!(
+                setting.predicted_error.abs() <= caps.resolution,
+                "{}: {} missed by {} (bound {})",
+                caps.kind, target, setting.predicted_error, caps.resolution
+            );
+            prop_assert!(
+                setting.dead_time <= caps.dead_time,
+                "{}: dead time {} above advertised {}",
+                caps.kind, setting.dead_time, caps.dead_time
+            );
+        }
+    }
+
+    /// Every backend answers an out-of-range target — above the range
+    /// or negative — with the typed error carrying the true bounds.
+    #[test]
+    fn every_backend_types_out_of_range(excess_ps in 0.001f64..1000.0) {
+        let mut bank = bank().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for backend in bank.iter_mut() {
+            let kind = backend.kind();
+            let max = backend.total_range().unwrap();
+            for target in [max + Time::from_ps(excess_ps), Time::from_ps(-excess_ps)] {
+                match backend.set_delay(target) {
+                    Err(SetDelayError::OutOfRange { requested, min, max: got }) => {
+                        prop_assert_eq!(requested, target, "{}", kind);
+                        prop_assert!(min <= got, "{}: empty range {min}..{got}", kind);
+                    }
+                    other => prop_assert!(
+                        false,
+                        "{}: {} drew {:?}, not the typed OutOfRange",
+                        kind, target, other
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// An uncalibrated backend of every kind answers with the typed
+/// `NotCalibrated`, never a panic.
+#[test]
+fn every_backend_types_not_calibrated_before_first_calibration() {
+    let config = ModelConfig::paper_prototype();
+    for kind in BackendKind::ALL {
+        let mut backend = make_backend(kind, &config, SEED);
+        assert!(matches!(
+            backend.set_delay(Time::from_ps(10.0)),
+            Err(SetDelayError::NotCalibrated)
+        ));
+        assert!(matches!(
+            backend.total_range(),
+            Err(SetDelayError::NotCalibrated)
+        ));
+        assert!(matches!(
+            backend.setting_resolution(),
+            Err(SetDelayError::NotCalibrated)
+        ));
+        assert!(matches!(
+            backend.self_test(),
+            Err(SetDelayError::NotCalibrated)
+        ));
+    }
+}

@@ -13,7 +13,7 @@
 //! repro [all|<name>[,<name>...]] [--resume]
 //!   names: fig1 fig2 fig7 fig9 fig12 fig13 fig14 fig15 fig16 fig17
 //!          table1 ablation extensions faults
-//! repro compare [all|serve-bench|fairness|hotpath|soak|restart]
+//! repro compare [all|serve-bench|fairness|hotpath|soak|restart|backends]
 //!                 # regression gate: diff the latest two valid `all`
 //!                 # journal records, exit non-zero on >10 % wall-clock
 //!                 # regression (exit 2 when <2 valid records remain);
@@ -53,6 +53,13 @@
 //!                 # for `repro compare restart`. With faults armed it
 //!                 # also corrupts a snapshot and requires the refused
 //!                 # bank to recalibrate
+//! repro backends  # the cross-backend campaign (DESIGN.md §17): every
+//!                 # DelayBackend kind (circuit, vernier, dll) measured
+//!                 # against its advertised contract — resolution,
+//!                 # range, monotonicity, dead time, one-LSB solves —
+//!                 # plus a deskew-under-faults leg per backend; writes
+//!                 # backends_compare.csv and appends a `backends`
+//!                 # record for `repro compare backends`
 //! ```
 //!
 //! After each experiment a checkpoint (input fingerprint + CSV digests)
@@ -74,8 +81,8 @@ use vardelay_analog::{characterization_cache_stats, characterization_single_flig
 use vardelay_ate::report::{deskew_summary, deskew_table};
 use vardelay_bench::checkpoint::{checkpoint_dir, Checkpoint, CsvRecord};
 use vardelay_bench::{
-    ablation, artifact, checkpoint, eyes, faults_campaign, fine_delay, injection, serve_bench,
-    skew, try_output_dir,
+    ablation, artifact, backends_campaign, checkpoint, eyes, faults_campaign, fine_delay,
+    injection, serve_bench, skew, try_output_dir,
 };
 use vardelay_measure::report::fmt_ps;
 use vardelay_measure::{Series, Table};
@@ -702,6 +709,19 @@ fn run_compare(target: Option<&str>) -> ! {
                     std::process::exit(2);
                 }
             }
+            // The cross-backend contract gate is absolute and arms
+            // itself on the first backends record.
+            match journal::compare_latest_backends(&records) {
+                Ok(cmp) => {
+                    println!("repro compare: {cmp}");
+                    regressed |= cmp.regressed;
+                }
+                Err(journal::CompareError::TooFewRecords { .. }) => {}
+                Err(e) => {
+                    eprintln!("repro compare: {e}");
+                    std::process::exit(2);
+                }
+            }
             std::process::exit(i32::from(regressed));
         }
         Some("all") => match journal::compare_latest(&records, "all", journal::DEFAULT_THRESHOLD) {
@@ -786,10 +806,20 @@ fn run_compare(target: Option<&str>) -> ! {
                 }
             }
         }
+        Some("backends") => match journal::compare_latest_backends(&records) {
+            Ok(cmp) => {
+                println!("repro compare: {cmp}");
+                std::process::exit(i32::from(cmp.regressed));
+            }
+            Err(e) => {
+                eprintln!("repro compare: {e}");
+                std::process::exit(2);
+            }
+        },
         Some(other) => {
             eprintln!(
                 "repro compare: unknown target {other:?} (expected \"all\", \"serve-bench\", \
-                 \"fairness\", \"hotpath\", \"soak\" or \"restart\")"
+                 \"fairness\", \"hotpath\", \"soak\", \"restart\" or \"backends\")"
             );
             std::process::exit(2);
         }
@@ -986,6 +1016,44 @@ fn run_restart() -> ! {
     std::process::exit(0);
 }
 
+/// `repro backends` — the cross-backend comparison campaign
+/// (DESIGN.md §17). Measures every [`vardelay_backend::DelayBackend`]
+/// kind against its advertised contract, runs the per-backend
+/// deskew-under-faults leg, writes `backends_compare.csv`, and appends
+/// a `backends` journal record for `repro compare backends`. A
+/// contract violation, a reference drift from the directly-driven
+/// circuit, or an undetected fault exits 2 — the gate's evidence must
+/// never be silently green.
+fn run_backends() -> ! {
+    let config = backends_campaign::BackendsConfig::from_env();
+    let report = backends_campaign::backends_campaign(&config);
+    let table = report.table();
+    println!("{table}");
+    println!("{}", report.summary());
+    set_current_experiment("backends");
+    save_csv("backends_compare", &table.to_csv());
+    let record = report.record(&git_describe(), unix_ms());
+    if let Err(e) = journal::append(Path::new(JOURNAL_PATH), &record) {
+        eprintln!("repro backends: could not append to {JOURNAL_PATH}: {e}");
+        std::process::exit(1);
+    }
+    println!("repro backends: record appended [journal: {JOURNAL_PATH}]");
+    if save_failure_count() > 0 {
+        std::process::exit(1);
+    }
+    let failed = report.contract_violations() > 0
+        || report.reference_drift
+        || report.faults_detected() < report.faults_expected();
+    if failed {
+        eprintln!(
+            "repro backends: campaign below expectations — {}",
+            report.summary()
+        );
+        std::process::exit(2);
+    }
+    std::process::exit(0);
+}
+
 /// Every experiment, in the paper's presentation order — the order
 /// `repro all` runs them and the order checkpoints are laid down in.
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -1038,8 +1106,8 @@ fn usage_exit(unknown: &str) -> ! {
         .join(" ");
     eprintln!(
         "unknown experiment {unknown:?}; usage: repro [all|<name>[,<name>...]] [--resume] | \
-         compare [all|serve-bench|fairness|hotpath|soak|restart] | serve | serve-bench [mt] | \
-         soak | restart\n  names: {names}"
+         compare [all|serve-bench|fairness|hotpath|soak|restart|backends] | serve | \
+         serve-bench [mt] | soak | restart | backends\n  names: {names}"
     );
     std::process::exit(2);
 }
@@ -1083,6 +1151,7 @@ fn main() {
         Some("serve-bench") => run_serve_bench(args.get(1).map(String::as_str)),
         Some("soak") => run_soak(),
         Some("restart") => run_restart(),
+        Some("backends") => run_backends(),
         _ => {}
     }
     let mut resume = false;

@@ -229,6 +229,13 @@ fn run_scenario(scenario: &FaultScenario, seed: u64) -> FaultOutcome {
             detect_driver_faults(&scenario.faults)
         }
         FaultKind::TempStep { delta_k } => detect_temp_step(delta_k),
+        // Backend-specific faults are scored by the cross-backend
+        // campaign (`repro backends`), never by this scenario list.
+        FaultKind::VernierChainBubble { .. } | FaultKind::DllLockLoss => (
+            false,
+            None,
+            "backend-specific fault; scored by the backends campaign".to_owned(),
+        ),
     };
     FaultOutcome {
         scenario: scenario.name.to_owned(),

@@ -16,6 +16,7 @@
 
 pub mod ablation;
 pub mod artifact;
+pub mod backends_campaign;
 pub mod checkpoint;
 pub mod extensions;
 pub mod eyes;

@@ -215,6 +215,7 @@ fn stats(client: &mut Client, id: u64) -> std::io::Result<vardelay_serve::StatsR
         deadline_ms: None,
         tenant: None,
         req_id: None,
+        backend: None,
         request: Request::Stats,
     })?;
     match response {
@@ -319,6 +320,7 @@ pub fn run_restart(config: &RestartConfig) -> std::io::Result<RestartReport> {
                     deadline_ms: None,
                     tenant: None,
                     req_id: with_req_id.then(|| format!("r-{i}")),
+                    backend: None,
                     request: Request::SetDelay { channel, ps },
                 };
                 envelope.to_value().render()

@@ -220,6 +220,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> std::io::Result<LoadRe
                         deadline_ms: None,
                         tenant: None,
                         req_id: None,
+                        backend: None,
                         request: request_for(&mut rng, client_index, k),
                     };
                     let sent = Instant::now();
@@ -509,6 +510,7 @@ pub fn run_mt_load(addr: SocketAddr, config: &MtLoadConfig) -> std::io::Result<M
                         deadline_ms: None,
                         tenant: Some(label.clone()),
                         req_id: None,
+                        backend: None,
                         request: request_for(&mut rng, client_index, k),
                     };
                     let sent = Instant::now();

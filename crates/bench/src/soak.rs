@@ -235,6 +235,7 @@ fn probe_stats(client: &mut Client, id: u64) -> std::io::Result<StatsReply> {
             deadline_ms: None,
             tenant: None,
             req_id: None,
+            backend: None,
             request: Request::Stats,
         })?;
         match response {
@@ -305,6 +306,7 @@ pub fn run_soak(config: &SoakConfig) -> std::io::Result<SoakReport> {
                         deadline_ms: None,
                         tenant: None,
                         req_id: None,
+                        backend: None,
                         request: Request::SetDelay { channel, ps },
                     }) {
                         Ok((_, Response::Delay(_))) => {
@@ -354,6 +356,7 @@ pub fn run_soak(config: &SoakConfig) -> std::io::Result<SoakReport> {
             deadline_ms: None,
             tenant: None,
             req_id: None,
+            backend: None,
             request: Request::SetDelay {
                 channel: DRIFT_CHANNEL,
                 ps: 60.0,

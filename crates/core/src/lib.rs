@@ -67,7 +67,9 @@ pub use selftest::{
     check_calibration, test_dac, CalibrationHealth, CircuitHealth, DacHealth, DacUnderTest,
     HealthVerdict,
 };
-pub use sentinel::{Sentinel, SentinelConfig, SentinelProbe, SentinelReport, SentinelVerdict};
+pub use sentinel::{
+    probe_indices, Sentinel, SentinelConfig, SentinelProbe, SentinelReport, SentinelVerdict,
+};
 pub use solve::{
     clear_solve_cache, fast_solve_enabled, set_fast_solve_enabled, solve_cache_stats,
     solve_fallbacks, solve_single_flight_waits,

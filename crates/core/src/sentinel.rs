@@ -128,6 +128,28 @@ impl std::fmt::Display for SentinelReport {
     }
 }
 
+/// The seeded probe grid indices every sentinel flavor shares: `want`
+/// distinct indices below `len` (clamped to `1..=len`), ascending,
+/// derived through [`task_seed`] with the sentinel lane constant so the
+/// selection never correlates with experiment randomness sharing the
+/// same root seed. Pulled out as a free function so trait-level
+/// sentinels in `vardelay-backend` probe the exact same grid points as
+/// [`Sentinel`] — byte-identical reports for the circuit backend depend
+/// on it.
+pub fn probe_indices(len: usize, want: usize, seed: u64) -> Vec<usize> {
+    let want = want.clamp(1, len);
+    let mut rng = SplitMix64::new(task_seed(seed, 0x5e17));
+    let mut picked: Vec<usize> = Vec::with_capacity(want);
+    while picked.len() < want {
+        let idx = (rng.next_u64() % len as u64) as usize;
+        if !picked.contains(&idx) {
+            picked.push(idx);
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
 /// A drift sentinel for one channel: a snapshot of the channel's fine
 /// line plus the calibration table installed at snapshot time.
 ///
@@ -169,18 +191,7 @@ impl Sentinel {
     /// randomness never correlates with experiment randomness sharing
     /// the same root seed.
     pub fn probe_indices(&self, seed: u64) -> Vec<usize> {
-        let len = self.table.vctrls().len();
-        let want = self.config.probes.clamp(1, len);
-        let mut rng = SplitMix64::new(task_seed(seed, 0x5e17));
-        let mut picked: Vec<usize> = Vec::with_capacity(want);
-        while picked.len() < want {
-            let idx = (rng.next_u64() % len as u64) as usize;
-            if !picked.contains(&idx) {
-                picked.push(idx);
-            }
-        }
-        picked.sort_unstable();
-        picked
+        probe_indices(self.table.vctrls().len(), self.config.probes, seed)
     }
 
     /// Runs the probes: re-measures each seeded grid point through the

@@ -189,6 +189,16 @@ pub enum FaultKind {
     /// The operating temperature steps `delta_k` kelvin away from the
     /// calibration point mid-run.
     TempStep { delta_k: f64 },
+    /// Carry-chain bin `bin` of a Vernier backend collapses (a routing
+    /// "bubble"): every delay downstream of the bin shifts by roughly
+    /// one step while the stale calibration table still predicts the
+    /// healthy chain. Only meaningful for the Vernier backend
+    /// (`vardelay-backend`).
+    VernierChainBubble { bin: usize },
+    /// A DLL backend's loop loses lock: answers are grossly wrong until
+    /// a recalibration re-locks the loop. Only meaningful for the DLL
+    /// backend (`vardelay-backend`).
+    DllLockLoss,
 }
 
 impl FaultKind {
@@ -204,6 +214,8 @@ impl FaultKind {
             FaultKind::DeadDriver { .. } => "dead_driver",
             FaultKind::WeakDriver { .. } => "weak_driver",
             FaultKind::TempStep { .. } => "temp_step",
+            FaultKind::VernierChainBubble { .. } => "vernier_chain_bubble",
+            FaultKind::DllLockLoss => "dll_lock_loss",
         }
     }
 
@@ -229,6 +241,8 @@ impl FaultKind {
                 fail_attempts,
             } => format!("channel={channel};fails={fail_attempts}"),
             FaultKind::TempStep { delta_k } => format!("delta_k={delta_k}"),
+            FaultKind::VernierChainBubble { bin } => format!("bin={bin}"),
+            FaultKind::DllLockLoss => "relock=required".to_owned(),
         }
     }
 

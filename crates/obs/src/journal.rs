@@ -1146,6 +1146,89 @@ pub fn compare_latest_restart(
     })
 }
 
+/// What [`compare_latest_backends`] found in the newest `backends`
+/// record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendsComparison {
+    /// Worker threads of the gated run.
+    pub threads: u64,
+    /// Backends that missed their advertised contract.
+    pub contract_violations: u64,
+    /// Whether the circuit row diverged from the directly-driven
+    /// circuit baseline.
+    pub reference_drift: bool,
+    /// Backend-specific faults detected *and* healed.
+    pub faults_detected: u64,
+    /// Faults the campaign expected to detect (0 when masked).
+    pub faults_expected: u64,
+    /// Whether the gate fired.
+    pub regressed: bool,
+}
+
+impl fmt::Display for BackendsComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backends: {} contract violation(s), reference drift {}, \
+             {}/{} fault(s) detected+healed ({} thread(s); gates 0 violations, \
+             no drift, all faults caught): {}",
+            self.contract_violations,
+            if self.reference_drift { "yes" } else { "no" },
+            self.faults_detected,
+            self.faults_expected,
+            self.threads,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        )
+    }
+}
+
+/// Gates the latest `backends` record (the journal kind written by
+/// `repro backends`). Unlike the trend gates this one is *absolute* and
+/// needs only a single record: every backend must meet its advertised
+/// contract, the circuit reference must not drift from the
+/// directly-driven baseline by a single byte, and every backend-specific
+/// fault the campaign injected must have been detected and healed.
+///
+/// # Errors
+///
+/// [`CompareError::TooFewRecords`] when no `backends` record exists,
+/// [`CompareError::MissingField`] on records without the backends
+/// fields.
+pub fn compare_latest_backends(records: &[Value]) -> Result<BackendsComparison, CompareError> {
+    let matching: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("experiments").and_then(Value::as_str) == Some("backends"))
+        .collect();
+    let [.., newer] = matching.as_slice() else {
+        return Err(CompareError::TooFewRecords {
+            found: 0,
+            experiments: "backends".to_owned(),
+        });
+    };
+    let u64_field = |name: &'static str| {
+        newer
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or(CompareError::MissingField(name))
+    };
+    let threads = u64_field("threads")?;
+    let contract_violations = u64_field("contract_violations")?;
+    let reference_drift = newer
+        .get("reference_drift")
+        .and_then(Value::as_bool)
+        .ok_or(CompareError::MissingField("reference_drift"))?;
+    let faults_detected = u64_field("faults_detected")?;
+    let faults_expected = u64_field("faults_expected")?;
+    Ok(BackendsComparison {
+        threads,
+        contract_violations,
+        reference_drift,
+        faults_detected,
+        faults_expected,
+        regressed: contract_violations > 0 || reference_drift || faults_detected < faults_expected,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1813,6 +1896,64 @@ mod tests {
         assert_eq!(
             compare_latest_restart(&bad, RESTART_THRESHOLD),
             Err(CompareError::MissingField("warm_start_us"))
+        );
+    }
+
+    fn backends_record(violations: u64, drift: bool, detected: u64, expected: u64) -> Value {
+        Value::obj()
+            .with("experiments", "backends")
+            .with("threads", 2u64)
+            .with("contract_violations", violations)
+            .with("reference_drift", drift)
+            .with("faults_detected", detected)
+            .with("faults_expected", expected)
+    }
+
+    #[test]
+    fn backends_compare_is_absolute_on_the_newest_record() {
+        // A single clean record passes — the gate needs no baseline.
+        let c = compare_latest_backends(&[backends_record(0, false, 3, 3)]).unwrap();
+        assert!(!c.regressed, "{c}");
+        // Only the newest record is gated: an old violation is history.
+        let records = vec![
+            backends_record(2, true, 0, 3),
+            backends_record(0, false, 3, 3),
+        ];
+        assert!(!compare_latest_backends(&records).unwrap().regressed);
+        // Each leg trips alone.
+        for red in [
+            backends_record(1, false, 3, 3),
+            backends_record(0, true, 3, 3),
+            backends_record(0, false, 2, 3),
+        ] {
+            let c = compare_latest_backends(&[red]).unwrap();
+            assert!(c.regressed, "{c}");
+            assert!(c.to_string().contains("REGRESSED"), "{c}");
+        }
+        // Masked injection (0/0 faults) is not a failure.
+        assert!(
+            !compare_latest_backends(&[backends_record(0, false, 0, 0)])
+                .unwrap()
+                .regressed
+        );
+    }
+
+    #[test]
+    fn backends_compare_needs_a_record_with_full_fields() {
+        let records = vec![soak_record(2, 100_000.0, 1.0, 4, 0)];
+        assert_eq!(
+            compare_latest_backends(&records),
+            Err(CompareError::TooFewRecords {
+                found: 0,
+                experiments: "backends".to_owned()
+            })
+        );
+        let bad = vec![Value::obj()
+            .with("experiments", "backends")
+            .with("threads", 2u64)];
+        assert_eq!(
+            compare_latest_backends(&bad),
+            Err(CompareError::MissingField("contract_violations"))
         );
     }
 }

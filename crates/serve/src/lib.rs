@@ -52,6 +52,18 @@
 //! deduplicated through a bounded per-tenant window ([`dedup`]) that
 //! survives the restart via the WAL.
 //!
+//! Since PR 10 the service is *backend-pluggable* (DESIGN.md §17):
+//! every bank channel is a `dyn` [`vardelay_backend::DelayBackend`], so
+//! the same wire protocol drives the paper's VGA+tap circuit, a Vernier
+//! carry-chain pair, or a DLL phase interpolator. The server default
+//! comes from `VARDELAY_SERVE_BACKEND`; a request may override it with
+//! a `backend` field, which selects a separate per-`(tenant, backend)`
+//! bank ([`shard::BankId`]) — two hardware families never share a
+//! calibration table. The default backend's name is folded into the
+//! snapshot fingerprint, so flipping it across a restart forces a
+//! recalibration instead of warm-starting from the wrong family's
+//! tables; non-default banks are ephemeral by design.
+//!
 //! Everything here is std-only, like the rest of the workspace.
 
 #![warn(missing_docs)]
@@ -72,9 +84,10 @@ pub use health::{ChannelState, HealthAction, HealthTable};
 pub use persist::{ChannelSnapshot, SnapshotError, SnapshotStore};
 pub use protocol::{
     DelayReply, DeskewReply, Envelope, ErrorKind, ErrorReply, JitterReply, Request, Response,
-    SelftestReply, StatsReply, MAX_LINE_BYTES, MAX_REQ_ID_BYTES, MAX_TENANT_BYTES, MAX_WIRE_INDEX,
+    SelftestReply, StatsReply, MAX_BACKEND_BYTES, MAX_LINE_BYTES, MAX_REQ_ID_BYTES,
+    MAX_TENANT_BYTES, MAX_WIRE_INDEX,
 };
 pub use queue::{BoundedQueue, FairQueue};
 pub use server::{serve, DrainReport, ServeConfig, ServerHandle, SERVE_SEED};
-pub use shard::{BankHooks, BankRegistry, HashRing, QuotaTable, TenantBank};
+pub use shard::{BankHooks, BankId, BankRegistry, HashRing, QuotaTable, TenantBank};
 pub use wal::{Wal, WalRecord};

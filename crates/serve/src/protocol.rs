@@ -16,6 +16,7 @@
 //!   [`ErrorKind::BadRequest`];
 //! * neither ever panics the connection thread.
 
+use vardelay_backend::BackendKind;
 use vardelay_obs::json::Value;
 
 /// Hard cap on a single request line, in bytes. Longer lines are
@@ -41,6 +42,11 @@ pub const MAX_TENANT_BYTES: usize = 128;
 /// they must be bounded.
 pub const MAX_REQ_ID_BYTES: usize = 64;
 
+/// Hard cap on a `backend` selector, in bytes. The longest valid name
+/// is 7 bytes ("vernier"/"circuit"); the cap only bounds how much junk
+/// an unknown-name error echoes back.
+pub const MAX_BACKEND_BYTES: usize = 32;
+
 /// A parsed request plus its per-request metadata.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
@@ -60,6 +66,12 @@ pub struct Envelope {
     /// different connection, even across a server restart — replays the
     /// original cached response instead of re-running the solve.
     pub req_id: Option<String>,
+    /// Delay-backend selector (`"backend"` on the wire, DESIGN.md §17).
+    /// Absent or empty means the server's default backend
+    /// (`VARDELAY_SERVE_BACKEND`); an unknown name is a `bad_request`
+    /// listing the valid names, so a typo never silently lands on the
+    /// wrong hardware family.
+    pub backend: Option<BackendKind>,
     /// The operation.
     pub request: Request,
 }
@@ -388,6 +400,7 @@ impl Envelope {
             deadline_ms: None,
             tenant: None,
             req_id: None,
+            backend: None,
             request,
         }
     }
@@ -408,6 +421,14 @@ impl Envelope {
         }
     }
 
+    /// Same request, pinned to an explicit delay backend.
+    pub fn on_backend(self, backend: BackendKind) -> Envelope {
+        Envelope {
+            backend: Some(backend),
+            ..self
+        }
+    }
+
     /// Renders the request line (without the trailing newline).
     pub fn to_value(&self) -> Value {
         let mut v = Value::obj().with("op", self.request.op());
@@ -422,6 +443,9 @@ impl Envelope {
         }
         if let Some(req_id) = &self.req_id {
             v = v.with("req_id", req_id.as_str());
+        }
+        if let Some(backend) = self.backend {
+            v = v.with("backend", backend.name());
         }
         match &self.request {
             Request::SetDelay { channel, ps } => v.with("channel", *channel).with("ps", *ps),
@@ -521,6 +545,32 @@ impl Envelope {
                 }
             }
         };
+        let backend = match value.get("backend") {
+            None => None,
+            Some(raw) => {
+                let s = raw.as_str().ok_or("non-string field \"backend\"")?;
+                if s.len() > MAX_BACKEND_BYTES {
+                    return Err(format!(
+                        "field \"backend\" is {} bytes, above the {MAX_BACKEND_BYTES}-byte limit",
+                        s.len()
+                    ));
+                }
+                // Empty means the server default, same as absent.
+                if s.is_empty() {
+                    None
+                } else {
+                    match BackendKind::from_name(s) {
+                        Some(kind) => Some(kind),
+                        None => {
+                            return Err(format!(
+                                "unknown backend {s:?} (valid backends: {})",
+                                BackendKind::valid_names()
+                            ))
+                        }
+                    }
+                }
+            }
+        };
         let op = value
             .get("op")
             .and_then(Value::as_str)
@@ -550,6 +600,7 @@ impl Envelope {
             deadline_ms,
             tenant,
             req_id,
+            backend,
             request,
         })
     }
@@ -794,12 +845,18 @@ mod tests {
                 deadline_ms: Some(250),
                 tenant: Some("lot-a".to_owned()),
                 req_id: Some("retry-0007".to_owned()),
+                backend: Some(BackendKind::Dll),
                 request: Request::SetDelay {
                     channel: 3,
                     ps: 161.25,
                 },
             },
             Envelope::new(Request::Deskew { bus: 8, seed: 42 }),
+            Envelope::new(Request::SetDelay {
+                channel: 1,
+                ps: 50.0,
+            })
+            .on_backend(BackendKind::Vernier),
             Envelope::new(Request::SetDelay {
                 channel: 0,
                 ps: 30.0,
@@ -883,6 +940,39 @@ mod tests {
         let long = format!(
             "{{\"op\":\"stats\",\"tenant\":\"{}\"}}",
             "t".repeat(MAX_TENANT_BYTES + 1)
+        );
+        let err = Envelope::parse(&long).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.detail.contains("byte limit"), "{}", err.detail);
+    }
+
+    #[test]
+    fn backend_selectors_parse_validate_and_bound() {
+        // Every valid name parses to its kind; empty and absent both
+        // mean "server default".
+        for kind in BackendKind::ALL {
+            let line = format!("{{\"op\":\"stats\",\"backend\":\"{}\"}}", kind.name());
+            let env = Envelope::parse(&line).unwrap();
+            assert_eq!(env.backend, Some(kind), "{line}");
+        }
+        let env = Envelope::parse("{\"op\":\"stats\",\"backend\":\"\"}").unwrap();
+        assert_eq!(env.backend, None, "empty selector is the default");
+        let env = Envelope::parse("{\"op\":\"stats\"}").unwrap();
+        assert_eq!(env.backend, None);
+        // An unknown name is a bad_request that lists the valid names.
+        let err = Envelope::parse("{\"op\":\"stats\",\"backend\":\"fpga\"}").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(
+            err.detail.contains("circuit, vernier, dll"),
+            "{}",
+            err.detail
+        );
+        // Non-string and oversized selectors are bad_requests too.
+        let err = Envelope::parse("{\"op\":\"stats\",\"backend\":3}").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        let long = format!(
+            "{{\"op\":\"stats\",\"backend\":\"{}\"}}",
+            "b".repeat(MAX_BACKEND_BYTES + 1)
         );
         let err = Envelope::parse(&long).unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);

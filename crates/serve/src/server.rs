@@ -62,10 +62,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use vardelay_ate::{DegradedPolicy, DeskewEngine, ParallelBus};
+use vardelay_backend::{BackendKind, BackendSentinel};
 use vardelay_core::config::ModelConfig;
 use vardelay_core::{
-    check_calibration, test_dac, CalibrationTable, CircuitHealth, CombinedDelayCircuit,
-    HealthVerdict, JitterInjector, Sentinel, SentinelConfig, TempCo,
+    check_calibration, test_dac, CalibrationTable, CircuitHealth, HealthVerdict, JitterInjector,
+    SentinelConfig,
 };
 use vardelay_faults::RequestChaos;
 use vardelay_runner::{
@@ -82,7 +83,9 @@ use crate::protocol::{
     SelftestReply, StatsReply, MAX_LINE_BYTES,
 };
 use crate::queue::FairQueue;
-use crate::shard::{tenant_lane, BankHooks, BankRegistry, HashRing, QuotaTable, TenantBank};
+use crate::shard::{
+    tenant_lane, BankHooks, BankId, BankRegistry, HashRing, QuotaTable, TenantBank,
+};
 use crate::wal::{Wal, WalRecord};
 
 /// Seed for the service's model instances (shared by every bank so the
@@ -155,6 +158,12 @@ pub struct ServeConfig {
     /// (`VARDELAY_SERVE_WAL_COMPACT`; default 512). Ignored without a
     /// state directory.
     pub wal_compact: u64,
+    /// Default delay backend (`VARDELAY_SERVE_BACKEND`): the hardware
+    /// family serving requests whose envelope carries no `backend`
+    /// field (DESIGN.md §17). Folded into the snapshot fingerprint, so
+    /// flipping it forces a recalibration instead of ever reusing
+    /// another family's tables.
+    pub backend: BackendKind,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -220,6 +229,22 @@ impl ServeConfig {
                 .and_then(|raw| raw.trim().parse::<u64>().ok())
                 .filter(|&n| n > 0)
                 .unwrap_or(512),
+            backend: {
+                // An unknown name falls back to the circuit reference
+                // loudly: silently serving the wrong hardware family
+                // would be worse than a startup warning.
+                if let Ok(raw) = std::env::var("VARDELAY_SERVE_BACKEND") {
+                    let raw = raw.trim();
+                    if !raw.is_empty() && BackendKind::from_name(raw).is_none() {
+                        eprintln!(
+                            "VARDELAY_SERVE_BACKEND={raw:?} is not a known backend \
+                             (valid: {}); using circuit",
+                            BackendKind::valid_names()
+                        );
+                    }
+                }
+                BackendKind::from_env()
+            },
         }
     }
 
@@ -245,6 +270,7 @@ impl ServeConfig {
             recalibrate: true,
             state_dir: None,
             wal_compact: 512,
+            backend: BackendKind::Circuit,
         }
     }
 }
@@ -355,16 +381,25 @@ struct DurabilityHooks {
     store: Arc<SnapshotStore>,
     health: Arc<HealthTable>,
     recovery: Arc<RecoveryLedger>,
+    /// The server's default backend. Only its banks persist: the
+    /// snapshot fingerprint describes exactly one hardware family, so a
+    /// wire-selected non-default bank is ephemeral — rebuilt from the
+    /// fast-solve cache on demand, never written where a different
+    /// family's restart might find it.
+    default: BackendKind,
 }
 
 impl BankHooks for DurabilityHooks {
-    fn restore(&self, tenant: &str, channel: usize) -> Option<CalibrationTable> {
-        match self.store.load_channel(tenant, channel) {
+    fn restore(&self, id: &BankId, channel: usize) -> Option<CalibrationTable> {
+        if id.kind() != self.default {
+            return None;
+        }
+        match self.store.load_channel(id.tenant(), channel) {
             Ok(snap) => {
                 // The health state rides the snapshot: a quarantined
                 // channel stays quarantined across restart and eviction
                 // instead of silently re-entering service.
-                self.health.restore(tenant, channel, snap.state);
+                self.health.restore(id.tenant(), channel, snap.state);
                 Some(snap.table)
             }
             Err(SnapshotError::Missing) => None,
@@ -376,8 +411,11 @@ impl BankHooks for DurabilityHooks {
         }
     }
 
-    fn built(&self, tenant: &str, bank: &TenantBank, restored: &[bool]) {
-        let persisted = self.store.channels_of(tenant);
+    fn built(&self, id: &BankId, bank: &TenantBank, restored: &[bool]) {
+        if id.kind() != self.default {
+            return;
+        }
+        let persisted = self.store.channels_of(id.tenant());
         if restored.iter().any(|&r| r) {
             self.recovery.banks_restored.fetch_add(1, Ordering::Relaxed);
         }
@@ -391,11 +429,14 @@ impl BankHooks for DurabilityHooks {
         }
         // Persist on install: the freshly-built (or freshly-verified)
         // tables are the durable truth from this moment.
-        persist_bank(&self.store, &self.health, tenant, bank);
+        persist_bank(&self.store, &self.health, id.tenant(), bank);
     }
 
-    fn evicted(&self, tenant: &str, bank: &TenantBank) {
-        persist_bank(&self.store, &self.health, tenant, bank);
+    fn evicted(&self, id: &BankId, bank: &TenantBank) {
+        if id.kind() != self.default {
+            return;
+        }
+        persist_bank(&self.store, &self.health, id.tenant(), bank);
     }
 }
 
@@ -438,10 +479,16 @@ fn compact_wal(
     store: &SnapshotStore,
     health: &HealthTable,
     wal: &mut Wal,
+    default: BackendKind,
 ) {
     let mut all_saved = true;
-    for (tenant, bank) in registry.snapshot() {
-        all_saved &= persist_bank(store, health, &tenant, &bank);
+    for (id, bank) in registry.snapshot() {
+        // Non-default banks are ephemeral (see [`DurabilityHooks`]);
+        // their WAL-free existence never blocks a truncation.
+        if id.kind() != default {
+            continue;
+        }
+        all_saved &= persist_bank(store, health, id.tenant(), &bank);
     }
     vardelay_faults::kill_point("wal-compact");
     if all_saved && wal.truncate().is_ok() {
@@ -450,13 +497,17 @@ fn compact_wal(
 }
 
 /// The circuit identity stamped into snapshots: quiet-model fingerprint
-/// folded with the shared bank seed and the channel count. Any config
-/// or topology change mints a new fingerprint, and old snapshots refuse
-/// to load rather than ever serving a wrong table.
-fn bank_fingerprint(model: &ModelConfig, channels: usize) -> u64 {
+/// folded with the shared bank seed, the channel count, and the default
+/// backend's name. Any config, topology, or backend change mints a new
+/// fingerprint, and old snapshots refuse to load rather than ever
+/// serving a wrong table — in particular, flipping
+/// `VARDELAY_SERVE_BACKEND` across a restart forces a recalibration
+/// instead of installing another hardware family's tables.
+fn bank_fingerprint(model: &ModelConfig, channels: usize, backend: BackendKind) -> u64 {
     vardelay_obs::artifact::digest(&format!(
-        "{:016x}/{SERVE_SEED:016x}/{channels}",
-        model.quiet().fingerprint()
+        "{:016x}/{SERVE_SEED:016x}/{channels}/{}",
+        model.quiet().fingerprint(),
+        backend.name()
     ))
 }
 
@@ -472,6 +523,7 @@ fn replay_wal(
     health: &HealthTable,
     dedup: &DedupTable,
     channels: usize,
+    default: BackendKind,
 ) -> u64 {
     let mut replayed = 0u64;
     for record in records {
@@ -484,12 +536,14 @@ fn replay_wal(
                 if *channel >= channels || !ps.is_finite() {
                     continue;
                 }
-                let bank = registry.get(tenant, Runner::serial());
+                // Only default-backend solves are ever logged, so
+                // replay re-targets the default bank.
+                let bank = registry.get(&BankId::new(tenant.as_str(), default), Runner::serial());
                 let Some(slot) = bank.channels.get(*channel) else {
                     continue;
                 };
-                let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                if circuit.set_delay(Time::from_ps(*ps)).is_ok() {
+                let mut backend = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                if backend.set_delay(Time::from_ps(*ps)).is_ok() {
                     replayed += 1;
                 }
             }
@@ -516,11 +570,29 @@ fn replay_wal(
     replayed
 }
 
+/// The health-table key for a bank: the bare tenant label for the
+/// server's default backend (so persisted health states, WAL records,
+/// and every pre-backend deployment read unchanged), or a composite
+/// with an unprintable separator for a wire-selected non-default bank.
+/// The composite is in-memory only — never parsed back, never
+/// persisted — so a tenant label containing the separator cannot
+/// collide with a real `(tenant, backend)` pair's durable state.
+fn health_key(id: &BankId, default: BackendKind) -> String {
+    if id.kind() == default {
+        id.tenant().to_owned()
+    } else {
+        format!("{}\u{1f}{}", id.tenant(), id.kind().name())
+    }
+}
+
 /// One admitted request waiting for a shard worker.
 struct Job {
     envelope: Envelope,
     /// Normalized tenant label (empty = default tenant).
     tenant: String,
+    /// The delay backend answering this request (the envelope's
+    /// selector, or the server default).
+    backend: BackendKind,
     /// The tenant's fair-queue lane key.
     lane: u64,
     /// The shard the ring routed this job to.
@@ -552,6 +624,8 @@ struct Shared {
     model: ModelConfig,
     /// Channels each tenant bank exposes.
     channels: usize,
+    /// The default delay backend (requests without a `backend` field).
+    backend: BackendKind,
     stats: Stats,
     shutdown: AtomicBool,
     next_index: AtomicU64,
@@ -621,7 +695,13 @@ impl Shared {
             return;
         }
         if wal.pending() >= durability.compact_every {
-            compact_wal(&self.registry, &durability.store, &self.health, &mut wal);
+            compact_wal(
+                &self.registry,
+                &durability.store,
+                &self.health,
+                &mut wal,
+                self.backend,
+            );
         }
     }
 }
@@ -717,6 +797,7 @@ impl ServerHandle {
                 &durability.store,
                 &self.shared.health,
                 &mut wal,
+                self.shared.backend,
             );
         }
         DrainReport {
@@ -730,35 +811,29 @@ impl ServerHandle {
         self.shared.epoch
     }
 
-    /// Fault hook for soak/e2e drivers: steps `tenant`'s `channel` to a
-    /// physically drifted instance (`delta_k` kelvin through the
-    /// default [`TempCo`]) while keeping its now-stale calibration
-    /// table installed — exactly what a temperature excursion does to a
-    /// long-running installation. The replacement circuit is built from
-    /// the same [`SERVE_SEED`], so once the health loop recalibrates,
-    /// answers must be byte-identical to a freshly calibrated drifted
-    /// bank. Masked (returns `false`) by `VARDELAY_FAULTS=0` and when
-    /// the tenant's bank is not resident.
+    /// Fault hook for soak/e2e drivers: steps `tenant`'s `channel` on
+    /// the default backend to a physically drifted instance (`delta_k`
+    /// kelvin through the backend's temperature model) while keeping
+    /// its now-stale calibration table installed — exactly what a
+    /// temperature excursion does to a long-running installation. The
+    /// replacement is rebuilt from the backend's own pristine config
+    /// and seed, so once the health loop recalibrates, answers must be
+    /// byte-identical to a freshly calibrated drifted bank. Masked
+    /// (returns `false`) by `VARDELAY_FAULTS=0` and when the tenant's
+    /// bank is not resident.
     pub fn inject_drift(&self, tenant: &str, channel: usize, delta_k: f64) -> bool {
         if !vardelay_faults::enabled() {
             return false;
         }
-        let Some(bank) = self.shared.registry.peek(tenant) else {
+        let id = BankId::new(tenant, self.shared.backend);
+        let Some(bank) = self.shared.registry.peek(&id) else {
             return false;
         };
         let Some(slot) = bank.channels.get(channel) else {
             return false;
         };
-        let drifted = self
-            .shared
-            .model
-            .at_temperature_offset(delta_k, &TempCo::default());
-        let mut fresh = CombinedDelayCircuit::new(&drifted, SERVE_SEED);
-        let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        if let Some(table) = circuit.calibration() {
-            fresh.install_calibration(table.clone());
-        }
-        *circuit = fresh;
+        let mut backend = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        backend.inject_drift(delta_k);
         true
     }
 
@@ -766,6 +841,11 @@ impl ServerHandle {
     /// that want to watch probation/quarantine without wire stats).
     pub fn channel_state(&self, tenant: &str, channel: usize) -> crate::health::ChannelState {
         self.shared.health.state(tenant, channel)
+    }
+
+    /// The server's default delay backend.
+    pub fn backend(&self) -> BackendKind {
+        self.shared.backend
     }
 }
 
@@ -781,6 +861,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
 
     let model = ModelConfig::paper_prototype();
     let channels = config.channels.max(1);
+    let default_backend = config.backend;
     let shard_count = config.shards.max(1);
     let registry = BankRegistry::new(model.clone(), channels, SERVE_SEED, config.max_banks.max(1));
     let health = Arc::new(HealthTable::new(RECOVERY_ROUNDS));
@@ -795,13 +876,14 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let durability = match &config.state_dir {
         None => None,
         Some(dir) => {
-            let fingerprint = bank_fingerprint(&model, channels);
+            let fingerprint = bank_fingerprint(&model, channels, default_backend);
             let store = Arc::new(SnapshotStore::open(dir.clone(), fingerprint)?);
             epoch = store.bump_epoch()?;
             registry.set_hooks(Arc::new(DurabilityHooks {
                 store: Arc::clone(&store),
                 health: Arc::clone(&health),
                 recovery: Arc::clone(&recovery),
+                default: default_backend,
             }));
             let restore_started = Instant::now();
             let (mut wal, records, _torn) = Wal::open(&store.wal_path())?;
@@ -810,13 +892,20 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
             // sweeps cost one channel's probes of wall clock, not
             // eight.
             for tenant in store.tenants() {
-                registry.get(&tenant, Runner::from_env());
+                registry.get(&BankId::new(tenant, default_backend), Runner::from_env());
             }
-            let replayed = replay_wal(&records, &registry, &health, &dedup, channels);
+            let replayed = replay_wal(
+                &records,
+                &registry,
+                &health,
+                &dedup,
+                channels,
+                default_backend,
+            );
             recovery
                 .wal_records_replayed
                 .store(replayed, Ordering::Relaxed);
-            compact_wal(&registry, &store, &health, &mut wal);
+            compact_wal(&registry, &store, &health, &mut wal, default_backend);
             recovery.restore_us.store(
                 restore_started.elapsed().as_micros() as u64,
                 Ordering::Relaxed,
@@ -833,7 +922,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     // cache) uses every core; lazy tenant banks built on worker threads
     // calibrate serially through the cache instead. After a warm
     // restart this is a no-op LRU refresh.
-    registry.get("", Runner::from_env());
+    registry.get(&BankId::new("", default_backend), Runner::from_env());
 
     let quota_rate = config.quota_rps.filter(|r| r.is_finite() && *r > 0.0);
     let quota_burst = config
@@ -852,6 +941,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         quota: QuotaTable::new(quota_rate, quota_burst),
         model,
         channels,
+        backend: default_backend,
         stats: Stats::default(),
         shutdown: AtomicBool::new(false),
         next_index: AtomicU64::new(0),
@@ -1203,6 +1293,10 @@ fn handle_line(
         .deadline_ms
         .map(Duration::from_millis)
         .unwrap_or(shared.default_deadline);
+    // Routing, lanes, quotas, and dedup all stay tenant-keyed: the
+    // backend selector picks which of the tenant's banks answers, not
+    // where the request queues.
+    let backend = envelope.backend.unwrap_or(shared.backend);
     let shard = shared.ring.route(&tenant, route_channel);
     let lane = tenant_lane(&tenant);
     let job = Job {
@@ -1210,6 +1304,7 @@ fn handle_line(
         reply: Arc::clone(reply),
         index: shared.next_index.fetch_add(1, Ordering::Relaxed),
         tenant,
+        backend,
         lane,
         shard,
         envelope,
@@ -1352,11 +1447,14 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
     }
     let (shard, lane) = (lead.shard, lead.lane);
     let tenant = lead.tenant.clone();
+    let backend = lead.backend;
     let mut batch = vec![lead];
     // Lane-local drain: batching never steals another tenant's queued
-    // work even if two tenant labels collide on the lane hash.
+    // work even if two tenant labels collide on the lane hash, and
+    // never mixes backends — one solve answers one bank.
     batch.extend(shared.shards[shard].queue.drain_matching(lane, |queued| {
         queued.tenant == tenant
+            && queued.backend == backend
             && matches!(
                 queued.envelope.request,
                 Request::SetDelay { channel: c, .. } if c == channel
@@ -1379,13 +1477,19 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
         vardelay_obs::histogram("serve.batch_size").record(size as u64);
     }
     let outcome = supervise(shared, &batch[0], |_| {
-        solve_delay(shared, &tenant, channel, target_ps)
+        solve_delay(
+            shared,
+            &BankId::new(tenant.as_str(), backend),
+            channel,
+            target_ps,
+        )
     });
     // WAL-before-ack: one `apply` record per successful batch solve,
     // carrying the batch's last-write-wins target — never one per
     // waiter, or replay would re-program intermediate targets in an
-    // order the batch itself collapsed.
-    if matches!(outcome, Response::Delay(_)) {
+    // order the batch itself collapsed. Only the default backend's
+    // solves are durable; a non-default bank is ephemeral by design.
+    if matches!(outcome, Response::Delay(_)) && backend == shared.backend {
         shared.wal_append(&WalRecord::Apply {
             tenant: tenant.clone(),
             channel,
@@ -1422,14 +1526,15 @@ fn process_set_delay_batch(shared: &Arc<Shared>, lead: Job, channel: usize) {
     }
 }
 
-fn solve_delay(shared: &Arc<Shared>, tenant: &str, channel: usize, target_ps: f64) -> Response {
+fn solve_delay(shared: &Arc<Shared>, id: &BankId, channel: usize, target_ps: f64) -> Response {
     if !target_ps.is_finite() {
         return Response::error(ErrorKind::BadRequest, "ps must be finite");
     }
     // Quarantined channels refuse to answer from a table known to be
     // grossly wrong; the hint covers recalibration plus the re-admission
     // rounds. (A whole same-channel batch rightly shares this fate.)
-    if !shared.health.admits(tenant, channel) {
+    let key = health_key(id, shared.backend);
+    if !shared.health.admits(&key, channel) {
         let period_ms = shared
             .health_period
             .map(|p| p.as_millis() as u64)
@@ -1444,7 +1549,7 @@ fn solve_delay(shared: &Arc<Shared>, tenant: &str, channel: usize, target_ps: f6
     // Lazy tenants calibrate here, on the worker thread, serially — the
     // fast-solve cache answers the sweep, so this is a table copy, not
     // a re-simulation.
-    let bank = shared.registry.get(tenant, Runner::serial());
+    let bank = shared.registry.get(id, Runner::serial());
     let Some(slot) = bank.channels.get(channel) else {
         return Response::error(
             ErrorKind::BadRequest,
@@ -1454,8 +1559,8 @@ fn solve_delay(shared: &Arc<Shared>, tenant: &str, channel: usize, target_ps: f6
             ),
         );
     };
-    let mut circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    match circuit.set_delay(Time::from_ps(target_ps)) {
+    let mut backend = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    match backend.set_delay(Time::from_ps(target_ps)) {
         Ok(setting) => Response::Delay(DelayReply {
             channel,
             requested_ps: target_ps,
@@ -1486,7 +1591,11 @@ fn handle_one(shared: &Arc<Shared>, job: &Job) -> Response {
             bits,
             seed,
         } => handle_inject(shared, *vpp_mv, *rate_gbps, *bits, *seed),
-        Request::Selftest => handle_selftest(shared, &job.tenant, &job.deadline),
+        Request::Selftest => handle_selftest(
+            shared,
+            &BankId::new(job.tenant.as_str(), job.backend),
+            &job.deadline,
+        ),
         Request::Stats => Response::Stats(shared.stats_reply()),
         Request::Shutdown => unreachable!("shutdown is handled at admission"),
     }
@@ -1550,14 +1659,14 @@ fn handle_inject(
 /// deadline budget — if the budget runs out after the (cheap)
 /// calibration check, the reply is flagged `partial` instead of
 /// blocking the worker through the sweep.
-fn handle_selftest(shared: &Arc<Shared>, tenant: &str, deadline: &Deadline) -> Response {
+fn handle_selftest(shared: &Arc<Shared>, id: &BankId, deadline: &Deadline) -> Response {
     let _span = vardelay_obs::span("serve.selftest_us");
-    let bank = shared.registry.get(tenant, Runner::serial());
+    let bank = shared.registry.get(id, Runner::serial());
     let (mut dac, table) = {
-        let circuit = bank.channels[0]
+        let backend = bank.channels[0]
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        (*circuit.dac(), circuit.calibration().cloned())
+        (backend.control_dac(), backend.calibration().cloned())
     };
     let Some(table) = table else {
         // Banks calibrate at build, so this is an invariant breach, not
@@ -1690,30 +1799,34 @@ fn health_loop(shared: &Arc<Shared>, shard: usize, period: Duration) {
 /// requests keep answering from the old table for the whole rebuild;
 /// the swap itself is one `install_calibration` under the channel lock.
 fn health_round(shared: &Arc<Shared>, shard: usize, round: u64) {
-    for (tenant, bank) in shared.registry.snapshot() {
+    for (id, bank) in shared.registry.snapshot() {
+        let key = health_key(&id, shared.backend);
+        let durable = id.kind() == shared.backend;
         for (channel, slot) in bank.channels.iter().enumerate() {
             // Shards probe disjoint channel sets — the same ownership
-            // split the request router uses.
-            if shared.ring.route(&tenant, channel) != shard {
+            // split the request router uses (which routes by the bare
+            // tenant label, whatever backend answers).
+            if shared.ring.route(id.tenant(), channel) != shard {
                 continue;
             }
             let sentinel = {
-                let circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                Sentinel::from_circuit(&circuit, SentinelConfig::default())
+                let backend = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                BackendSentinel::from_backend(backend.as_ref(), SentinelConfig::default())
             };
             let Ok(sentinel) = sentinel else {
                 continue;
             };
             let report = sentinel.run(task_seed(SERVE_SEED, round));
-            let was = shared.health.state(&tenant, channel);
-            let action = shared.health.observe(&tenant, channel, report.verdict());
-            let now_state = shared.health.state(&tenant, channel);
-            if now_state != was {
+            let was = shared.health.state(&key, channel);
+            let action = shared.health.observe(&key, channel, report.verdict());
+            let now_state = shared.health.state(&key, channel);
+            if now_state != was && durable {
                 // State transitions are durable: a quarantine seen at
                 // round N must still reject at the next boot even if no
-                // snapshot pass ran in between.
+                // snapshot pass ran in between. (Non-default banks are
+                // ephemeral; their states live and die in memory.)
                 shared.wal_append(&WalRecord::Health {
-                    tenant: tenant.clone(),
+                    tenant: id.tenant().to_owned(),
                     channel,
                     state: now_state,
                 });
@@ -1722,26 +1835,28 @@ fn health_round(shared: &Arc<Shared>, shard: usize, round: u64) {
                 // The expensive part happens on this thread's private
                 // copy; workers never wait on it.
                 let mut copy = {
-                    let circuit = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                    circuit.clone()
+                    let backend = slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                    backend.clone_backend()
                 };
                 copy.calibrate_with(Runner::serial());
                 if let Some(table) = copy.calibration().cloned() {
                     {
-                        let mut circuit =
+                        let mut backend =
                             slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-                        circuit.install_calibration(table.clone());
+                        backend.install_calibration(table.clone());
                     }
                     // The swapped-in table is the durable one now; the
                     // stale snapshot must not outlive it.
-                    if let Some(durability) = &shared.durability {
-                        let state = shared.health.state(&tenant, channel);
-                        if durability
-                            .store
-                            .save_channel(&tenant, channel, state, &table)
-                            .is_err()
-                        {
-                            vardelay_obs::counter("persist.save_failures").add(1);
+                    if durable {
+                        if let Some(durability) = &shared.durability {
+                            let state = shared.health.state(&key, channel);
+                            if durability
+                                .store
+                                .save_channel(id.tenant(), channel, state, &table)
+                                .is_err()
+                            {
+                                vardelay_obs::counter("persist.save_failures").add(1);
+                            }
                         }
                     }
                 }

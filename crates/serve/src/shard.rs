@@ -20,10 +20,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use vardelay_backend::{make_backend, BackendKind, BackendSentinel, DelayBackend};
 use vardelay_core::config::ModelConfig;
-use vardelay_core::{
-    CalibrationTable, CombinedDelayCircuit, Sentinel, SentinelConfig, SentinelVerdict,
-};
+use vardelay_core::{CalibrationTable, SentinelConfig, SentinelVerdict};
 use vardelay_runner::{task_seed, Runner};
 
 /// FNV-1a offset basis.
@@ -165,6 +164,40 @@ impl QuotaTable {
     }
 }
 
+/// The identity of one calibration bank: a tenant label plus the
+/// [`BackendKind`] serving it (DESIGN.md §17).
+///
+/// The server-default backend's banks carry the bare tenant label
+/// everywhere the pre-backend code did (persistence paths, health keys,
+/// WAL records), so existing deployments route and restore unchanged; a
+/// wire-selected non-default backend gets its own bank under the same
+/// tenant — two hardware families never share a calibration table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BankId {
+    tenant: String,
+    kind: BackendKind,
+}
+
+impl BankId {
+    /// A bank identity for `tenant` served by `kind`.
+    pub fn new(tenant: impl Into<String>, kind: BackendKind) -> BankId {
+        BankId {
+            tenant: tenant.into(),
+            kind,
+        }
+    }
+
+    /// The tenant label (empty = the default tenant).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The backend family serving this bank.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+}
+
 /// Durability callbacks the server installs on the registry
 /// (DESIGN.md §16). The registry itself stays storage-agnostic: it asks
 /// `restore` for a trusted table before calibrating, reports every
@@ -173,36 +206,38 @@ impl QuotaTable {
 /// before the registry's only reference drops. All methods default to
 /// no-ops — a server without a state dir installs nothing.
 pub trait BankHooks: Send + Sync {
-    /// A trusted persisted table for `(tenant, channel)`, or `None` to
+    /// A trusted persisted table for `(bank, channel)`, or `None` to
     /// calibrate fresh. Implementations own corruption/fingerprint
     /// checks; a returned table still faces the sentinel verification
     /// in [`TenantBank`]'s build before it is served.
-    fn restore(&self, _tenant: &str, _channel: usize) -> Option<CalibrationTable> {
+    fn restore(&self, _id: &BankId, _channel: usize) -> Option<CalibrationTable> {
         None
     }
 
     /// Called once per completed bank build, outside the registry lock.
     /// `restored[ch]` is `true` when channel `ch` was answered from a
     /// snapshot rather than freshly calibrated.
-    fn built(&self, _tenant: &str, _bank: &TenantBank, _restored: &[bool]) {}
+    fn built(&self, _id: &BankId, _bank: &TenantBank, _restored: &[bool]) {}
 
     /// Called after the registry dropped its reference to an evicted
     /// bank, outside the registry lock. In-flight requests may still be
     /// finishing on it; per-channel locks make persisting safe.
-    fn evicted(&self, _tenant: &str, _bank: &TenantBank) {}
+    fn evicted(&self, _id: &BankId, _bank: &TenantBank) {}
 }
 
 /// One tenant's calibrated channel bank.
 pub struct TenantBank {
-    /// Per-channel circuits, each behind its own lock so different
-    /// channels solve concurrently.
-    pub channels: Vec<Mutex<CombinedDelayCircuit>>,
+    /// Per-channel delay backends, each behind its own lock so
+    /// different channels solve concurrently.
+    pub channels: Vec<Mutex<Box<dyn DelayBackend>>>,
+    /// The hardware family every channel in this bank belongs to.
+    pub kind: BackendKind,
 }
 
 impl TenantBank {
     /// Builds the bank, answering each channel from `hooks.restore`
     /// where possible. A restored table is trusted only after one
-    /// sentinel probe sweep against the live circuit agrees with it —
+    /// sentinel probe sweep against the live backend agrees with it —
     /// a stale or mismatched table falls back to a fresh calibration
     /// rather than ever serving a wrong answer.
     fn build(
@@ -211,7 +246,7 @@ impl TenantBank {
         seed: u64,
         runner: Runner,
         hooks: Option<&Arc<dyn BankHooks>>,
-        tenant: &str,
+        id: &BankId,
     ) -> (TenantBank, Vec<bool>) {
         // Phase 1, fanned out per channel through the runner: build the
         // circuit and attempt the snapshot restore. The sentinel probes
@@ -229,12 +264,12 @@ impl TenantBank {
             probes: 1,
             ..SentinelConfig::default()
         };
-        let verified: Vec<(CombinedDelayCircuit, bool)> = runner.run(channels, |ch| {
-            let mut circuit = CombinedDelayCircuit::new(model, seed);
+        let verified: Vec<(Box<dyn DelayBackend>, bool)> = runner.run(channels, |ch| {
+            let mut backend = make_backend(id.kind(), model, seed);
             let mut trusted = false;
-            if let Some(table) = hooks.and_then(|h| h.restore(tenant, ch)) {
-                circuit.install_calibration(table);
-                trusted = Sentinel::from_circuit(&circuit, boot_verify)
+            if let Some(table) = hooks.and_then(|h| h.restore(id, ch)) {
+                backend.install_calibration(table);
+                trusted = BackendSentinel::from_backend(backend.as_ref(), boot_verify)
                     .map(|sentinel| {
                         sentinel.run(task_seed(seed, ch as u64)).verdict()
                             == SentinelVerdict::Healthy
@@ -246,7 +281,7 @@ impl TenantBank {
                     vardelay_obs::counter("recovery.channels_rejected").add(1);
                 }
             }
-            (circuit, trusted)
+            (backend, trusted)
         });
         // Phase 2, sequential: calibrate whatever the snapshots did not
         // cover. Every bank shares the quiet-model fingerprint, so only
@@ -256,14 +291,20 @@ impl TenantBank {
         // served the byte-identical table from the fast-solve cache.
         let mut bank = Vec::with_capacity(channels);
         let mut restored = vec![false; channels];
-        for (ch, (mut circuit, trusted)) in verified.into_iter().enumerate() {
+        for (ch, (mut backend, trusted)) in verified.into_iter().enumerate() {
             if !trusted {
-                circuit.calibrate_with(runner);
+                backend.calibrate_with(runner);
             }
             restored[ch] = trusted;
-            bank.push(Mutex::new(circuit));
+            bank.push(Mutex::new(backend));
         }
-        (TenantBank { channels: bank }, restored)
+        (
+            TenantBank {
+                channels: bank,
+                kind: id.kind(),
+            },
+            restored,
+        )
     }
 }
 
@@ -271,14 +312,15 @@ impl std::fmt::Debug for TenantBank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TenantBank")
             .field("channels", &self.channels.len())
+            .field("kind", &self.kind)
             .finish()
     }
 }
 
-/// Lazily-populated, LRU-evicted map of tenant → calibrated bank.
+/// Lazily-populated, LRU-evicted map of [`BankId`] → calibrated bank.
 ///
 /// Each slot is an `Arc<OnceLock<..>>` so concurrent first requests for
-/// the same tenant single-flight the calibration (the builder runs
+/// the same bank single-flight the calibration (the builder runs
 /// outside the registry lock; losers of the race block on the
 /// `OnceLock`, not on the whole registry).
 pub struct BankRegistry {
@@ -291,9 +333,9 @@ pub struct BankRegistry {
 }
 
 struct RegistryInner {
-    slots: HashMap<String, Arc<OnceLock<Arc<TenantBank>>>>,
+    slots: HashMap<BankId, Arc<OnceLock<Arc<TenantBank>>>>,
     /// Least-recently-used first. Invariant: same keys as `slots`.
-    lru: VecDeque<String>,
+    lru: VecDeque<BankId>,
 }
 
 impl BankRegistry {
@@ -328,23 +370,23 @@ impl BankRegistry {
             .len()
     }
 
-    /// The tenant's bank, calibrating it on first touch and refreshing
+    /// The bank for `id`, calibrating it on first touch and refreshing
     /// its LRU position. Eviction only ever drops the registry's
     /// reference — in-flight requests holding the `Arc` finish on the
     /// evicted bank safely.
-    pub fn get(&self, tenant: &str, runner: Runner) -> Arc<TenantBank> {
+    pub fn get(&self, id: &BankId, runner: Runner) -> Arc<TenantBank> {
         let (slot, evicted) = {
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-            inner.lru.retain(|t| t != tenant);
-            let slot = match inner.slots.get(tenant) {
+            inner.lru.retain(|t| t != id);
+            let slot = match inner.slots.get(id) {
                 Some(slot) => Arc::clone(slot),
                 None => {
                     let slot = Arc::new(OnceLock::new());
-                    inner.slots.insert(tenant.to_owned(), Arc::clone(&slot));
+                    inner.slots.insert(id.clone(), Arc::clone(&slot));
                     slot
                 }
             };
-            inner.lru.push_back(tenant.to_owned());
+            inner.lru.push_back(id.clone());
             let mut evicted = Vec::new();
             while inner.lru.len() > self.cap {
                 if let Some(cold) = inner.lru.pop_front() {
@@ -375,35 +417,35 @@ impl BankRegistry {
                 self.seed,
                 runner,
                 self.hooks.get(),
-                tenant,
+                id,
             );
             let bank = Arc::new(bank);
             if let Some(hooks) = self.hooks.get() {
-                hooks.built(tenant, &bank, &restored);
+                hooks.built(id, &bank, &restored);
             }
             bank
         }))
     }
 
-    /// The tenant's bank if it is already resident *and* built — no
+    /// The bank for `id` if it is already resident *and* built — no
     /// calibration, no LRU refresh. The health supervisor and drift
     /// injection use this so observation never changes eviction order.
-    pub fn peek(&self, tenant: &str) -> Option<Arc<TenantBank>> {
+    pub fn peek(&self, id: &BankId) -> Option<Arc<TenantBank>> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.slots.get(tenant)?.get().cloned()
+        inner.slots.get(id)?.get().cloned()
     }
 
-    /// Every resident, fully-built bank with its tenant label, in LRU
+    /// Every resident, fully-built bank with its identity, in LRU
     /// order (coldest first). Slots still mid-build are skipped — the
     /// supervisor has nothing to probe there yet.
-    pub fn snapshot(&self) -> Vec<(String, Arc<TenantBank>)> {
+    pub fn snapshot(&self) -> Vec<(BankId, Arc<TenantBank>)> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner
             .lru
             .iter()
-            .filter_map(|tenant| {
-                let bank = inner.slots.get(tenant)?.get()?;
-                Some((tenant.clone(), Arc::clone(bank)))
+            .filter_map(|id| {
+                let bank = inner.slots.get(id)?.get()?;
+                Some((id.clone(), Arc::clone(bank)))
             })
             .collect()
     }
@@ -480,22 +522,49 @@ mod tests {
         }
     }
 
+    fn circuit(tenant: &str) -> BankId {
+        BankId::new(tenant, BackendKind::Circuit)
+    }
+
     #[test]
     fn the_registry_evicts_least_recently_used_banks() {
         let registry = BankRegistry::new(ModelConfig::paper_prototype(), 1, 0x5e7e, 2);
         let runner = Runner::serial();
-        let a = registry.get("a", runner);
-        let _b = registry.get("b", runner);
+        let a = registry.get(&circuit("a"), runner);
+        let _b = registry.get(&circuit("b"), runner);
         assert_eq!(registry.resident(), 2);
         // Touch a so b is now the LRU; admitting c evicts b.
-        let a_again = registry.get("a", runner);
+        let a_again = registry.get(&circuit("a"), runner);
         assert!(Arc::ptr_eq(&a, &a_again), "a single-flights to one bank");
-        let _c = registry.get("c", runner);
+        let _c = registry.get(&circuit("c"), runner);
         assert_eq!(registry.resident(), 2);
         // b was evicted: getting it again builds a fresh bank, and the
         // registry still holds only `cap` banks.
-        let _b2 = registry.get("b", runner);
+        let _b2 = registry.get(&circuit("b"), runner);
         assert_eq!(registry.resident(), 2);
+    }
+
+    #[test]
+    fn one_tenant_two_backends_is_two_distinct_banks() {
+        let registry = BankRegistry::new(ModelConfig::paper_prototype(), 1, 0x5e7e, 4);
+        let runner = Runner::serial();
+        let circuit_bank = registry.get(&BankId::new("a", BackendKind::Circuit), runner);
+        let vernier_bank = registry.get(&BankId::new("a", BackendKind::Vernier), runner);
+        assert!(
+            !Arc::ptr_eq(&circuit_bank, &vernier_bank),
+            "different backend kinds must never share a bank"
+        );
+        assert_eq!(registry.resident(), 2);
+        assert_eq!(circuit_bank.kind, BackendKind::Circuit);
+        assert_eq!(vernier_bank.kind, BackendKind::Vernier);
+        assert_eq!(
+            circuit_bank.channels[0].lock().unwrap().kind(),
+            BackendKind::Circuit
+        );
+        assert_eq!(
+            vernier_bank.channels[0].lock().unwrap().kind(),
+            BackendKind::Vernier
+        );
     }
 
     #[test]
@@ -506,28 +575,28 @@ mod tests {
             events: Mutex<Vec<String>>,
         }
         impl BankHooks for Recorder {
-            fn restore(&self, tenant: &str, channel: usize) -> Option<CalibrationTable> {
+            fn restore(&self, id: &BankId, channel: usize) -> Option<CalibrationTable> {
                 self.events
                     .lock()
                     .unwrap()
-                    .push(format!("restore {tenant}/{channel}"));
-                if tenant == "warm" {
+                    .push(format!("restore {}/{channel}", id.tenant()));
+                if id.tenant() == "warm" {
                     self.table.lock().unwrap().clone()
                 } else {
                     None
                 }
             }
-            fn built(&self, tenant: &str, _bank: &TenantBank, restored: &[bool]) {
+            fn built(&self, id: &BankId, _bank: &TenantBank, restored: &[bool]) {
                 self.events
                     .lock()
                     .unwrap()
-                    .push(format!("built {tenant} restored={restored:?}"));
+                    .push(format!("built {} restored={restored:?}", id.tenant()));
             }
-            fn evicted(&self, tenant: &str, _bank: &TenantBank) {
+            fn evicted(&self, id: &BankId, _bank: &TenantBank) {
                 self.events
                     .lock()
                     .unwrap()
-                    .push(format!("evicted {tenant}"));
+                    .push(format!("evicted {}", id.tenant()));
             }
         }
 
@@ -536,7 +605,7 @@ mod tests {
         registry.set_hooks(Arc::clone(&hooks) as Arc<dyn BankHooks>);
         let runner = Runner::serial();
         // Cold build: restore declines, the bank calibrates fresh.
-        let cold = registry.get("cold", runner);
+        let cold = registry.get(&circuit("cold"), runner);
         let table = cold.channels[0]
             .lock()
             .unwrap()
@@ -546,7 +615,7 @@ mod tests {
         *hooks.table.lock().unwrap() = Some(table);
         // Admitting "warm" evicts "cold" (cap 1) and restores from the
         // hook's table, which the sentinel verifies as healthy.
-        let warm = registry.get("warm", runner);
+        let warm = registry.get(&circuit("warm"), runner);
         let restored_table = warm.channels[0]
             .lock()
             .unwrap()
@@ -575,19 +644,25 @@ mod tests {
     fn peek_and_snapshot_observe_without_perturbing_lru() {
         let registry = BankRegistry::new(ModelConfig::paper_prototype(), 1, 0x5e7e, 2);
         let runner = Runner::serial();
-        assert!(registry.peek("a").is_none(), "peek must never build");
-        let a = registry.get("a", runner);
-        let _b = registry.get("b", runner);
+        assert!(
+            registry.peek(&circuit("a")).is_none(),
+            "peek must never build"
+        );
+        let a = registry.get(&circuit("a"), runner);
+        let _b = registry.get(&circuit("b"), runner);
         // Peeking a does NOT refresh it: a is still the LRU victim.
-        assert!(Arc::ptr_eq(&registry.peek("a").unwrap(), &a));
+        assert!(Arc::ptr_eq(&registry.peek(&circuit("a")).unwrap(), &a));
         let snap = registry.snapshot();
         assert_eq!(
-            snap.iter().map(|(t, _)| t.as_str()).collect::<Vec<_>>(),
+            snap.iter().map(|(id, _)| id.tenant()).collect::<Vec<_>>(),
             ["a", "b"],
             "snapshot is coldest-first"
         );
-        let _c = registry.get("c", runner);
-        assert!(registry.peek("a").is_none(), "a should have been evicted");
-        assert!(registry.peek("b").is_some());
+        let _c = registry.get(&circuit("c"), runner);
+        assert!(
+            registry.peek(&circuit("a")).is_none(),
+            "a should have been evicted"
+        );
+        assert!(registry.peek(&circuit("b")).is_some());
     }
 }

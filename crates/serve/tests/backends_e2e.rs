@@ -1,0 +1,175 @@
+//! Wire-level backend selection (DESIGN.md §17): an explicit
+//! `backend:"circuit"` selector must be byte-identical to leaving the
+//! field off — same bank, same responses, no new state — while
+//! `vernier` and `dll` selectors route to their own lazily built banks
+//! and answer real delay solves through the trait. The refactor guard
+//! at the socket: PR 10 must be invisible to every pre-backend client.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use vardelay_backend::BackendKind;
+use vardelay_serve::{
+    serve, Client, Envelope, ErrorKind, Request, Response, ServeConfig, ServerHandle,
+};
+
+fn boot() -> ServerHandle {
+    let mut config = ServeConfig::in_process();
+    config.workers = 2;
+    serve(config).expect("bind in-process server")
+}
+
+/// A raw line-oriented session: sends the exact bytes given and returns
+/// the exact bytes answered, so equivalence is checked at the wire, not
+/// after a parse.
+struct RawWire {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawWire {
+    fn connect(handle: &ServerHandle) -> RawWire {
+        let writer = TcpStream::connect(handle.addr()).expect("connect");
+        writer.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        RawWire { reader, writer }
+    }
+
+    fn call(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut out = String::new();
+        self.reader.read_line(&mut out).expect("a response line");
+        out.trim_end().to_owned()
+    }
+}
+
+fn delay(id: u64, channel: usize, ps: f64) -> Envelope {
+    Envelope {
+        id: Some(id),
+        deadline_ms: None,
+        tenant: None,
+        req_id: None,
+        backend: None,
+        request: Request::SetDelay { channel, ps },
+    }
+}
+
+fn banks(client: &mut Client) -> u64 {
+    let (_, response) = client.call(&Envelope::new(Request::Stats)).expect("stats");
+    match response {
+        Response::Stats(stats) => stats.banks,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+/// Pinning `backend:"circuit"` explicitly answers byte-for-byte the
+/// same lines as omitting the field, and never mints a second bank —
+/// the selector is routing metadata, not state.
+#[test]
+fn explicit_circuit_selector_is_byte_identical_to_the_default_path() {
+    let handle = boot();
+    let mut wire = RawWire::connect(&handle);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let before = banks(&mut client);
+
+    let script = [(0usize, 0.0f64), (1, 17.5), (2, 40.0), (3, 99.9), (0, 61.5)];
+    for (i, (channel, ps)) in script.iter().enumerate() {
+        let bare = delay(i as u64, *channel, *ps);
+        let pinned = bare.clone().on_backend(BackendKind::Circuit);
+        let want = wire.call(&bare.to_value().render());
+        let got = wire.call(&pinned.to_value().render());
+        assert_eq!(
+            got, want,
+            "channel {channel} at {ps} ps: explicit circuit diverged from the default"
+        );
+        assert!(want.contains("\"tap\""), "not a delay reply: {want}");
+    }
+
+    assert_eq!(
+        banks(&mut client),
+        before,
+        "an explicit default selector must reuse the default bank"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+/// `vernier` and `dll` selectors each build their own bank on first
+/// touch and answer real solves through the trait: tapless settings
+/// (the behavioral parts have no VGA tap mux), solve error within the
+/// backend's advertised resolution, and a healthy selftest.
+#[test]
+fn behavioral_selectors_route_to_their_own_banks_and_solve() {
+    let handle = boot();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut expected_banks = banks(&mut client);
+
+    for (kind, resolution_ps) in [(BackendKind::Vernier, 1.0), (BackendKind::Dll, 3.0)] {
+        for (channel, ps) in [(0usize, 12.5f64), (5, 180.0), (7, 299.0)] {
+            let (_, response) = client
+                .call(&delay(ps as u64, channel, ps).on_backend(kind))
+                .expect("a response");
+            match response {
+                Response::Delay(reply) => {
+                    assert_eq!(reply.channel, channel, "{kind:?}");
+                    assert_eq!(reply.tap, 0, "{kind:?} has no tap mux");
+                    assert!(
+                        reply.error_ps.abs() <= resolution_ps,
+                        "{kind:?}: {ps} ps missed by {} ps",
+                        reply.error_ps
+                    );
+                }
+                other => panic!("{kind:?}: expected a delay reply, got {other:?}"),
+            }
+        }
+        let (_, selftest) = client
+            .call(&Envelope::new(Request::Selftest).on_backend(kind))
+            .expect("selftest");
+        match selftest {
+            Response::Selftest(reply) => {
+                assert_eq!(reply.verdict, "healthy", "{kind:?}: {}", reply.summary)
+            }
+            other => panic!("{kind:?}: expected selftest, got {other:?}"),
+        }
+        expected_banks += 1;
+        assert_eq!(
+            banks(&mut client),
+            expected_banks,
+            "{kind:?} must get its own bank"
+        );
+    }
+
+    // Re-touching a behavioral backend reuses its bank.
+    let (_, response) = client
+        .call(&delay(99, 1, 25.0).on_backend(BackendKind::Vernier))
+        .expect("a response");
+    assert!(matches!(response, Response::Delay(_)), "{response:?}");
+    assert_eq!(banks(&mut client), expected_banks, "bank leak on re-touch");
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// An unknown selector is a structured `bad_request` that lists the
+/// valid names, and the same connection keeps serving the default.
+#[test]
+fn unknown_selector_is_rejected_with_the_valid_names() {
+    let handle = boot();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let (_, response) = client
+        .send_raw("{\"op\":\"stats\",\"backend\":\"fpga\"}")
+        .expect("a response");
+    match &response {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::BadRequest, "{e:?}");
+            assert!(e.detail.contains("circuit, vernier, dll"), "{}", e.detail);
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    let (_, ok) = client.call(&Envelope::new(Request::Stats)).expect("stats");
+    assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
+    handle.shutdown();
+    handle.join();
+}

@@ -34,6 +34,7 @@ fn envelope(id: u64, request: Request) -> Envelope {
         deadline_ms: None,
         tenant: None,
         req_id: None,
+        backend: None,
         request,
     }
 }

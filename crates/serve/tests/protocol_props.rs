@@ -117,6 +117,55 @@ proptest! {
         prop_assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
     }
 
+    /// Junk `backend` selectors — unknown names, oversized strings,
+    /// non-string values — always draw a structured `bad_request` whose
+    /// detail names the field, the unknown-name detail lists the valid
+    /// backends, and the connection survives the whole barrage.
+    #[test]
+    fn junk_backend_selectors_draw_bad_request_over_the_wire(
+        junk in proptest::collection::vec(any::<u8>(), 1..24),
+        pad in 33usize..200,
+    ) {
+        // Lowercase letters only, so the line stays valid JSON; dodge
+        // the three real names.
+        let mut name: String = junk.iter().map(|&b| (b'a' + (b % 26)) as char).collect();
+        if matches!(name.as_str(), "circuit" | "vernier" | "dll") {
+            name.push('x');
+        }
+        let oversized = "v".repeat(pad);
+        let mut client = connect();
+        let lines = [
+            format!("{{\"op\":\"stats\",\"backend\":\"{name}\"}}"),
+            format!("{{\"op\":\"stats\",\"backend\":\"{oversized}\"}}"),
+            "{\"op\":\"stats\",\"backend\":7}".to_owned(),
+        ];
+        for line in &lines {
+            let (_, response) = client.send_raw(line).expect("a response line");
+            match &response {
+                Response::Error(e) => {
+                    prop_assert_eq!(e.kind, ErrorKind::BadRequest, "{} drew {:?}", line, e);
+                    prop_assert!(e.detail.contains("backend"), "{}", e.detail);
+                }
+                other => prop_assert!(false, "{line} drew {other:?}"),
+            }
+        }
+        // The unknown-name rejection teaches the caller the valid set.
+        let (_, response) = client
+            .send_raw(&format!("{{\"op\":\"stats\",\"backend\":\"{name}\"}}"))
+            .expect("a response line");
+        match &response {
+            Response::Error(e) => prop_assert!(
+                e.detail.contains("circuit, vernier, dll"),
+                "{}",
+                e.detail
+            ),
+            other => prop_assert!(false, "{other:?}"),
+        }
+        // Same connection still serves.
+        let (_, ok) = client.call(&Envelope::new(Request::Stats)).expect("stats");
+        prop_assert!(matches!(ok, Response::Stats(_)), "{ok:?}");
+    }
+
     /// In-range but out-of-bank channels (the service exposes 8) are
     /// rejected at admission with the channel-count detail, and the
     /// response still carries the request's correlation id.
@@ -128,6 +177,7 @@ proptest! {
             deadline_ms: None,
             tenant: None,
             req_id: None,
+            backend: None,
             request: Request::SetDelay { channel, ps: 10.0 },
         };
         let (id, response) = client.call(&envelope).expect("a response line");
@@ -264,6 +314,7 @@ fn every_request_type_round_trips() {
             deadline_ms: Some(750),
             tenant: Some("lot-7".to_owned()),
             req_id: None,
+            backend: None,
             request: Request::SetDelay {
                 channel: 0,
                 ps: 0.0,

@@ -11,6 +11,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use vardelay_backend::BackendKind;
 use vardelay_serve::{
     serve, ChannelState, Client, Envelope, ErrorKind, Request, Response, ServeConfig, ServerHandle,
 };
@@ -37,6 +38,7 @@ fn envelope(id: u64, request: Request) -> Envelope {
         deadline_ms: None,
         tenant: None,
         req_id: None,
+        backend: None,
         request,
     }
 }
@@ -324,6 +326,100 @@ fn quarantine_survives_eviction_and_restart() {
         .expect("a response");
     assert!(matches!(response, Response::Delay(_)), "{response:?}");
 
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The backend identity is part of the snapshot fingerprint: a warm
+/// restart whose default backend differs from the one that wrote the
+/// state directory must refuse every persisted table and calibrate the
+/// flipped backend fresh — a Vernier table installed into the circuit
+/// (or vice versa) would serve silently wrong delays. Flipping back
+/// restores nothing either, but recalibrates to answers byte-identical
+/// to the original cold boot.
+#[test]
+fn a_backend_flip_invalidates_snapshots_and_forces_recalibration() {
+    let dir = scratch("backend_flip");
+    let script: Vec<String> = [(2usize, 40.0f64), (5, 88.5)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(channel, ps))| {
+            envelope(i as u64 + 1, Request::SetDelay { channel, ps })
+                .to_value()
+                .render()
+        })
+        .collect();
+
+    // Cold boot on the circuit default: program, then stop uncleanly.
+    let handle = serve(durable_config(&dir)).expect("bind cold");
+    assert_eq!(handle.backend(), BackendKind::Circuit);
+    let cold = wire_session(handle.addr(), &script);
+    for line in &cold {
+        assert!(
+            line.contains("\"predicted_ps\""),
+            "not a delay reply: {line}"
+        );
+    }
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    stop_without_compaction(handle, &mut client, 10);
+
+    // Same directory, default flipped to the Vernier: the circuit
+    // snapshot's fingerprint no longer matches, so nothing restores and
+    // the flipped bank calibrates from scratch.
+    let mut config = durable_config(&dir);
+    config.backend = BackendKind::Vernier;
+    let handle = serve(config).expect("bind flipped");
+    assert_eq!(handle.backend(), BackendKind::Vernier);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let stats = wire_stats(&mut client, 11);
+    assert_eq!(
+        stats.banks_restored, 0,
+        "a circuit snapshot must never install under the vernier: {stats:?}"
+    );
+    assert!(
+        stats.banks_recalibrated >= 1,
+        "the flipped default must calibrate fresh: {stats:?}"
+    );
+    // And it really is the Vernier serving: tapless settings within the
+    // 1 ps contract resolution.
+    let (_, response) = client
+        .call(&envelope(
+            12,
+            Request::SetDelay {
+                channel: 2,
+                ps: 40.0,
+            },
+        ))
+        .expect("a response");
+    match response {
+        Response::Delay(reply) => {
+            assert_eq!(reply.tap, 0, "the vernier has no tap mux");
+            assert!(reply.error_ps.abs() <= 1.0, "{reply:?}");
+        }
+        other => panic!("expected a delay reply, got {other:?}"),
+    }
+    stop_without_compaction(handle, &mut client, 13);
+
+    // Flip back to the circuit: the vernier's snapshots are refused the
+    // same way, and the recalibrated circuit answers byte-identically
+    // (modulo epoch) to the original cold boot.
+    let handle = serve(durable_config(&dir)).expect("bind flipped back");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let stats = wire_stats(&mut client, 14);
+    assert_eq!(
+        stats.banks_restored, 0,
+        "a vernier snapshot must never install under the circuit: {stats:?}"
+    );
+    assert!(stats.banks_recalibrated >= 1, "{stats:?}");
+    let back = wire_session(handle.addr(), &script);
+    for (old, new) in cold.iter().zip(&back) {
+        assert_eq!(
+            strip_epoch(old),
+            strip_epoch(new),
+            "the round-tripped circuit diverged from its cold boot"
+        );
+    }
     handle.shutdown();
     handle.join();
     let _ = std::fs::remove_dir_all(&dir);

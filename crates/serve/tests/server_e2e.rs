@@ -14,6 +14,7 @@ fn envelope(id: u64, request: Request) -> Envelope {
         deadline_ms: None,
         tenant: None,
         req_id: None,
+        backend: None,
         request,
     }
 }
@@ -243,6 +244,7 @@ fn an_expired_deadline_is_a_response_not_a_dropped_connection() {
             deadline_ms: Some(0),
             tenant: None,
             req_id: None,
+            backend: None,
             request: Request::Stats,
         })
         .expect("a response");

@@ -21,6 +21,9 @@
 //!   circuit, DAC, calibration, jitter injector.
 //! * [`ate`] — tester channels, parallel buses, a DUT receiver and the
 //!   closed-loop deskew application.
+//! * [`backend`] — pluggable delay backends: the `DelayBackend` trait,
+//!   the byte-identical circuit reference, and the Vernier / DLL
+//!   behavioral models (DESIGN.md §17).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@
 
 pub use vardelay_analog as analog;
 pub use vardelay_ate as ate;
+pub use vardelay_backend as backend;
 pub use vardelay_core as core;
 pub use vardelay_measure as measure;
 pub use vardelay_siggen as siggen;
